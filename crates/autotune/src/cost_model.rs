@@ -1,0 +1,209 @@
+//! Online learned cost model (the XGBoost-ranker stand-in).
+//!
+//! AutoTVM trains a gradient-boosted ranking model on the measurements
+//! gathered so far and uses it to pick which candidates to measure next. For
+//! the reproduction a ridge-regularized linear model over the search-space
+//! features (log tile sizes + permutation one-hot), trained by mini-batch
+//! gradient descent on all observations after each batch of measurements, is
+//! enough to reproduce the *behaviour* that matters for the comparison:
+//! measurement-guided pruning of a template space under a trial budget.
+
+/// An online least-squares cost model.
+#[derive(Debug, Clone)]
+pub struct OnlineCostModel {
+    weights: Vec<f64>,
+    bias: f64,
+    /// L2 regularization strength.
+    pub ridge: f64,
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// Training epochs per refit.
+    pub epochs: usize,
+    observations: Vec<(Vec<f64>, f64)>,
+    target_mean: f64,
+    target_scale: f64,
+    feature_mean: Vec<f64>,
+    feature_scale: Vec<f64>,
+}
+
+impl OnlineCostModel {
+    /// A model for feature vectors of length `dim`.
+    pub fn new(dim: usize) -> Self {
+        OnlineCostModel {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+            ridge: 1e-3,
+            learning_rate: 0.05,
+            epochs: 60,
+            observations: Vec::new(),
+            target_mean: 0.0,
+            target_scale: 1.0,
+            feature_mean: vec![0.0; dim],
+            feature_scale: vec![1.0; dim],
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether no observation has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Record a measurement (`cost`, lower is better) for a feature vector.
+    pub fn observe(&mut self, features: Vec<f64>, cost: f64) {
+        assert_eq!(features.len(), self.weights.len(), "feature dimension mismatch");
+        if cost.is_finite() {
+            self.observations.push((features, cost));
+        }
+    }
+
+    /// Refit the model on all observations so far.
+    pub fn fit(&mut self) {
+        if self.observations.is_empty() {
+            return;
+        }
+        // Normalize targets (costs span orders of magnitude).
+        let logs: Vec<f64> = self.observations.iter().map(|(_, c)| c.max(1e-300).ln()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / logs.len() as f64;
+        self.target_mean = mean;
+        self.target_scale = var.sqrt().max(1e-9);
+
+        // Standardize features so gradient descent is well conditioned.
+        let n = self.observations.len() as f64;
+        let dim = self.weights.len();
+        for j in 0..dim {
+            let m: f64 = self.observations.iter().map(|(f, _)| f[j]).sum::<f64>() / n;
+            let v: f64 =
+                self.observations.iter().map(|(f, _)| (f[j] - m).powi(2)).sum::<f64>() / n;
+            self.feature_mean[j] = m;
+            self.feature_scale[j] = v.sqrt().max(1e-9);
+        }
+
+        for _ in 0..self.epochs {
+            let mut grad_w = vec![0.0; self.weights.len()];
+            let mut grad_b = 0.0;
+            for ((f, _), log_target) in self.observations.iter().zip(logs.iter()) {
+                let target = (log_target - self.target_mean) / self.target_scale;
+                let fs = self.standardize(f);
+                let pred = self.raw_predict(&fs);
+                let err = pred - target;
+                for (g, x) in grad_w.iter_mut().zip(fs.iter()) {
+                    *g += err * x / n;
+                }
+                grad_b += err / n;
+            }
+            for (w, g) in self.weights.iter_mut().zip(grad_w.iter()) {
+                *w -= self.learning_rate * (g + self.ridge * *w);
+            }
+            self.bias -= self.learning_rate * grad_b;
+        }
+    }
+
+    fn standardize(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .zip(self.feature_mean.iter().zip(self.feature_scale.iter()))
+            .map(|(x, (m, s))| (x - m) / s)
+            .collect()
+    }
+
+    fn raw_predict(&self, standardized: &[f64]) -> f64 {
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(standardized.iter())
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+    }
+
+    /// Predicted cost (same units as the observed costs; lower is better).
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.weights.len(), "feature dimension mismatch");
+        if self.observations.is_empty() {
+            return 1.0;
+        }
+        let fs = self.standardize(features);
+        (self.raw_predict(&fs) * self.target_scale + self.target_mean).exp()
+    }
+
+    /// Rank a set of candidates by predicted cost, best (lowest) first.
+    /// Returns indices into `candidates`.
+    pub fn rank(&self, candidates: &[Vec<f64>]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.predict(&candidates[a])
+                .partial_cmp(&self.predict(&candidates[b]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic cost: exp of a linear function of the features.
+    fn synth_cost(f: &[f64]) -> f64 {
+        (2.0 * f[0] - 1.0 * f[1] + 0.5).exp()
+    }
+
+    #[test]
+    fn learns_a_monotone_trend() {
+        let mut m = OnlineCostModel::new(2);
+        for i in 0..40 {
+            let f = vec![(i % 7) as f64, (i % 5) as f64];
+            let c = synth_cost(&f);
+            m.observe(f, c);
+        }
+        m.fit();
+        // A point with small f0 / large f1 must be predicted cheaper than the
+        // opposite corner.
+        let cheap = m.predict(&[0.0, 4.0]);
+        let costly = m.predict(&[6.0, 0.0]);
+        assert!(cheap < costly, "cheap {cheap} vs costly {costly}");
+    }
+
+    #[test]
+    fn ranking_orders_by_prediction() {
+        let mut m = OnlineCostModel::new(1);
+        for i in 1..=20 {
+            m.observe(vec![i as f64], (i as f64).exp());
+        }
+        m.fit();
+        let candidates = vec![vec![10.0], vec![1.0], vec![5.0]];
+        let order = m.rank(&candidates);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn untrained_model_predicts_constant() {
+        let m = OnlineCostModel::new(3);
+        assert!(m.is_empty());
+        assert_eq!(m.predict(&[1.0, 2.0, 3.0]), 1.0);
+        assert_eq!(m.predict(&[9.0, 9.0, 9.0]), 1.0);
+    }
+
+    #[test]
+    fn non_finite_costs_are_ignored() {
+        let mut m = OnlineCostModel::new(1);
+        m.observe(vec![1.0], f64::INFINITY);
+        m.observe(vec![1.0], f64::NAN);
+        assert_eq!(m.len(), 0);
+        m.observe(vec![1.0], 2.0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn wrong_feature_length_panics() {
+        let mut m = OnlineCostModel::new(2);
+        m.observe(vec![1.0], 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion bench: the memory-hierarchy simulators (the hardware-counter
+//! substitute used for model validation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cache_sim::{CacheKind, FullyAssocLru, TileTrafficSimulator, TraceSimulator};
+use conv_spec::{ConvShape, MachineModel, TileConfig};
+use mopt_core::optimizer::heuristic_config;
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("cache_sim/lru_1m_accesses", |b| {
+        b.iter(|| {
+            let mut cache = FullyAssocLru::new(8192, 1);
+            let mut hits = 0u64;
+            for i in 0..1_000_000usize {
+                if cache.access((i * 17) % 100_000, i % 5 == 0) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_tile_traffic(c: &mut Criterion) {
+    let shape = ConvShape::new(1, 64, 64, 3, 3, 28, 28, 1).unwrap();
+    let machine = MachineModel::i7_9700k();
+    let config = heuristic_config(&shape, &machine);
+    let sim = TileTrafficSimulator::default();
+    c.bench_function("cache_sim/tile_traffic_full_config", |b| {
+        b.iter(|| sim.simulate(&shape, &config).volume(conv_spec::TilingLevel::L3))
+    });
+}
+
+fn bench_trace_sim(c: &mut Criterion) {
+    let shape = ConvShape::new(1, 16, 16, 3, 3, 12, 12, 1).unwrap();
+    let machine = MachineModel::tiny_test_machine();
+    let config = TileConfig::untiled(&shape);
+    let mut group = c.benchmark_group("cache_sim");
+    group.sample_size(10);
+    group.bench_function("trace_sim_small_operator", |b| {
+        b.iter(|| {
+            TraceSimulator::new(&shape, &machine, CacheKind::IdealFullyAssociative)
+                .run(&config)
+                .volume(conv_spec::TilingLevel::L1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru, bench_tile_traffic, bench_trace_sim);
+criterion_main!(benches);

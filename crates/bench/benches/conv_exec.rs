@@ -1,0 +1,42 @@
+//! Criterion bench: end-to-end conv2d execution — naive vs im2col+GEMM vs
+//! multi-level tiled with a heuristic configuration vs the oneDNN-like
+//! baseline (the per-operator GFLOPS that Figures 7/8 are built from, on one
+//! scaled operator).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use baselines::OneDnnLike;
+use conv_exec::im2col::{conv2d_im2col, GemmBlocking};
+use conv_exec::naive::conv2d_naive;
+use conv_exec::{Tensor4, TiledConv};
+use conv_spec::{ConvShape, MachineModel};
+use mopt_core::optimizer::heuristic_config;
+
+fn shape() -> ConvShape {
+    // A scaled-down ResNet-style layer so the bench finishes quickly.
+    ConvShape::new(1, 32, 32, 3, 3, 28, 28, 1).unwrap()
+}
+
+fn bench_conv_variants(c: &mut Criterion) {
+    let shape = shape();
+    let machine = MachineModel::i7_9700k();
+    let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 5);
+    let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 6);
+    let flops = shape.flops() as u64;
+
+    let mut group = c.benchmark_group("conv2d");
+    group.throughput(Throughput::Elements(flops));
+    group.sample_size(10);
+
+    group.bench_function("naive", |b| b.iter(|| conv2d_naive(&shape, &input, &kernel)));
+    group.bench_function("im2col_gemm", |b| {
+        b.iter(|| conv2d_im2col(&shape, &input, &kernel, &GemmBlocking::default(), 1))
+    });
+    let tiled = TiledConv::new(shape, heuristic_config(&shape, &machine), 1).unwrap();
+    group.bench_function("tiled_heuristic_1t", |b| b.iter(|| tiled.run(&input, &kernel)));
+    let lib = OneDnnLike::new(machine.clone());
+    group.bench_function("onednn_like", |b| b.iter(|| lib.run(&shape, &input, &kernel)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_variants);
+criterion_main!(benches);

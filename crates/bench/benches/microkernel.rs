@@ -1,0 +1,42 @@
+//! Criterion bench: the register-tiled microkernel (Sec. 6), in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use conv_exec::microkernel::{run_microkernel, KernelRegion};
+use conv_exec::{PackedKernel, Tensor4};
+use conv_spec::ConvShape;
+
+fn bench_microkernel(c: &mut Criterion) {
+    let shape = ConvShape::new(1, 64, 64, 3, 3, 14, 14, 1).unwrap();
+    let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 1);
+    let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 2);
+    let packed = PackedKernel::pack(&shape, &kernel, 8);
+    // A register tile like the paper's 2x(8-lane) x 6-pixel block.
+    let region = KernelRegion {
+        n: (0, 1),
+        k: (0, 16),
+        c: (0, shape.c),
+        r: (0, shape.r),
+        s: (0, shape.s),
+        h: (0, 1),
+        w: (0, 6),
+    };
+    let flops = 2 * region.macs() as u64;
+    let mut group = c.benchmark_group("microkernel");
+    group.throughput(Throughput::Elements(flops));
+    group.bench_function("register_tile_16x6", |b| {
+        let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+        b.iter(|| run_microkernel(&shape, &input, &packed, &mut out, &region));
+    });
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let shape = ConvShape::new(1, 256, 128, 3, 3, 14, 14, 1).unwrap();
+    let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 3);
+    c.bench_function("microkernel/kernel_packing", |b| {
+        b.iter(|| PackedKernel::pack(&shape, &kernel, 8).as_slice().len())
+    });
+}
+
+criterion_group!(benches, bench_microkernel, bench_packing);
+criterion_main!(benches);

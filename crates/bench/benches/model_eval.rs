@@ -1,0 +1,53 @@
+//! Criterion bench: cost of evaluating the analytical model.
+//!
+//! The paper's key practicality claim is that the analytical model is cheap
+//! enough to explore the full design space; these benches measure the cost of
+//! a single-level cost evaluation and of a full multi-level prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use conv_spec::{benchmarks, MachineModel, Permutation, TileConfig};
+use mopt_model::cost::{single_level_volume, CostOptions, RealTiles};
+use mopt_model::multilevel::MultiLevelModel;
+use mopt_model::prune::pruned_classes;
+
+fn bench_single_level(c: &mut Criterion) {
+    let op = benchmarks::by_name("R9").expect("R9 exists");
+    let perm = Permutation::parse("kcrsnhw").unwrap();
+    let tiles = RealTiles::from_array([1.0, 32.0, 16.0, 3.0, 3.0, 7.0, 14.0]);
+    let opts = CostOptions::default();
+    c.bench_function("model/single_level_volume", |b| {
+        b.iter(|| {
+            std::hint::black_box(single_level_volume(&op.shape, &perm, &tiles, &opts).total())
+        })
+    });
+}
+
+fn bench_multilevel_predict(c: &mut Criterion) {
+    let op = benchmarks::by_name("R9").expect("R9 exists");
+    let machine = MachineModel::i7_9700k();
+    let model = MultiLevelModel::new(op.shape, machine, Permutation::parse("kcrsnhw").unwrap());
+    let config = TileConfig::untiled(&op.shape);
+    c.bench_function("model/multilevel_predict", |b| {
+        b.iter(|| std::hint::black_box(model.predict_config(&config).bottleneck_cost))
+    });
+}
+
+fn bench_all_pruned_classes(c: &mut Criterion) {
+    // Evaluating all 8 class representatives at one tile point — the unit of
+    // work the comprehensive exploration repeats.
+    let op = benchmarks::by_name("Y5").expect("Y5 exists");
+    let tiles = RealTiles::from_array([1.0, 64.0, 32.0, 1.0, 1.0, 17.0, 17.0]);
+    let opts = CostOptions::default();
+    let classes = pruned_classes();
+    c.bench_function("model/eight_pruned_classes", |b| {
+        b.iter(|| {
+            classes
+                .iter()
+                .map(|cl| single_level_volume(&op.shape, &cl.representative, &tiles, &opts).total())
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+}
+
+criterion_group!(benches, bench_single_level, bench_multilevel_predict, bench_all_pruned_classes);
+criterion_main!(benches);

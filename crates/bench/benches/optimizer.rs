@@ -1,0 +1,24 @@
+//! Criterion bench: MOpt's design-space exploration for one operator —
+//! the "9 to 23 seconds per operator" cost the paper quotes in Sec. 12
+//! (reduced here to two permutation classes so the bench stays short).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use conv_spec::{ConvShape, MachineModel};
+use mopt_core::optimizer::{MOptOptimizer, OptimizerOptions};
+
+fn bench_optimize(c: &mut Criterion) {
+    let shape = ConvShape::new(1, 64, 32, 3, 3, 28, 28, 1).unwrap();
+    let machine = MachineModel::i7_9700k();
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    group.bench_function("mopt_optimize_2classes", |b| {
+        b.iter(|| {
+            let opts = OptimizerOptions { max_classes: 2, multistart: 1, ..OptimizerOptions::fast() };
+            MOptOptimizer::new(shape, machine.clone(), opts).optimize().best().predicted_cost
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: the non-linear solver on a representative tile-size
+//! problem (the AMPL/Ipopt substitute's cost per `ArgMinSolve` call).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mopt_solver::{BarrierSolver, MultiStart, NlpSolver, PenaltySolver, Problem};
+
+/// The single-level matmul-like tile problem from Sec. 2 of the paper.
+fn tile_problem() -> Problem {
+    let (ni, nj, nk, cap) = (1024.0, 1024.0, 1024.0, 32.0 * 1024.0);
+    Problem::new(3)
+        .with_bounds(vec![1.0, 1.0, 1.0], vec![ni, nj, nk])
+        .with_objective(move |t| ni * nj * nk * (1.0 / t[0] + 1.0 / t[1]) + 2.0 * ni * nj)
+        .with_constraint(move |t| t[0] * t[2] + t[1] * t[2] + t[0] * t[1] - cap)
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let p = tile_problem();
+    c.bench_function("solver/barrier_tile_problem", |b| {
+        b.iter(|| BarrierSolver::fast().solve(&p, &[16.0, 16.0, 16.0]).objective)
+    });
+}
+
+fn bench_penalty(c: &mut Criterion) {
+    let p = tile_problem();
+    c.bench_function("solver/penalty_tile_problem", |b| {
+        b.iter(|| PenaltySolver::default().solve(&p, &[16.0, 16.0, 16.0]).objective)
+    });
+}
+
+fn bench_multistart(c: &mut Criterion) {
+    let p = tile_problem();
+    c.bench_function("solver/multistart_tile_problem", |b| {
+        b.iter(|| MultiStart::with_starts(2).solve(&p, &[16.0, 16.0, 16.0]).objective)
+    });
+}
+
+criterion_group!(benches, bench_barrier, bench_penalty, bench_multistart);
+criterion_main!(benches);

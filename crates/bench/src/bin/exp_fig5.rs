@@ -1,0 +1,78 @@
+//! Reproduce Figure 5: model-prediction loss of performance (top-1/2/5)
+//! against the best of a uniformly sampled set of tile configurations, for
+//! every conv2d operator of MobileNet, Yolo-9000 and ResNet-18.
+//!
+//! Usage:
+//!   exp_fig5 [--samples N] [--full] [--ops Y0,R9,...]
+//!
+//! `--full` uses the unscaled Table-1 shapes (slow); the default uses
+//! structure-preserving scaled shapes so the experiment finishes in minutes.
+
+use conv_spec::MachineModel;
+use mopt_bench::{fig5_model_loss, format_table, ExperimentScale};
+
+fn main() {
+    let args = Args::parse();
+    let machine = MachineModel::i7_9700k();
+    let rows = fig5_model_loss(&machine, args.scale, args.samples, args.ops.as_deref());
+    println!(
+        "== Figure 5 — model-prediction loss over {} sampled configurations ({}) ==",
+        args.samples,
+        match args.scale {
+            ExperimentScale::Full => "full Table-1 shapes".to_string(),
+            ExperimentScale::Scaled { hw, ch } => format!("scaled shapes hw<={hw} ch<={ch}"),
+        }
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.1}%", r.top1_loss * 100.0),
+                format!("{:.1}%", r.top2_loss * 100.0),
+                format!("{:.1}%", r.top5_loss * 100.0),
+                format!("{:.2}", r.rank_correlation),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["Operator", "Top-1 loss", "Top-2 loss", "Top-5 loss", "rank corr"], &table)
+    );
+    let worst_top5 = rows.iter().map(|r| r.top5_loss).fold(0.0, f64::max);
+    let worst_top1 = rows.iter().map(|r| r.top1_loss).fold(0.0, f64::max);
+    println!("worst top-1 loss: {:.1}%   worst top-5 loss: {:.1}%", worst_top1 * 100.0, worst_top5 * 100.0);
+    println!("(paper: top-1 loss < 4.5% on all 32 operators, < 3% on 30 of 32)");
+}
+
+struct Args {
+    samples: usize,
+    scale: ExperimentScale,
+    ops: Option<Vec<String>>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut samples = 40;
+        let mut scale = ExperimentScale::quick();
+        let mut ops = None;
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--samples" => {
+                    samples = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(samples);
+                    i += 1;
+                }
+                "--full" => scale = ExperimentScale::Full,
+                "--ops" => {
+                    ops = argv.get(i + 1).map(|v| v.split(',').map(|s| s.to_string()).collect());
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Args { samples, scale, ops }
+    }
+}

@@ -1,0 +1,29 @@
+//! Reproduce Table 1: the configurations of the 32 conv2d benchmark
+//! operators (Yolo-9000, ResNet-18, MobileNet).
+
+use conv_spec::benchmarks;
+use mopt_bench::format_table;
+
+fn main() {
+    for suite in conv_spec::BenchmarkSuite::ALL {
+        println!("== Table 1 — {suite} ==");
+        let rows: Vec<Vec<String>> = benchmarks::suite(suite)
+            .iter()
+            .map(|op| {
+                vec![
+                    op.name.clone(),
+                    op.shape.k.to_string(),
+                    op.shape.c.to_string(),
+                    op.shape.input_h().to_string(),
+                    format!("{}", op.shape.r),
+                    op.shape.stride.to_string(),
+                    format!("{:.2}", op.shape.flops() as f64 / 1e9),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(&["Layer", "K", "C", "H/W(in)", "R/S", "stride", "GFLOP"], &rows)
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Plain-text table formatting shared by the experiment binaries.
+
+/// Geometric mean of positive values (0 for an empty slice).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// Format a table with a header row and aligned columns.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a crude ASCII bar (used for the relative-performance figures).
+pub fn bar(value: f64, unit: f64, max_width: usize) -> String {
+    let n = ((value / unit).round() as usize).min(max_width);
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_alignment_and_content() {
+        let t = format_table(
+            &["op", "gflops"],
+            &[
+                vec!["Y0".to_string(), "123.4".to_string()],
+                vec!["ResNet-R12".to_string(), "9.1".to_string()],
+            ],
+        );
+        assert!(t.contains("op"));
+        assert!(t.contains("ResNet-R12"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn bar_is_bounded() {
+        assert_eq!(bar(5.0, 1.0, 3), "###");
+        assert_eq!(bar(2.0, 1.0, 10), "##");
+        assert_eq!(bar(0.0, 1.0, 10), "");
+    }
+}

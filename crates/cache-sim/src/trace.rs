@@ -1,0 +1,262 @@
+//! Element-granularity trace simulation of a multi-level tiled conv2d.
+//!
+//! The trace simulator drives a [`MemoryHierarchy`] with the sequence of
+//! element accesses that the generated tiled code would perform, one register
+//! tile at a time: within a register tile the output accumulators live in
+//! registers (loaded once, stored once) while the distinct input and kernel
+//! elements needed by the tile are streamed from the cache hierarchy. This is
+//! exactly the behaviour of the paper's microkernel-based code (Sec. 6) and
+//! produces the hardware-counter-like measurements used for model validation
+//! (Sec. 9): register load/stores and L1/L2/L3 miss traffic.
+//!
+//! Element-level simulation costs time proportional to the data volume
+//! touched, so it is intended for the scaled-down operators used in tests and
+//! the validation experiments; full-size operators use the tile-granularity
+//! simulator in [`crate::tilesim`].
+
+use conv_spec::{layout::AddressMap, ConvShape, LoopIndex, TileConfig, TilingLevel};
+
+use crate::counters::DataMovement;
+use crate::hierarchy::{CacheKind, MemoryHierarchy};
+use crate::tilesim::{TileRegion, TileWalker};
+
+/// Element-granularity simulator for one conv2d operator.
+pub struct TraceSimulator {
+    hierarchy: MemoryHierarchy,
+    addresses: AddressMap,
+    shape: ConvShape,
+}
+
+impl TraceSimulator {
+    /// Create a simulator for a shape on a machine, choosing the cache
+    /// organization (idealized fully-associative vs set-associative).
+    pub fn new(shape: &ConvShape, machine: &conv_spec::MachineModel, kind: CacheKind) -> Self {
+        TraceSimulator {
+            hierarchy: MemoryHierarchy::new(machine, kind),
+            addresses: AddressMap::new(shape),
+            shape: *shape,
+        }
+    }
+
+    /// Simulate the complete tiled execution described by `config` and return
+    /// the per-level data movement.
+    ///
+    /// Register-level traffic is the number of elements moved between L1 and
+    /// the register file: the distinct input and kernel elements of every
+    /// register tile (loads) and the output elements of every register tile
+    /// (one load and one store each).
+    pub fn run(&mut self, config: &TileConfig) -> DataMovement {
+        let config = config.normalized(&self.shape);
+        let walker = TileWalker::new(&self.shape, &config);
+        let stride = self.shape.stride;
+        // Collect regions first to avoid borrowing `self` inside the closure.
+        let mut regions: Vec<TileRegion> = Vec::new();
+        walker.walk(TilingLevel::Register, |r| {
+            regions.push(*r);
+            true
+        });
+        for region in &regions {
+            self.simulate_register_tile(region, stride);
+        }
+        self.hierarchy.data_movement(self.shape.flops() as f64)
+    }
+
+    fn simulate_register_tile(&mut self, region: &TileRegion, stride: usize) {
+        let n0 = region.start_of(LoopIndex::N);
+        let nn = region.size_of(LoopIndex::N);
+        let k0 = region.start_of(LoopIndex::K);
+        let nk = region.size_of(LoopIndex::K);
+        let c0 = region.start_of(LoopIndex::C);
+        let nc = region.size_of(LoopIndex::C);
+        let r0 = region.start_of(LoopIndex::R);
+        let nr = region.size_of(LoopIndex::R);
+        let s0 = region.start_of(LoopIndex::S);
+        let ns = region.size_of(LoopIndex::S);
+        let h0 = region.start_of(LoopIndex::H);
+        let nh = region.size_of(LoopIndex::H);
+        let w0 = region.start_of(LoopIndex::W);
+        let nw = region.size_of(LoopIndex::W);
+
+        let mut reg_loads = 0u64;
+        let mut reg_stores = 0u64;
+
+        // Output accumulators: loaded into registers at tile entry.
+        for n in n0..n0 + nn {
+            for k in k0..k0 + nk {
+                for h in h0..h0 + nh {
+                    for w in w0..w0 + nw {
+                        let addr = self.addresses.output(n, k, h, w);
+                        self.hierarchy.access(addr, false);
+                        reg_loads += 1;
+                    }
+                }
+            }
+        }
+        // Distinct kernel elements streamed through registers.
+        for k in k0..k0 + nk {
+            for c in c0..c0 + nc {
+                for r in r0..r0 + nr {
+                    for s in s0..s0 + ns {
+                        let addr = self.addresses.kernel(k, c, r, s);
+                        self.hierarchy.access(addr, false);
+                        reg_loads += 1;
+                    }
+                }
+            }
+        }
+        // Distinct input elements streamed through registers.
+        let in_h0 = h0 * stride + r0;
+        let in_h_len = (nh - 1) * stride + nr;
+        let in_w0 = w0 * stride + s0;
+        let in_w_len = (nw - 1) * stride + ns;
+        for n in n0..n0 + nn {
+            for c in c0..c0 + nc {
+                for hi in in_h0..in_h0 + in_h_len {
+                    for wi in in_w0..in_w0 + in_w_len {
+                        let addr = self.addresses.input(n, c, hi, wi);
+                        self.hierarchy.access(addr, false);
+                        reg_loads += 1;
+                    }
+                }
+            }
+        }
+        // Output accumulators written back at tile exit.
+        for n in n0..n0 + nn {
+            for k in k0..k0 + nk {
+                for h in h0..h0 + nh {
+                    for w in w0..w0 + nw {
+                        let addr = self.addresses.output(n, k, h, w);
+                        self.hierarchy.access(addr, true);
+                        reg_stores += 1;
+                    }
+                }
+            }
+        }
+        self.hierarchy.add_register_traffic(reg_loads, reg_stores);
+    }
+
+    /// Access the underlying hierarchy (e.g. to read raw per-level hit/miss
+    /// statistics after [`run`](Self::run)).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_spec::{MachineModel, Permutation, TileSizes};
+
+    fn shape() -> ConvShape {
+        ConvShape::new(1, 8, 4, 3, 3, 8, 8, 1).unwrap()
+    }
+
+    fn config(shape: &ConvShape, reg: [usize; 7], l1: [usize; 7], l2: [usize; 7], perm: &str) -> TileConfig {
+        TileConfig::new(
+            Permutation::parse(perm).unwrap(),
+            [
+                TileSizes::from_array(reg),
+                TileSizes::from_array(l1),
+                TileSizes::from_array(l2),
+                TileSizes::full(shape),
+            ],
+            TileSizes::ones(),
+        )
+        .normalized(shape)
+    }
+
+    #[test]
+    fn untiled_run_touches_each_element_at_least_once() {
+        let s = shape();
+        let m = MachineModel::tiny_test_machine();
+        let cfg = TileConfig::untiled(&s);
+        let mut sim = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative);
+        let dm = sim.run(&cfg);
+        // L3 inbound >= cold footprint of all three tensors.
+        let cold = (s.input_elems() + s.kernel_elems() + s.output_elems()) as f64;
+        assert!(dm.volume(TilingLevel::L3) >= cold * 0.99);
+        assert_eq!(dm.flops, s.flops() as f64);
+    }
+
+    #[test]
+    fn register_traffic_counts_loads_and_stores() {
+        let s = ConvShape::new(1, 2, 2, 1, 1, 2, 2, 1).unwrap();
+        let m = MachineModel::tiny_test_machine();
+        // Register tile = whole problem: Out loaded+stored once, In/Ker once.
+        let cfg = TileConfig::untiled(&s);
+        let mut sim = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative);
+        let dm = sim.run(&cfg);
+        let reg = dm.level(TilingLevel::Register);
+        assert_eq!(
+            reg.inbound_elems,
+            (s.output_elems() + s.kernel_elems() + s.input_elems()) as f64
+        );
+        assert_eq!(reg.outbound_elems, s.output_elems() as f64);
+    }
+
+    #[test]
+    fn smaller_register_tiles_increase_register_traffic() {
+        let s = shape();
+        let m = MachineModel::tiny_test_machine();
+        let big = config(&s, [1, 8, 4, 3, 3, 8, 8], [1, 8, 4, 3, 3, 8, 8], [1, 8, 4, 3, 3, 8, 8], "nkcrshw");
+        let small = config(&s, [1, 2, 1, 1, 1, 2, 2], [1, 8, 4, 3, 3, 8, 8], [1, 8, 4, 3, 3, 8, 8], "nkcrshw");
+        let dm_big = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative).run(&big);
+        let dm_small = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative).run(&small);
+        assert!(
+            dm_small.volume(TilingLevel::Register) > dm_big.volume(TilingLevel::Register),
+            "small tiles should move more data through registers"
+        );
+    }
+
+    #[test]
+    fn good_l1_tiling_reduces_l1_traffic_vs_bad_tiling() {
+        // With the same register tile, an execution whose L1 tile fits the
+        // (tiny, 256-element) L1 cache should produce less L2→L1 traffic than
+        // one with no L1/L2 blocking, whose working set thrashes L1.
+        let s = ConvShape::new(1, 16, 16, 3, 3, 12, 12, 1).unwrap();
+        let m = MachineModel::tiny_test_machine();
+        let reg = [1, 4, 1, 1, 1, 1, 4];
+        let good = config(&s, reg, [1, 4, 2, 3, 3, 2, 4], [1, 8, 8, 3, 3, 6, 6], "kcrsnhw");
+        let bad = config(&s, reg, s.extents(), s.extents(), "kcrsnhw");
+        let dm_good = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative).run(&good);
+        let dm_bad = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative).run(&bad);
+        assert!(
+            dm_good.volume(TilingLevel::L1) < dm_bad.volume(TilingLevel::L1),
+            "blocked {} vs unblocked {}",
+            dm_good.volume(TilingLevel::L1),
+            dm_bad.volume(TilingLevel::L1)
+        );
+    }
+
+    #[test]
+    fn set_associative_mode_reports_consistent_traffic() {
+        // Conflict misses can move traffic either way relative to the ideal
+        // cache for a particular trace; what must hold is that cold traffic at
+        // L3 covers every distinct element and all levels report activity.
+        let s = ConvShape::new(1, 8, 8, 3, 3, 8, 8, 1).unwrap();
+        let m = MachineModel::tiny_test_machine();
+        let cfg = config(&s, [1, 4, 1, 1, 1, 2, 2], [1, 8, 4, 3, 3, 4, 4], [1, 8, 8, 3, 3, 8, 8], "kcrsnhw");
+        let real = TraceSimulator::new(&s, &m, CacheKind::SetAssociative).run(&cfg);
+        let cold = (s.input_elems() + s.kernel_elems() + s.output_elems()) as f64;
+        assert!(real.volume(TilingLevel::L3) >= cold * 0.99);
+        for lvl in [TilingLevel::Register, TilingLevel::L1, TilingLevel::L2, TilingLevel::L3] {
+            assert!(real.volume(lvl) > 0.0, "no traffic recorded at {lvl}");
+        }
+    }
+
+    #[test]
+    fn trace_and_tile_simulators_agree_on_l3_traffic() {
+        // For a single-level tiling, the L3 (memory↔L3) traffic measured by
+        // the exact LRU simulation should be close to the tile-granularity
+        // estimate (they share the cold traffic; the tile estimate uses
+        // adjacent-tile reuse only, so it is an upper bound).
+        let s = ConvShape::new(1, 8, 8, 3, 3, 10, 10, 1).unwrap();
+        let m = MachineModel::tiny_test_machine();
+        let cfg = config(&s, [1, 4, 2, 1, 1, 2, 2], [1, 4, 4, 3, 3, 4, 4], [1, 8, 8, 3, 3, 6, 10], "kcrsnhw");
+        let dm_trace = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative).run(&cfg);
+        let dm_tile = crate::tilesim::TileTrafficSimulator::default().simulate(&s, &cfg);
+        let t = dm_trace.volume(TilingLevel::L3);
+        let e = dm_tile.volume(TilingLevel::L3);
+        assert!(e + 1.0 >= t * 0.9, "tile estimate {e} should not be far below trace {t}");
+    }
+}

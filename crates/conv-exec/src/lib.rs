@@ -1,0 +1,69 @@
+//! Tiled conv2d execution: the reproduction's substitute for the paper's
+//! generated C code and x86 microkernel.
+//!
+//! The paper's MOpt tool emits C code with multi-level tile loops around a
+//! hand-written assembly microkernel (Sec. 6), packs the kernel tensor into a
+//! vector-friendly layout, and parallelizes non-reduction tile loops
+//! (Sec. 7). This crate implements the same execution structure in Rust:
+//!
+//! * [`tensor::Tensor4`] — a dense NCHW 4-D tensor of `f32`,
+//! * [`naive`] — the reference seven-loop convolution used as ground truth,
+//! * [`im2col`] — an im2col + cache-blocked GEMM convolution (the substrate
+//!   used by the oneDNN-like baseline in `baselines`),
+//! * [`packing`] — the `[K,C,R,S] → [K/VecLen, C, R, S, VecLen]` kernel
+//!   packing transform,
+//! * [`microkernel`] — the register-tiled inner kernel (accumulators held in
+//!   a small stack block, FMA-friendly inner loop),
+//! * [`tiled`] — the multi-level tiled executor driven by a
+//!   [`conv_spec::TileConfig`] with thread-parallel outer loops,
+//! * [`measure`] — timing helpers (GFLOPS, repetitions, cache flushing).
+//!
+//! # Example
+//!
+//! ```
+//! use conv_spec::ConvShape;
+//! use conv_exec::{naive::conv2d_naive, tensor::Tensor4, tiled::TiledConv};
+//! use conv_spec::TileConfig;
+//!
+//! let shape = ConvShape::new(1, 4, 3, 3, 3, 6, 6, 1)?;
+//! let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 1);
+//! let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 2);
+//! let reference = conv2d_naive(&shape, &input, &kernel);
+//! let tiled = TiledConv::new(shape, TileConfig::untiled(&shape), 1)?;
+//! let out = tiled.run(&input, &kernel);
+//! assert!(reference.allclose(&out, 1e-4));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod im2col;
+pub mod measure;
+pub mod microkernel;
+pub mod naive;
+pub mod packing;
+pub mod tensor;
+pub mod tiled;
+
+pub use measure::{measure_gflops, MeasureOptions, Measurement};
+pub use packing::PackedKernel;
+pub use tensor::Tensor4;
+pub use tiled::TiledConv;
+
+/// Errors produced by the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The tile configuration is inconsistent with the problem shape.
+    InvalidConfig(String),
+    /// Tensor dimensions do not match the problem shape.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InvalidConfig(msg) => write!(f, "invalid tile configuration: {msg}"),
+            ExecError::ShapeMismatch(msg) => write!(f, "tensor shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

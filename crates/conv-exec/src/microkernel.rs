@@ -1,0 +1,293 @@
+//! Register-tiled microkernel.
+//!
+//! The paper's microkernel (Sec. 6) keeps a block of output elements in
+//! vector registers, broadcasts input pixels, and streams packed kernel
+//! vectors through FMA instructions (an outer-product scheme like BLIS).
+//! This Rust version keeps the same structure — a small accumulator block
+//! held in a stack buffer across the `c`, `r`, `s` reduction loops, with the
+//! innermost loop running over the packed, contiguous output-channel lanes so
+//! the compiler can vectorize it — without dropping to assembly.
+
+use conv_spec::ConvShape;
+
+use crate::packing::PackedKernel;
+use crate::tensor::Tensor4;
+
+/// Maximum number of output accumulators the stack block holds. Register
+/// tiles larger than this fall back to a direct (still correct, slower) loop.
+pub const MAX_ACCUMULATORS: usize = 1024;
+
+/// A register-tile region: for each loop index, the start offset and length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelRegion {
+    /// Batch range `(start, len)`.
+    pub n: (usize, usize),
+    /// Output-channel range.
+    pub k: (usize, usize),
+    /// Input-channel range.
+    pub c: (usize, usize),
+    /// Kernel-row range.
+    pub r: (usize, usize),
+    /// Kernel-column range.
+    pub s: (usize, usize),
+    /// Output-row range.
+    pub h: (usize, usize),
+    /// Output-column range.
+    pub w: (usize, usize),
+}
+
+impl KernelRegion {
+    /// The full iteration space of a shape.
+    pub fn full(shape: &ConvShape) -> Self {
+        KernelRegion {
+            n: (0, shape.n),
+            k: (0, shape.k),
+            c: (0, shape.c),
+            r: (0, shape.r),
+            s: (0, shape.s),
+            h: (0, shape.h),
+            w: (0, shape.w),
+        }
+    }
+
+    /// Number of output elements the region covers.
+    pub fn output_points(&self) -> usize {
+        self.n.1 * self.k.1 * self.h.1 * self.w.1
+    }
+
+    /// Number of multiply–accumulate operations in the region.
+    pub fn macs(&self) -> usize {
+        self.output_points() * self.c.1 * self.r.1 * self.s.1
+    }
+}
+
+/// Execute one register tile: accumulate the region's contribution into
+/// `output`.
+///
+/// The output block is loaded into a stack accumulator at entry and written
+/// back at exit, exactly like the generated microkernel keeps accumulators in
+/// vector registers across the reduction loops.
+pub fn run_microkernel(
+    shape: &ConvShape,
+    input: &Tensor4,
+    kernel: &PackedKernel,
+    output: &mut Tensor4,
+    region: &KernelRegion,
+) {
+    let acc_len = region.output_points();
+    if acc_len == 0 || region.macs() == 0 {
+        return;
+    }
+    if acc_len <= MAX_ACCUMULATORS {
+        microkernel_blocked(shape, input, kernel, output, region);
+    } else {
+        microkernel_direct(shape, input, kernel, output, region);
+    }
+}
+
+/// Accumulator layout: `acc[((n_i * nh + h_i) * nw + w_i) * nk + k_i]` so the
+/// innermost loop over output channels is contiguous (matching the packed
+/// kernel's lane order).
+fn microkernel_blocked(
+    shape: &ConvShape,
+    input: &Tensor4,
+    kernel: &PackedKernel,
+    output: &mut Tensor4,
+    region: &KernelRegion,
+) {
+    let (n0, nn) = region.n;
+    let (k0, nk) = region.k;
+    let (c0, nc) = region.c;
+    let (r0, nr) = region.r;
+    let (s0, ns) = region.s;
+    let (h0, nh) = region.h;
+    let (w0, nw) = region.w;
+    let stride = shape.stride;
+
+    let mut acc = [0.0f32; MAX_ACCUMULATORS];
+    let acc_len = nn * nh * nw * nk;
+
+    // Load the output block into the accumulator.
+    {
+        let mut idx = 0;
+        for n in n0..n0 + nn {
+            for h in h0..h0 + nh {
+                for w in w0..w0 + nw {
+                    for k in k0..k0 + nk {
+                        acc[idx] = output.at(n, k, h, w);
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(idx, acc_len);
+    }
+
+    // Reduction loops: c, r, s outermost (as in Listing 4), then the
+    // outer-product over output pixels × output channels.
+    for c in c0..c0 + nc {
+        for r in r0..r0 + nr {
+            for s in s0..s0 + ns {
+                let mut idx = 0;
+                for n in n0..n0 + nn {
+                    for h in h0..h0 + nh {
+                        let in_row = h * stride + r;
+                        for w in w0..w0 + nw {
+                            let x = input.at(n, c, in_row, w * stride + s);
+                            // Innermost: contiguous packed-kernel lanes.
+                            let block = &mut acc[idx..idx + nk];
+                            for (k_i, a) in block.iter_mut().enumerate() {
+                                *a += x * kernel.at(k0 + k_i, c, r, s);
+                            }
+                            idx += nk;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Write the accumulator back.
+    {
+        let mut idx = 0;
+        for n in n0..n0 + nn {
+            for h in h0..h0 + nh {
+                for w in w0..w0 + nw {
+                    for k in k0..k0 + nk {
+                        *output.at_mut(n, k, h, w) = acc[idx];
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fallback path without the stack accumulator (used when the register tile
+/// is configured larger than [`MAX_ACCUMULATORS`] outputs).
+fn microkernel_direct(
+    shape: &ConvShape,
+    input: &Tensor4,
+    kernel: &PackedKernel,
+    output: &mut Tensor4,
+    region: &KernelRegion,
+) {
+    let (n0, nn) = region.n;
+    let (k0, nk) = region.k;
+    let (c0, nc) = region.c;
+    let (r0, nr) = region.r;
+    let (s0, ns) = region.s;
+    let (h0, nh) = region.h;
+    let (w0, nw) = region.w;
+    let stride = shape.stride;
+    for n in n0..n0 + nn {
+        for k in k0..k0 + nk {
+            for c in c0..c0 + nc {
+                for r in r0..r0 + nr {
+                    for s in s0..s0 + ns {
+                        let kv = kernel.at(k, c, r, s);
+                        for h in h0..h0 + nh {
+                            let in_row = h * stride + r;
+                            for w in w0..w0 + nw {
+                                *output.at_mut(n, k, h, w) +=
+                                    input.at(n, c, in_row, w * stride + s) * kv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::conv2d_naive;
+
+    fn setup(shape: &ConvShape) -> (Tensor4, Tensor4, PackedKernel) {
+        let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 11);
+        let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 12);
+        let packed = PackedKernel::pack(shape, &kernel, 8);
+        (input, kernel, packed)
+    }
+
+    #[test]
+    fn full_region_matches_naive() {
+        let shape = ConvShape::new(1, 6, 3, 3, 3, 5, 5, 1).unwrap();
+        let (input, kernel, packed) = setup(&shape);
+        let reference = conv2d_naive(&shape, &input, &kernel);
+        let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+        run_microkernel(&shape, &input, &packed, &mut out, &KernelRegion::full(&shape));
+        assert!(reference.allclose(&out, 1e-4), "max diff {}", reference.max_abs_diff(&out));
+    }
+
+    #[test]
+    fn partial_regions_compose_to_full_result() {
+        // Splitting the reduction (c) and output (k, w) dimensions across
+        // several microkernel calls must accumulate to the same result.
+        let shape = ConvShape::new(1, 4, 4, 3, 3, 6, 6, 1).unwrap();
+        let (input, kernel, packed) = setup(&shape);
+        let reference = conv2d_naive(&shape, &input, &kernel);
+        let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+        for k0 in (0..shape.k).step_by(2) {
+            for c0 in (0..shape.c).step_by(2) {
+                for w0 in (0..shape.w).step_by(3) {
+                    let region = KernelRegion {
+                        n: (0, 1),
+                        k: (k0, 2),
+                        c: (c0, 2),
+                        r: (0, shape.r),
+                        s: (0, shape.s),
+                        h: (0, shape.h),
+                        w: (w0, 3),
+                    };
+                    run_microkernel(&shape, &input, &packed, &mut out, &region);
+                }
+            }
+        }
+        assert!(reference.allclose(&out, 1e-4));
+    }
+
+    #[test]
+    fn strided_region_matches_naive() {
+        let shape = ConvShape::from_table1(4, 3, 9, 3, 2);
+        let (input, kernel, packed) = setup(&shape);
+        let reference = conv2d_naive(&shape, &input, &kernel);
+        let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+        run_microkernel(&shape, &input, &packed, &mut out, &KernelRegion::full(&shape));
+        assert!(reference.allclose(&out, 1e-4));
+    }
+
+    #[test]
+    fn large_region_uses_direct_fallback_and_stays_correct() {
+        // Output points exceed MAX_ACCUMULATORS → fallback path.
+        let shape = ConvShape::new(1, 16, 2, 3, 3, 12, 12, 1).unwrap();
+        assert!(KernelRegion::full(&shape).output_points() > MAX_ACCUMULATORS);
+        let (input, kernel, packed) = setup(&shape);
+        let reference = conv2d_naive(&shape, &input, &kernel);
+        let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+        run_microkernel(&shape, &input, &packed, &mut out, &KernelRegion::full(&shape));
+        assert!(reference.allclose(&out, 1e-4));
+    }
+
+    #[test]
+    fn empty_region_is_a_no_op() {
+        let shape = ConvShape::new(1, 2, 2, 1, 1, 2, 2, 1).unwrap();
+        let (input, _kernel, packed) = setup(&shape);
+        let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+        let mut region = KernelRegion::full(&shape);
+        region.c = (0, 0);
+        run_microkernel(&shape, &input, &packed, &mut out, &region);
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(region.macs(), 0);
+    }
+
+    #[test]
+    fn region_accessors() {
+        let shape = ConvShape::new(2, 3, 4, 1, 1, 5, 6, 1).unwrap();
+        let r = KernelRegion::full(&shape);
+        assert_eq!(r.output_points(), 2 * 3 * 5 * 6);
+        assert_eq!(r.macs(), 2 * 3 * 5 * 6 * 4);
+    }
+}

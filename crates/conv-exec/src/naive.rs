@@ -1,0 +1,114 @@
+//! Reference (untiled, unoptimized) conv2d used as ground truth in tests and
+//! as the correctness oracle for every optimized path.
+
+use conv_spec::ConvShape;
+
+use crate::tensor::Tensor4;
+
+/// Direct seven-loop convolution:
+/// `Out[n][k][h][w] += In[n][c][h*stride+r][w*stride+s] * Ker[k][c][r][s]`.
+///
+/// # Panics
+///
+/// Panics if the tensor dimensions do not match the shape.
+pub fn conv2d_naive(shape: &ConvShape, input: &Tensor4, kernel: &Tensor4) -> Tensor4 {
+    check_dims(shape, input, kernel);
+    let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+    for n in 0..shape.n {
+        for k in 0..shape.k {
+            for c in 0..shape.c {
+                for r in 0..shape.r {
+                    for s in 0..shape.s {
+                        for h in 0..shape.h {
+                            for w in 0..shape.w {
+                                let x = input.at(n, c, h * shape.stride + r, w * shape.stride + s);
+                                let kv = kernel.at(k, c, r, s);
+                                *out.at_mut(n, k, h, w) += x * kv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Validate that the input and kernel tensors have the dimensions implied by
+/// `shape`.
+///
+/// # Panics
+///
+/// Panics with a descriptive message when a dimension mismatches.
+pub fn check_dims(shape: &ConvShape, input: &Tensor4, kernel: &Tensor4) {
+    assert_eq!(
+        input.dims(),
+        (shape.n, shape.c, shape.input_h(), shape.input_w()),
+        "input tensor dimensions do not match the shape"
+    );
+    assert_eq!(
+        kernel.dims(),
+        (shape.k, shape.c, shape.r, shape.s),
+        "kernel tensor dimensions do not match the shape"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_copies_input() {
+        // 1x1 kernel with value 1 and a single channel: output equals input.
+        let shape = ConvShape::new(1, 1, 1, 1, 1, 4, 4, 1).unwrap();
+        let input = Tensor4::random(1, 1, 4, 4, 3);
+        let kernel = Tensor4::from_vec((1, 1, 1, 1), vec![1.0]);
+        let out = conv2d_naive(&shape, &input, &kernel);
+        assert!(out.allclose(&input, 1e-7));
+    }
+
+    #[test]
+    fn averaging_kernel_on_constant_input() {
+        // 3x3 kernel of ones over a constant input of 2.0 → every output is 18.
+        let shape = ConvShape::new(1, 1, 1, 3, 3, 3, 3, 1).unwrap();
+        let input = Tensor4::from_vec((1, 1, 5, 5), vec![2.0; 25]);
+        let kernel = Tensor4::from_vec((1, 1, 3, 3), vec![1.0; 9]);
+        let out = conv2d_naive(&shape, &input, &kernel);
+        assert!(out.as_slice().iter().all(|&v| (v - 18.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn stride_two_subsamples() {
+        let shape = ConvShape::from_table1(1, 1, 5, 1, 2); // 1x1 kernel, stride 2, out 3x3
+        let mut data = vec![0.0f32; 25];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let input = Tensor4::from_vec((1, 1, 5, 5), data);
+        let kernel = Tensor4::from_vec((1, 1, 1, 1), vec![1.0]);
+        let out = conv2d_naive(&shape, &input, &kernel);
+        assert_eq!(out.at(0, 0, 0, 0), 0.0);
+        assert_eq!(out.at(0, 0, 0, 1), 2.0);
+        assert_eq!(out.at(0, 0, 1, 0), 10.0);
+        assert_eq!(out.at(0, 0, 2, 2), 24.0);
+    }
+
+    #[test]
+    fn multi_channel_accumulation() {
+        // Two input channels, each contributing 1*input; output = sum of channels.
+        let shape = ConvShape::new(1, 1, 2, 1, 1, 2, 2, 1).unwrap();
+        let input = Tensor4::from_vec((1, 2, 2, 2), vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]);
+        let kernel = Tensor4::from_vec((1, 2, 1, 1), vec![1.0, 1.0]);
+        let out = conv2d_naive(&shape, &input, &kernel);
+        assert_eq!(out.as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input tensor dimensions")]
+    fn dimension_check_panics_on_mismatch() {
+        let shape = ConvShape::new(1, 1, 1, 1, 1, 4, 4, 1).unwrap();
+        let input = Tensor4::zeros(1, 1, 3, 3);
+        let kernel = Tensor4::zeros(1, 1, 1, 1);
+        let _ = conv2d_naive(&shape, &input, &kernel);
+    }
+}

@@ -1,0 +1,170 @@
+//! Dense 4-D `f32` tensors in NCHW order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense 4-D tensor stored row-major in `(d0, d1, d2, d3)` order.
+///
+/// For feature maps the dimensions are `(N, C, H, W)`; for kernels they are
+/// `(K, C, R, S)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4 {
+    dims: (usize, usize, usize, usize),
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// A zero-filled tensor.
+    pub fn zeros(d0: usize, d1: usize, d2: usize, d3: usize) -> Self {
+        Tensor4 { dims: (d0, d1, d2, d3), data: vec![0.0; d0 * d1 * d2 * d3] }
+    }
+
+    /// A tensor filled with uniform random values in `[-1, 1)`, seeded for
+    /// reproducibility.
+    pub fn random(d0: usize, d1: usize, d2: usize, d3: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..d0 * d1 * d2 * d3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Tensor4 { dims: (d0, d1, d2, d3), data }
+    }
+
+    /// A tensor built from an explicit data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the dimensions.
+    pub fn from_vec(dims: (usize, usize, usize, usize), data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), dims.0 * dims.1 * dims.2 * dims.3, "data length mismatch");
+        Tensor4 { dims, data }
+    }
+
+    /// The dimensions `(d0, d1, d2, d3)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        self.dims
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Linear offset of `(a, b, c, d)`.
+    #[inline]
+    pub fn offset(&self, a: usize, b: usize, c: usize, d: usize) -> usize {
+        let (_d0, d1, d2, d3) = self.dims;
+        ((a * d1 + b) * d2 + c) * d3 + d
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, a: usize, b: usize, c: usize, d: usize) -> f32 {
+        self.data[self.offset(a, b, c, d)]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, a: usize, b: usize, c: usize, d: usize) -> &mut f32 {
+        let off = self.offset(a, b, c, d);
+        &mut self.data[off]
+    }
+
+    /// The backing slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The mutable backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Set every element to zero (reuse the allocation between runs).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Whether all elements of `self` and `other` agree within `tol`
+    /// (absolute or relative, whichever is looser).
+    pub fn allclose(&self, other: &Tensor4, tol: f32) -> bool {
+        if self.dims != other.dims {
+            return false;
+        }
+        self.data.iter().zip(other.data.iter()).all(|(a, b)| {
+            let diff = (a - b).abs();
+            diff <= tol || diff <= tol * a.abs().max(b.abs())
+        })
+    }
+
+    /// Largest absolute difference from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn max_abs_diff(&self, other: &Tensor4) -> f32 {
+        assert_eq!(self.dims, other.dims, "dimension mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut t = Tensor4::zeros(2, 3, 4, 5);
+        assert_eq!(t.len(), 120);
+        assert!(!t.is_empty());
+        assert_eq!(t.at(1, 2, 3, 4), 0.0);
+        *t.at_mut(1, 2, 3, 4) = 7.5;
+        assert_eq!(t.at(1, 2, 3, 4), 7.5);
+        assert_eq!(t.offset(0, 0, 0, 1), 1);
+        assert_eq!(t.offset(0, 0, 1, 0), 5);
+        assert_eq!(t.offset(0, 1, 0, 0), 20);
+        assert_eq!(t.offset(1, 0, 0, 0), 60);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_bounded() {
+        let a = Tensor4::random(1, 2, 3, 4, 42);
+        let b = Tensor4::random(1, 2, 3, 4, 42);
+        let c = Tensor4::random(1, 2, 3, 4, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn allclose_and_diff() {
+        let a = Tensor4::from_vec((1, 1, 1, 3), vec![1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        assert!(a.allclose(&b, 1e-6));
+        *b.at_mut(0, 0, 0, 2) = 3.001;
+        assert!(!a.allclose(&b, 1e-6));
+        assert!(a.allclose(&b, 1e-2));
+        assert!((a.max_abs_diff(&b) - 0.001).abs() < 1e-6);
+        let different_shape = Tensor4::zeros(1, 1, 3, 1);
+        assert!(!a.allclose(&different_shape, 1.0));
+    }
+
+    #[test]
+    fn fill_zero_resets() {
+        let mut t = Tensor4::random(1, 1, 2, 2, 7);
+        t.fill_zero();
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn from_vec_checks_length() {
+        let _ = Tensor4::from_vec((1, 1, 2, 2), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,461 @@
+//! Multi-level tiled conv2d executor.
+//!
+//! `TiledConv` realizes the loop structure the paper's code generator emits:
+//! L3-, L2- and L1-level tile loops (in the configuration's permutation
+//! order) around the register-tiled microkernel, with the kernel tensor
+//! packed up front and the outer loops optionally parallelized across
+//! threads along the output-channel (and batch) dimension so that threads
+//! never write the same output element (Sec. 7 restricts parallelism to
+//! non-reduction dimensions for the same reason).
+
+use conv_spec::{ConvShape, LoopIndex, TileConfig, TileSizes, TilingLevel};
+
+use crate::microkernel::{run_microkernel, KernelRegion};
+use crate::packing::PackedKernel;
+use crate::tensor::Tensor4;
+use crate::ExecError;
+
+/// A multi-level tiled convolution executor for one operator.
+#[derive(Debug, Clone)]
+pub struct TiledConv {
+    shape: ConvShape,
+    config: TileConfig,
+    threads: usize,
+    vec_len: usize,
+}
+
+impl TiledConv {
+    /// Create an executor for `shape` with a tiling configuration and thread
+    /// count. The configuration is normalized (tile nesting repaired) first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidConfig`] if the normalized configuration
+    /// still fails validation.
+    pub fn new(shape: ConvShape, config: TileConfig, threads: usize) -> Result<Self, ExecError> {
+        let config = config.normalized(&shape);
+        config
+            .validate(&shape)
+            .map_err(|e| ExecError::InvalidConfig(e.to_string()))?;
+        Ok(TiledConv { shape, config, threads: threads.max(1), vec_len: 8 })
+    }
+
+    /// Set the SIMD vector length used for kernel packing (8 for AVX2-class,
+    /// 16 for AVX-512-class machines).
+    pub fn with_vec_len(mut self, vec_len: usize) -> Self {
+        self.vec_len = vec_len.max(1);
+        self
+    }
+
+    /// The problem shape.
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// The (normalized) tiling configuration.
+    pub fn config(&self) -> &TileConfig {
+        &self.config
+    }
+
+    /// Run the convolution. The kernel is packed internally (packing time is
+    /// part of the measured execution, as in the paper).
+    pub fn run(&self, input: &Tensor4, kernel: &Tensor4) -> Tensor4 {
+        crate::naive::check_dims(&self.shape, input, kernel);
+        let packed = PackedKernel::pack(&self.shape, kernel, self.vec_len);
+        self.run_packed(input, &packed)
+    }
+
+    /// Run the convolution with an already packed kernel.
+    pub fn run_packed(&self, input: &Tensor4, packed: &PackedKernel) -> Tensor4 {
+        let mut output = Tensor4::zeros(self.shape.n, self.shape.k, self.shape.h, self.shape.w);
+        let threads = self.effective_threads();
+        if threads <= 1 {
+            let full = KernelRegion::full(&self.shape);
+            self.execute_region(input, packed, &mut output, &full);
+            return output;
+        }
+
+        // Parallelize along the output-channel dimension: each thread owns a
+        // contiguous K range, whose output slice is a contiguous chunk of the
+        // NCHW buffer when N == 1; for N > 1 each thread still owns disjoint
+        // (n, k) slices because we split K only.
+        let k_chunks = split_range(self.shape.k, threads);
+        let plane = self.shape.h * self.shape.w;
+        std::thread::scope(|scope| {
+            let mut rest = output.as_mut_slice();
+            let mut offset = 0usize;
+            // For N == 1 chunks are contiguous; for N > 1 fall back to
+            // per-thread buffers merged afterwards (handled below).
+            if self.shape.n == 1 {
+                for (k_lo, k_len) in &k_chunks {
+                    let chunk_elems = k_len * plane;
+                    let (chunk, tail) = rest.split_at_mut(chunk_elems);
+                    rest = tail;
+                    let k_lo = *k_lo;
+                    let k_len = *k_len;
+                    let shape = self.shape;
+                    let this = &*self;
+                    scope.spawn(move || {
+                        let mut local =
+                            Tensor4::from_vec((1, k_len, shape.h, shape.w), chunk.to_vec());
+                        let region = KernelRegion {
+                            n: (0, 1),
+                            k: (k_lo, k_len),
+                            c: (0, shape.c),
+                            r: (0, shape.r),
+                            s: (0, shape.s),
+                            h: (0, shape.h),
+                            w: (0, shape.w),
+                        };
+                        // Execute into a view-local tensor, then copy back into
+                        // the chunk (the region indexes absolute k, so we use a
+                        // full-size scratch only for the owned K slice).
+                        let mut scratch =
+                            Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+                        this.execute_region(input, packed, &mut scratch, &region);
+                        for k in 0..k_len {
+                            for h in 0..shape.h {
+                                for w in 0..shape.w {
+                                    *local.at_mut(0, k, h, w) = scratch.at(0, k_lo + k, h, w);
+                                }
+                            }
+                        }
+                        chunk.copy_from_slice(local.as_slice());
+                    });
+                    offset += chunk_elems;
+                }
+                let _ = offset;
+            }
+        });
+
+        if self.shape.n > 1 {
+            // Batch > 1: split along N instead (always disjoint, not
+            // necessarily contiguous) using per-thread scratch outputs.
+            let mut output = Tensor4::zeros(self.shape.n, self.shape.k, self.shape.h, self.shape.w);
+            let n_chunks = split_range(self.shape.n, threads);
+            let partials: Vec<Tensor4> = std::thread::scope(|scope| {
+                let handles: Vec<_> = n_chunks
+                    .iter()
+                    .map(|&(n_lo, n_len)| {
+                        let shape = self.shape;
+                        let this = &*self;
+                        scope.spawn(move || {
+                            let mut scratch =
+                                Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+                            let region = KernelRegion {
+                                n: (n_lo, n_len),
+                                k: (0, shape.k),
+                                c: (0, shape.c),
+                                r: (0, shape.r),
+                                s: (0, shape.s),
+                                h: (0, shape.h),
+                                w: (0, shape.w),
+                            };
+                            this.execute_region(input, packed, &mut scratch, &region);
+                            scratch
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+            });
+            for (chunk, partial) in n_chunks.iter().zip(partials.iter()) {
+                let (n_lo, n_len) = *chunk;
+                for n in n_lo..n_lo + n_len {
+                    for k in 0..self.shape.k {
+                        for h in 0..self.shape.h {
+                            for w in 0..self.shape.w {
+                                *output.at_mut(n, k, h, w) = partial.at(n, k, h, w);
+                            }
+                        }
+                    }
+                }
+            }
+            return output;
+        }
+        output
+    }
+
+    fn effective_threads(&self) -> usize {
+        let limit = if self.shape.n > 1 { self.shape.n } else { self.shape.k };
+        self.threads.clamp(1, limit.max(1))
+    }
+
+    /// Execute the multi-level tile loops over an arbitrary base region.
+    fn execute_region(
+        &self,
+        input: &Tensor4,
+        packed: &PackedKernel,
+        output: &mut Tensor4,
+        base: &KernelRegion,
+    ) {
+        // Levels from outermost to innermost: L3, L2, L1, Register.
+        let chain = [
+            *self.config.level(TilingLevel::L3),
+            *self.config.level(TilingLevel::L2),
+            *self.config.level(TilingLevel::L1),
+            *self.config.level(TilingLevel::Register),
+        ];
+        self.walk_level(&chain, input, packed, output, base);
+    }
+
+    fn walk_level(
+        &self,
+        chain: &[TileSizes],
+        input: &Tensor4,
+        packed: &PackedKernel,
+        output: &mut Tensor4,
+        region: &KernelRegion,
+    ) {
+        match chain.split_first() {
+            None => run_microkernel(&self.shape, input, packed, output, region),
+            Some((tile, rest)) => {
+                self.walk_dims(tile, rest, 0, input, packed, output, region, &mut region.clone());
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk_dims(
+        &self,
+        tile: &TileSizes,
+        rest: &[TileSizes],
+        dim: usize,
+        input: &Tensor4,
+        packed: &PackedKernel,
+        output: &mut Tensor4,
+        enclosing: &KernelRegion,
+        current: &mut KernelRegion,
+    ) {
+        if dim == 7 {
+            let sub = *current;
+            self.walk_level(rest, input, packed, output, &sub);
+            return;
+        }
+        let idx = self.config.permutation.outer_to_inner()[dim];
+        let (base, extent) = region_field(enclosing, idx);
+        let t = tile.get(idx).max(1);
+        let mut off = 0;
+        while off < extent {
+            let len = t.min(extent - off);
+            set_region_field(current, idx, (base + off, len));
+            self.walk_dims(tile, rest, dim + 1, input, packed, output, enclosing, current);
+            off += t;
+        }
+        set_region_field(current, idx, (base, extent));
+    }
+}
+
+fn region_field(r: &KernelRegion, idx: LoopIndex) -> (usize, usize) {
+    match idx {
+        LoopIndex::N => r.n,
+        LoopIndex::K => r.k,
+        LoopIndex::C => r.c,
+        LoopIndex::R => r.r,
+        LoopIndex::S => r.s,
+        LoopIndex::H => r.h,
+        LoopIndex::W => r.w,
+    }
+}
+
+fn set_region_field(r: &mut KernelRegion, idx: LoopIndex, value: (usize, usize)) {
+    match idx {
+        LoopIndex::N => r.n = value,
+        LoopIndex::K => r.k = value,
+        LoopIndex::C => r.c = value,
+        LoopIndex::R => r.r = value,
+        LoopIndex::S => r.s = value,
+        LoopIndex::H => r.h = value,
+        LoopIndex::W => r.w = value,
+    }
+}
+
+/// Split `extent` into at most `parts` contiguous `(start, len)` chunks.
+fn split_range(extent: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, extent.max(1));
+    let base = extent / parts;
+    let rem = extent % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < rem);
+        if len == 0 {
+            continue;
+        }
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::conv2d_naive;
+    use conv_spec::Permutation;
+
+    fn reference(shape: &ConvShape, seed: u64) -> (Tensor4, Tensor4, Tensor4) {
+        let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), seed);
+        let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, seed + 1);
+        let out = conv2d_naive(shape, &input, &kernel);
+        (input, kernel, out)
+    }
+
+    fn config(shape: &ConvShape, perm: &str, reg: [usize; 7], l1: [usize; 7], l2: [usize; 7], l3: [usize; 7]) -> TileConfig {
+        TileConfig::new(
+            Permutation::parse(perm).unwrap(),
+            [
+                TileSizes::from_array(reg),
+                TileSizes::from_array(l1),
+                TileSizes::from_array(l2),
+                TileSizes::from_array(l3),
+            ],
+            TileSizes::ones(),
+        )
+        .normalized(shape)
+    }
+
+    #[test]
+    fn untiled_matches_naive() {
+        let shape = ConvShape::new(1, 5, 3, 3, 3, 7, 7, 1).unwrap();
+        let (input, kernel, expected) = reference(&shape, 100);
+        let conv = TiledConv::new(shape, TileConfig::untiled(&shape), 1).unwrap();
+        let got = conv.run(&input, &kernel);
+        assert!(expected.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn multi_level_tiling_matches_naive_for_several_permutations() {
+        let shape = ConvShape::new(1, 8, 6, 3, 3, 10, 10, 1).unwrap();
+        let (input, kernel, expected) = reference(&shape, 200);
+        for perm in ["kcrsnhw", "nkhwcrs", "nchrswk", "nkcrshw"] {
+            let cfg = config(
+                &shape,
+                perm,
+                [1, 4, 1, 1, 1, 1, 4],
+                [1, 4, 3, 3, 3, 2, 5],
+                [1, 8, 6, 3, 3, 5, 10],
+                [1, 8, 6, 3, 3, 10, 10],
+            );
+            let conv = TiledConv::new(shape, cfg, 1).unwrap();
+            let got = conv.run(&input, &kernel);
+            assert!(
+                expected.allclose(&got, 1e-4),
+                "permutation {perm}: max diff {}",
+                expected.max_abs_diff(&got)
+            );
+        }
+    }
+
+    #[test]
+    fn partial_tiles_are_handled() {
+        // Tile sizes that do not divide the extents.
+        let shape = ConvShape::new(1, 7, 5, 3, 3, 9, 11, 1).unwrap();
+        let (input, kernel, expected) = reference(&shape, 300);
+        let cfg = config(
+            &shape,
+            "kcrsnhw",
+            [1, 3, 1, 1, 1, 2, 4],
+            [1, 5, 2, 2, 3, 4, 5],
+            [1, 7, 4, 3, 3, 6, 8],
+            [1, 7, 5, 3, 3, 9, 11],
+        );
+        let conv = TiledConv::new(shape, cfg, 1).unwrap();
+        let got = conv.run(&input, &kernel);
+        assert!(expected.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn strided_convolution_matches_naive() {
+        let shape = ConvShape::from_table1(6, 4, 11, 3, 2);
+        let (input, kernel, expected) = reference(&shape, 400);
+        let cfg = config(
+            &shape,
+            "kcrsnhw",
+            [1, 2, 1, 1, 1, 1, 3],
+            [1, 4, 2, 3, 3, 2, 3],
+            [1, 6, 4, 3, 3, 3, 5],
+            [1, 6, 4, 3, 3, 5, 5],
+        );
+        let conv = TiledConv::new(shape, cfg, 1).unwrap();
+        let got = conv.run(&input, &kernel);
+        assert!(expected.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let shape = ConvShape::new(1, 16, 8, 3, 3, 12, 12, 1).unwrap();
+        let (input, kernel, expected) = reference(&shape, 500);
+        let cfg = config(
+            &shape,
+            "kcrsnhw",
+            [1, 8, 1, 1, 1, 1, 4],
+            [1, 8, 4, 3, 3, 4, 6],
+            [1, 16, 8, 3, 3, 6, 12],
+            [1, 16, 8, 3, 3, 12, 12],
+        );
+        for threads in [2, 3, 4] {
+            let conv = TiledConv::new(shape, cfg.clone(), threads).unwrap();
+            let got = conv.run(&input, &kernel);
+            assert!(expected.allclose(&got, 1e-4), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_batched_execution_matches_naive() {
+        let shape = ConvShape::new(3, 4, 3, 3, 3, 6, 6, 1).unwrap();
+        let (input, kernel, expected) = reference(&shape, 600);
+        let cfg = config(
+            &shape,
+            "nkhwcrs",
+            [1, 4, 1, 1, 1, 2, 2],
+            [1, 4, 3, 3, 3, 3, 3],
+            [1, 4, 3, 3, 3, 6, 6],
+            [3, 4, 3, 3, 3, 6, 6],
+        );
+        let conv = TiledConv::new(shape, cfg, 2).unwrap();
+        let got = conv.run(&input, &kernel);
+        assert!(expected.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn vec_len_variants_are_equivalent() {
+        let shape = ConvShape::new(1, 10, 4, 3, 3, 8, 8, 1).unwrap();
+        let (input, kernel, expected) = reference(&shape, 700);
+        let cfg = config(
+            &shape,
+            "kcrsnhw",
+            [1, 5, 1, 1, 1, 1, 4],
+            [1, 10, 2, 3, 3, 4, 4],
+            [1, 10, 4, 3, 3, 8, 8],
+            [1, 10, 4, 3, 3, 8, 8],
+        );
+        for vl in [4, 8, 16] {
+            let conv = TiledConv::new(shape, cfg.clone(), 1).unwrap().with_vec_len(vl);
+            let got = conv.run(&input, &kernel);
+            assert!(expected.allclose(&got, 1e-4), "vec_len {vl}");
+        }
+    }
+
+    #[test]
+    fn split_range_covers_everything() {
+        for (extent, parts) in [(10, 3), (7, 7), (5, 8), (1, 4), (16, 4)] {
+            let chunks = split_range(extent, parts);
+            let total: usize = chunks.iter().map(|(_, l)| l).sum();
+            assert_eq!(total, extent);
+            // Chunks are contiguous and ordered.
+            let mut pos = 0;
+            for (start, len) in chunks {
+                assert_eq!(start, pos);
+                pos += len;
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let shape = ConvShape::new(1, 4, 2, 1, 1, 4, 4, 1).unwrap();
+        let conv = TiledConv::new(shape, TileConfig::untiled(&shape), 2).unwrap();
+        assert_eq!(conv.shape(), &shape);
+        assert!(conv.config().validate(&shape).is_ok());
+    }
+}

@@ -1,0 +1,252 @@
+//! The 32 conv2d benchmark operators of Table 1 (Yolo-9000, ResNet-18,
+//! MobileNet), exactly as used in the paper's evaluation.
+//!
+//! All benchmarks use batch size 1; strides are 1 unless the layer is marked
+//! with `*` in the paper's table (stride 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::ConvShape;
+
+/// Which network a benchmark operator comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkSuite {
+    /// Yolo-9000 (11 conv2d operators).
+    Yolo9000,
+    /// ResNet-18 (12 conv2d operators).
+    ResNet18,
+    /// MobileNet (9 conv2d operators; the paper uses the regular conv2d
+    /// form of each depthwise stage's shape).
+    MobileNet,
+}
+
+impl BenchmarkSuite {
+    /// All three suites in the order the paper presents them.
+    pub const ALL: [BenchmarkSuite; 3] =
+        [BenchmarkSuite::Yolo9000, BenchmarkSuite::ResNet18, BenchmarkSuite::MobileNet];
+
+    /// Human-readable suite name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkSuite::Yolo9000 => "Yolo-9000",
+            BenchmarkSuite::ResNet18 => "ResNet-18",
+            BenchmarkSuite::MobileNet => "MobileNet",
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One named conv2d operator from Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchmarkOp {
+    /// The layer label used in the paper (e.g. `"Y0"`, `"R1*"`, `"M9"`).
+    pub name: String,
+    /// The suite the operator belongs to.
+    pub suite: BenchmarkSuite,
+    /// The conv2d problem shape.
+    pub shape: ConvShape,
+}
+
+impl BenchmarkOp {
+    fn new(name: &str, suite: BenchmarkSuite, k: usize, c: usize, hw: usize, rs: usize, stride: usize) -> Self {
+        BenchmarkOp {
+            name: name.to_string(),
+            suite,
+            shape: ConvShape::from_table1(k, c, hw, rs, stride),
+        }
+    }
+
+    /// Whether the layer uses stride 2 (marked `*` in Table 1).
+    pub fn is_strided(&self) -> bool {
+        self.shape.stride == 2
+    }
+}
+
+impl std::fmt::Display for BenchmarkOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name, self.shape)
+    }
+}
+
+/// The eleven conv2d operators of Yolo-9000 (Table 1, left).
+pub fn yolo9000() -> Vec<BenchmarkOp> {
+    use BenchmarkSuite::Yolo9000 as S;
+    vec![
+        BenchmarkOp::new("Y0", S, 32, 3, 544, 3, 1),
+        BenchmarkOp::new("Y2", S, 64, 32, 272, 3, 1),
+        BenchmarkOp::new("Y4", S, 128, 64, 136, 3, 1),
+        BenchmarkOp::new("Y5", S, 64, 128, 136, 1, 1),
+        BenchmarkOp::new("Y8", S, 256, 128, 68, 3, 1),
+        BenchmarkOp::new("Y9", S, 128, 256, 68, 1, 1),
+        BenchmarkOp::new("Y12", S, 512, 256, 34, 3, 1),
+        BenchmarkOp::new("Y13", S, 256, 512, 34, 1, 1),
+        BenchmarkOp::new("Y18", S, 1024, 512, 17, 3, 1),
+        BenchmarkOp::new("Y19", S, 512, 1024, 17, 1, 1),
+        BenchmarkOp::new("Y23", S, 28269, 1024, 17, 1, 1),
+    ]
+}
+
+/// The twelve conv2d operators of ResNet-18 (Table 1, middle).
+/// Layers marked `*` in the paper use stride 2.
+pub fn resnet18() -> Vec<BenchmarkOp> {
+    use BenchmarkSuite::ResNet18 as S;
+    vec![
+        BenchmarkOp::new("R1*", S, 64, 3, 224, 7, 2),
+        BenchmarkOp::new("R2", S, 64, 64, 56, 3, 1),
+        BenchmarkOp::new("R3", S, 64, 64, 56, 1, 1),
+        BenchmarkOp::new("R4*", S, 128, 64, 56, 3, 2),
+        BenchmarkOp::new("R5*", S, 128, 64, 56, 1, 2),
+        BenchmarkOp::new("R6", S, 128, 128, 28, 3, 1),
+        BenchmarkOp::new("R7*", S, 256, 128, 28, 3, 2),
+        BenchmarkOp::new("R8", S, 256, 128, 28, 3, 1),
+        BenchmarkOp::new("R9", S, 256, 256, 14, 3, 1),
+        BenchmarkOp::new("R10*", S, 512, 256, 14, 3, 2),
+        BenchmarkOp::new("R11*", S, 512, 256, 14, 1, 2),
+        BenchmarkOp::new("R12", S, 512, 512, 7, 3, 1),
+    ]
+}
+
+/// The nine conv2d operators of MobileNet (Table 1, right).
+/// Layers marked `*` in the paper use stride 2.
+pub fn mobilenet() -> Vec<BenchmarkOp> {
+    use BenchmarkSuite::MobileNet as S;
+    vec![
+        BenchmarkOp::new("M1", S, 32, 32, 112, 3, 1),
+        BenchmarkOp::new("M2*", S, 64, 64, 112, 3, 2),
+        BenchmarkOp::new("M3", S, 128, 128, 56, 3, 1),
+        BenchmarkOp::new("M4*", S, 128, 128, 56, 3, 2),
+        BenchmarkOp::new("M5", S, 256, 256, 28, 3, 1),
+        BenchmarkOp::new("M6*", S, 256, 256, 28, 3, 2),
+        BenchmarkOp::new("M7", S, 512, 512, 14, 3, 1),
+        BenchmarkOp::new("M8*", S, 512, 512, 14, 3, 2),
+        BenchmarkOp::new("M9", S, 1024, 1024, 7, 3, 1),
+    ]
+}
+
+/// All 32 operators in paper order (Yolo, ResNet, MobileNet).
+pub fn all_operators() -> Vec<BenchmarkOp> {
+    let mut v = yolo9000();
+    v.extend(resnet18());
+    v.extend(mobilenet());
+    v
+}
+
+/// Look up a single operator by its paper label (e.g. `"Y5"`, `"R9"`,
+/// `"M2*"` — the trailing `*` may be omitted).
+pub fn by_name(name: &str) -> Option<BenchmarkOp> {
+    let norm = name.trim().trim_end_matches('*').to_ascii_uppercase();
+    all_operators()
+        .into_iter()
+        .find(|op| op.name.trim_end_matches('*').eq_ignore_ascii_case(&norm))
+}
+
+/// The operators for one suite.
+pub fn suite(s: BenchmarkSuite) -> Vec<BenchmarkOp> {
+    match s {
+        BenchmarkSuite::Yolo9000 => yolo9000(),
+        BenchmarkSuite::ResNet18 => resnet18(),
+        BenchmarkSuite::MobileNet => mobilenet(),
+    }
+}
+
+/// Reduced-size variants of the benchmark operators for fast functional tests
+/// and examples: spatial extents capped at `max_hw`, channel extents capped at
+/// `max_ch`. The aspect of each operator (pointwise vs 3x3, strided vs not) is
+/// preserved.
+pub fn scaled_operators(max_hw: usize, max_ch: usize) -> Vec<BenchmarkOp> {
+    all_operators()
+        .into_iter()
+        .map(|mut op| {
+            let s = &mut op.shape;
+            s.k = s.k.min(max_ch);
+            s.c = s.c.min(max_ch);
+            s.h = s.h.min(max_hw);
+            s.w = s.w.min(max_hw);
+            op
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_operator_counts() {
+        assert_eq!(yolo9000().len(), 11);
+        assert_eq!(resnet18().len(), 12);
+        assert_eq!(mobilenet().len(), 9);
+        assert_eq!(all_operators().len(), 32);
+    }
+
+    #[test]
+    fn table1_values_spot_checks() {
+        let y23 = by_name("Y23").unwrap();
+        assert_eq!(y23.shape.k, 28269);
+        assert_eq!(y23.shape.c, 1024);
+        assert_eq!(y23.shape.r, 1);
+        assert_eq!(y23.shape.h, 17);
+
+        let r1 = by_name("R1").unwrap();
+        assert!(r1.is_strided());
+        assert_eq!(r1.shape.r, 7);
+        assert_eq!(r1.shape.c, 3);
+
+        let m9 = by_name("M9").unwrap();
+        assert_eq!(m9.shape.k, 1024);
+        assert_eq!(m9.shape.c, 1024);
+        assert_eq!(m9.shape.h, 5); // (7 - 3) / 1 + 1
+    }
+
+    #[test]
+    fn strided_layers_match_paper_markers() {
+        let strided: Vec<String> = all_operators()
+            .into_iter()
+            .filter(|op| op.is_strided())
+            .map(|op| op.name)
+            .collect();
+        assert_eq!(
+            strided,
+            vec!["R1*", "R4*", "R5*", "R7*", "R10*", "R11*", "M2*", "M4*", "M6*", "M8*"]
+        );
+    }
+
+    #[test]
+    fn all_names_unique() {
+        let ops = all_operators();
+        let names: std::collections::HashSet<&str> = ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names.len(), ops.len());
+    }
+
+    #[test]
+    fn by_name_is_case_and_star_insensitive() {
+        assert!(by_name("r10").is_some());
+        assert!(by_name("R10*").is_some());
+        assert!(by_name("m2").is_some());
+        assert!(by_name("Z1").is_none());
+    }
+
+    #[test]
+    fn batch_size_is_one_everywhere() {
+        for op in all_operators() {
+            assert_eq!(op.shape.n, 1, "{} must use batch 1", op.name);
+        }
+    }
+
+    #[test]
+    fn scaled_operators_preserve_structure() {
+        let scaled = scaled_operators(16, 64);
+        assert_eq!(scaled.len(), 32);
+        for (orig, small) in all_operators().iter().zip(scaled.iter()) {
+            assert_eq!(orig.name, small.name);
+            assert_eq!(orig.shape.r, small.shape.r);
+            assert_eq!(orig.shape.stride, small.shape.stride);
+            assert!(small.shape.h <= 16 && small.shape.k <= 64);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Problem, layout, benchmark, and machine descriptions shared by every crate
+//! of the MOpt reproduction.
+//!
+//! The CNN (conv2d) computation optimized by the paper is
+//!
+//! ```text
+//! Out[n][k][h][w] += In[n][c][h*stride + r][w*stride + s] * Ker[k][c][r][s]
+//! ```
+//!
+//! a seven-dimensional loop nest over the indices `n, k, c, r, s, h, w`
+//! (batch, output channel, input channel, kernel row, kernel column, output
+//! row, output column). This crate defines:
+//!
+//! * [`ConvShape`] — the seven problem extents plus stride, with derived
+//!   quantities (FLOP count, tensor sizes, input extents),
+//! * [`LoopIndex`] and [`Permutation`] — the loop-index algebra used by the
+//!   analytical model and the pruning analysis,
+//! * [`TileSizes`], [`TileConfig`] and [`TilingLevel`] — tile-size vectors for
+//!   single- and multi-level tiling,
+//! * [`benchmarks`] — the 32 conv2d operators of Table 1 (Yolo-9000,
+//!   ResNet-18, MobileNet),
+//! * [`machine`] — memory-hierarchy descriptions (cache capacities,
+//!   bandwidths, cores, SIMD width) with presets for the two CPUs used in the
+//!   paper's evaluation,
+//! * [`layout`] — tensor layout descriptors (NCHW, KCRS and the packed
+//!   microkernel layout) and index linearization helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use conv_spec::{benchmarks, ConvShape, LoopIndex};
+//!
+//! let yolo0 = benchmarks::yolo9000()[0].clone();
+//! assert_eq!(yolo0.shape.k, 32);
+//! // output spatial extent is 542 for a 544x544 input with a 3x3 kernel
+//! assert_eq!(yolo0.shape.flops(), 2 * 32 * 3 * 542 * 542 * 3 * 3);
+//! assert!(ConvShape::unit(LoopIndex::N).n == 1);
+//! ```
+
+pub mod benchmarks;
+pub mod layout;
+pub mod machine;
+pub mod shape;
+pub mod tiling;
+
+pub use benchmarks::{BenchmarkOp, BenchmarkSuite};
+pub use layout::{KernelLayout, PackedKernelLayout, TensorKind, TensorLayout};
+pub use machine::{CacheLevel, MachineModel, MemoryLevel};
+pub use shape::{ConvShape, LoopIndex, Permutation, ALL_INDICES};
+pub use tiling::{TileConfig, TileSizes, TilingLevel, NUM_TILING_LEVELS};
+
+/// Crate-wide error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A tile size was zero or exceeded the corresponding problem extent.
+    InvalidTileSize {
+        /// The loop index whose tile size is invalid.
+        index: LoopIndex,
+        /// The offending tile size.
+        tile: usize,
+        /// The problem (or outer-tile) extent it must not exceed.
+        extent: usize,
+    },
+    /// A permutation did not contain each of the seven loop indices exactly once.
+    InvalidPermutation(String),
+    /// A shape field was zero.
+    InvalidShape(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::InvalidTileSize { index, tile, extent } => write!(
+                f,
+                "invalid tile size {tile} for loop {index:?} (extent {extent})"
+            ),
+            SpecError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            SpecError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}

@@ -1,0 +1,392 @@
+//! Machine (memory hierarchy + compute) descriptions.
+//!
+//! The paper evaluates on two CPUs:
+//!
+//! * Intel Core i7-9700K (CoffeeLake): 8 cores, 32 KB L1 / 256 KB L2 per core,
+//!   12 MB shared L3, two AVX2 FMA units per core;
+//! * Intel Core i9-10980XE (CascadeLake): 18 cores, 32 KB L1 / 1 MB L2 per
+//!   core, 24.75 MB shared L3, AVX-512.
+//!
+//! The analytical model only needs, per memory level: the capacity available
+//! to one tile (in elements), whether the level is shared, and the bandwidth
+//! of the link toward the next-slower level (used to bandwidth-scale data
+//! volumes, Sec. 5). The microkernel needs the SIMD width and FMA
+//! latency/throughput (Sec. 6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::tiling::TilingLevel;
+
+/// A memory level: registers or one of the caches, or main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryLevel {
+    /// The register file (holds the register tile).
+    Registers,
+    /// First-level cache.
+    L1,
+    /// Second-level cache.
+    L2,
+    /// Last-level cache.
+    L3,
+    /// Main memory (unbounded capacity).
+    Dram,
+}
+
+impl MemoryLevel {
+    /// The levels whose capacity constrains a tile, innermost first.
+    pub const CONSTRAINED: [MemoryLevel; 4] =
+        [MemoryLevel::Registers, MemoryLevel::L1, MemoryLevel::L2, MemoryLevel::L3];
+
+    /// The corresponding tiling level (None for DRAM, which is not tiled for).
+    pub fn tiling_level(self) -> Option<TilingLevel> {
+        match self {
+            MemoryLevel::Registers => Some(TilingLevel::Register),
+            MemoryLevel::L1 => Some(TilingLevel::L1),
+            MemoryLevel::L2 => Some(TilingLevel::L2),
+            MemoryLevel::L3 => Some(TilingLevel::L3),
+            MemoryLevel::Dram => None,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryLevel::Registers => "Reg",
+            MemoryLevel::L1 => "L1",
+            MemoryLevel::L2 => "L2",
+            MemoryLevel::L3 => "L3",
+            MemoryLevel::Dram => "DRAM",
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One cache (or register-file) level of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// Which level this describes.
+    pub level: MemoryLevel,
+    /// Capacity in *elements* (single-precision floats) available to one core
+    /// (for private levels) or to all cores (for shared levels).
+    pub capacity_elems: usize,
+    /// Whether the level is shared among all cores (true for L3 in both
+    /// evaluation machines).
+    pub shared: bool,
+    /// Sustained bandwidth, in elements per cycle per core, of the link that
+    /// feeds this level from the next slower level (e.g. for `L1`, the L2→L1
+    /// bandwidth). Used to bandwidth-scale data volumes.
+    pub fill_bandwidth: f64,
+    /// Cache line size in elements (used by the spatial-locality extension
+    /// and by the set-associative simulator).
+    pub line_elems: usize,
+    /// Associativity (ways); `0` denotes fully associative.
+    pub associativity: usize,
+}
+
+/// A machine description: the memory hierarchy plus compute parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Human-readable machine name.
+    pub name: String,
+    /// Number of physical cores.
+    pub cores: usize,
+    /// Number of threads used by the paper's parallel experiments (8 on the
+    /// i7, 16 on the i9).
+    pub threads: usize,
+    /// SIMD vector width in single-precision lanes (8 for AVX2, 16 for
+    /// AVX-512).
+    pub simd_width: usize,
+    /// Number of FMA units per core.
+    pub fma_units: usize,
+    /// FMA latency in cycles (used with Little's law to size the register
+    /// tile, Sec. 6).
+    pub fma_latency: usize,
+    /// Core clock in GHz (base frequency; the paper locks the clock).
+    pub clock_ghz: f64,
+    /// Register-file capacity in elements usable by the microkernel
+    /// accumulators (e.g. 16 vector registers × 8 lanes on AVX2).
+    pub register_elems: usize,
+    /// Cache levels, ordered from L1 to L3.
+    pub caches: Vec<CacheLevel>,
+    /// Bandwidth of the DRAM→L3 link in elements per cycle (whole chip).
+    pub dram_bandwidth: f64,
+}
+
+impl MachineModel {
+    /// The Intel Core i7-9700K (CoffeeLake) description used in the paper
+    /// (8 cores, AVX2, 32 KB L1, 256 KB L2, 12 MB shared L3).
+    ///
+    /// Bandwidth figures are representative sustained values (elements/cycle)
+    /// of the class of machine; the paper measures them with synthetic
+    /// benchmarks. Their absolute values only matter through the *ratios*
+    /// that decide which level is the bottleneck.
+    pub fn i7_9700k() -> Self {
+        MachineModel {
+            name: "Intel i7-9700K (CoffeeLake)".to_string(),
+            cores: 8,
+            threads: 8,
+            simd_width: 8,
+            fma_units: 2,
+            fma_latency: 5,
+            clock_ghz: 3.6,
+            register_elems: 16 * 8,
+            caches: vec![
+                CacheLevel {
+                    level: MemoryLevel::L1,
+                    capacity_elems: 32 * 1024 / 4,
+                    shared: false,
+                    fill_bandwidth: 16.0,
+                    line_elems: 16,
+                    associativity: 8,
+                },
+                CacheLevel {
+                    level: MemoryLevel::L2,
+                    capacity_elems: 256 * 1024 / 4,
+                    shared: false,
+                    fill_bandwidth: 8.0,
+                    line_elems: 16,
+                    associativity: 4,
+                },
+                CacheLevel {
+                    level: MemoryLevel::L3,
+                    capacity_elems: 12 * 1024 * 1024 / 4,
+                    shared: true,
+                    fill_bandwidth: 4.0,
+                    line_elems: 16,
+                    associativity: 16,
+                },
+            ],
+            dram_bandwidth: 2.0,
+        }
+    }
+
+    /// The Intel Core i9-10980XE (CascadeLake) description used in the paper
+    /// (18 cores, AVX-512, 32 KB L1, 1 MB L2, 24.75 MB shared L3; the paper
+    /// runs with 16 threads).
+    pub fn i9_10980xe() -> Self {
+        MachineModel {
+            name: "Intel i9-10980XE (CascadeLake)".to_string(),
+            cores: 18,
+            threads: 16,
+            simd_width: 16,
+            fma_units: 2,
+            fma_latency: 5,
+            clock_ghz: 3.0,
+            register_elems: 32 * 16,
+            caches: vec![
+                CacheLevel {
+                    level: MemoryLevel::L1,
+                    capacity_elems: 32 * 1024 / 4,
+                    shared: false,
+                    fill_bandwidth: 32.0,
+                    line_elems: 16,
+                    associativity: 8,
+                },
+                CacheLevel {
+                    level: MemoryLevel::L2,
+                    capacity_elems: 1024 * 1024 / 4,
+                    shared: false,
+                    fill_bandwidth: 16.0,
+                    line_elems: 16,
+                    associativity: 16,
+                },
+                CacheLevel {
+                    level: MemoryLevel::L3,
+                    capacity_elems: (24.75 * 1024.0 * 1024.0 / 4.0) as usize,
+                    shared: true,
+                    fill_bandwidth: 6.0,
+                    line_elems: 16,
+                    associativity: 11,
+                },
+            ],
+            dram_bandwidth: 3.0,
+        }
+    }
+
+    /// A small synthetic machine used by unit tests and fast examples
+    /// (tiny caches so interesting tiling decisions arise at small problem
+    /// sizes).
+    pub fn tiny_test_machine() -> Self {
+        MachineModel {
+            name: "tiny-test".to_string(),
+            cores: 2,
+            threads: 2,
+            simd_width: 4,
+            fma_units: 1,
+            fma_latency: 4,
+            clock_ghz: 1.0,
+            register_elems: 32,
+            caches: vec![
+                CacheLevel {
+                    level: MemoryLevel::L1,
+                    capacity_elems: 256,
+                    shared: false,
+                    fill_bandwidth: 8.0,
+                    line_elems: 4,
+                    associativity: 4,
+                },
+                CacheLevel {
+                    level: MemoryLevel::L2,
+                    capacity_elems: 2048,
+                    shared: false,
+                    fill_bandwidth: 4.0,
+                    line_elems: 4,
+                    associativity: 4,
+                },
+                CacheLevel {
+                    level: MemoryLevel::L3,
+                    capacity_elems: 16384,
+                    shared: true,
+                    fill_bandwidth: 2.0,
+                    line_elems: 4,
+                    associativity: 8,
+                },
+            ],
+            dram_bandwidth: 1.0,
+        }
+    }
+
+    /// The cache description for a memory level, if it is a cache level.
+    pub fn cache(&self, level: MemoryLevel) -> Option<&CacheLevel> {
+        self.caches.iter().find(|c| c.level == level)
+    }
+
+    /// Capacity, in elements, usable by one tile at a tiling level.
+    ///
+    /// For the register level this is the register-file budget; for cache
+    /// levels it is that cache's capacity. Shared caches are reported whole;
+    /// the parallel cost model divides them by the thread count where
+    /// appropriate.
+    pub fn capacity(&self, level: TilingLevel) -> usize {
+        match level {
+            TilingLevel::Register => self.register_elems,
+            TilingLevel::L1 => self.cache(MemoryLevel::L1).map_or(0, |c| c.capacity_elems),
+            TilingLevel::L2 => self.cache(MemoryLevel::L2).map_or(0, |c| c.capacity_elems),
+            TilingLevel::L3 => self.cache(MemoryLevel::L3).map_or(0, |c| c.capacity_elems),
+        }
+    }
+
+    /// Bandwidth (elements / cycle, per core for private levels, whole chip
+    /// for shared levels) of the link that *fills* a tiling level:
+    /// Register ← L1, L1 ← L2, L2 ← L3, L3 ← DRAM.
+    pub fn fill_bandwidth(&self, level: TilingLevel) -> f64 {
+        match level {
+            TilingLevel::Register => {
+                self.cache(MemoryLevel::L1).map_or(1.0, |c| c.fill_bandwidth)
+            }
+            TilingLevel::L1 => self.cache(MemoryLevel::L2).map_or(1.0, |c| c.fill_bandwidth),
+            TilingLevel::L2 => self.cache(MemoryLevel::L3).map_or(1.0, |c| c.fill_bandwidth),
+            TilingLevel::L3 => self.dram_bandwidth,
+        }
+    }
+
+    /// Peak single-precision GFLOP/s of the whole chip
+    /// (`2 × simd_width × fma_units × cores × clock`).
+    pub fn peak_gflops(&self) -> f64 {
+        2.0 * self.simd_width as f64
+            * self.fma_units as f64
+            * self.cores as f64
+            * self.clock_ghz
+    }
+
+    /// Peak single-precision GFLOP/s of one core.
+    pub fn peak_gflops_per_core(&self) -> f64 {
+        self.peak_gflops() / self.cores as f64
+    }
+
+    /// The amount of independent FMA parallelism required to saturate the FMA
+    /// pipelines, by Little's law: `latency × throughput` where throughput is
+    /// `fma_units × simd_width` FMAs per cycle (Sec. 6: 6 × 16 = 96 on AVX2
+    /// with latency rounded up).
+    pub fn required_fma_parallelism(&self) -> usize {
+        self.fma_latency * self.fma_units * self.simd_width
+    }
+}
+
+impl std::fmt::Display for MachineModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} cores, {}-wide SIMD, L1 {} KiB, L2 {} KiB, L3 {} KiB)",
+            self.name,
+            self.cores,
+            self.simd_width,
+            self.capacity(TilingLevel::L1) * 4 / 1024,
+            self.capacity(TilingLevel::L2) * 4 / 1024,
+            self.capacity(TilingLevel::L3) * 4 / 1024,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i7_matches_paper_cache_sizes() {
+        let m = MachineModel::i7_9700k();
+        assert_eq!(m.cores, 8);
+        assert_eq!(m.capacity(TilingLevel::L1) * 4, 32 * 1024);
+        assert_eq!(m.capacity(TilingLevel::L2) * 4, 256 * 1024);
+        assert_eq!(m.capacity(TilingLevel::L3) * 4, 12 * 1024 * 1024);
+        assert_eq!(m.simd_width, 8);
+    }
+
+    #[test]
+    fn i9_matches_paper_cache_sizes() {
+        let m = MachineModel::i9_10980xe();
+        assert_eq!(m.cores, 18);
+        assert_eq!(m.threads, 16);
+        assert_eq!(m.capacity(TilingLevel::L2) * 4, 1024 * 1024);
+        assert_eq!(m.simd_width, 16);
+    }
+
+    #[test]
+    fn bandwidths_decrease_moving_away_from_the_core() {
+        for m in [MachineModel::i7_9700k(), MachineModel::i9_10980xe(), MachineModel::tiny_test_machine()] {
+            assert!(m.fill_bandwidth(TilingLevel::Register) >= m.fill_bandwidth(TilingLevel::L1));
+            assert!(m.fill_bandwidth(TilingLevel::L1) >= m.fill_bandwidth(TilingLevel::L2));
+            assert!(m.fill_bandwidth(TilingLevel::L2) >= m.fill_bandwidth(TilingLevel::L3));
+        }
+    }
+
+    #[test]
+    fn capacities_increase_moving_away_from_the_core() {
+        for m in [MachineModel::i7_9700k(), MachineModel::i9_10980xe(), MachineModel::tiny_test_machine()] {
+            assert!(m.capacity(TilingLevel::Register) < m.capacity(TilingLevel::L1));
+            assert!(m.capacity(TilingLevel::L1) < m.capacity(TilingLevel::L2));
+            assert!(m.capacity(TilingLevel::L2) < m.capacity(TilingLevel::L3));
+        }
+    }
+
+    #[test]
+    fn littles_law_parallelism() {
+        let m = MachineModel::i7_9700k();
+        // 5 cycles latency × 2 FMA units × 8 lanes = 80 independent FMAs;
+        // the paper quotes 6 × 16 = 96 with a 6-cycle latency estimate.
+        assert_eq!(m.required_fma_parallelism(), 80);
+        assert!(m.required_fma_parallelism() >= 64);
+    }
+
+    #[test]
+    fn peak_gflops_sane() {
+        let m = MachineModel::i7_9700k();
+        // 2 * 8 lanes * 2 FMA * 8 cores * 3.6 GHz = 921.6 GF/s
+        assert!((m.peak_gflops() - 921.6).abs() < 1e-6);
+        assert!((m.peak_gflops_per_core() - 115.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cache_lookup_and_display() {
+        let m = MachineModel::tiny_test_machine();
+        assert!(m.cache(MemoryLevel::L1).is_some());
+        assert!(m.cache(MemoryLevel::Dram).is_none());
+        assert!(!format!("{m}").is_empty());
+        assert!(m.cache(MemoryLevel::L3).unwrap().shared);
+    }
+}

@@ -1,0 +1,514 @@
+//! Convolution problem shapes and the seven-index loop algebra.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SpecError;
+
+/// The seven loop indices of the conv2d loop nest.
+///
+/// The order of the enum discriminants matches the canonical loop order used
+/// throughout the paper: `n, k, c, r, s, h, w` (Listing 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LoopIndex {
+    /// Batch dimension.
+    N,
+    /// Output-channel dimension.
+    K,
+    /// Input-channel (reduction) dimension.
+    C,
+    /// Kernel-row (reduction) dimension.
+    R,
+    /// Kernel-column (reduction) dimension.
+    S,
+    /// Output-row dimension.
+    H,
+    /// Output-column dimension.
+    W,
+}
+
+/// All seven loop indices in canonical order.
+pub const ALL_INDICES: [LoopIndex; 7] = [
+    LoopIndex::N,
+    LoopIndex::K,
+    LoopIndex::C,
+    LoopIndex::R,
+    LoopIndex::S,
+    LoopIndex::H,
+    LoopIndex::W,
+];
+
+impl LoopIndex {
+    /// Position of this index in the canonical order (`N` = 0, ..., `W` = 6).
+    pub fn canonical_position(self) -> usize {
+        match self {
+            LoopIndex::N => 0,
+            LoopIndex::K => 1,
+            LoopIndex::C => 2,
+            LoopIndex::R => 3,
+            LoopIndex::S => 4,
+            LoopIndex::H => 5,
+            LoopIndex::W => 6,
+        }
+    }
+
+    /// Lower-case single-letter name used in diagnostics and printed tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoopIndex::N => "n",
+            LoopIndex::K => "k",
+            LoopIndex::C => "c",
+            LoopIndex::R => "r",
+            LoopIndex::S => "s",
+            LoopIndex::H => "h",
+            LoopIndex::W => "w",
+        }
+    }
+
+    /// Whether the index appears in the `Out[n][k][h][w]` access.
+    pub fn present_in_output(self) -> bool {
+        matches!(self, LoopIndex::N | LoopIndex::K | LoopIndex::H | LoopIndex::W)
+    }
+
+    /// Whether the index appears in the `In[n][c][h+r][w+s]` access.
+    pub fn present_in_input(self) -> bool {
+        !matches!(self, LoopIndex::K)
+    }
+
+    /// Whether the index appears in the `Ker[k][c][r][s]` access.
+    pub fn present_in_kernel(self) -> bool {
+        matches!(self, LoopIndex::K | LoopIndex::C | LoopIndex::R | LoopIndex::S)
+    }
+
+    /// Whether the index is a reduction dimension (absent from the output).
+    pub fn is_reduction(self) -> bool {
+        !self.present_in_output()
+    }
+
+    /// Parse a single-letter (case-insensitive) index name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "n" => Some(LoopIndex::N),
+            "k" => Some(LoopIndex::K),
+            "c" => Some(LoopIndex::C),
+            "r" => Some(LoopIndex::R),
+            "s" => Some(LoopIndex::S),
+            "h" => Some(LoopIndex::H),
+            "w" => Some(LoopIndex::W),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LoopIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A conv2d problem shape: the seven loop extents plus the kernel stride.
+///
+/// `h` and `w` are the *output* spatial extents; the input spatial extents are
+/// derived (`input_h()` / `input_w()`). The paper's Table 1 specifies the
+/// input image height/width `H/W`; [`ConvShape::from_table1`] converts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvShape {
+    /// Batch size.
+    pub n: usize,
+    /// Number of output channels.
+    pub k: usize,
+    /// Number of input channels.
+    pub c: usize,
+    /// Kernel height.
+    pub r: usize,
+    /// Kernel width.
+    pub s: usize,
+    /// Output height.
+    pub h: usize,
+    /// Output width.
+    pub w: usize,
+    /// Kernel stride (same in both spatial dimensions, 1 or 2 in the paper).
+    pub stride: usize,
+}
+
+impl ConvShape {
+    /// Create a shape, validating that every extent is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidShape`] if any extent or the stride is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n: usize,
+        k: usize,
+        c: usize,
+        r: usize,
+        s: usize,
+        h: usize,
+        w: usize,
+        stride: usize,
+    ) -> Result<Self, SpecError> {
+        let shape = ConvShape { n, k, c, r, s, h, w, stride };
+        for &idx in &ALL_INDICES {
+            if shape.extent(idx) == 0 {
+                return Err(SpecError::InvalidShape(format!("extent of {idx} is zero")));
+            }
+        }
+        if stride == 0 {
+            return Err(SpecError::InvalidShape("stride is zero".into()));
+        }
+        Ok(shape)
+    }
+
+    /// A shape from a Table-1 style row: `K`, `C`, input `H/W` (square),
+    /// kernel `R/S` (square), stride, batch 1.
+    ///
+    /// The output spatial extent is `(H_in - R) / stride + 1` ("valid"
+    /// convolution, as in the paper's generated code which does not pad).
+    pub fn from_table1(k: usize, c: usize, hw_in: usize, rs: usize, stride: usize) -> Self {
+        let out = (hw_in - rs) / stride + 1;
+        ConvShape { n: 1, k, c, r: rs, s: rs, h: out, w: out, stride }
+    }
+
+    /// A degenerate shape with all extents 1 except `which`, which is 2.
+    /// Useful in unit tests of the loop algebra.
+    pub fn unit(which: LoopIndex) -> Self {
+        let mut s = ConvShape { n: 1, k: 1, c: 1, r: 1, s: 1, h: 1, w: 1, stride: 1 };
+        s.set_extent(which, 1);
+        s
+    }
+
+    /// The extent of the loop for `idx`.
+    pub fn extent(&self, idx: LoopIndex) -> usize {
+        match idx {
+            LoopIndex::N => self.n,
+            LoopIndex::K => self.k,
+            LoopIndex::C => self.c,
+            LoopIndex::R => self.r,
+            LoopIndex::S => self.s,
+            LoopIndex::H => self.h,
+            LoopIndex::W => self.w,
+        }
+    }
+
+    /// Set the extent of the loop for `idx`.
+    pub fn set_extent(&mut self, idx: LoopIndex, value: usize) {
+        match idx {
+            LoopIndex::N => self.n = value,
+            LoopIndex::K => self.k = value,
+            LoopIndex::C => self.c = value,
+            LoopIndex::R => self.r = value,
+            LoopIndex::S => self.s = value,
+            LoopIndex::H => self.h = value,
+            LoopIndex::W => self.w = value,
+        }
+    }
+
+    /// All extents in canonical `[n, k, c, r, s, h, w]` order.
+    pub fn extents(&self) -> [usize; 7] {
+        [self.n, self.k, self.c, self.r, self.s, self.h, self.w]
+    }
+
+    /// Input image height required by this output shape.
+    pub fn input_h(&self) -> usize {
+        (self.h - 1) * self.stride + self.r
+    }
+
+    /// Input image width required by this output shape.
+    pub fn input_w(&self) -> usize {
+        (self.w - 1) * self.stride + self.s
+    }
+
+    /// Number of elements of the output tensor `Out[n][k][h][w]`.
+    pub fn output_elems(&self) -> usize {
+        self.n * self.k * self.h * self.w
+    }
+
+    /// Number of elements of the input tensor `In[n][c][h_in][w_in]`.
+    pub fn input_elems(&self) -> usize {
+        self.n * self.c * self.input_h() * self.input_w()
+    }
+
+    /// Number of elements of the kernel tensor `Ker[k][c][r][s]`.
+    pub fn kernel_elems(&self) -> usize {
+        self.k * self.c * self.r * self.s
+    }
+
+    /// Total floating-point operations (multiply + add counted separately).
+    pub fn flops(&self) -> usize {
+        2 * self.n * self.k * self.c * self.r * self.s * self.h * self.w
+    }
+
+    /// Number of iterations of the seven-deep loop nest (MACs).
+    pub fn macs(&self) -> usize {
+        self.flops() / 2
+    }
+
+    /// Whether this is a 1x1 ("pointwise") convolution.
+    pub fn is_pointwise(&self) -> bool {
+        self.r == 1 && self.s == 1
+    }
+
+    /// A short human-readable description such as `K64 C32 HW272 RS3 s1`.
+    pub fn describe(&self) -> String {
+        format!(
+            "N{} K{} C{} HW{}x{} RS{}x{} s{}",
+            self.n, self.k, self.c, self.h, self.w, self.r, self.s, self.stride
+        )
+    }
+}
+
+impl std::fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A permutation of the seven tile-loop indices.
+///
+/// Index 0 of the inner vector is the **outermost** loop and index 6 is the
+/// **innermost** loop. (The paper writes permutations as `⟨p7, ..., p1⟩` with
+/// `p1` innermost; we store the same order, outermost first.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Permutation {
+    order: [LoopIndex; 7],
+}
+
+impl Permutation {
+    /// Build a permutation from outermost to innermost order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidPermutation`] if the seven indices are not
+    /// each present exactly once.
+    pub fn new(order: [LoopIndex; 7]) -> Result<Self, SpecError> {
+        let mut seen = [false; 7];
+        for &idx in &order {
+            let p = idx.canonical_position();
+            if seen[p] {
+                return Err(SpecError::InvalidPermutation(format!("duplicate index {idx}")));
+            }
+            seen[p] = true;
+        }
+        Ok(Permutation { order })
+    }
+
+    /// The canonical loop order `n, k, c, r, s, h, w` (outermost to innermost).
+    pub fn canonical() -> Self {
+        Permutation { order: ALL_INDICES }
+    }
+
+    /// Parse a permutation from a string of seven letters, outermost first,
+    /// e.g. `"kcrsnhw"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidPermutation`] on malformed input.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let letters: Vec<char> = text.trim().chars().filter(|c| !c.is_whitespace()).collect();
+        if letters.len() != 7 {
+            return Err(SpecError::InvalidPermutation(format!(
+                "expected 7 loop letters, got {}",
+                letters.len()
+            )));
+        }
+        let mut order = [LoopIndex::N; 7];
+        for (i, ch) in letters.iter().enumerate() {
+            order[i] = LoopIndex::parse(&ch.to_string()).ok_or_else(|| {
+                SpecError::InvalidPermutation(format!("unknown loop letter '{ch}'"))
+            })?;
+        }
+        Permutation::new(order)
+    }
+
+    /// Loop order from outermost (first) to innermost (last).
+    pub fn outer_to_inner(&self) -> &[LoopIndex; 7] {
+        &self.order
+    }
+
+    /// Loop order from innermost (first) to outermost (last).
+    pub fn inner_to_outer(&self) -> [LoopIndex; 7] {
+        let mut rev = self.order;
+        rev.reverse();
+        rev
+    }
+
+    /// The innermost tile-loop index.
+    pub fn innermost(&self) -> LoopIndex {
+        self.order[6]
+    }
+
+    /// The outermost tile-loop index.
+    pub fn outermost(&self) -> LoopIndex {
+        self.order[0]
+    }
+
+    /// Position of `idx` counted from the innermost loop, 1-based as in the
+    /// paper (innermost = 1, outermost = 7).
+    pub fn position_from_inner(&self, idx: LoopIndex) -> usize {
+        let pos_from_outer = self
+            .order
+            .iter()
+            .position(|&x| x == idx)
+            .expect("permutation contains all indices");
+        7 - pos_from_outer
+    }
+
+    /// The indices strictly *outside* (surrounding) position `pos` counted
+    /// from the innermost loop. E.g. `surrounding_of_position(1)` returns the
+    /// six outer loops of the innermost loop.
+    pub fn indices_outside_position(&self, pos: usize) -> Vec<LoopIndex> {
+        self.order
+            .iter()
+            .copied()
+            .filter(|&idx| self.position_from_inner(idx) > pos)
+            .collect()
+    }
+
+    /// Enumerate all 5040 permutations of the seven loop indices.
+    pub fn enumerate_all() -> Vec<Permutation> {
+        let mut result = Vec::with_capacity(5040);
+        let mut current = ALL_INDICES;
+        permute_recursive(&mut current, 0, &mut result);
+        result
+    }
+
+    /// A compact textual form, outermost first, e.g. `kcrsnhw`.
+    pub fn compact(&self) -> String {
+        self.order.iter().map(|i| i.name()).collect()
+    }
+}
+
+fn permute_recursive(arr: &mut [LoopIndex; 7], start: usize, out: &mut Vec<Permutation>) {
+    if start == arr.len() {
+        out.push(Permutation { order: *arr });
+        return;
+    }
+    for i in start..arr.len() {
+        arr.swap(start, i);
+        permute_recursive(arr, start + 1, out);
+        arr.swap(start, i);
+    }
+}
+
+impl std::fmt::Display for Permutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨{}⟩", self.compact())
+    }
+}
+
+impl Default for Permutation {
+    fn default() -> Self {
+        Permutation::canonical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_presence_matches_paper_structure() {
+        // Each of the seven loop indices is present in exactly two of the
+        // three tensors (Sec. 4 of the paper).
+        for &idx in &ALL_INDICES {
+            let count = [idx.present_in_output(), idx.present_in_input(), idx.present_in_kernel()]
+                .iter()
+                .filter(|&&b| b)
+                .count();
+            assert_eq!(count, 2, "{idx} should be present in exactly two tensors");
+        }
+    }
+
+    #[test]
+    fn output_absent_indices_are_reductions() {
+        assert!(LoopIndex::C.is_reduction());
+        assert!(LoopIndex::R.is_reduction());
+        assert!(LoopIndex::S.is_reduction());
+        assert!(!LoopIndex::N.is_reduction());
+        assert!(!LoopIndex::K.is_reduction());
+        assert!(!LoopIndex::H.is_reduction());
+        assert!(!LoopIndex::W.is_reduction());
+    }
+
+    #[test]
+    fn shape_new_rejects_zero_extent() {
+        assert!(ConvShape::new(1, 0, 1, 1, 1, 1, 1, 1).is_err());
+        assert!(ConvShape::new(1, 1, 1, 1, 1, 1, 1, 0).is_err());
+        assert!(ConvShape::new(1, 2, 3, 1, 1, 4, 4, 1).is_ok());
+    }
+
+    #[test]
+    fn from_table1_computes_output_extent() {
+        // Yolo layer Y0: K=32, C=3, H/W=544, R/S=3, stride 1 → output 542.
+        let y0 = ConvShape::from_table1(32, 3, 544, 3, 1);
+        assert_eq!(y0.h, 542);
+        assert_eq!(y0.w, 542);
+        assert_eq!(y0.input_h(), 544);
+        assert_eq!(y0.input_w(), 544);
+        // ResNet R1*: K=64, C=3, H/W=224, R/S=7, stride 2 → output 109.
+        let r1 = ConvShape::from_table1(64, 3, 224, 7, 2);
+        assert_eq!(r1.h, (224 - 7) / 2 + 1);
+        assert_eq!(r1.input_h(), (r1.h - 1) * 2 + 7);
+    }
+
+    #[test]
+    fn flops_and_element_counts() {
+        let s = ConvShape::new(2, 4, 3, 3, 3, 8, 8, 1).unwrap();
+        assert_eq!(s.flops(), 2 * 2 * 4 * 3 * 3 * 3 * 8 * 8);
+        assert_eq!(s.macs() * 2, s.flops());
+        assert_eq!(s.output_elems(), 2 * 4 * 8 * 8);
+        assert_eq!(s.kernel_elems(), 4 * 3 * 3 * 3);
+        assert_eq!(s.input_elems(), 2 * 3 * 10 * 10);
+    }
+
+    #[test]
+    fn extent_roundtrip() {
+        let mut s = ConvShape::new(1, 2, 3, 4, 5, 6, 7, 1).unwrap();
+        for (i, &idx) in ALL_INDICES.iter().enumerate() {
+            assert_eq!(s.extent(idx), i + 1);
+            s.set_extent(idx, 10 + i);
+            assert_eq!(s.extent(idx), 10 + i);
+        }
+    }
+
+    #[test]
+    fn permutation_parse_and_display() {
+        let p = Permutation::parse("kcrsnhw").unwrap();
+        assert_eq!(p.innermost(), LoopIndex::W);
+        assert_eq!(p.outermost(), LoopIndex::K);
+        assert_eq!(p.compact(), "kcrsnhw");
+        assert!(Permutation::parse("kcrsnh").is_err());
+        assert!(Permutation::parse("kcrsnhh").is_err());
+        assert!(Permutation::parse("kcrsnhx").is_err());
+    }
+
+    #[test]
+    fn permutation_positions_are_one_based_from_inner() {
+        let p = Permutation::parse("kcrsnhw").unwrap();
+        assert_eq!(p.position_from_inner(LoopIndex::W), 1);
+        assert_eq!(p.position_from_inner(LoopIndex::H), 2);
+        assert_eq!(p.position_from_inner(LoopIndex::N), 3);
+        assert_eq!(p.position_from_inner(LoopIndex::K), 7);
+        let outside = p.indices_outside_position(3);
+        assert_eq!(outside.len(), 4);
+        assert!(outside.contains(&LoopIndex::K));
+        assert!(!outside.contains(&LoopIndex::N));
+    }
+
+    #[test]
+    fn enumerate_all_has_5040_unique_permutations() {
+        let all = Permutation::enumerate_all();
+        assert_eq!(all.len(), 5040);
+        let unique: std::collections::HashSet<String> =
+            all.iter().map(|p| p.compact()).collect();
+        assert_eq!(unique.len(), 5040);
+    }
+
+    #[test]
+    fn inner_to_outer_reverses() {
+        let p = Permutation::parse("nkcrshw").unwrap();
+        let rev = p.inner_to_outer();
+        assert_eq!(rev[0], LoopIndex::W);
+        assert_eq!(rev[6], LoopIndex::N);
+    }
+}

@@ -1,0 +1,382 @@
+//! Tile-size vectors and multi-level tiling configurations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::{ConvShape, LoopIndex, Permutation, ALL_INDICES};
+use crate::SpecError;
+
+/// Number of tiling levels used by the full MOpt formulation:
+/// register tile, L1, L2, L3 (Sec. 5 / Algorithm 1).
+pub const NUM_TILING_LEVELS: usize = 4;
+
+/// A level of the tiling hierarchy, innermost (registers) first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TilingLevel {
+    /// Register tile (the microkernel footprint).
+    Register,
+    /// L1-cache tile.
+    L1,
+    /// L2-cache tile.
+    L2,
+    /// L3-cache tile.
+    L3,
+}
+
+impl TilingLevel {
+    /// All levels from innermost (Register) to outermost (L3).
+    pub const ALL: [TilingLevel; NUM_TILING_LEVELS] =
+        [TilingLevel::Register, TilingLevel::L1, TilingLevel::L2, TilingLevel::L3];
+
+    /// Zero-based position, Register = 0 ... L3 = 3.
+    pub fn ordinal(self) -> usize {
+        match self {
+            TilingLevel::Register => 0,
+            TilingLevel::L1 => 1,
+            TilingLevel::L2 => 2,
+            TilingLevel::L3 => 3,
+        }
+    }
+
+    /// The next outer level, if any.
+    pub fn outer(self) -> Option<TilingLevel> {
+        match self {
+            TilingLevel::Register => Some(TilingLevel::L1),
+            TilingLevel::L1 => Some(TilingLevel::L2),
+            TilingLevel::L2 => Some(TilingLevel::L3),
+            TilingLevel::L3 => None,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TilingLevel::Register => "Reg",
+            TilingLevel::L1 => "L1",
+            TilingLevel::L2 => "L2",
+            TilingLevel::L3 => "L3",
+        }
+    }
+}
+
+impl std::fmt::Display for TilingLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A vector of seven tile sizes, one per loop index, for one tiling level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileSizes {
+    sizes: [usize; 7],
+}
+
+impl TileSizes {
+    /// Tile sizes from an array in canonical `[n, k, c, r, s, h, w]` order.
+    pub fn from_array(sizes: [usize; 7]) -> Self {
+        TileSizes { sizes }
+    }
+
+    /// All tile sizes equal to 1.
+    pub fn ones() -> Self {
+        TileSizes { sizes: [1; 7] }
+    }
+
+    /// Tile sizes equal to the full problem extents ("untiled").
+    pub fn full(shape: &ConvShape) -> Self {
+        TileSizes { sizes: shape.extents() }
+    }
+
+    /// The tile size for a given loop index.
+    pub fn get(&self, idx: LoopIndex) -> usize {
+        self.sizes[idx.canonical_position()]
+    }
+
+    /// Set the tile size for a given loop index.
+    pub fn set(&mut self, idx: LoopIndex, value: usize) {
+        self.sizes[idx.canonical_position()] = value;
+    }
+
+    /// Builder-style [`set`](Self::set).
+    pub fn with(mut self, idx: LoopIndex, value: usize) -> Self {
+        self.set(idx, value);
+        self
+    }
+
+    /// Tile sizes in canonical order.
+    pub fn as_array(&self) -> [usize; 7] {
+        self.sizes
+    }
+
+    /// Validate tile sizes against an enclosing extent vector (either the
+    /// problem extents or the next-outer level's tile sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidTileSize`] if any tile size is zero or
+    /// exceeds the corresponding extent.
+    pub fn validate(&self, enclosing: &[usize; 7]) -> Result<(), SpecError> {
+        for &idx in &ALL_INDICES {
+            let t = self.get(idx);
+            let e = enclosing[idx.canonical_position()];
+            if t == 0 || t > e {
+                return Err(SpecError::InvalidTileSize { index: idx, tile: t, extent: e });
+            }
+        }
+        Ok(())
+    }
+
+    /// Clamp every tile size into `1..=enclosing`.
+    pub fn clamped(&self, enclosing: &[usize; 7]) -> TileSizes {
+        let mut out = *self;
+        for &idx in &ALL_INDICES {
+            let e = enclosing[idx.canonical_position()];
+            let t = out.get(idx).clamp(1, e.max(1));
+            out.set(idx, t);
+        }
+        out
+    }
+
+    /// The data footprint (in elements) of one tile of the three tensors, as
+    /// used in the paper's capacity constraint (Eq. 4):
+    ///
+    /// `Tn*Tc*(Th+Tr-1)*(Tw+Ts-1) + Tk*Tc*Tr*Ts + Tn*Tk*Th*Tw`
+    ///
+    /// `stride` scales the input spatial reach: for stride > 1 the input slice
+    /// spans `(Th-1)*stride + Tr` rows (and similarly for columns).
+    pub fn footprint(&self, stride: usize) -> usize {
+        self.input_footprint(stride) + self.kernel_footprint() + self.output_footprint()
+    }
+
+    /// Footprint of the input-tensor slice accessed by one tile.
+    pub fn input_footprint(&self, stride: usize) -> usize {
+        let th = self.get(LoopIndex::H);
+        let tw = self.get(LoopIndex::W);
+        let tr = self.get(LoopIndex::R);
+        let ts = self.get(LoopIndex::S);
+        let in_h = (th - 1) * stride + tr;
+        let in_w = (tw - 1) * stride + ts;
+        self.get(LoopIndex::N) * self.get(LoopIndex::C) * in_h * in_w
+    }
+
+    /// Footprint of the kernel-tensor slice accessed by one tile.
+    pub fn kernel_footprint(&self) -> usize {
+        self.get(LoopIndex::K) * self.get(LoopIndex::C) * self.get(LoopIndex::R) * self.get(LoopIndex::S)
+    }
+
+    /// Footprint of the output-tensor slice accessed by one tile.
+    pub fn output_footprint(&self) -> usize {
+        self.get(LoopIndex::N) * self.get(LoopIndex::K) * self.get(LoopIndex::H) * self.get(LoopIndex::W)
+    }
+
+    /// Number of tiles (product over indices of `ceil(extent/tile)`) when this
+    /// tile vector subdivides `enclosing`.
+    pub fn tile_count(&self, enclosing: &[usize; 7]) -> usize {
+        ALL_INDICES
+            .iter()
+            .map(|&idx| {
+                let e = enclosing[idx.canonical_position()];
+                let t = self.get(idx).max(1);
+                e.div_ceil(t)
+            })
+            .product()
+    }
+
+    /// Element-wise minimum with an extent vector (useful to cap tiles at the
+    /// problem size).
+    pub fn min_with(&self, enclosing: &[usize; 7]) -> TileSizes {
+        let mut out = *self;
+        for &idx in &ALL_INDICES {
+            let e = enclosing[idx.canonical_position()];
+            out.set(idx, out.get(idx).min(e).max(1));
+        }
+        out
+    }
+}
+
+impl Default for TileSizes {
+    fn default() -> Self {
+        TileSizes::ones()
+    }
+}
+
+impl std::fmt::Display for TileSizes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[n{} k{} c{} r{} s{} h{} w{}]",
+            self.sizes[0],
+            self.sizes[1],
+            self.sizes[2],
+            self.sizes[3],
+            self.sizes[4],
+            self.sizes[5],
+            self.sizes[6]
+        )
+    }
+}
+
+/// A complete multi-level tiling configuration for one conv2d operator:
+/// one permutation and one [`TileSizes`] vector per tiling level, plus the
+/// degree of parallelism assigned to each non-reduction dimension at the L2
+/// level (Sec. 7).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileConfig {
+    /// The tile-loop permutation (shared across levels, as in the paper's
+    /// per-class formulation; each level may use any member of the class).
+    pub permutation: Permutation,
+    /// Tile sizes per level, indexed by [`TilingLevel::ordinal`]:
+    /// `[register, l1, l2, l3]`.
+    pub tiles: [TileSizes; NUM_TILING_LEVELS],
+    /// Parallelization factors per loop index (how many threads split this
+    /// dimension at the L2-tile level). Product must equal the thread count.
+    pub parallel: TileSizes,
+}
+
+impl TileConfig {
+    /// A configuration with all tile sizes equal to the full problem extents
+    /// and no parallelism (single thread).
+    pub fn untiled(shape: &ConvShape) -> Self {
+        TileConfig {
+            permutation: Permutation::canonical(),
+            tiles: [TileSizes::full(shape); NUM_TILING_LEVELS],
+            parallel: TileSizes::ones(),
+        }
+    }
+
+    /// Construct from explicit parts.
+    pub fn new(
+        permutation: Permutation,
+        tiles: [TileSizes; NUM_TILING_LEVELS],
+        parallel: TileSizes,
+    ) -> Self {
+        TileConfig { permutation, tiles, parallel }
+    }
+
+    /// Tile sizes for a level.
+    pub fn level(&self, level: TilingLevel) -> &TileSizes {
+        &self.tiles[level.ordinal()]
+    }
+
+    /// Mutable tile sizes for a level.
+    pub fn level_mut(&mut self, level: TilingLevel) -> &mut TileSizes {
+        &mut self.tiles[level.ordinal()]
+    }
+
+    /// Total number of threads implied by the parallelization factors.
+    pub fn total_parallelism(&self) -> usize {
+        ALL_INDICES.iter().map(|&i| self.parallel.get(i)).product()
+    }
+
+    /// Validate nesting: `register ⊆ l1 ⊆ l2 ⊆ l3 ⊆ shape`, all non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`SpecError::InvalidTileSize`].
+    pub fn validate(&self, shape: &ConvShape) -> Result<(), SpecError> {
+        let ext = shape.extents();
+        self.tiles[TilingLevel::L3.ordinal()].validate(&ext)?;
+        for lvl in [TilingLevel::L2, TilingLevel::L1, TilingLevel::Register] {
+            let outer = self.tiles[lvl.ordinal() + 1].as_array();
+            self.tiles[lvl.ordinal()].validate(&outer)?;
+        }
+        Ok(())
+    }
+
+    /// Return a copy with every level clamped so the nesting invariant holds
+    /// (each level is element-wise ≤ the next outer level, which is ≤ the
+    /// problem extents).
+    pub fn normalized(&self, shape: &ConvShape) -> TileConfig {
+        let mut out = self.clone();
+        let ext = shape.extents();
+        out.tiles[TilingLevel::L3.ordinal()] =
+            out.tiles[TilingLevel::L3.ordinal()].min_with(&ext);
+        for lvl in [TilingLevel::L2, TilingLevel::L1, TilingLevel::Register] {
+            let outer = out.tiles[lvl.ordinal() + 1].as_array();
+            out.tiles[lvl.ordinal()] = out.tiles[lvl.ordinal()].min_with(&outer);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ConvShape {
+        ConvShape::new(1, 16, 8, 3, 3, 14, 14, 1).unwrap()
+    }
+
+    #[test]
+    fn tile_levels_order_and_outer() {
+        assert_eq!(TilingLevel::Register.ordinal(), 0);
+        assert_eq!(TilingLevel::L3.ordinal(), 3);
+        assert_eq!(TilingLevel::Register.outer(), Some(TilingLevel::L1));
+        assert_eq!(TilingLevel::L3.outer(), None);
+        assert_eq!(TilingLevel::ALL.len(), NUM_TILING_LEVELS);
+    }
+
+    #[test]
+    fn footprint_matches_eq4() {
+        let t = TileSizes::from_array([2, 4, 3, 3, 3, 5, 6]);
+        // In: Tn*Tc*(Th+Tr-1)*(Tw+Ts-1) = 2*3*7*8 = 336
+        assert_eq!(t.input_footprint(1), 2 * 3 * (5 + 3 - 1) * (6 + 3 - 1));
+        // Ker: Tk*Tc*Tr*Ts = 4*3*3*3 = 108
+        assert_eq!(t.kernel_footprint(), 4 * 3 * 3 * 3);
+        // Out: Tn*Tk*Th*Tw = 2*4*5*6 = 240
+        assert_eq!(t.output_footprint(), 2 * 4 * 5 * 6);
+        assert_eq!(t.footprint(1), 336 + 108 + 240);
+    }
+
+    #[test]
+    fn footprint_with_stride_two() {
+        let t = TileSizes::from_array([1, 1, 1, 3, 3, 4, 4]);
+        // input rows = (4-1)*2 + 3 = 9
+        assert_eq!(t.input_footprint(2), 9 * 9);
+    }
+
+    #[test]
+    fn validate_rejects_oversized_and_zero() {
+        let s = shape();
+        let ext = s.extents();
+        assert!(TileSizes::from_array([1, 1, 1, 1, 1, 1, 1]).validate(&ext).is_ok());
+        assert!(TileSizes::full(&s).validate(&ext).is_ok());
+        assert!(TileSizes::from_array([2, 1, 1, 1, 1, 1, 1]).validate(&ext).is_err());
+        assert!(TileSizes::from_array([1, 0, 1, 1, 1, 1, 1]).validate(&ext).is_err());
+    }
+
+    #[test]
+    fn tile_count_uses_ceiling_division() {
+        let s = shape();
+        let t = TileSizes::from_array([1, 5, 8, 3, 3, 4, 14]);
+        // k: ceil(16/5)=4, h: ceil(14/4)=4, others 1
+        assert_eq!(t.tile_count(&s.extents()), 4 * 4);
+    }
+
+    #[test]
+    fn config_validate_checks_nesting() {
+        let s = shape();
+        let mut cfg = TileConfig::untiled(&s);
+        assert!(cfg.validate(&s).is_ok());
+        // Make register tile larger than L1 tile: invalid.
+        cfg.tiles[TilingLevel::L1.ordinal()] = TileSizes::ones();
+        assert!(cfg.validate(&s).is_err());
+        // Normalizing repairs the nesting.
+        let fixed = cfg.normalized(&s);
+        assert!(fixed.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn total_parallelism_is_product() {
+        let s = shape();
+        let mut cfg = TileConfig::untiled(&s);
+        cfg.parallel = TileSizes::ones().with(LoopIndex::K, 4).with(LoopIndex::H, 2);
+        assert_eq!(cfg.total_parallelism(), 8);
+    }
+
+    #[test]
+    fn clamped_and_min_with() {
+        let ext = [4, 4, 4, 4, 4, 4, 4];
+        let t = TileSizes::from_array([0, 9, 2, 4, 5, 1, 7]).clamped(&ext);
+        assert_eq!(t.as_array(), [1, 4, 2, 4, 4, 1, 4]);
+    }
+}

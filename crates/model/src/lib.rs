@@ -1,0 +1,42 @@
+//! Analytical data-movement modeling for multi-level tiled CNNs.
+//!
+//! This crate implements the paper's central contribution:
+//!
+//! * [`cost`] — parametric (in the tile sizes) expressions for the volume of
+//!   data moved between two adjacent levels of the memory hierarchy during a
+//!   single-level tiled execution of the conv2d loop nest, for **any**
+//!   permutation of the seven tile loops (Sec. 3), together with the
+//!   cache-capacity constraint (Eq. 4),
+//! * [`prune`] — the algebraic pruning argument of Sec. 4 that reduces the
+//!   7! = 5040 tile-loop permutations to eight equivalence classes guaranteed
+//!   to contain a global optimum,
+//! * [`multilevel`] — assembly of per-level cost expressions for multi-level
+//!   tiling (Sec. 5), including the parallel adaptation of Sec. 7 and the
+//!   bandwidth-scaled min–max objective.
+//!
+//! The expressions are evaluated on real-valued tile sizes so that they can be
+//! used directly as objectives/constraints of the non-linear solver, and on
+//! integer tile sizes for configuration ranking and validation against the
+//! cache simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use conv_spec::{ConvShape, Permutation};
+//! use mopt_model::cost::{single_level_volume, RealTiles, CostOptions};
+//!
+//! let shape = ConvShape::new(1, 64, 32, 3, 3, 56, 56, 1)?;
+//! let perm = Permutation::parse("kcrsnhw")?; // class 1 representative
+//! let tiles = RealTiles::from_array([1.0, 16.0, 8.0, 3.0, 3.0, 14.0, 28.0]);
+//! let dv = single_level_volume(&shape, &perm, &tiles, &CostOptions::default());
+//! assert!(dv.total() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cost;
+pub mod multilevel;
+pub mod prune;
+
+pub use cost::{single_level_volume, ArrayVolumes, CostOptions, RealTiles};
+pub use multilevel::{MultiLevelModel, ParallelSpec};
+pub use prune::{pruned_classes, PermutationClass};

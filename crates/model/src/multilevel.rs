@@ -1,0 +1,518 @@
+//! Multi-level tile cost assembly (Sec. 5) and the parallel adaptation
+//! (Sec. 7).
+//!
+//! For `L`-level tiling the data volume moved across the boundary that fills
+//! tiling level `l` is obtained from the single-level expressions by
+//! replacing the problem extents `N_j` with the tile sizes of the next outer
+//! level `T_{l+1,j}` and multiplying by the number of level-`l+1` tiles:
+//!
+//! ```text
+//! DV_l = (Π_j N_j / T_{l+1,j}) · DV_single(extents = T_{l+1}, tiles = T_l)
+//! DV_L3 = DV_single(extents = N, tiles = T_L3)
+//! ```
+//!
+//! The optimization objective is the *bandwidth-scaled* bottleneck
+//! `max_l DV_l / BW_l`; the solver handles the min–max by solving one
+//! minimization per candidate bottleneck level with dominance constraints
+//! (implemented in `mopt-core`). This module only evaluates the expressions.
+
+use conv_spec::{
+    ConvShape, LoopIndex, MachineModel, Permutation, TileConfig, TilingLevel, ALL_INDICES,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{
+    single_level_volume_general, total_footprint, CostOptions, RealTiles,
+};
+
+/// Real-valued tile sizes for all four levels (Register, L1, L2, L3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiLevelTiles {
+    /// Indexed by [`TilingLevel::ordinal`].
+    pub levels: [RealTiles; 4],
+}
+
+impl MultiLevelTiles {
+    /// All levels equal to the full problem size (untiled).
+    pub fn full(shape: &ConvShape) -> Self {
+        MultiLevelTiles { levels: [RealTiles::full(shape); 4] }
+    }
+
+    /// Tile sizes of a level.
+    pub fn level(&self, level: TilingLevel) -> &RealTiles {
+        &self.levels[level.ordinal()]
+    }
+
+    /// Mutable tile sizes of a level.
+    pub fn level_mut(&mut self, level: TilingLevel) -> &mut RealTiles {
+        &mut self.levels[level.ordinal()]
+    }
+
+    /// Enforce the nesting invariant `Reg ≤ L1 ≤ L2 ≤ L3 ≤ N` element-wise.
+    pub fn normalized(&self, shape: &ConvShape) -> Self {
+        let mut out = *self;
+        let ext = RealTiles::full(shape).as_array();
+        out.levels[TilingLevel::L3.ordinal()] =
+            out.levels[TilingLevel::L3.ordinal()].clamped(&ext);
+        for lvl in [TilingLevel::L2, TilingLevel::L1, TilingLevel::Register] {
+            let outer = out.levels[lvl.ordinal() + 1].as_array();
+            out.levels[lvl.ordinal()] = out.levels[lvl.ordinal()].clamped(&outer);
+        }
+        out
+    }
+
+    /// Convert an integer tiling configuration to real tiles.
+    pub fn from_config(config: &TileConfig) -> Self {
+        MultiLevelTiles {
+            levels: [
+                RealTiles::from(config.level(TilingLevel::Register)),
+                RealTiles::from(config.level(TilingLevel::L1)),
+                RealTiles::from(config.level(TilingLevel::L2)),
+                RealTiles::from(config.level(TilingLevel::L3)),
+            ],
+        }
+    }
+}
+
+/// How the L3 tile is partitioned among threads (Sec. 7).
+///
+/// Parallelization happens along non-reduction dimensions (`n`, `k`, `h`,
+/// `w`) by sub-tiling the L2 tile loops; the product of the factors equals
+/// the number of threads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelSpec {
+    /// Number of threads (cores) used.
+    pub threads: usize,
+    /// Per-dimension parallelization factors (1 for unparallelized and for
+    /// all reduction dimensions).
+    pub factors: [usize; 7],
+}
+
+impl ParallelSpec {
+    /// Sequential execution.
+    pub fn sequential() -> Self {
+        ParallelSpec { threads: 1, factors: [1; 7] }
+    }
+
+    /// A simple default decomposition of `threads` over the `k` and `h`
+    /// dimensions (the dimensions the paper's generated code parallelizes
+    /// most often), preferring `k`.
+    pub fn default_for(shape: &ConvShape, threads: usize) -> Self {
+        let mut factors = [1usize; 7];
+        let mut remaining = threads.max(1);
+        // Give k as much as divides the extent, then h, then w, then n.
+        for idx in [LoopIndex::K, LoopIndex::H, LoopIndex::W, LoopIndex::N] {
+            if remaining == 1 {
+                break;
+            }
+            let extent = shape.extent(idx);
+            let mut f = 1;
+            for cand in (1..=remaining).rev() {
+                if remaining % cand == 0 && extent >= cand {
+                    f = cand;
+                    break;
+                }
+            }
+            factors[idx.canonical_position()] = f;
+            remaining /= f;
+        }
+        ParallelSpec { threads: threads.max(1), factors }
+    }
+
+    /// Parallelization factor for a dimension.
+    pub fn factor(&self, idx: LoopIndex) -> usize {
+        self.factors[idx.canonical_position()]
+    }
+
+    /// Product of all factors (should equal `threads` for a valid spec).
+    pub fn total(&self) -> usize {
+        self.factors.iter().product()
+    }
+
+    /// Whether only non-reduction dimensions are parallelized and the factor
+    /// product matches the thread count.
+    pub fn is_valid(&self) -> bool {
+        let no_reduction = ALL_INDICES
+            .iter()
+            .all(|&i| !i.is_reduction() || self.factor(i) == 1);
+        no_reduction && self.total() == self.threads
+    }
+}
+
+/// Per-level model-predicted data volumes for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelPrediction {
+    /// Data volume crossing the boundary feeding each level (elements),
+    /// indexed by [`TilingLevel::ordinal`].
+    pub volumes: [f64; 4],
+    /// Bandwidth-scaled cost of each level (cycles).
+    pub scaled_costs: [f64; 4],
+    /// The predicted bottleneck level.
+    pub bottleneck: TilingLevel,
+    /// The bottleneck's bandwidth-scaled cost — the model's figure of merit
+    /// (lower is better).
+    pub bottleneck_cost: f64,
+    /// FLOPs of the operator.
+    pub flops: f64,
+}
+
+impl ModelPrediction {
+    /// Volume at a level.
+    pub fn volume(&self, level: TilingLevel) -> f64 {
+        self.volumes[level.ordinal()]
+    }
+
+    /// Bandwidth-scaled cost at a level.
+    pub fn scaled_cost(&self, level: TilingLevel) -> f64 {
+        self.scaled_costs[level.ordinal()]
+    }
+
+    /// Projected GFLOPS implied by the bottleneck cost (and the compute
+    /// throughput ceiling) on a machine.
+    pub fn projected_gflops(&self, machine: &MachineModel, threads: usize) -> f64 {
+        let fmas_per_cycle = (machine.simd_width * machine.fma_units * threads.max(1)) as f64;
+        let compute_cycles = (self.flops / 2.0) / fmas_per_cycle;
+        let cycles = self.bottleneck_cost.max(compute_cycles);
+        if cycles <= 0.0 {
+            return 0.0;
+        }
+        self.flops / (cycles / (machine.clock_ghz * 1e9)) / 1e9
+    }
+}
+
+/// The multi-level analytical model for one operator on one machine.
+#[derive(Debug, Clone)]
+pub struct MultiLevelModel {
+    /// The conv2d problem.
+    pub shape: ConvShape,
+    /// The machine (capacities and bandwidths).
+    pub machine: MachineModel,
+    /// The tile-loop permutation (one of the pruned representatives during
+    /// optimization; arbitrary during validation).
+    pub permutation: Permutation,
+    /// Cost options (spatial-locality line size).
+    pub options: CostOptions,
+    /// Parallel execution specification.
+    pub parallel: ParallelSpec,
+}
+
+impl MultiLevelModel {
+    /// A sequential model with default options.
+    pub fn new(shape: ConvShape, machine: MachineModel, permutation: Permutation) -> Self {
+        MultiLevelModel {
+            shape,
+            machine,
+            permutation,
+            options: CostOptions::default(),
+            parallel: ParallelSpec::sequential(),
+        }
+    }
+
+    /// Builder-style: set the parallel specification.
+    pub fn with_parallel(mut self, parallel: ParallelSpec) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Builder-style: set cost options.
+    pub fn with_options(mut self, options: CostOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Number of outer tiles enclosing tiles of `level` (the multiplier
+    /// `Π_j N_j / T_{l+1,j}`, continuous form).
+    fn outer_tile_count(&self, tiles: &MultiLevelTiles, level: TilingLevel) -> f64 {
+        match level.outer() {
+            None => 1.0,
+            Some(outer) => {
+                let t_outer = tiles.level(outer);
+                ALL_INDICES
+                    .iter()
+                    .map(|&idx| {
+                        (self.shape.extent(idx) as f64 / t_outer.get(idx).max(1e-12)).max(1.0)
+                    })
+                    .product()
+            }
+        }
+    }
+
+    /// Effective enclosing extents for tiles of `level`.
+    ///
+    /// For the L2 level under parallel execution each thread works on a
+    /// `1/P_j` slice of the L3 tile along the parallelized dimensions, so the
+    /// enclosing extent shrinks accordingly (Sec. 7's `T_α3 / P T_α3`).
+    fn enclosing_extents(&self, tiles: &MultiLevelTiles, level: TilingLevel) -> RealTiles {
+        match level.outer() {
+            None => RealTiles::full(&self.shape),
+            Some(outer) => {
+                let mut e = *tiles.level(outer);
+                if level == TilingLevel::L2 && self.parallel.threads > 1 {
+                    for &idx in &ALL_INDICES {
+                        let p = self.parallel.factor(idx) as f64;
+                        if p > 1.0 {
+                            e.set(idx, (e.get(idx) / p).max(1.0));
+                        }
+                    }
+                }
+                e
+            }
+        }
+    }
+
+    /// Model-predicted data volume (elements, whole chip) crossing the
+    /// boundary that fills tiles of `level`.
+    pub fn level_volume(&self, tiles: &MultiLevelTiles, level: TilingLevel) -> f64 {
+        let tiles = tiles.normalized(&self.shape);
+        let extents = self.enclosing_extents(&tiles, level);
+        let inner = tiles.level(level);
+        let per_outer = single_level_volume_general(
+            &self.shape,
+            &self.permutation,
+            inner,
+            &extents,
+            &self.options,
+        )
+        .total();
+        let mut count = self.outer_tile_count(&tiles, level);
+        // Under parallel execution the sub-tiles of an L3 tile are processed
+        // by `threads` cores; the chip-total L3→L2 volume is the sum of the
+        // per-core volumes.
+        if level == TilingLevel::L2 && self.parallel.threads > 1 {
+            count *= self.parallel.threads as f64;
+        }
+        count * per_outer
+    }
+
+    /// Tile footprint at a level (elements) — the left-hand side of that
+    /// level's capacity constraint.
+    pub fn footprint(&self, tiles: &MultiLevelTiles, level: TilingLevel) -> f64 {
+        total_footprint(&self.shape, tiles.level(level))
+    }
+
+    /// Capacity constraint `footprint − capacity ≤ 0` for a level.
+    ///
+    /// The shared L3 capacity is charged with the footprints of all threads'
+    /// sub-tiles (approximated by the single L3 tile footprint, since threads
+    /// partition it).
+    pub fn capacity_slack(&self, tiles: &MultiLevelTiles, level: TilingLevel) -> f64 {
+        self.footprint(tiles, level) - self.machine.capacity(level) as f64
+    }
+
+    /// Bandwidth-scaled cost `DV_l / BW_l` (cycles) of a level, accounting for
+    /// per-core bandwidth at private levels.
+    pub fn scaled_cost(&self, tiles: &MultiLevelTiles, level: TilingLevel) -> f64 {
+        let volume = self.level_volume(tiles, level);
+        let bw = self.machine.fill_bandwidth(level);
+        let threads = self.parallel.threads.max(1) as f64;
+        match level {
+            TilingLevel::L3 => volume / bw,
+            _ => volume / (bw * threads),
+        }
+    }
+
+    /// Evaluate the full prediction (volumes, scaled costs, bottleneck) for a
+    /// continuous tile assignment.
+    pub fn predict_tiles(&self, tiles: &MultiLevelTiles) -> ModelPrediction {
+        let mut volumes = [0.0; 4];
+        let mut scaled = [0.0; 4];
+        for &level in &TilingLevel::ALL {
+            volumes[level.ordinal()] = self.level_volume(tiles, level);
+            scaled[level.ordinal()] = self.scaled_cost(tiles, level);
+        }
+        let (bottleneck, bottleneck_cost) = TilingLevel::ALL
+            .iter()
+            .map(|&l| (l, scaled[l.ordinal()]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("four levels");
+        ModelPrediction {
+            volumes,
+            scaled_costs: scaled,
+            bottleneck,
+            bottleneck_cost,
+            flops: self.shape.flops() as f64,
+        }
+    }
+
+    /// Evaluate the prediction for an integer tiling configuration. The
+    /// configuration's own permutation is used (overriding the model's) so
+    /// that arbitrary sampled configurations can be ranked.
+    pub fn predict_config(&self, config: &TileConfig) -> ModelPrediction {
+        let mut model = self.clone();
+        model.permutation = config.permutation.clone();
+        model.predict_tiles(&MultiLevelTiles::from_config(config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_spec::TileSizes;
+
+    fn shape() -> ConvShape {
+        ConvShape::new(1, 32, 16, 3, 3, 28, 28, 1).unwrap()
+    }
+
+    fn machine() -> MachineModel {
+        MachineModel::tiny_test_machine()
+    }
+
+    fn model() -> MultiLevelModel {
+        MultiLevelModel::new(shape(), machine(), Permutation::parse("kcrsnhw").unwrap())
+    }
+
+    fn nested_tiles() -> MultiLevelTiles {
+        MultiLevelTiles {
+            levels: [
+                RealTiles::from_array([1.0, 4.0, 1.0, 1.0, 1.0, 1.0, 4.0]),
+                RealTiles::from_array([1.0, 8.0, 4.0, 3.0, 3.0, 4.0, 7.0]),
+                RealTiles::from_array([1.0, 16.0, 8.0, 3.0, 3.0, 7.0, 14.0]),
+                RealTiles::from_array([1.0, 32.0, 16.0, 3.0, 3.0, 14.0, 28.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn outermost_level_reduces_to_single_level_expression() {
+        let m = model();
+        let tiles = nested_tiles();
+        let expected = crate::cost::single_level_volume(
+            &m.shape,
+            &m.permutation,
+            tiles.level(TilingLevel::L3),
+            &m.options,
+        )
+        .total();
+        let got = m.level_volume(&tiles, TilingLevel::L3);
+        assert!((got - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn volumes_grow_toward_the_core() {
+        let m = model();
+        let tiles = nested_tiles();
+        let p = m.predict_tiles(&tiles);
+        assert!(p.volume(TilingLevel::Register) >= p.volume(TilingLevel::L1));
+        assert!(p.volume(TilingLevel::L1) >= p.volume(TilingLevel::L2));
+        assert!(p.volume(TilingLevel::L2) >= p.volume(TilingLevel::L3));
+    }
+
+    #[test]
+    fn untiled_everything_moves_minimum_data_at_memory() {
+        let m = model();
+        let tiles = MultiLevelTiles::full(&m.shape);
+        let v = m.level_volume(&tiles, TilingLevel::L3);
+        let s = m.shape;
+        let min = (s.input_elems() + s.kernel_elems() + 2 * s.output_elems()) as f64;
+        assert!((v - min).abs() / min < 1e-12);
+    }
+
+    #[test]
+    fn capacity_slack_signs() {
+        let m = model();
+        let tiles = nested_tiles();
+        // Register tile (4x4 out + ...) small: should fit the 32-element file? footprint:
+        // In 1*1*1*4 + Ker 4*1*1*1 + Out 1*4*1*4 = 4 + 4 + 16 = 24 <= 32.
+        assert!(m.capacity_slack(&tiles, TilingLevel::Register) <= 0.0);
+        // The L3 tile is the whole problem; it exceeds the tiny 16K L3? Its
+        // footprint is ~ 14K + 4.6K + 25K > 16384, so slack is positive.
+        assert!(m.capacity_slack(&tiles, TilingLevel::L3) > 0.0);
+    }
+
+    #[test]
+    fn bottleneck_is_argmax_of_scaled_costs() {
+        let m = model();
+        let tiles = nested_tiles();
+        let p = m.predict_tiles(&tiles);
+        let max = p
+            .scaled_costs
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(p.bottleneck_cost, max);
+        assert_eq!(p.scaled_cost(p.bottleneck), max);
+        assert!(p.projected_gflops(&m.machine, 1) > 0.0);
+    }
+
+    #[test]
+    fn parallel_execution_reduces_bottleneck_cost() {
+        let seq = model();
+        let par = model().with_parallel(ParallelSpec::default_for(&shape(), 2));
+        assert!(par.parallel.is_valid());
+        let tiles = nested_tiles();
+        let c_seq = seq.predict_tiles(&tiles).bottleneck_cost;
+        let c_par = par.predict_tiles(&tiles).bottleneck_cost;
+        assert!(c_par <= c_seq, "parallel {c_par} vs sequential {c_seq}");
+    }
+
+    #[test]
+    fn parallel_spec_validation() {
+        let s = shape();
+        let good = ParallelSpec::default_for(&s, 8);
+        assert!(good.is_valid());
+        assert_eq!(good.total(), 8);
+        let mut bad = ParallelSpec::sequential();
+        bad.threads = 4;
+        assert!(!bad.is_valid());
+        let mut reduction = ParallelSpec::default_for(&s, 2);
+        reduction.factors[LoopIndex::C.canonical_position()] = 2;
+        assert!(!reduction.is_valid());
+    }
+
+    #[test]
+    fn predict_config_uses_configs_permutation() {
+        let m = model();
+        let s = shape();
+        let mut cfg = TileConfig::untiled(&s);
+        cfg.permutation = Permutation::parse("nkhwcrs").unwrap();
+        cfg.tiles[TilingLevel::Register.ordinal()] = TileSizes::from_array([1, 8, 4, 1, 1, 4, 4]);
+        cfg.tiles[TilingLevel::L1.ordinal()] = TileSizes::from_array([1, 16, 8, 3, 3, 7, 7]);
+        cfg.tiles[TilingLevel::L2.ordinal()] = TileSizes::from_array([1, 32, 16, 3, 3, 14, 14]);
+        let p = m.predict_config(&cfg);
+        // Same volumes as a model constructed directly with that permutation.
+        let m2 = MultiLevelModel::new(s, machine(), cfg.permutation.clone());
+        let p2 = m2.predict_tiles(&MultiLevelTiles::from_config(&cfg));
+        assert_eq!(p.volumes, p2.volumes);
+    }
+
+    #[test]
+    fn model_rankings_correlate_with_tile_simulator() {
+        // The model's figure of merit should broadly agree with the
+        // tile-granularity traffic simulator on which of two configurations
+        // moves less data at the outermost level.
+        let s = ConvShape::new(1, 16, 16, 3, 3, 12, 12, 1).unwrap();
+        let m = MultiLevelModel::new(s, machine(), Permutation::parse("kcrsnhw").unwrap());
+        let good = TileConfig::new(
+            Permutation::parse("kcrsnhw").unwrap(),
+            [
+                TileSizes::from_array([1, 4, 1, 1, 1, 1, 4]),
+                TileSizes::from_array([1, 8, 4, 3, 3, 4, 6]),
+                TileSizes::from_array([1, 16, 8, 3, 3, 6, 12]),
+                TileSizes::from_array([1, 16, 16, 3, 3, 12, 12]),
+            ],
+            TileSizes::ones(),
+        )
+        .normalized(&s);
+        let bad = TileConfig::new(
+            Permutation::parse("kcrsnhw").unwrap(),
+            [
+                TileSizes::from_array([1, 1, 1, 1, 1, 1, 1]),
+                TileSizes::from_array([1, 2, 1, 1, 1, 2, 2]),
+                TileSizes::from_array([1, 2, 2, 1, 1, 2, 2]),
+                TileSizes::from_array([1, 4, 2, 1, 1, 4, 4]),
+            ],
+            TileSizes::ones(),
+        )
+        .normalized(&s);
+        let sim = cache_sim::TileTrafficSimulator::default();
+        let model_good = m.predict_config(&good);
+        let model_bad = m.predict_config(&bad);
+        let sim_good = sim.simulate(&s, &good);
+        let sim_bad = sim.simulate(&s, &bad);
+        assert!(model_good.volume(TilingLevel::L3) < model_bad.volume(TilingLevel::L3));
+        assert!(
+            sim_good.volume(TilingLevel::L3) < sim_bad.volume(TilingLevel::L3),
+            "simulator disagrees with model on an obvious pair"
+        );
+    }
+}

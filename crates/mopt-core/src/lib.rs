@@ -1,0 +1,37 @@
+//! MOpt: model-driven design-space exploration and multi-level tile-size
+//! optimization for CNNs — the paper's primary contribution, assembled from
+//! the analytical model (`mopt-model`), the non-linear solver
+//! (`mopt-solver`), the memory-hierarchy simulator (`cache-sim`) and the
+//! tiled executor (`conv-exec`).
+//!
+//! * [`optimizer`] — Algorithm 1: for each of the eight pruned permutation
+//!   classes, find multi-level tile sizes by repeatedly solving one
+//!   constrained non-linear problem per candidate bottleneck level, fixing
+//!   the most constrained level first; floor to integers; load-balance; rank
+//!   the candidates. `MOpt-1` is the best-ranked configuration, `MOpt-5` the
+//!   best five (Sec. 10).
+//! * [`validation`] — the model-validation methodology of Sec. 9: rank
+//!   correlation between model predictions and measured performance / data
+//!   movement, and top-k loss-of-performance against the best of a sampled
+//!   configuration set (Figures 5 and 6).
+//!
+//! # Example
+//!
+//! ```
+//! use conv_spec::{ConvShape, MachineModel};
+//! use mopt_core::optimizer::{MOptOptimizer, OptimizerOptions};
+//!
+//! let shape = ConvShape::new(1, 32, 16, 3, 3, 14, 14, 1)?;
+//! let machine = MachineModel::i7_9700k();
+//! let optimizer = MOptOptimizer::new(shape, machine, OptimizerOptions::fast());
+//! let result = optimizer.optimize();
+//! let best = result.best();
+//! assert!(best.config.validate(&shape).is_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod optimizer;
+pub mod validation;
+
+pub use optimizer::{MOptOptimizer, OptimizeResult, OptimizedConfig, OptimizerOptions};
+pub use validation::{spearman_correlation, top_k_loss, ValidationPoint, ValidationReport};

@@ -1,0 +1,548 @@
+//! Algorithm 1: permutation and multi-level tile-size selection.
+//!
+//! For each pruned permutation class the optimizer solves the multi-level
+//! tile-size problem with the most-constrained-level-first strategy of the
+//! paper: in every round, each not-yet-fixed level is hypothesized to be the
+//! bottleneck, a constrained non-linear problem minimizing that level's
+//! bandwidth-scaled data volume (subject to every level's capacity
+//! constraint, the tile-nesting constraints, and the "this level dominates
+//! the others" constraints) is solved, and the level whose hypothesis yields
+//! the smallest cost is fixed at the tile sizes the solver chose. After all
+//! levels are fixed, the continuous solution is floored to integers, refined,
+//! and load-balanced across threads.
+
+use conv_spec::{
+    ConvShape, LoopIndex, MachineModel, Permutation, TileConfig, TileSizes, TilingLevel,
+    ALL_INDICES, NUM_TILING_LEVELS,
+};
+use mopt_model::cost::{CostOptions, RealTiles};
+use mopt_model::multilevel::{ModelPrediction, MultiLevelModel, MultiLevelTiles, ParallelSpec};
+use mopt_model::prune::pruned_classes;
+use mopt_solver::{floor_refine, IntegerRefineOptions, MultiStart, NlpSolver, Problem};
+use serde::{Deserialize, Serialize};
+
+/// Options controlling the optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerOptions {
+    /// Number of threads the generated configuration targets.
+    pub threads: usize,
+    /// Number of random restarts per non-linear solve.
+    pub multistart: usize,
+    /// Cache-line size for the spatial-locality cost extension (1 = off).
+    pub line_elems: usize,
+    /// Number of top configurations to keep (the paper uses 5 for MOpt-5).
+    pub keep_top: usize,
+    /// Restrict the search to this many pruned classes (8 = all). Lower
+    /// values trade optimality for optimization speed; useful in tests.
+    pub max_classes: usize,
+    /// Use the full-effort multi-start solver (barrier + penalty, many
+    /// iterations). The default low-effort profile (penalty method with few
+    /// iterations per start) is 10–50x faster and loses little on the
+    /// posynomial-like tile problems.
+    pub thorough: bool,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            threads: 1,
+            multistart: 2,
+            line_elems: 1,
+            keep_top: 5,
+            max_classes: 8,
+            thorough: false,
+        }
+    }
+}
+
+impl OptimizerOptions {
+    /// A fast configuration for unit tests and examples (fewer restarts).
+    pub fn fast() -> Self {
+        OptimizerOptions { multistart: 0, ..Self::default() }
+    }
+
+    /// Options targeting parallel execution with the machine's thread count.
+    pub fn parallel(machine: &MachineModel) -> Self {
+        OptimizerOptions { threads: machine.threads, ..Self::default() }
+    }
+}
+
+/// One optimized candidate configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizedConfig {
+    /// The integer tiling configuration (ready for the executor).
+    pub config: TileConfig,
+    /// The pruned class the configuration came from (1..=8).
+    pub class_id: usize,
+    /// The model's bandwidth-scaled bottleneck cost (cycles; lower is better).
+    pub predicted_cost: f64,
+    /// The model's full per-level prediction.
+    pub prediction: ModelPrediction,
+}
+
+/// The result of a full design-space exploration for one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizeResult {
+    /// Candidates sorted by predicted cost (best first); at most
+    /// [`OptimizerOptions::keep_top`] entries.
+    pub ranked: Vec<OptimizedConfig>,
+    /// Wall-clock seconds spent in the optimizer (the paper reports 9–23 s
+    /// per operator with AMPL/Ipopt; see the `exp_searchcost` experiment).
+    pub optimize_seconds: f64,
+}
+
+impl OptimizeResult {
+    /// The best configuration (MOpt-1).
+    pub fn best(&self) -> &OptimizedConfig {
+        &self.ranked[0]
+    }
+
+    /// The top-`k` configurations (MOpt-5 uses `k = 5`).
+    pub fn top(&self, k: usize) -> &[OptimizedConfig] {
+        &self.ranked[..k.min(self.ranked.len())]
+    }
+}
+
+/// The MOpt optimizer for one operator on one machine.
+#[derive(Debug, Clone)]
+pub struct MOptOptimizer {
+    shape: ConvShape,
+    machine: MachineModel,
+    options: OptimizerOptions,
+}
+
+impl MOptOptimizer {
+    /// Create an optimizer.
+    pub fn new(shape: ConvShape, machine: MachineModel, options: OptimizerOptions) -> Self {
+        MOptOptimizer { shape, machine, options }
+    }
+
+    /// The parallel specification used by generated configurations.
+    pub fn parallel_spec(&self) -> ParallelSpec {
+        ParallelSpec::default_for(&self.shape, self.options.threads)
+    }
+
+    /// Run the full design-space exploration (Algorithm 1) and return the
+    /// ranked configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_top` is zero.
+    pub fn optimize(&self) -> OptimizeResult {
+        assert!(self.options.keep_top > 0, "keep_top must be at least 1");
+        let start = std::time::Instant::now();
+        let parallel = self.parallel_spec();
+        let mut candidates: Vec<OptimizedConfig> = Vec::new();
+        for class in pruned_classes().into_iter().take(self.options.max_classes.max(1)) {
+            let model = MultiLevelModel::new(
+                self.shape,
+                self.machine.clone(),
+                class.representative.clone(),
+            )
+            .with_options(CostOptions { line_elems: self.options.line_elems })
+            .with_parallel(parallel);
+            let tiles = self.solve_class(&model);
+            let config = self.to_integer_config(&model, &tiles, &class.representative);
+            let prediction = model.predict_config(&config);
+            candidates.push(OptimizedConfig {
+                config,
+                class_id: class.id,
+                predicted_cost: prediction.bottleneck_cost,
+                prediction,
+            });
+        }
+        candidates.sort_by(|a, b| {
+            a.predicted_cost
+                .partial_cmp(&b.predicted_cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        candidates.truncate(self.options.keep_top);
+        OptimizeResult { ranked: candidates, optimize_seconds: start.elapsed().as_secs_f64() }
+    }
+
+    /// Multi-level tile-size selection for one permutation class
+    /// (the `while NotVisitedLvls ≠ ∅` loop of Algorithm 1).
+    fn solve_class(&self, model: &MultiLevelModel) -> MultiLevelTiles {
+        let mut fixed: [Option<RealTiles>; NUM_TILING_LEVELS] = [None; NUM_TILING_LEVELS];
+        let mut not_visited: Vec<TilingLevel> = TilingLevel::ALL.to_vec();
+        while !not_visited.is_empty() {
+            let mut best: Option<(TilingLevel, f64, MultiLevelTiles)> = None;
+            for &obj_level in &not_visited {
+                let (cost, tiles) = self.arg_min_solve(model, obj_level, &fixed, &not_visited);
+                let better = match &best {
+                    None => true,
+                    Some((_, c, _)) => cost < *c,
+                };
+                if better {
+                    best = Some((obj_level, cost, tiles));
+                }
+            }
+            let (min_level, _cost, tiles) =
+                best.expect("at least one unvisited level was evaluated");
+            fixed[min_level.ordinal()] = Some(*tiles.level(min_level));
+            not_visited.retain(|&l| l != min_level);
+        }
+        MultiLevelTiles {
+            levels: [
+                fixed[0].expect("register level fixed"),
+                fixed[1].expect("L1 level fixed"),
+                fixed[2].expect("L2 level fixed"),
+                fixed[3].expect("L3 level fixed"),
+            ],
+        }
+    }
+
+    /// One `ArgMinSolve` call: minimize the bandwidth-scaled cost of
+    /// `obj_level` over the tile sizes of all not-yet-fixed levels.
+    fn arg_min_solve(
+        &self,
+        model: &MultiLevelModel,
+        obj_level: TilingLevel,
+        fixed: &[Option<RealTiles>; NUM_TILING_LEVELS],
+        not_visited: &[TilingLevel],
+    ) -> (f64, MultiLevelTiles) {
+        let free_levels: Vec<TilingLevel> = not_visited.to_vec();
+        let dim = free_levels.len() * 7;
+        let shape = self.shape;
+        let extents = shape.extents();
+
+        // Variable layout: for each free level (in `free_levels` order), the
+        // seven tile sizes in canonical index order.
+        let assemble = {
+            let free_levels = free_levels.clone();
+            let fixed = *fixed;
+            move |x: &[f64]| -> MultiLevelTiles {
+                let mut tiles = MultiLevelTiles::full(&shape);
+                for (li, level) in free_levels.iter().enumerate() {
+                    let mut t = RealTiles::ones();
+                    for (j, &idx) in ALL_INDICES.iter().enumerate() {
+                        t.set(idx, x[li * 7 + j]);
+                    }
+                    *tiles.level_mut(*level) = t;
+                }
+                for (ord, f) in fixed.iter().enumerate() {
+                    if let Some(t) = f {
+                        tiles.levels[ord] = *t;
+                    }
+                }
+                tiles.normalized(&shape)
+            }
+        };
+
+        let lower = vec![1.0; dim];
+        let mut upper = Vec::with_capacity(dim);
+        for _ in &free_levels {
+            for &idx in &ALL_INDICES {
+                upper.push(extents[idx.canonical_position()] as f64);
+            }
+        }
+
+        let model_obj = model.clone();
+        let assemble_obj = assemble.clone();
+        let mut problem = Problem::new(dim)
+            .with_bounds(lower, upper)
+            .with_objective(move |x| {
+                let tiles = assemble_obj(x);
+                model_obj.scaled_cost(&tiles, obj_level)
+            });
+
+        // Capacity constraints for every level that is still free (fixed
+        // levels already satisfy theirs by construction).
+        for &level in &free_levels {
+            let model_c = model.clone();
+            let assemble_c = assemble.clone();
+            problem = problem.with_constraint(move |x| {
+                let tiles = assemble_c(x);
+                model_c.capacity_slack(&tiles, level)
+            });
+        }
+        // Dominance constraints: the hypothesized bottleneck level must cost
+        // at least as much as every other level (Sec. 5's min–max
+        // decomposition). Scaled by the objective magnitude implicitly via
+        // the solver's normalization.
+        for &other in TilingLevel::ALL.iter() {
+            if other == obj_level {
+                continue;
+            }
+            let model_d = model.clone();
+            let assemble_d = assemble.clone();
+            problem = problem.with_constraint(move |x| {
+                let tiles = assemble_d(x);
+                model_d.scaled_cost(&tiles, other) - model_d.scaled_cost(&tiles, obj_level)
+            });
+        }
+
+        // Starting point: proportional slices of each extent, smaller for
+        // inner levels.
+        let mut x0 = Vec::with_capacity(dim);
+        for &level in &free_levels {
+            let frac = match level {
+                TilingLevel::Register => 0.05,
+                TilingLevel::L1 => 0.15,
+                TilingLevel::L2 => 0.4,
+                TilingLevel::L3 => 0.8,
+            };
+            for &idx in &ALL_INDICES {
+                let e = extents[idx.canonical_position()] as f64;
+                x0.push((e * frac).max(1.0));
+            }
+        }
+
+        let solver = if self.options.thorough {
+            MultiStart::with_starts(self.options.multistart)
+        } else {
+            MultiStart::cheap(self.options.multistart)
+        };
+        let result = solver.solve(&problem, &x0);
+        let tiles = assemble(&result.x);
+        let cost = model.scaled_cost(&tiles, obj_level);
+        (cost, tiles)
+    }
+
+    /// Floor the continuous solution to integer tile sizes (per level, with a
+    /// greedy feasibility-preserving refinement) and apply the load balancer.
+    fn to_integer_config(
+        &self,
+        model: &MultiLevelModel,
+        tiles: &MultiLevelTiles,
+        permutation: &Permutation,
+    ) -> TileConfig {
+        let mut int_levels = [TileSizes::ones(); NUM_TILING_LEVELS];
+        // Integerize outermost-first so inner levels can respect the outer
+        // integers when clamped by `normalized`.
+        for level in [TilingLevel::L3, TilingLevel::L2, TilingLevel::L1, TilingLevel::Register] {
+            let capacity = self.machine.capacity(level) as f64;
+            let shape = self.shape;
+            let dim = 7;
+            let level_tiles = *tiles.level(level);
+            let model_level = model.clone();
+            let current = *tiles;
+            let problem = Problem::new(dim)
+                .with_bounds(
+                    vec![1.0; dim],
+                    ALL_INDICES.iter().map(|&i| shape.extent(i) as f64).collect(),
+                )
+                .with_objective(move |x| {
+                    let mut t = current;
+                    let mut rt = RealTiles::ones();
+                    for (j, &idx) in ALL_INDICES.iter().enumerate() {
+                        rt.set(idx, x[j]);
+                    }
+                    *t.level_mut(level) = rt;
+                    model_level.scaled_cost(&t.normalized(&shape), level)
+                })
+                .with_constraint(move |x| {
+                    let mut rt = RealTiles::ones();
+                    for (j, &idx) in ALL_INDICES.iter().enumerate() {
+                        rt.set(idx, x[j]);
+                    }
+                    mopt_model::cost::total_footprint(&shape, &rt) - capacity
+                });
+            let x: Vec<f64> = ALL_INDICES.iter().map(|&i| level_tiles.get(i)).collect();
+            let (xi, _) = floor_refine(&problem, &x, &IntegerRefineOptions::default());
+            let mut t = TileSizes::ones();
+            for (j, &idx) in ALL_INDICES.iter().enumerate() {
+                t.set(idx, xi[j].round().max(1.0) as usize);
+            }
+            int_levels[level.ordinal()] = t;
+        }
+
+        let parallel = self.load_balance();
+        TileConfig::new(permutation.clone(), int_levels, parallel).normalized(&self.shape)
+    }
+
+    /// Load balancing (Algorithm 1, line 24): choose parallelization factors
+    /// over non-reduction dimensions whose product is the thread count and
+    /// that divide the corresponding extents as evenly as possible.
+    fn load_balance(&self) -> TileSizes {
+        let spec = ParallelSpec::default_for(&self.shape, self.options.threads);
+        let mut t = TileSizes::ones();
+        for &idx in &ALL_INDICES {
+            t.set(idx, spec.factor(idx));
+        }
+        t
+    }
+
+    /// Convenience: build the multi-level model for an arbitrary permutation
+    /// with this optimizer's options (used by validation and experiments).
+    pub fn model_for(&self, permutation: Permutation) -> MultiLevelModel {
+        MultiLevelModel::new(self.shape, self.machine.clone(), permutation)
+            .with_options(CostOptions { line_elems: self.options.line_elems })
+            .with_parallel(self.parallel_spec())
+    }
+
+    /// The operator shape.
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// The machine model.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// The options.
+    pub fn options(&self) -> &OptimizerOptions {
+        &self.options
+    }
+}
+
+/// A quick untuned reference configuration (used by experiments as a sanity
+/// baseline): registers get a SIMD-width output-channel block, each cache
+/// level gets the largest power-of-two blocks that fit half its capacity.
+pub fn heuristic_config(shape: &ConvShape, machine: &MachineModel) -> TileConfig {
+    let mut levels = [TileSizes::ones(); NUM_TILING_LEVELS];
+    levels[TilingLevel::Register.ordinal()] = TileSizes::ones()
+        .with(LoopIndex::K, machine.simd_width.min(shape.k).max(1))
+        .with(LoopIndex::W, 4.min(shape.w).max(1));
+    for level in [TilingLevel::L1, TilingLevel::L2, TilingLevel::L3] {
+        let cap = machine.capacity(level) / 2;
+        let mut t = TileSizes::full(shape);
+        let mut guard = 0;
+        while t.footprint(shape.stride) > cap && guard < 64 {
+            guard += 1;
+            let mut largest = LoopIndex::K;
+            let mut val = 0;
+            for idx in [LoopIndex::K, LoopIndex::C, LoopIndex::H, LoopIndex::W] {
+                if t.get(idx) > val {
+                    val = t.get(idx);
+                    largest = idx;
+                }
+            }
+            if val <= 1 {
+                break;
+            }
+            t.set(largest, (val / 2).max(1));
+        }
+        levels[level.ordinal()] = t;
+    }
+    TileConfig::new(
+        Permutation::parse("kcrsnhw").expect("heuristic permutation"),
+        levels,
+        TileSizes::ones(),
+    )
+    .normalized(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_shape() -> ConvShape {
+        ConvShape::new(1, 32, 16, 3, 3, 14, 14, 1).unwrap()
+    }
+
+    fn optimizer(shape: ConvShape) -> MOptOptimizer {
+        let mut opts = OptimizerOptions::fast();
+        opts.max_classes = 3;
+        MOptOptimizer::new(shape, MachineModel::i7_9700k(), opts)
+    }
+
+    #[test]
+    fn optimize_produces_valid_ranked_configs() {
+        let shape = small_shape();
+        let result = optimizer(shape).optimize();
+        assert!(!result.ranked.is_empty());
+        assert!(result.ranked.len() <= 5);
+        for c in &result.ranked {
+            assert!(c.config.validate(&shape).is_ok());
+            assert!(c.predicted_cost.is_finite() && c.predicted_cost > 0.0);
+            assert!((1..=8).contains(&c.class_id));
+        }
+        // Ranked by predicted cost.
+        for pair in result.ranked.windows(2) {
+            assert!(pair[0].predicted_cost <= pair[1].predicted_cost);
+        }
+        assert!(result.optimize_seconds >= 0.0);
+    }
+
+    #[test]
+    fn optimized_tiles_fit_cache_capacities() {
+        let shape = small_shape();
+        let opt = optimizer(shape);
+        let result = opt.optimize();
+        let best = result.best();
+        let machine = opt.machine();
+        for level in [TilingLevel::L1, TilingLevel::L2, TilingLevel::L3] {
+            let fp = best.config.level(level).footprint(shape.stride);
+            assert!(
+                fp <= machine.capacity(level),
+                "level {level} footprint {fp} exceeds capacity {}",
+                machine.capacity(level)
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_config_beats_degenerate_all_ones_tiling() {
+        // A capacity-feasible but terrible configuration: every tile is a
+        // single iteration point, so no reuse is captured anywhere. The
+        // optimizer's pick must be predicted far better than this.
+        let shape = small_shape();
+        let opt = optimizer(shape);
+        let result = opt.optimize();
+        let mut degenerate = TileConfig::untiled(&shape);
+        for level in TilingLevel::ALL {
+            *degenerate.level_mut(level) = TileSizes::ones();
+        }
+        let degenerate = degenerate.normalized(&shape);
+        let model = opt.model_for(degenerate.permutation.clone());
+        let bad = model.predict_config(&degenerate);
+        assert!(
+            result.best().predicted_cost < bad.bottleneck_cost,
+            "optimized {} should beat degenerate {}",
+            result.best().predicted_cost,
+            bad.bottleneck_cost
+        );
+    }
+
+    #[test]
+    fn optimizer_beats_simple_heuristic_in_model_cost() {
+        let shape = ConvShape::new(1, 64, 32, 3, 3, 28, 28, 1).unwrap();
+        let opt = optimizer(shape);
+        let result = opt.optimize();
+        let heuristic = heuristic_config(&shape, opt.machine());
+        let model = opt.model_for(heuristic.permutation.clone());
+        let heuristic_cost = model.predict_config(&heuristic).bottleneck_cost;
+        assert!(
+            result.best().predicted_cost <= heuristic_cost * 1.05,
+            "MOpt {} should not lose to the power-of-two heuristic {}",
+            result.best().predicted_cost,
+            heuristic_cost
+        );
+    }
+
+    #[test]
+    fn parallel_options_produce_valid_parallel_spec() {
+        let shape = small_shape();
+        let machine = MachineModel::i7_9700k();
+        let opt = MOptOptimizer::new(
+            shape,
+            machine.clone(),
+            OptimizerOptions { threads: machine.threads, max_classes: 1, multistart: 1, ..OptimizerOptions::fast() },
+        );
+        assert!(opt.parallel_spec().is_valid());
+        let result = opt.optimize();
+        assert_eq!(result.best().config.total_parallelism(), machine.threads);
+    }
+
+    #[test]
+    fn heuristic_config_is_valid_and_fits() {
+        let shape = ConvShape::new(1, 128, 64, 3, 3, 28, 28, 1).unwrap();
+        let machine = MachineModel::i7_9700k();
+        let cfg = heuristic_config(&shape, &machine);
+        assert!(cfg.validate(&shape).is_ok());
+        for level in [TilingLevel::L1, TilingLevel::L2, TilingLevel::L3] {
+            assert!(cfg.level(level).footprint(shape.stride) <= machine.capacity(level));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_top must be at least 1")]
+    fn zero_keep_top_panics() {
+        let shape = small_shape();
+        let mut opts = OptimizerOptions::fast();
+        opts.keep_top = 0;
+        let _ = MOptOptimizer::new(shape, MachineModel::i7_9700k(), opts).optimize();
+    }
+}

@@ -1,0 +1,320 @@
+//! Model validation utilities (Sec. 9, Figures 5 and 6).
+//!
+//! The paper validates the analytical model by sampling ~100 tile
+//! configurations per operator, ranking them by the model, and comparing the
+//! ranking with measured performance and with hardware counters for data
+//! movement at each level. This module provides:
+//!
+//! * [`ValidationPoint`] / [`ValidationReport`] — per-configuration records
+//!   pairing a model prediction with a measurement,
+//! * [`spearman_correlation`] — rank correlation between two metrics,
+//! * [`top_k_loss`] — the top-1/top-2/top-5 loss-of-performance score of
+//!   Fig. 5,
+//! * [`validate_operator`] — end-to-end: sample configurations, predict with
+//!   the model, measure with the tile-granularity simulator, and assemble a
+//!   report.
+
+use cache_sim::TileTrafficSimulator;
+use conv_spec::{ConvShape, MachineModel, TileConfig, TilingLevel};
+use mopt_model::multilevel::{ModelPrediction, MultiLevelModel, ParallelSpec};
+use serde::{Deserialize, Serialize};
+
+/// One validated configuration: the model's view and the measured view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationPoint {
+    /// The configuration.
+    pub config: TileConfig,
+    /// Model prediction.
+    pub predicted: ModelPrediction,
+    /// Measured (simulated) data volume per level, elements.
+    pub measured_volumes: [f64; 4],
+    /// Measured figure of merit: bandwidth-scaled bottleneck cost computed
+    /// from the measured volumes (lower is better).
+    pub measured_cost: f64,
+    /// Measured performance proxy in GFLOPS (from the measured cost and the
+    /// machine's compute ceiling).
+    pub measured_gflops: f64,
+}
+
+/// A per-operator validation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Operator name (e.g. `"R9"`).
+    pub name: String,
+    /// All validated points.
+    pub points: Vec<ValidationPoint>,
+}
+
+impl ValidationReport {
+    /// Spearman rank correlation between the model's figure of merit and the
+    /// measured cost (positive and high when the model ranks well).
+    pub fn cost_rank_correlation(&self) -> f64 {
+        let predicted: Vec<f64> = self.points.iter().map(|p| p.predicted.bottleneck_cost).collect();
+        let measured: Vec<f64> = self.points.iter().map(|p| p.measured_cost).collect();
+        spearman_correlation(&predicted, &measured)
+    }
+
+    /// Spearman rank correlation between the model's figure of merit and the
+    /// measured data volume at one level (the per-counter rows of Fig. 6).
+    pub fn volume_rank_correlation(&self, level: TilingLevel) -> f64 {
+        let predicted: Vec<f64> = self.points.iter().map(|p| p.predicted.bottleneck_cost).collect();
+        let measured: Vec<f64> =
+            self.points.iter().map(|p| p.measured_volumes[level.ordinal()]).collect();
+        spearman_correlation(&predicted, &measured)
+    }
+
+    /// Top-k loss of performance (Fig. 5): how much slower the best of the
+    /// model's top-k picks is than the measured-best configuration.
+    pub fn top_k_loss(&self, k: usize) -> f64 {
+        let predicted: Vec<f64> = self.points.iter().map(|p| p.predicted.bottleneck_cost).collect();
+        let measured_perf: Vec<f64> = self.points.iter().map(|p| p.measured_gflops).collect();
+        top_k_loss(&predicted, &measured_perf, k)
+    }
+}
+
+/// Spearman rank correlation coefficient between two equally long slices.
+/// Returns 0 for degenerate inputs (fewer than two points or zero variance).
+pub fn spearman_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "inputs must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut r = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // Average ranks over ties.
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            r[idx] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Top-k loss of performance: `1 - best(measured perf of the k best-predicted
+/// configurations) / best(measured perf overall)`. Lower is better; 0 means
+/// the model's pick is the true best.
+pub fn top_k_loss(predicted_cost: &[f64], measured_perf: &[f64], k: usize) -> f64 {
+    assert_eq!(predicted_cost.len(), measured_perf.len(), "inputs must have equal length");
+    assert!(k >= 1, "k must be at least 1");
+    if predicted_cost.is_empty() {
+        return 0.0;
+    }
+    let best_overall = measured_perf.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if best_overall <= 0.0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..predicted_cost.len()).collect();
+    order.sort_by(|&i, &j| {
+        predicted_cost[i]
+            .partial_cmp(&predicted_cost[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let best_of_top_k = order
+        .iter()
+        .take(k)
+        .map(|&i| measured_perf[i])
+        .fold(f64::NEG_INFINITY, f64::max);
+    (1.0 - best_of_top_k / best_overall).max(0.0)
+}
+
+/// Compute the measured bandwidth-scaled bottleneck cost from per-level
+/// volumes (the same figure of merit the model uses, applied to measured
+/// volumes).
+pub fn measured_bottleneck_cost(
+    volumes: &[f64; 4],
+    machine: &MachineModel,
+    threads: usize,
+) -> f64 {
+    TilingLevel::ALL
+        .iter()
+        .map(|&l| {
+            let bw = machine.fill_bandwidth(l);
+            let t = threads.max(1) as f64;
+            match l {
+                TilingLevel::L3 => volumes[l.ordinal()] / bw,
+                _ => volumes[l.ordinal()] / (bw * t),
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Validate one operator: predict and "measure" (via the tile-granularity
+/// traffic simulator) every sampled configuration.
+pub fn validate_operator(
+    name: &str,
+    shape: &ConvShape,
+    machine: &MachineModel,
+    configs: &[TileConfig],
+    threads: usize,
+) -> ValidationReport {
+    // A modest per-level tile budget keeps the "measurement" of a full
+    // 32-operator sweep in the minutes range; the extrapolation error of the
+    // truncated walk is well under the differences being ranked.
+    let sim = TileTrafficSimulator::new(120_000);
+    let parallel = ParallelSpec::default_for(shape, threads);
+    let points = configs
+        .iter()
+        .map(|config| {
+            let model =
+                MultiLevelModel::new(*shape, machine.clone(), config.permutation.clone())
+                    .with_parallel(parallel);
+            let predicted = model.predict_config(config);
+            let dm = sim.simulate(shape, config);
+            let measured_volumes = [
+                dm.volume(TilingLevel::Register),
+                dm.volume(TilingLevel::L1),
+                dm.volume(TilingLevel::L2),
+                dm.volume(TilingLevel::L3),
+            ];
+            let measured_cost = measured_bottleneck_cost(&measured_volumes, machine, threads);
+            let fmas_per_cycle = (machine.simd_width * machine.fma_units * threads.max(1)) as f64;
+            let compute_cycles = (shape.flops() as f64 / 2.0) / fmas_per_cycle;
+            let cycles = measured_cost.max(compute_cycles);
+            let measured_gflops =
+                shape.flops() as f64 / (cycles / (machine.clock_ghz * 1e9)) / 1e9;
+            ValidationPoint {
+                config: config.clone(),
+                predicted,
+                measured_volumes,
+                measured_cost,
+                measured_gflops,
+            }
+        })
+        .collect();
+    ValidationReport { name: name.to_string(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_free_sampling::sample_configs;
+
+    /// Minimal local sampler so this crate does not depend on `autotune`:
+    /// power-of-two tile sizes at each level.
+    mod autotune_free_sampling {
+        use conv_spec::{ConvShape, Permutation, TileConfig, TileSizes, ALL_INDICES};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        pub fn sample_configs(shape: &ConvShape, count: usize, seed: u64) -> Vec<TileConfig> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let perms = ["kcrsnhw", "nkcrshw", "nkhwcrs"];
+            (0..count)
+                .map(|_| {
+                    let perm = Permutation::parse(perms[rng.gen_range(0..perms.len())]).unwrap();
+                    let mut levels = [TileSizes::ones(); 4];
+                    for level_tiles in levels.iter_mut() {
+                        let mut t = TileSizes::ones();
+                        for &idx in &ALL_INDICES {
+                            let e = shape.extent(idx);
+                            let max_pow = (e as f64).log2().floor() as u32;
+                            let p = rng.gen_range(0..=max_pow);
+                            t.set(idx, (1usize << p).min(e));
+                        }
+                        *level_tiles = t.min_with(&shape.extents());
+                    }
+                    TileConfig::new(perm, levels, TileSizes::ones()).normalized(shape)
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![10.0, 20.0, 30.0, 40.0];
+        let c = vec![40.0, 30.0, 20.0, 10.0];
+        assert!((spearman_correlation(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((spearman_correlation(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(spearman_correlation(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman_correlation(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = vec![1.0, 1.0, 2.0, 3.0];
+        let b = vec![5.0, 5.0, 6.0, 7.0];
+        let r = spearman_correlation(&a, &b);
+        assert!(r > 0.99);
+    }
+
+    #[test]
+    fn top_k_loss_basics() {
+        // Predicted cost picks index 1 first; its measured perf is 80 vs best 100.
+        let cost = vec![5.0, 1.0, 3.0];
+        let perf = vec![100.0, 80.0, 90.0];
+        assert!((top_k_loss(&cost, &perf, 1) - 0.2).abs() < 1e-12);
+        // Top-2 adds index 2 (perf 90) → loss 0.1; top-3 includes the best → 0.
+        assert!((top_k_loss(&cost, &perf, 2) - 0.1).abs() < 1e-12);
+        assert_eq!(top_k_loss(&cost, &perf, 3), 0.0);
+        assert_eq!(top_k_loss(&[], &[], 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn top_k_zero_panics() {
+        let _ = top_k_loss(&[1.0], &[1.0], 0);
+    }
+
+    #[test]
+    fn validation_report_on_small_operator() {
+        let shape = ConvShape::new(1, 16, 16, 3, 3, 14, 14, 1).unwrap();
+        let machine = MachineModel::i7_9700k();
+        let configs = sample_configs(&shape, 24, 7);
+        let report = validate_operator("test-op", &shape, &machine, &configs, 1);
+        assert_eq!(report.points.len(), 24);
+        // The model should rank configurations broadly like the simulator.
+        let corr = report.cost_rank_correlation();
+        assert!(corr > 0.5, "rank correlation too weak: {corr}");
+        // Top-5 loss should not exceed top-1 loss.
+        assert!(report.top_k_loss(5) <= report.top_k_loss(1) + 1e-12);
+        // Losses are valid fractions.
+        for k in [1, 2, 5] {
+            let loss = report.top_k_loss(k);
+            assert!((0.0..=1.0).contains(&loss));
+        }
+    }
+
+    #[test]
+    fn measured_bottleneck_cost_uses_max() {
+        let machine = MachineModel::tiny_test_machine();
+        let volumes = [800.0, 400.0, 200.0, 100.0];
+        let c = measured_bottleneck_cost(&volumes, &machine, 1);
+        assert!((c - 800.0 / machine.fill_bandwidth(TilingLevel::Register)).abs() < 1e-9);
+        let c2 = measured_bottleneck_cost(&volumes, &machine, 2);
+        assert!(c2 <= c);
+    }
+}

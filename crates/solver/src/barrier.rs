@@ -1,0 +1,281 @@
+//! Log-barrier interior-point solver with projected-gradient inner iterations.
+//!
+//! This is the primary Ipopt substitute. For each barrier parameter μ it
+//! minimizes
+//!
+//! ```text
+//! φ_μ(x) = f(x) - μ Σ_i log(-g_i(x))
+//! ```
+//!
+//! over the box bounds by projected gradient descent with backtracking line
+//! search, then shrinks μ. If the starting point violates a constraint, a
+//! feasibility phase first minimizes the squared violation.
+
+use crate::gradient::{axpy, norm, numerical_gradient};
+use crate::problem::{NlpSolver, Problem, SolveResult};
+
+/// Log-barrier interior-point solver.
+#[derive(Debug, Clone)]
+pub struct BarrierSolver {
+    /// Initial barrier weight.
+    pub mu0: f64,
+    /// Multiplicative shrink factor applied to μ after each outer iteration.
+    pub mu_shrink: f64,
+    /// Number of outer (barrier) iterations.
+    pub outer_iters: usize,
+    /// Maximum inner projected-gradient iterations per outer iteration.
+    pub inner_iters: usize,
+    /// Gradient-norm tolerance for early inner termination.
+    pub tol: f64,
+    /// Feasibility tolerance used for the final feasibility check.
+    pub feas_tol: f64,
+}
+
+impl Default for BarrierSolver {
+    fn default() -> Self {
+        BarrierSolver {
+            mu0: 1.0,
+            mu_shrink: 0.2,
+            outer_iters: 12,
+            inner_iters: 200,
+            tol: 1e-8,
+            feas_tol: 1e-6,
+        }
+    }
+}
+
+impl BarrierSolver {
+    /// A cheaper configuration for use inside multi-start loops.
+    pub fn fast() -> Self {
+        BarrierSolver { outer_iters: 8, inner_iters: 80, ..Self::default() }
+    }
+
+    /// Move `x` strictly inside the feasible region if possible, by
+    /// minimizing the squared constraint violation with projected gradient.
+    fn restore_feasibility(&self, problem: &Problem, x: &mut Vec<f64>) {
+        problem.project(x);
+        if problem.max_violation(x) <= 0.0 {
+            return;
+        }
+        let viol = |p: &Problem, y: &[f64]| -> f64 {
+            (0..p.num_constraints())
+                .map(|i| p.constraint(i, y).max(0.0).powi(2))
+                .sum::<f64>()
+        };
+        let mut step = 1.0;
+        for _ in 0..self.inner_iters {
+            if problem.max_violation(x) <= 0.0 {
+                break;
+            }
+            let f = |y: &[f64]| viol(problem, y);
+            let g = numerical_gradient(&f, x);
+            let gn = norm(&g);
+            if gn < self.tol {
+                break;
+            }
+            let dir: Vec<f64> = g.iter().map(|v| -v / gn).collect();
+            // Backtracking on the violation measure.
+            let f0 = viol(problem, x);
+            let mut accepted = false;
+            let mut s = step;
+            for _ in 0..30 {
+                let mut cand = axpy(x, s, &dir);
+                problem.project(&mut cand);
+                if viol(problem, &cand) < f0 {
+                    *x = cand;
+                    step = (s * 2.0).min(1e6);
+                    accepted = true;
+                    break;
+                }
+                s *= 0.5;
+            }
+            if !accepted {
+                break;
+            }
+        }
+    }
+
+    fn barrier_value(&self, problem: &Problem, mu: f64, x: &[f64]) -> f64 {
+        let mut phi = problem.objective(x);
+        for i in 0..problem.num_constraints() {
+            let g = problem.constraint(i, x);
+            if g >= 0.0 {
+                return f64::INFINITY;
+            }
+            phi -= mu * (-g).ln();
+        }
+        phi
+    }
+}
+
+impl NlpSolver for BarrierSolver {
+    fn solve(&self, problem: &Problem, x0: &[f64]) -> SolveResult {
+        assert_eq!(x0.len(), problem.dim(), "starting point dimension mismatch");
+        let mut x = x0.to_vec();
+        self.restore_feasibility(problem, &mut x);
+
+        // If still infeasible, interior point cannot start; report the
+        // best-effort point (callers typically fall back to PenaltySolver or
+        // another start via MultiStart).
+        if problem.max_violation(&x) > 0.0 {
+            let violation = problem.max_violation(&x);
+            return SolveResult {
+                objective: problem.objective(&x),
+                feasible: violation <= self.feas_tol,
+                max_violation: violation,
+                iterations: 0,
+                x,
+            };
+        }
+
+        // Back off from active constraints slightly so logs are finite.
+        nudge_strictly_feasible(problem, &mut x);
+
+        let mut mu = self.mu0 * (1.0 + problem.objective(&x).abs());
+        let mut total_iters = 0usize;
+        for _outer in 0..self.outer_iters {
+            let mut step = 1.0;
+            for _inner in 0..self.inner_iters {
+                total_iters += 1;
+                let phi = |y: &[f64]| self.barrier_value(problem, mu, y);
+                let f0 = phi(&x);
+                let g = numerical_gradient(&phi, &x);
+                let gn = norm(&g);
+                if !gn.is_finite() || gn < self.tol * (1.0 + f0.abs()) {
+                    break;
+                }
+                let dir: Vec<f64> = g.iter().map(|v| -v / gn).collect();
+                let mut s = step;
+                let mut accepted = false;
+                for _ in 0..40 {
+                    let mut cand = axpy(&x, s, &dir);
+                    problem.project(&mut cand);
+                    let fc = phi(&cand);
+                    if fc.is_finite() && fc < f0 - 1e-12 * f0.abs() {
+                        x = cand;
+                        step = (s * 2.0).min(1e9);
+                        accepted = true;
+                        break;
+                    }
+                    s *= 0.5;
+                }
+                if !accepted {
+                    break;
+                }
+            }
+            mu *= self.mu_shrink;
+        }
+
+        let violation = problem.max_violation(&x);
+        SolveResult {
+            objective: problem.objective(&x),
+            feasible: violation <= self.feas_tol,
+            max_violation: violation,
+            iterations: total_iters,
+            x,
+        }
+    }
+}
+
+/// Pull a feasible point slightly off active constraints and bounds so that
+/// `-g(x) > 0` and the barrier is finite.
+fn nudge_strictly_feasible(problem: &Problem, x: &mut Vec<f64>) {
+    for _ in 0..50 {
+        let active = (0..problem.num_constraints()).any(|i| problem.constraint(i, x) >= -1e-12);
+        if !active {
+            return;
+        }
+        // Move toward the box center, which for the capacity-style
+        // constraints used here (monotonically increasing in every variable)
+        // reduces the constraint values.
+        let center: Vec<f64> = (0..problem.dim())
+            .map(|j| 0.5 * (problem.lower()[j] + problem.upper()[j]))
+            .collect();
+        for j in 0..problem.dim() {
+            x[j] = x[j] + 0.05 * (center[j].min(x[j]) - x[j]) - 1e-9 * x[j].abs();
+        }
+        problem.project(x);
+        // Shrink toward lower bounds as a last resort.
+        if (0..problem.num_constraints()).any(|i| problem.constraint(i, x) >= 0.0) {
+            for j in 0..problem.dim() {
+                x[j] = problem.lower()[j] + 0.9 * (x[j] - problem.lower()[j]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_quadratic() {
+        let p = Problem::new(2)
+            .with_bounds(vec![-10.0, -10.0], vec![10.0, 10.0])
+            .with_objective(|x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2));
+        let r = BarrierSolver::default().solve(&p, &[5.0, 5.0]);
+        assert!(r.feasible);
+        assert!((r.x[0] - 1.0).abs() < 1e-2, "{:?}", r.x);
+        assert!((r.x[1] + 2.0).abs() < 1e-2, "{:?}", r.x);
+    }
+
+    #[test]
+    fn bound_constrained_minimum_at_box_edge() {
+        let p = Problem::new(1)
+            .with_bounds(vec![2.0], vec![10.0])
+            .with_objective(|x| x[0] * x[0]);
+        let r = BarrierSolver::default().solve(&p, &[7.0]);
+        assert!(r.feasible);
+        assert!((r.x[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inequality_constrained_symmetric_problem() {
+        // minimize x+y s.t. xy >= 4 → x = y = 2.
+        let p = Problem::new(2)
+            .with_bounds(vec![0.1, 0.1], vec![50.0, 50.0])
+            .with_objective(|x| x[0] + x[1])
+            .with_constraint(|x| 4.0 - x[0] * x[1]);
+        let r = BarrierSolver::default().solve(&p, &[10.0, 1.0]);
+        assert!(r.feasible, "violation {}", r.max_violation);
+        assert!((r.objective - 4.0).abs() < 0.05, "objective {}", r.objective);
+    }
+
+    #[test]
+    fn matmul_tile_problem_from_section_2() {
+        // minimize Ni*Nj*Nk*(1/Ti + 1/Tj) + 2*Ni*Nj  s.t. Ti*Tk + Tj*Tk + Ti*Tj <= C,
+        // with Tk fixed small; symmetric in Ti, Tj so the optimum has Ti ≈ Tj.
+        let (ni, nj, nk, cap) = (512.0, 512.0, 512.0, 1024.0);
+        let p = Problem::new(3)
+            .with_bounds(vec![1.0, 1.0, 1.0], vec![ni, nj, nk])
+            .with_objective(move |t| ni * nj * nk * (1.0 / t[0] + 1.0 / t[1]) + 2.0 * ni * nj)
+            .with_constraint(move |t| t[0] * t[2] + t[1] * t[2] + t[0] * t[1] - cap);
+        let r = BarrierSolver::default().solve(&p, &[8.0, 8.0, 8.0]);
+        assert!(r.feasible);
+        // Optimal Ti ≈ Tj and Tk driven to its lower bound.
+        assert!((r.x[0] - r.x[1]).abs() / r.x[0].max(r.x[1]) < 0.15, "{:?}", r.x);
+        assert!(r.x[2] < 3.0, "Tk should shrink toward 1, got {}", r.x[2]);
+        // Capacity should be essentially saturated at the optimum.
+        let used = r.x[0] * r.x[2] + r.x[1] * r.x[2] + r.x[0] * r.x[1];
+        assert!(used > 0.85 * cap, "capacity underused: {used}");
+    }
+
+    #[test]
+    fn infeasible_start_is_recovered() {
+        let p = Problem::new(2)
+            .with_bounds(vec![0.5, 0.5], vec![100.0, 100.0])
+            .with_objective(|x| x[0] + 2.0 * x[1])
+            .with_constraint(|x| x[0] * x[1] - 50.0); // xy <= 50
+        // Start far outside the feasible region.
+        let r = BarrierSolver::default().solve(&p, &[90.0, 90.0]);
+        assert!(r.feasible, "violation {}", r.max_violation);
+        assert!(r.x[0] * r.x[1] <= 50.0 + 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_start_dimension_panics() {
+        let p = Problem::new(2).with_objective(|x| x[0]);
+        let _ = BarrierSolver::default().solve(&p, &[1.0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Conversion of continuous solutions to integer tile sizes.
+//!
+//! Algorithm 1 of the paper floors the real-valued solver output to integers
+//! and then adjusts tile sizes for load balance. This module implements the
+//! flooring step together with a feasibility-preserving local refinement:
+//! starting from the floored point, greedy ±1 (and ×2 / ÷2) moves are applied
+//! while they improve the objective and keep every constraint satisfied.
+
+use crate::problem::Problem;
+
+/// Options controlling [`floor_refine`].
+#[derive(Debug, Clone)]
+pub struct IntegerRefineOptions {
+    /// Maximum number of full improvement sweeps over all coordinates.
+    pub max_sweeps: usize,
+    /// Also try doubling / halving moves (useful because tile-size objectives
+    /// are often flat in ±1 steps but responsive to scale changes).
+    pub scale_moves: bool,
+    /// Feasibility tolerance for accepting a move.
+    pub feas_tol: f64,
+}
+
+impl Default for IntegerRefineOptions {
+    fn default() -> Self {
+        IntegerRefineOptions { max_sweeps: 8, scale_moves: true, feas_tol: 1e-9 }
+    }
+}
+
+/// Floor a continuous solution to integers (respecting the lower bounds) and
+/// greedily refine it without violating constraints.
+///
+/// Returns the integer point and its objective value. If the floored point is
+/// infeasible, coordinates are reduced greedily until feasible (this always
+/// terminates at the all-lower-bound point, which the tile problems keep
+/// feasible by construction).
+pub fn floor_refine(problem: &Problem, x: &[f64], options: &IntegerRefineOptions) -> (Vec<f64>, f64) {
+    let dim = problem.dim();
+    assert_eq!(x.len(), dim, "point dimension mismatch");
+    let mut xi: Vec<f64> = (0..dim)
+        .map(|j| x[j].floor().max(problem.lower()[j].ceil()).min(problem.upper()[j].floor()))
+        .collect();
+
+    // Restore feasibility by shrinking coordinates (capacity-style
+    // constraints are monotone increasing in each variable).
+    let mut guard = 0;
+    while problem.max_violation(&xi) > options.feas_tol && guard < 10_000 {
+        guard += 1;
+        // Shrink the coordinate with the largest value above its lower bound.
+        if let Some((j, _)) = xi
+            .iter()
+            .enumerate()
+            .filter(|(j, v)| **v > problem.lower()[*j].ceil())
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            xi[j] = (xi[j] / 2.0).floor().max(problem.lower()[j].ceil());
+        } else {
+            break;
+        }
+    }
+
+    let mut best_obj = problem.objective(&xi);
+    for _sweep in 0..options.max_sweeps {
+        let mut improved = false;
+        for j in 0..dim {
+            let mut moves = vec![1.0, -1.0];
+            if options.scale_moves {
+                moves.push(xi[j]);        // double
+                moves.push(-(xi[j] / 2.0).floor()); // halve
+            }
+            for delta in moves {
+                if delta == 0.0 {
+                    continue;
+                }
+                let mut cand = xi.clone();
+                cand[j] = (cand[j] + delta)
+                    .max(problem.lower()[j].ceil())
+                    .min(problem.upper()[j].floor());
+                if cand[j] == xi[j] {
+                    continue;
+                }
+                if problem.max_violation(&cand) > options.feas_tol {
+                    continue;
+                }
+                let obj = problem.objective(&cand);
+                if obj < best_obj - 1e-12 * best_obj.abs() {
+                    xi = cand;
+                    best_obj = obj;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (xi, best_obj)
+}
+
+/// Round `value` to the nearest divisor of `extent` (used to avoid ragged
+/// partial tiles when a dimension has many small divisors). Falls back to the
+/// clamped value when `extent` has no nearby divisor.
+pub fn snap_to_divisor(value: usize, extent: usize) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    if extent == 0 {
+        return value;
+    }
+    let value = value.min(extent);
+    let mut best = value;
+    let mut best_dist = usize::MAX;
+    for d in 1..=extent {
+        if extent % d == 0 {
+            let dist = d.abs_diff(value);
+            if dist < best_dist {
+                best_dist = dist;
+                best = d;
+            }
+        }
+        if d > value * 2 && best_dist != usize::MAX {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floors_and_respects_bounds() {
+        let p = Problem::new(2)
+            .with_bounds(vec![1.0, 1.0], vec![16.0, 16.0])
+            .with_objective(|x| -(x[0] * x[1]))
+            .with_constraint(|x| x[0] * x[1] - 64.0);
+        let (xi, obj) = floor_refine(&p, &[7.9, 8.2], &IntegerRefineOptions::default());
+        assert!(xi.iter().all(|v| v.fract() == 0.0));
+        assert!(p.max_violation(&xi) <= 1e-9);
+        assert!(obj <= -(49.0)); // at least as good as the plain floor (7*8)
+    }
+
+    #[test]
+    fn refinement_improves_on_plain_floor() {
+        // Objective rewards larger x under a capacity constraint; flooring
+        // 11.9 → 11 wastes capacity that refinement can claim back.
+        let p = Problem::new(1)
+            .with_bounds(vec![1.0], vec![100.0])
+            .with_objective(|x| 1000.0 / x[0])
+            .with_constraint(|x| x[0] - 12.0);
+        let (xi, _) = floor_refine(&p, &[11.2], &IntegerRefineOptions::default());
+        assert_eq!(xi[0], 12.0);
+    }
+
+    #[test]
+    fn infeasible_floor_is_repaired() {
+        let p = Problem::new(2)
+            .with_bounds(vec![1.0, 1.0], vec![64.0, 64.0])
+            .with_objective(|x| 1.0 / (x[0] * x[1]))
+            .with_constraint(|x| x[0] * x[1] - 16.0);
+        // Start well outside the feasible set.
+        let (xi, _) = floor_refine(&p, &[60.0, 60.0], &IntegerRefineOptions::default());
+        assert!(p.max_violation(&xi) <= 1e-9, "still infeasible: {xi:?}");
+        assert!(xi[0] * xi[1] <= 16.0 + 1e-9);
+    }
+
+    #[test]
+    fn snap_to_divisor_picks_nearest() {
+        assert_eq!(snap_to_divisor(5, 16), 4);
+        assert_eq!(snap_to_divisor(7, 14), 7);
+        assert_eq!(snap_to_divisor(3, 7), 1); // divisors of 7: 1, 7 → 1 closer? |3-1|=2, |3-7|=4
+        assert_eq!(snap_to_divisor(6, 7), 7);
+        assert_eq!(snap_to_divisor(100, 16), 16);
+        assert_eq!(snap_to_divisor(0, 16), 1);
+    }
+
+    #[test]
+    fn zero_extent_is_tolerated() {
+        assert_eq!(snap_to_divisor(5, 0), 5);
+    }
+}

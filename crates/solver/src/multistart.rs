@@ -1,0 +1,201 @@
+//! Random-restart wrapper around the local solvers.
+//!
+//! The multi-level tile-size problems are non-convex (products and ratios of
+//! variables), so a single local solve can land in a poor local minimum.
+//! `MultiStart` runs a base solver from several starting points — the
+//! caller-provided start, the box center, a near-lower-bound point, and
+//! log-uniform random samples — and keeps the best feasible result.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::barrier::BarrierSolver;
+use crate::penalty::PenaltySolver;
+use crate::problem::{NlpSolver, Problem, SolveResult};
+
+/// Which local solver the restarts use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseSolver {
+    /// Log-barrier interior point (default).
+    Barrier,
+    /// Quadratic penalty.
+    Penalty,
+    /// Run both and keep the better result of each start.
+    Both,
+}
+
+/// Random-restart driver.
+#[derive(Debug, Clone)]
+pub struct MultiStart {
+    /// Number of random starting points (in addition to the deterministic
+    /// ones).
+    pub random_starts: usize,
+    /// Which local solver(s) to run.
+    pub base: BaseSolver,
+    /// RNG seed, for reproducible optimization runs.
+    pub seed: u64,
+    /// Sample starting points log-uniformly between the bounds (appropriate
+    /// for tile sizes, which span orders of magnitude).
+    pub log_uniform: bool,
+    /// The barrier-solver configuration used for each start.
+    pub barrier: BarrierSolver,
+    /// The penalty-solver configuration used for each start.
+    pub penalty: PenaltySolver,
+}
+
+impl Default for MultiStart {
+    fn default() -> Self {
+        MultiStart {
+            random_starts: 6,
+            base: BaseSolver::Both,
+            seed: 0x5eed,
+            log_uniform: true,
+            barrier: BarrierSolver::fast(),
+            penalty: PenaltySolver::default(),
+        }
+    }
+}
+
+impl MultiStart {
+    /// A configuration with a given number of random starts.
+    pub fn with_starts(random_starts: usize) -> Self {
+        MultiStart { random_starts, ..Self::default() }
+    }
+
+    /// A low-effort configuration for use inside larger search loops (the
+    /// MOpt optimizer calls the solver dozens of times per operator): penalty
+    /// method only, few iterations, few restarts.
+    pub fn cheap(random_starts: usize) -> Self {
+        MultiStart {
+            random_starts,
+            base: BaseSolver::Penalty,
+            penalty: PenaltySolver {
+                outer_iters: 4,
+                inner_iters: 40,
+                ..PenaltySolver::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    fn starting_points(&self, problem: &Problem, x0: &[f64]) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dim = problem.dim();
+        let mut starts = Vec::with_capacity(self.random_starts + 3);
+        starts.push(x0.to_vec());
+        starts.push(problem.box_center());
+        // A point near the lower bounds (always feasible for capacity-style
+        // constraints that grow with the variables).
+        starts.push(
+            (0..dim)
+                .map(|j| problem.lower()[j] + 1e-3 * (problem.upper()[j] - problem.lower()[j]))
+                .collect(),
+        );
+        for _ in 0..self.random_starts {
+            let p: Vec<f64> = (0..dim)
+                .map(|j| {
+                    let lo = problem.lower()[j];
+                    let hi = problem.upper()[j];
+                    if self.log_uniform && lo > 0.0 && hi > lo {
+                        let t: f64 = rng.gen();
+                        (lo.ln() + t * (hi.ln() - lo.ln())).exp()
+                    } else {
+                        rng.gen_range(lo..=hi)
+                    }
+                })
+                .collect();
+            starts.push(p);
+        }
+        starts
+    }
+}
+
+impl NlpSolver for MultiStart {
+    fn solve(&self, problem: &Problem, x0: &[f64]) -> SolveResult {
+        let barrier = self.barrier.clone();
+        let penalty = self.penalty.clone();
+        let mut best: Option<SolveResult> = None;
+        for start in self.starting_points(problem, x0) {
+            let candidates: Vec<SolveResult> = match self.base {
+                BaseSolver::Barrier => vec![barrier.solve(problem, &start)],
+                BaseSolver::Penalty => vec![penalty.solve(problem, &start)],
+                BaseSolver::Both => {
+                    vec![barrier.solve(problem, &start), penalty.solve(problem, &start)]
+                }
+            };
+            for cand in candidates {
+                best = match best {
+                    None => Some(cand),
+                    Some(b) => {
+                        if cand.better_than(&b) {
+                            Some(cand)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+        }
+        best.expect("at least one starting point is always evaluated")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately multi-modal objective: two basins, the deeper one near
+    /// the upper bound.
+    fn two_basin_problem() -> Problem {
+        Problem::new(1)
+            .with_bounds(vec![0.0], vec![10.0])
+            .with_objective(|x| {
+                let a = (x[0] - 2.0).powi(2);            // local basin at 2 (depth 0 + 1)
+                let b = (x[0] - 8.0).powi(2) - 5.0;      // global basin at 8 (depth -5)
+                (a.min(b)) + 1.0
+            })
+    }
+
+    #[test]
+    fn escapes_local_minimum() {
+        let p = two_basin_problem();
+        // A plain local solve from x=1 stays near 2; multistart should find 8.
+        let r = MultiStart::default().solve(&p, &[1.0]);
+        assert!(r.feasible);
+        assert!((r.x[0] - 8.0).abs() < 0.2, "expected global basin, got {:?}", r.x);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = two_basin_problem();
+        let a = MultiStart::default().solve(&p, &[1.0]);
+        let b = MultiStart::default().solve(&p, &[1.0]);
+        assert_eq!(a.x, b.x);
+        let mut other = MultiStart::default();
+        other.seed = 1234;
+        let c = other.solve(&p, &[1.0]);
+        // Different seed may or may not change the answer, but must stay valid.
+        assert!(c.feasible);
+    }
+
+    #[test]
+    fn respects_constraints_like_local_solvers() {
+        let p = Problem::new(2)
+            .with_bounds(vec![1.0, 1.0], vec![1000.0, 1000.0])
+            .with_objective(|x| 1e6 / x[0] + 1e6 / x[1])
+            .with_constraint(|x| x[0] * x[1] - 4096.0);
+        let r = MultiStart::with_starts(4).solve(&p, &[1.0, 1.0]);
+        assert!(r.feasible);
+        // Optimum is x = y = 64 (symmetric, capacity saturated).
+        assert!((r.x[0] - 64.0).abs() < 8.0 && (r.x[1] - 64.0).abs() < 8.0, "{:?}", r.x);
+    }
+
+    #[test]
+    fn penalty_only_mode_works() {
+        let p = Problem::new(1).with_bounds(vec![0.0], vec![4.0]).with_objective(|x| (x[0] - 3.0).powi(2));
+        let mut ms = MultiStart::default();
+        ms.base = BaseSolver::Penalty;
+        let r = ms.solve(&p, &[0.0]);
+        assert!((r.x[0] - 3.0).abs() < 0.05);
+    }
+}

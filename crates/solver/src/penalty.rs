@@ -1,0 +1,154 @@
+//! Quadratic-penalty solver.
+//!
+//! A robust (if less precise) fallback to the barrier method: minimize
+//! `f(x) + ρ Σ max(0, g_i(x))²` with increasing ρ, using projected gradient
+//! descent over the box bounds. Unlike the barrier method it tolerates
+//! infeasible starting points and constraint sets with an empty strict
+//! interior.
+
+use crate::gradient::{axpy, norm, numerical_gradient};
+use crate::problem::{NlpSolver, Problem, SolveResult};
+
+/// Quadratic-penalty solver.
+#[derive(Debug, Clone)]
+pub struct PenaltySolver {
+    /// Initial penalty weight.
+    pub rho0: f64,
+    /// Multiplicative growth of the penalty weight per outer iteration.
+    pub rho_growth: f64,
+    /// Outer iterations (penalty updates).
+    pub outer_iters: usize,
+    /// Inner projected-gradient iterations.
+    pub inner_iters: usize,
+    /// Gradient tolerance.
+    pub tol: f64,
+    /// Feasibility tolerance for the reported result.
+    pub feas_tol: f64,
+}
+
+impl Default for PenaltySolver {
+    fn default() -> Self {
+        PenaltySolver {
+            rho0: 10.0,
+            rho_growth: 10.0,
+            outer_iters: 8,
+            inner_iters: 150,
+            tol: 1e-9,
+            feas_tol: 1e-4,
+        }
+    }
+}
+
+impl PenaltySolver {
+    fn merit(&self, problem: &Problem, rho: f64, x: &[f64]) -> f64 {
+        let mut m = problem.objective(x);
+        for i in 0..problem.num_constraints() {
+            let g = problem.constraint(i, x).max(0.0);
+            m += rho * g * g;
+        }
+        m
+    }
+}
+
+impl NlpSolver for PenaltySolver {
+    fn solve(&self, problem: &Problem, x0: &[f64]) -> SolveResult {
+        assert_eq!(x0.len(), problem.dim(), "starting point dimension mismatch");
+        let mut x = x0.to_vec();
+        problem.project(&mut x);
+        // Normalize the penalty scale to the objective magnitude so huge
+        // data-volume objectives (1e9+) do not drown the penalty term.
+        let scale = 1.0 + problem.objective(&x).abs();
+        let mut rho = self.rho0 * scale;
+        let mut total_iters = 0;
+        for _outer in 0..self.outer_iters {
+            let mut step = 1.0;
+            for _inner in 0..self.inner_iters {
+                total_iters += 1;
+                let merit = |y: &[f64]| self.merit(problem, rho, y);
+                let f0 = merit(&x);
+                let g = numerical_gradient(&merit, &x);
+                let gn = norm(&g);
+                if !gn.is_finite() || gn < self.tol * (1.0 + f0.abs()) {
+                    break;
+                }
+                let dir: Vec<f64> = g.iter().map(|v| -v / gn).collect();
+                let mut s = step;
+                let mut accepted = false;
+                for _ in 0..40 {
+                    let mut cand = axpy(&x, s, &dir);
+                    problem.project(&mut cand);
+                    if merit(&cand) < f0 - 1e-14 * f0.abs() {
+                        x = cand;
+                        step = (s * 2.0).min(1e9);
+                        accepted = true;
+                        break;
+                    }
+                    s *= 0.5;
+                }
+                if !accepted {
+                    break;
+                }
+            }
+            rho *= self.rho_growth;
+        }
+        let violation = problem.max_violation(&x);
+        SolveResult {
+            objective: problem.objective(&x),
+            feasible: violation <= self.feas_tol,
+            max_violation: violation,
+            iterations: total_iters,
+            x,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constrained_quadratic_projects_onto_constraint() {
+        // minimize (x-3)^2 + (y-4)^2 s.t. x + y <= 5 → optimum (2, 3).
+        let p = Problem::new(2)
+            .with_bounds(vec![0.0, 0.0], vec![10.0, 10.0])
+            .with_objective(|x| (x[0] - 3.0).powi(2) + (x[1] - 4.0).powi(2))
+            .with_constraint(|x| x[0] + x[1] - 5.0);
+        let r = PenaltySolver::default().solve(&p, &[8.0, 8.0]);
+        assert!(r.feasible, "violation {}", r.max_violation);
+        assert!((r.x[0] - 2.0).abs() < 0.1 && (r.x[1] - 3.0).abs() < 0.1, "{:?}", r.x);
+    }
+
+    #[test]
+    fn works_from_infeasible_start() {
+        let p = Problem::new(2)
+            .with_bounds(vec![0.1, 0.1], vec![100.0, 100.0])
+            .with_objective(|x| 1.0 / x[0] + 1.0 / x[1])
+            .with_constraint(|x| x[0] + x[1] - 10.0);
+        let r = PenaltySolver::default().solve(&p, &[90.0, 90.0]);
+        assert!(r.feasible);
+        assert!((r.x[0] - 5.0).abs() < 0.3 && (r.x[1] - 5.0).abs() < 0.3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn unconstrained_matches_barrier() {
+        let p = Problem::new(1)
+            .with_bounds(vec![-5.0], vec![5.0])
+            .with_objective(|x| (x[0] - 1.5).powi(2));
+        let r = PenaltySolver::default().solve(&p, &[-4.0]);
+        assert!((r.x[0] - 1.5).abs() < 1e-2);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn reports_infeasibility_when_constraints_conflict() {
+        // x <= -1 and x >= 1 cannot both hold inside [0, 10].
+        let p = Problem::new(1)
+            .with_bounds(vec![0.0], vec![10.0])
+            .with_objective(|x| x[0])
+            .with_constraint(|x| x[0] + 1.0)      // x <= -1
+            .with_constraint(|x| 1.0 - x[0]);     // x >= 1
+        let r = PenaltySolver::default().solve(&p, &[5.0]);
+        assert!(!r.feasible);
+        assert!(r.max_violation > 0.5);
+    }
+}

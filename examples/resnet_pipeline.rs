@@ -1,0 +1,59 @@
+//! Optimize every conv2d stage of ResNet-18 (Table 1, middle column) and
+//! compare MOpt's projected performance against the oneDNN-like library
+//! heuristic — a scaled-down version of the per-network sweep behind
+//! Figures 7 and 8.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example resnet_pipeline
+//! ```
+
+use mopt_repro::baselines::OneDnnLike;
+use mopt_repro::conv_spec::{benchmarks, MachineModel};
+use mopt_repro::mopt_core::optimizer::{MOptOptimizer, OptimizerOptions};
+use mopt_repro::mopt_model::multilevel::{MultiLevelModel, ParallelSpec};
+
+fn main() {
+    let machine = MachineModel::i7_9700k();
+    let threads = machine.threads;
+    // Scaled-down ResNet-18 stages (structure preserved) so this finishes in
+    // about a minute; pass the original shapes through `benchmarks::resnet18`
+    // for the full-size run.
+    let stages: Vec<_> = benchmarks::scaled_operators(28, 128)
+        .into_iter()
+        .filter(|op| op.suite == mopt_repro::conv_spec::BenchmarkSuite::ResNet18)
+        .collect();
+
+    println!("ResNet-18 conv2d stages on {machine}");
+    println!("{:<6} {:>14} {:>14} {:>10}", "layer", "MOpt-1 GFLOPS", "library GFLOPS", "speedup");
+    let mut speedups = Vec::new();
+    for op in &stages {
+        let shape = op.shape;
+        let parallel = ParallelSpec::default_for(&shape, threads);
+
+        let mut opts = OptimizerOptions::parallel(&machine);
+        opts.max_classes = 4;
+        let result = MOptOptimizer::new(shape, machine.clone(), opts).optimize();
+        let mopt_cfg = &result.best().config;
+
+        let lib = OneDnnLike::new(machine.clone());
+        let lib_cfg = lib.plan(&shape).config;
+
+        let project = |cfg: &mopt_repro::conv_spec::TileConfig| {
+            MultiLevelModel::new(shape, machine.clone(), cfg.permutation.clone())
+                .with_parallel(parallel)
+                .predict_config(cfg)
+                .projected_gflops(&machine, threads)
+        };
+        let mopt_gf = project(mopt_cfg);
+        let lib_gf = project(&lib_cfg);
+        speedups.push(mopt_gf / lib_gf.max(1e-12));
+        println!("{:<6} {:>14.1} {:>14.1} {:>9.2}x", op.name, mopt_gf, lib_gf, mopt_gf / lib_gf.max(1e-12));
+    }
+    let geo = {
+        let s: f64 = speedups.iter().map(|v| v.ln()).sum();
+        (s / speedups.len() as f64).exp()
+    };
+    println!("\ngeomean MOpt-1 speedup over the library heuristic: {geo:.2}x");
+    println!("(paper, full-size ResNet-18 on i7-9700K: 1.37x geomean over oneDNN)");
+}
