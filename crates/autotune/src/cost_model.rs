@@ -78,8 +78,7 @@ impl OnlineCostModel {
         let dim = self.weights.len();
         for j in 0..dim {
             let m: f64 = self.observations.iter().map(|(f, _)| f[j]).sum::<f64>() / n;
-            let v: f64 =
-                self.observations.iter().map(|(f, _)| (f[j] - m).powi(2)).sum::<f64>() / n;
+            let v: f64 = self.observations.iter().map(|(f, _)| (f[j] - m).powi(2)).sum::<f64>() / n;
             self.feature_mean[j] = m;
             self.feature_scale[j] = v.sqrt().max(1e-9);
         }
@@ -113,13 +112,7 @@ impl OnlineCostModel {
     }
 
     fn raw_predict(&self, standardized: &[f64]) -> f64 {
-        self.bias
-            + self
-                .weights
-                .iter()
-                .zip(standardized.iter())
-                .map(|(w, x)| w * x)
-                .sum::<f64>()
+        self.bias + self.weights.iter().zip(standardized.iter()).map(|(w, x)| w * x).sum::<f64>()
     }
 
     /// Predicted cost (same units as the observed costs; lower is better).

@@ -30,22 +30,15 @@ impl SearchSpace {
     /// Build the space for a shape and machine (the machine provides the
     /// thread count used by sampled configurations).
     pub fn new(shape: &ConvShape, machine: &MachineModel) -> Self {
-        let candidates = ALL_INDICES
-            .iter()
-            .map(|&idx| candidate_sizes(shape.extent(idx)))
-            .collect();
+        let candidates =
+            ALL_INDICES.iter().map(|&idx| candidate_sizes(shape.extent(idx))).collect();
         let permutations = vec![
             Permutation::parse("kcrsnhw").expect("template"),
             Permutation::parse("nkcrshw").expect("template"),
             Permutation::parse("nkhwcrs").expect("template"),
             Permutation::parse("nchrswk").expect("template"),
         ];
-        SearchSpace {
-            shape: *shape,
-            candidates,
-            permutations,
-            threads: machine.threads,
-        }
+        SearchSpace { shape: *shape, candidates, permutations, threads: machine.threads }
     }
 
     /// The operator shape the space describes.
@@ -103,8 +96,7 @@ impl SearchSpace {
     pub fn neighbour(&self, config: &TileConfig, rng: &mut StdRng) -> TileConfig {
         let mut next = config.clone();
         if rng.gen_ratio(1, 8) {
-            next.permutation =
-                self.permutations[rng.gen_range(0..self.permutations.len())].clone();
+            next.permutation = self.permutations[rng.gen_range(0..self.permutations.len())].clone();
         } else {
             let level = TilingLevel::ALL[rng.gen_range(0..NUM_TILING_LEVELS)];
             let idx = ALL_INDICES[rng.gen_range(0..7)];
@@ -136,7 +128,7 @@ impl SearchSpace {
 fn candidate_sizes(extent: usize) -> Vec<usize> {
     let mut set = std::collections::BTreeSet::new();
     for d in 1..=extent {
-        if extent % d == 0 {
+        if extent.is_multiple_of(d) {
             set.insert(d);
         }
         if d * d > extent && set.len() > 1 {

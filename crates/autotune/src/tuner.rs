@@ -64,7 +64,12 @@ impl TuneResult {
 /// A search strategy with a measurement budget.
 pub trait Tuner {
     /// Run the search, measuring at most `budget` configurations.
-    fn tune(&mut self, space: &SearchSpace, evaluate: &mut Evaluator<'_>, budget: usize) -> TuneResult;
+    fn tune(
+        &mut self,
+        space: &SearchSpace,
+        evaluate: &mut Evaluator<'_>,
+        budget: usize,
+    ) -> TuneResult;
 }
 
 /// Uniform random search.
@@ -81,7 +86,12 @@ impl RandomTuner {
 }
 
 impl Tuner for RandomTuner {
-    fn tune(&mut self, space: &SearchSpace, evaluate: &mut Evaluator<'_>, budget: usize) -> TuneResult {
+    fn tune(
+        &mut self,
+        space: &SearchSpace,
+        evaluate: &mut Evaluator<'_>,
+        budget: usize,
+    ) -> TuneResult {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let trials = (0..budget.max(1))
             .map(|_| {
@@ -112,7 +122,12 @@ impl AnnealingTuner {
 }
 
 impl Tuner for AnnealingTuner {
-    fn tune(&mut self, space: &SearchSpace, evaluate: &mut Evaluator<'_>, budget: usize) -> TuneResult {
+    fn tune(
+        &mut self,
+        space: &SearchSpace,
+        evaluate: &mut Evaluator<'_>,
+        budget: usize,
+    ) -> TuneResult {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut trials = Vec::with_capacity(budget.max(1));
         let mut current = space.sample(&mut rng);
@@ -160,7 +175,12 @@ impl ModelGuidedTuner {
 }
 
 impl Tuner for ModelGuidedTuner {
-    fn tune(&mut self, space: &SearchSpace, evaluate: &mut Evaluator<'_>, budget: usize) -> TuneResult {
+    fn tune(
+        &mut self,
+        space: &SearchSpace,
+        evaluate: &mut Evaluator<'_>,
+        budget: usize,
+    ) -> TuneResult {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let feature_dim = space.features(&space.sample(&mut rng)).len();
         let mut model = OnlineCostModel::new(feature_dim);
@@ -169,7 +189,8 @@ impl Tuner for ModelGuidedTuner {
             let remaining = budget.max(1) - trials.len();
             let batch = self.batch_size.min(remaining).max(1);
             // Generate a candidate pool and rank it with the model.
-            let pool: Vec<TileConfig> = (0..self.pool_size).map(|_| space.sample(&mut rng)).collect();
+            let pool: Vec<TileConfig> =
+                (0..self.pool_size).map(|_| space.sample(&mut rng)).collect();
             let features: Vec<Vec<f64>> = pool.iter().map(|c| space.features(c)).collect();
             let ranked = model.rank(&features);
             let exploit = ((1.0 - self.epsilon) * batch as f64).round() as usize;

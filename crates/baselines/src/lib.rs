@@ -19,9 +19,11 @@
 //! model-driven search (MOpt) matches or beats a fixed-heuristic library and
 //! a budgeted auto-tuner on most layers.
 
-use conv_spec::{ConvShape, LoopIndex, MachineModel, Permutation, TileConfig, TileSizes, TilingLevel};
 use conv_exec::im2col::{conv2d_im2col, GemmBlocking};
 use conv_exec::{Tensor4, TiledConv};
+use conv_spec::{
+    ConvShape, LoopIndex, MachineModel, Permutation, TileConfig, TileSizes, TilingLevel,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which execution algorithm the library heuristic selects.
@@ -77,9 +79,7 @@ impl OneDnnLike {
         let simd = self.machine.simd_width;
         let kb = simd.min(shape.k).max(1);
         let wb = 6.min(shape.w).max(1);
-        let register = TileSizes::ones()
-            .with(LoopIndex::K, kb)
-            .with(LoopIndex::W, wb);
+        let register = TileSizes::ones().with(LoopIndex::K, kb).with(LoopIndex::W, wb);
 
         let l1_cap = self.machine.capacity(TilingLevel::L1) / 2;
         let cb = pick_block(shape.c, 1, 64);

@@ -1,9 +1,9 @@
 //! Criterion bench: the memory-hierarchy simulators (the hardware-counter
 //! substitute used for model validation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cache_sim::{CacheKind, FullyAssocLru, TileTrafficSimulator, TraceSimulator};
 use conv_spec::{ConvShape, MachineModel, TileConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
 use mopt_core::optimizer::heuristic_config;
 
 fn bench_lru(c: &mut Criterion) {

@@ -3,12 +3,12 @@
 //! baseline (the per-operator GFLOPS that Figures 7/8 are built from, on one
 //! scaled operator).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use baselines::OneDnnLike;
 use conv_exec::im2col::{conv2d_im2col, GemmBlocking};
 use conv_exec::naive::conv2d_naive;
 use conv_exec::{Tensor4, TiledConv};
 use conv_spec::{ConvShape, MachineModel};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mopt_core::optimizer::heuristic_config;
 
 fn shape() -> ConvShape {

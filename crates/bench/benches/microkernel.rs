@@ -1,9 +1,9 @@
 //! Criterion bench: the register-tiled microkernel (Sec. 6), in isolation.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use conv_exec::microkernel::{run_microkernel, KernelRegion};
 use conv_exec::{PackedKernel, Tensor4};
 use conv_spec::ConvShape;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_microkernel(c: &mut Criterion) {
     let shape = ConvShape::new(1, 64, 64, 3, 3, 14, 14, 1).unwrap();

@@ -4,8 +4,8 @@
 //! enough to explore the full design space; these benches measure the cost of
 //! a single-level cost evaluation and of a full multi-level prediction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use conv_spec::{benchmarks, MachineModel, Permutation, TileConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
 use mopt_model::cost::{single_level_volume, CostOptions, RealTiles};
 use mopt_model::multilevel::MultiLevelModel;
 use mopt_model::prune::pruned_classes;

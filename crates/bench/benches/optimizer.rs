@@ -2,8 +2,8 @@
 //! the "9 to 23 seconds per operator" cost the paper quotes in Sec. 12
 //! (reduced here to two permutation classes so the bench stays short).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use conv_spec::{ConvShape, MachineModel};
+use criterion::{criterion_group, criterion_main, Criterion};
 use mopt_core::optimizer::{MOptOptimizer, OptimizerOptions};
 
 fn bench_optimize(c: &mut Criterion) {
@@ -13,7 +13,8 @@ fn bench_optimize(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("mopt_optimize_2classes", |b| {
         b.iter(|| {
-            let opts = OptimizerOptions { max_classes: 2, multistart: 1, ..OptimizerOptions::fast() };
+            let opts =
+                OptimizerOptions { max_classes: 2, multistart: 1, ..OptimizerOptions::fast() };
             MOptOptimizer::new(shape, machine.clone(), opts).optimize().best().predicted_cost
         })
     });

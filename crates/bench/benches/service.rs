@@ -1,0 +1,68 @@
+//! Criterion bench: cold vs. warm whole-network batch planning over the 32
+//! Table-1 operators (Yolo-9000 + ResNet-18 + MobileNet).
+//!
+//! The cold path pays one analytical solve per unique shape; the warm path
+//! is pure schedule-cache lookups. The ratio between the two is the
+//! serving-layer speedup the `mopt-service` subsystem exists for (the
+//! acceptance bar is ≥10x; in release builds the observed gap is several
+//! orders of magnitude).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use conv_spec::MachineModel;
+use mopt_core::OptimizerOptions;
+use mopt_service::{NetworkPlanner, ScheduleCache};
+
+fn fast_options() -> OptimizerOptions {
+    OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() }
+}
+
+fn bench_cold_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("plan_table1_cold", |b| {
+        b.iter(|| {
+            // A fresh cache every iteration keeps each plan fully cold.
+            let cache = ScheduleCache::new(256);
+            let planner = NetworkPlanner::new(&cache, MachineModel::i7_9700k(), fast_options());
+            planner.plan_table1().stats.solves
+        })
+    });
+    group.finish();
+}
+
+fn bench_warm_planning(c: &mut Criterion) {
+    let cache = ScheduleCache::new(256);
+    let planner = NetworkPlanner::new(&cache, MachineModel::i7_9700k(), fast_options());
+    let cold = planner.plan_table1(); // populate
+    assert_eq!(cold.stats.solves, cold.stats.unique_shapes);
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("plan_table1_warm", |b| {
+        b.iter(|| {
+            let plan = planner.plan_table1();
+            assert_eq!(plan.stats.solves, 0);
+            plan.stats.cache_hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_lookup(c: &mut Criterion) {
+    let cache = ScheduleCache::new(256);
+    let machine = MachineModel::i7_9700k();
+    let planner = NetworkPlanner::new(&cache, machine.clone(), fast_options());
+    planner.plan_table1();
+    let key = mopt_service::CacheKey::new(
+        conv_spec::benchmarks::all_operators()[0].shape,
+        &machine,
+        &fast_options(),
+    );
+    c.bench_function("service/cache_hit_lookup", |b| b.iter(|| cache.get(&key).is_some()));
+}
+
+criterion_group!(benches, bench_cold_planning, bench_warm_planning, bench_single_lookup);
+criterion_main!(benches);

@@ -43,7 +43,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        format_table(&["Operator", "best (8 classes)", "best (5040 perms)", "ratio", "perms"], &table)
+        format_table(
+            &["Operator", "best (8 classes)", "best (5040 perms)", "ratio", "perms"],
+            &table
+        )
     );
     println!("(ratio 1.0 = pruning loses nothing, as the paper's algebraic argument guarantees)");
 }

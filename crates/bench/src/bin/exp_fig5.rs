@@ -41,7 +41,11 @@ fn main() {
     );
     let worst_top5 = rows.iter().map(|r| r.top5_loss).fold(0.0, f64::max);
     let worst_top1 = rows.iter().map(|r| r.top1_loss).fold(0.0, f64::max);
-    println!("worst top-1 loss: {:.1}%   worst top-5 loss: {:.1}%", worst_top1 * 100.0, worst_top5 * 100.0);
+    println!(
+        "worst top-1 loss: {:.1}%   worst top-5 loss: {:.1}%",
+        worst_top1 * 100.0,
+        worst_top5 * 100.0
+    );
     println!("(paper: top-1 loss < 4.5% on all 32 operators, < 3% on 30 of 32)");
 }
 

@@ -55,11 +55,16 @@ fn main() {
             &rows
         )
     );
-    println!("(performance correlation is negative: lower predicted cost = higher measured GFLOPS;");
+    println!(
+        "(performance correlation is negative: lower predicted cost = higher measured GFLOPS;"
+    );
     println!(" the paper reports strong correlation for the predicted bottleneck resource)");
 
     for r in &reports {
-        println!("\n-- {}: configurations ordered by predicted performance (best first) --", r.name);
+        println!(
+            "\n-- {}: configurations ordered by predicted performance (best first) --",
+            r.name
+        );
         println!("{:>6}  {:>14}  {:>12}", "rank", "pred. cost", "meas. GFLOPS");
         for (i, (cost, gflops)) in r.ordered_points.iter().enumerate() {
             println!("{:>6}  {:>14.3e}  {:>12.2}", i + 1, cost, gflops);

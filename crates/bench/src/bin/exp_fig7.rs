@@ -26,7 +26,9 @@ pub fn run(machine: MachineModel, title: &str) {
             }
             "--full" => scale = ExperimentScale::Full,
             "--ops" => {
-                ops = argv.get(i + 1).map(|v| v.split(',').map(|s| s.to_string()).collect::<Vec<_>>());
+                ops = argv
+                    .get(i + 1)
+                    .map(|v| v.split(',').map(|s| s.to_string()).collect::<Vec<_>>());
                 i += 1;
             }
             _ => {}

@@ -29,7 +29,9 @@ fn main() {
     }
     let machine = MachineModel::i9_10980xe();
     let rows = fig7_performance_comparison(&machine, scale, trials, ops.as_deref());
-    println!("== Figure 8 — i9-10980XE (16 threads) — performance relative to the AutoTVM-like tuner ==");
+    println!(
+        "== Figure 8 — i9-10980XE (16 threads) — performance relative to the AutoTVM-like tuner =="
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -2,7 +2,9 @@
 
 use autotune::{ModelGuidedTuner, SearchSpace, Tuner};
 use baselines::OneDnnLike;
-use conv_spec::{benchmarks, BenchmarkOp, ConvShape, MachineModel, Permutation, TileConfig, TilingLevel};
+use conv_spec::{
+    benchmarks, BenchmarkOp, ConvShape, MachineModel, Permutation, TileConfig, TilingLevel,
+};
 use mopt_core::optimizer::{MOptOptimizer, OptimizerOptions};
 use mopt_core::validation::{validate_operator, ValidationReport};
 use mopt_model::cost::{single_level_volume, CostOptions};
@@ -256,11 +258,8 @@ pub fn fig7_performance_comparison(
             let optimizer = MOptOptimizer::new(shape, machine.clone(), opts);
             let mopt = optimizer.optimize();
             let mopt1_gflops = score(&mopt.best().config);
-            let mopt5_gflops = mopt
-                .top(5)
-                .iter()
-                .map(|c| score(&c.config))
-                .fold(f64::NEG_INFINITY, f64::max);
+            let mopt5_gflops =
+                mopt.top(5).iter().map(|c| score(&c.config)).fold(f64::NEG_INFINITY, f64::max);
 
             Fig7Row {
                 name: op.name.clone(),
@@ -380,7 +379,11 @@ impl AblationRow {
 /// Empirically verify the pruning theorem: over a grid of sampled tile sizes,
 /// the best volume achievable with the 8 pruned representatives equals the
 /// best over all 5040 permutations.
-pub fn ablation_pruning(scale: ExperimentScale, samples: usize, operators: &[String]) -> Vec<AblationRow> {
+pub fn ablation_pruning(
+    scale: ExperimentScale,
+    samples: usize,
+    operators: &[String],
+) -> Vec<AblationRow> {
     let ops = filter_ops(scale.operators(), Some(operators));
     let opts = CostOptions::default();
     let all_perms = Permutation::enumerate_all();
@@ -392,7 +395,9 @@ pub fn ablation_pruning(scale: ExperimentScale, samples: usize, operators: &[Str
                 .flat_map(|c| {
                     tiles
                         .iter()
-                        .map(|t| single_level_volume(&op.shape, &c.representative, t, &opts).total())
+                        .map(|t| {
+                            single_level_volume(&op.shape, &c.representative, t, &opts).total()
+                        })
                         .collect::<Vec<_>>()
                 })
                 .fold(f64::INFINITY, f64::min);
@@ -420,7 +425,7 @@ pub fn ablation_pruning(scale: ExperimentScale, samples: usize, operators: &[Str
 fn filter_ops(ops: Vec<BenchmarkOp>, names: Option<&[String]>) -> Vec<BenchmarkOp> {
     match names {
         None => ops,
-        Some(list) if list.is_empty() => ops,
+        Some([]) => ops,
         Some(list) => ops
             .into_iter()
             .filter(|op| {
@@ -503,11 +508,8 @@ mod tests {
 
     #[test]
     fn pruning_ablation_shows_no_loss() {
-        let rows = ablation_pruning(
-            ExperimentScale::Scaled { hw: 8, ch: 16 },
-            3,
-            &["R12".to_string()],
-        );
+        let rows =
+            ablation_pruning(ExperimentScale::Scaled { hw: 8, ch: 16 }, 3, &["R12".to_string()]);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].exhaustive_count, 5040);
         assert!(
@@ -520,7 +522,8 @@ mod tests {
 
     #[test]
     fn filter_ops_by_name() {
-        let ops = filter_ops(benchmarks::all_operators(), Some(&vec!["y0".to_string(), "R10".to_string()]));
+        let ops =
+            filter_ops(benchmarks::all_operators(), Some(&["y0".to_string(), "R10".to_string()]));
         assert_eq!(ops.len(), 2);
         let all = filter_ops(benchmarks::all_operators(), None);
         assert_eq!(all.len(), 32);

@@ -21,8 +21,8 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    ExperimentScale, Fig5Row, Fig6Report, Fig7Row, SearchCostRow, fig5_model_loss,
-    fig6_rank_correlation, fig7_performance_comparison, searchcost_comparison,
-    ablation_pruning, AblationRow,
+    ablation_pruning, fig5_model_loss, fig6_rank_correlation, fig7_performance_comparison,
+    searchcost_comparison, AblationRow, ExperimentScale, Fig5Row, Fig6Report, Fig7Row,
+    SearchCostRow,
 };
 pub use report::{format_table, geomean};

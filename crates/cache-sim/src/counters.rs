@@ -41,7 +41,11 @@ impl DataMovement {
     pub fn zero(flops: f64) -> Self {
         DataMovement {
             levels: [
-                LevelTraffic { level: TilingLevel::Register, inbound_elems: 0.0, outbound_elems: 0.0 },
+                LevelTraffic {
+                    level: TilingLevel::Register,
+                    inbound_elems: 0.0,
+                    outbound_elems: 0.0,
+                },
                 LevelTraffic { level: TilingLevel::L1, inbound_elems: 0.0, outbound_elems: 0.0 },
                 LevelTraffic { level: TilingLevel::L2, inbound_elems: 0.0, outbound_elems: 0.0 },
                 LevelTraffic { level: TilingLevel::L3, inbound_elems: 0.0, outbound_elems: 0.0 },
@@ -97,8 +101,7 @@ impl DataMovement {
     pub fn projected_cycles(&self, machine: &MachineModel, threads: usize) -> f64 {
         let (_, mem_cycles) = self.bottleneck(machine, threads);
         let fmas_per_cycle_per_core = (machine.simd_width * machine.fma_units) as f64;
-        let compute_cycles =
-            (self.flops / 2.0) / (fmas_per_cycle_per_core * threads.max(1) as f64);
+        let compute_cycles = (self.flops / 2.0) / (fmas_per_cycle_per_core * threads.max(1) as f64);
         mem_cycles.max(compute_cycles)
     }
 

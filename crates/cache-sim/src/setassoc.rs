@@ -29,7 +29,10 @@ impl SetAssocCache {
     ///
     /// Panics if any argument is zero.
     pub fn new(capacity_elems: usize, line_elems: usize, ways: usize) -> Self {
-        assert!(capacity_elems > 0 && line_elems > 0 && ways > 0, "cache geometry must be positive");
+        assert!(
+            capacity_elems > 0 && line_elems > 0 && ways > 0,
+            "cache geometry must be positive"
+        );
         let lines = (capacity_elems / line_elems).max(ways);
         let num_sets = (lines / ways).max(1);
         SetAssocCache {

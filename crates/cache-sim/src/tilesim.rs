@@ -78,12 +78,8 @@ impl Slice4 {
     /// when at most the paper's partial-overlap patterns occur; in general a
     /// conservative inclusion–exclusion using the box intersection).
     fn new_volume(&self, prev: &Slice4) -> usize {
-        let inter: usize = self
-            .dims
-            .iter()
-            .zip(prev.dims.iter())
-            .map(|(a, b)| a.overlap(*b))
-            .product();
+        let inter: usize =
+            self.dims.iter().zip(prev.dims.iter()).map(|(a, b)| a.overlap(*b)).product();
         self.volume().saturating_sub(inter)
     }
 }
@@ -534,7 +530,10 @@ mod tests {
         let l2 = dm.volume(TilingLevel::L2);
         let l3 = dm.volume(TilingLevel::L3);
         assert!(reg >= l1 && l1 >= l2 && l2 >= l3, "reg={reg} l1={l1} l2={l2} l3={l3}");
-        assert!(l3 >= (shape.input_elems() + shape.kernel_elems() + 2 * shape.output_elems()) as f64 - 1.0);
+        assert!(
+            l3 >= (shape.input_elems() + shape.kernel_elems() + 2 * shape.output_elems()) as f64
+                - 1.0
+        );
     }
 
     #[test]
@@ -551,8 +550,10 @@ mod tests {
             TileSizes::ones(),
         )
         .normalized(&shape);
-        let exact = TileTrafficSimulator::new(u64::MAX).level_traffic(&shape, &cfg, TilingLevel::Register);
-        let sampled = TileTrafficSimulator::new(500).level_traffic(&shape, &cfg, TilingLevel::Register);
+        let exact =
+            TileTrafficSimulator::new(u64::MAX).level_traffic(&shape, &cfg, TilingLevel::Register);
+        let sampled =
+            TileTrafficSimulator::new(500).level_traffic(&shape, &cfg, TilingLevel::Register);
         assert!(sampled.sampled());
         assert!(!exact.sampled());
         let rel = (sampled.total_volume() - exact.total_volume()).abs() / exact.total_volume();

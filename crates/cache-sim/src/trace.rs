@@ -151,7 +151,13 @@ mod tests {
         ConvShape::new(1, 8, 4, 3, 3, 8, 8, 1).unwrap()
     }
 
-    fn config(shape: &ConvShape, reg: [usize; 7], l1: [usize; 7], l2: [usize; 7], perm: &str) -> TileConfig {
+    fn config(
+        shape: &ConvShape,
+        reg: [usize; 7],
+        l1: [usize; 7],
+        l2: [usize; 7],
+        perm: &str,
+    ) -> TileConfig {
         TileConfig::new(
             Permutation::parse(perm).unwrap(),
             [
@@ -198,8 +204,20 @@ mod tests {
     fn smaller_register_tiles_increase_register_traffic() {
         let s = shape();
         let m = MachineModel::tiny_test_machine();
-        let big = config(&s, [1, 8, 4, 3, 3, 8, 8], [1, 8, 4, 3, 3, 8, 8], [1, 8, 4, 3, 3, 8, 8], "nkcrshw");
-        let small = config(&s, [1, 2, 1, 1, 1, 2, 2], [1, 8, 4, 3, 3, 8, 8], [1, 8, 4, 3, 3, 8, 8], "nkcrshw");
+        let big = config(
+            &s,
+            [1, 8, 4, 3, 3, 8, 8],
+            [1, 8, 4, 3, 3, 8, 8],
+            [1, 8, 4, 3, 3, 8, 8],
+            "nkcrshw",
+        );
+        let small = config(
+            &s,
+            [1, 2, 1, 1, 1, 2, 2],
+            [1, 8, 4, 3, 3, 8, 8],
+            [1, 8, 4, 3, 3, 8, 8],
+            "nkcrshw",
+        );
         let dm_big = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative).run(&big);
         let dm_small = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative).run(&small);
         assert!(
@@ -235,7 +253,13 @@ mod tests {
         // L3 covers every distinct element and all levels report activity.
         let s = ConvShape::new(1, 8, 8, 3, 3, 8, 8, 1).unwrap();
         let m = MachineModel::tiny_test_machine();
-        let cfg = config(&s, [1, 4, 1, 1, 1, 2, 2], [1, 8, 4, 3, 3, 4, 4], [1, 8, 8, 3, 3, 8, 8], "kcrsnhw");
+        let cfg = config(
+            &s,
+            [1, 4, 1, 1, 1, 2, 2],
+            [1, 8, 4, 3, 3, 4, 4],
+            [1, 8, 8, 3, 3, 8, 8],
+            "kcrsnhw",
+        );
         let real = TraceSimulator::new(&s, &m, CacheKind::SetAssociative).run(&cfg);
         let cold = (s.input_elems() + s.kernel_elems() + s.output_elems()) as f64;
         assert!(real.volume(TilingLevel::L3) >= cold * 0.99);
@@ -252,7 +276,13 @@ mod tests {
         // adjacent-tile reuse only, so it is an upper bound).
         let s = ConvShape::new(1, 8, 8, 3, 3, 10, 10, 1).unwrap();
         let m = MachineModel::tiny_test_machine();
-        let cfg = config(&s, [1, 4, 2, 1, 1, 2, 2], [1, 4, 4, 3, 3, 4, 4], [1, 8, 8, 3, 3, 6, 10], "kcrsnhw");
+        let cfg = config(
+            &s,
+            [1, 4, 2, 1, 1, 2, 2],
+            [1, 4, 4, 3, 3, 4, 4],
+            [1, 8, 8, 3, 3, 6, 10],
+            "kcrsnhw",
+        );
         let dm_trace = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative).run(&cfg);
         let dm_tile = crate::tilesim::TileTrafficSimulator::default().simulate(&s, &cfg);
         let t = dm_trace.volume(TilingLevel::L3);

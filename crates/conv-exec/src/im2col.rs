@@ -177,10 +177,10 @@ mod tests {
         let shape = ConvShape::new(1, 1, 2, 2, 2, 2, 2, 1).unwrap();
         let input = Tensor4::random(1, 2, 3, 3, 5);
         let col = im2col(&shape, &input);
-        assert_eq!(col.len(), (2 * 2 * 2) * (1 * 2 * 2));
+        assert_eq!(col.len(), (2 * 2 * 2) * (2 * 2));
         // Element (c=1, r=1, s=0) for output pixel (h=1, w=1) is input (1, 2, 1).
-        let row = (1 * 2 + 1) * 2;
-        let colidx = 1 * 2 + 1;
+        let row = (2 + 1) * 2;
+        let colidx = 2 + 1;
         assert_eq!(col[row * 4 + colidx], input.at(0, 1, 2, 1));
     }
 

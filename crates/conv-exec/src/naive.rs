@@ -97,7 +97,8 @@ mod tests {
     fn multi_channel_accumulation() {
         // Two input channels, each contributing 1*input; output = sum of channels.
         let shape = ConvShape::new(1, 1, 2, 1, 1, 2, 2, 1).unwrap();
-        let input = Tensor4::from_vec((1, 2, 2, 2), vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]);
+        let input =
+            Tensor4::from_vec((1, 2, 2, 2), vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]);
         let kernel = Tensor4::from_vec((1, 2, 1, 1), vec![1.0, 1.0]);
         let out = conv2d_naive(&shape, &input, &kernel);
         assert_eq!(out.as_slice(), &[11.0, 22.0, 33.0, 44.0]);

@@ -111,8 +111,8 @@ mod tests {
         let group = packed.group(9, 1, 2, 2);
         assert_eq!(group.len(), 8);
         // Lanes 2..8 of the second group correspond to k = 10..16 (padding).
-        for lane in 2..8 {
-            assert_eq!(group[lane], 0.0);
+        for &lane in &group[2..8] {
+            assert_eq!(lane, 0.0);
         }
     }
 

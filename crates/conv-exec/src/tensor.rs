@@ -106,11 +106,7 @@ impl Tensor4 {
     /// Panics if the dimensions differ.
     pub fn max_abs_diff(&self, other: &Tensor4) -> f32 {
         assert_eq!(self.dims, other.dims, "dimension mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 

@@ -34,9 +34,7 @@ impl TiledConv {
     /// still fails validation.
     pub fn new(shape: ConvShape, config: TileConfig, threads: usize) -> Result<Self, ExecError> {
         let config = config.normalized(&shape);
-        config
-            .validate(&shape)
-            .map_err(|e| ExecError::InvalidConfig(e.to_string()))?;
+        config.validate(&shape).map_err(|e| ExecError::InvalidConfig(e.to_string()))?;
         Ok(TiledConv { shape, config, threads: threads.max(1), vec_len: 8 })
     }
 
@@ -110,8 +108,7 @@ impl TiledConv {
                         // Execute into a view-local tensor, then copy back into
                         // the chunk (the region indexes absolute k, so we use a
                         // full-size scratch only for the owned K slice).
-                        let mut scratch =
-                            Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+                        let mut scratch = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
                         this.execute_region(input, packed, &mut scratch, &region);
                         for k in 0..k_len {
                             for h in 0..shape.h {
@@ -140,8 +137,7 @@ impl TiledConv {
                         let shape = self.shape;
                         let this = &*self;
                         scope.spawn(move || {
-                            let mut scratch =
-                                Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+                            let mut scratch = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
                             let region = KernelRegion {
                                 n: (n_lo, n_len),
                                 k: (0, shape.k),
@@ -300,7 +296,14 @@ mod tests {
         (input, kernel, out)
     }
 
-    fn config(shape: &ConvShape, perm: &str, reg: [usize; 7], l1: [usize; 7], l2: [usize; 7], l3: [usize; 7]) -> TileConfig {
+    fn config(
+        shape: &ConvShape,
+        perm: &str,
+        reg: [usize; 7],
+        l1: [usize; 7],
+        l2: [usize; 7],
+        l3: [usize; 7],
+    ) -> TileConfig {
         TileConfig::new(
             Permutation::parse(perm).unwrap(),
             [

@@ -53,7 +53,15 @@ pub struct BenchmarkOp {
 }
 
 impl BenchmarkOp {
-    fn new(name: &str, suite: BenchmarkSuite, k: usize, c: usize, hw: usize, rs: usize, stride: usize) -> Self {
+    fn new(
+        name: &str,
+        suite: BenchmarkSuite,
+        k: usize,
+        c: usize,
+        hw: usize,
+        rs: usize,
+        stride: usize,
+    ) -> Self {
         BenchmarkOp {
             name: name.to_string(),
             suite,
@@ -140,9 +148,7 @@ pub fn all_operators() -> Vec<BenchmarkOp> {
 /// `"M2*"` — the trailing `*` may be omitted).
 pub fn by_name(name: &str) -> Option<BenchmarkOp> {
     let norm = name.trim().trim_end_matches('*').to_ascii_uppercase();
-    all_operators()
-        .into_iter()
-        .find(|op| op.name.trim_end_matches('*').eq_ignore_ascii_case(&norm))
+    all_operators().into_iter().find(|op| op.name.trim_end_matches('*').eq_ignore_ascii_case(&norm))
 }
 
 /// The operators for one suite.
@@ -205,11 +211,8 @@ mod tests {
 
     #[test]
     fn strided_layers_match_paper_markers() {
-        let strided: Vec<String> = all_operators()
-            .into_iter()
-            .filter(|op| op.is_strided())
-            .map(|op| op.name)
-            .collect();
+        let strided: Vec<String> =
+            all_operators().into_iter().filter(|op| op.is_strided()).map(|op| op.name).collect();
         assert_eq!(
             strided,
             vec!["R1*", "R4*", "R5*", "R7*", "R10*", "R11*", "M2*", "M4*", "M6*", "M8*"]

@@ -55,7 +55,11 @@ pub enum TensorLayout {
 impl TensorLayout {
     /// Linear offset of element `(n, c, h, w)` in a tensor with extents
     /// `(cn, cc, ch, cw)`.
-    pub fn offset(self, (n, c, h, w): (usize, usize, usize, usize), dims: (usize, usize, usize, usize)) -> usize {
+    pub fn offset(
+        self,
+        (n, c, h, w): (usize, usize, usize, usize),
+        dims: (usize, usize, usize, usize),
+    ) -> usize {
         let (_dn, dc, dh, dw) = dims;
         match self {
             TensorLayout::Nchw => ((n * dc + c) * dh + h) * dw + w,

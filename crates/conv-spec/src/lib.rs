@@ -70,10 +70,9 @@ pub enum SpecError {
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpecError::InvalidTileSize { index, tile, extent } => write!(
-                f,
-                "invalid tile size {tile} for loop {index:?} (extent {extent})"
-            ),
+            SpecError::InvalidTileSize { index, tile, extent } => {
+                write!(f, "invalid tile size {tile} for loop {index:?} (extent {extent})")
+            }
             SpecError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
             SpecError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
         }

@@ -276,9 +276,7 @@ impl MachineModel {
     /// Register ← L1, L1 ← L2, L2 ← L3, L3 ← DRAM.
     pub fn fill_bandwidth(&self, level: TilingLevel) -> f64 {
         match level {
-            TilingLevel::Register => {
-                self.cache(MemoryLevel::L1).map_or(1.0, |c| c.fill_bandwidth)
-            }
+            TilingLevel::Register => self.cache(MemoryLevel::L1).map_or(1.0, |c| c.fill_bandwidth),
             TilingLevel::L1 => self.cache(MemoryLevel::L2).map_or(1.0, |c| c.fill_bandwidth),
             TilingLevel::L2 => self.cache(MemoryLevel::L3).map_or(1.0, |c| c.fill_bandwidth),
             TilingLevel::L3 => self.dram_bandwidth,
@@ -288,10 +286,7 @@ impl MachineModel {
     /// Peak single-precision GFLOP/s of the whole chip
     /// (`2 × simd_width × fma_units × cores × clock`).
     pub fn peak_gflops(&self) -> f64 {
-        2.0 * self.simd_width as f64
-            * self.fma_units as f64
-            * self.cores as f64
-            * self.clock_ghz
+        2.0 * self.simd_width as f64 * self.fma_units as f64 * self.cores as f64 * self.clock_ghz
     }
 
     /// Peak single-precision GFLOP/s of one core.
@@ -305,6 +300,53 @@ impl MachineModel {
     /// with latency rounded up).
     pub fn required_fma_parallelism(&self) -> usize {
         self.fma_latency * self.fma_units * self.simd_width
+    }
+
+    /// A stable 64-bit fingerprint of every model parameter that influences
+    /// optimization results.
+    ///
+    /// Two machines with the same fingerprint produce identical optimizer
+    /// outputs, so cached schedules can be keyed on it. The hash is a fixed
+    /// FNV-1a (not `std::hash`, whose SipHash keys are randomized per
+    /// process), so fingerprints are stable across processes and platforms —
+    /// a requirement for persisted schedule caches.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        for v in [
+            self.cores as u64,
+            self.threads as u64,
+            self.simd_width as u64,
+            self.fma_units as u64,
+            self.fma_latency as u64,
+            self.clock_ghz.to_bits(),
+            self.register_elems as u64,
+            self.dram_bandwidth.to_bits(),
+            self.caches.len() as u64,
+        ] {
+            eat(&v.to_le_bytes());
+        }
+        for c in &self.caches {
+            for v in [
+                c.level as u64,
+                c.capacity_elems as u64,
+                c.shared as u64,
+                c.fill_bandwidth.to_bits(),
+                c.line_elems as u64,
+                c.associativity as u64,
+            ] {
+                eat(&v.to_le_bytes());
+            }
+        }
+        h
     }
 }
 
@@ -348,7 +390,11 @@ mod tests {
 
     #[test]
     fn bandwidths_decrease_moving_away_from_the_core() {
-        for m in [MachineModel::i7_9700k(), MachineModel::i9_10980xe(), MachineModel::tiny_test_machine()] {
+        for m in [
+            MachineModel::i7_9700k(),
+            MachineModel::i9_10980xe(),
+            MachineModel::tiny_test_machine(),
+        ] {
             assert!(m.fill_bandwidth(TilingLevel::Register) >= m.fill_bandwidth(TilingLevel::L1));
             assert!(m.fill_bandwidth(TilingLevel::L1) >= m.fill_bandwidth(TilingLevel::L2));
             assert!(m.fill_bandwidth(TilingLevel::L2) >= m.fill_bandwidth(TilingLevel::L3));
@@ -357,7 +403,11 @@ mod tests {
 
     #[test]
     fn capacities_increase_moving_away_from_the_core() {
-        for m in [MachineModel::i7_9700k(), MachineModel::i9_10980xe(), MachineModel::tiny_test_machine()] {
+        for m in [
+            MachineModel::i7_9700k(),
+            MachineModel::i9_10980xe(),
+            MachineModel::tiny_test_machine(),
+        ] {
             assert!(m.capacity(TilingLevel::Register) < m.capacity(TilingLevel::L1));
             assert!(m.capacity(TilingLevel::L1) < m.capacity(TilingLevel::L2));
             assert!(m.capacity(TilingLevel::L2) < m.capacity(TilingLevel::L3));
@@ -379,6 +429,34 @@ mod tests {
         // 2 * 8 lanes * 2 FMA * 8 cores * 3.6 GHz = 921.6 GF/s
         assert!((m.peak_gflops() - 921.6).abs() < 1e-6);
         assert!((m.peak_gflops_per_core() - 115.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_machines_and_are_stable() {
+        let i7 = MachineModel::i7_9700k();
+        let i9 = MachineModel::i9_10980xe();
+        let tiny = MachineModel::tiny_test_machine();
+        assert_eq!(i7.fingerprint(), MachineModel::i7_9700k().fingerprint());
+        assert_ne!(i7.fingerprint(), i9.fingerprint());
+        assert_ne!(i7.fingerprint(), tiny.fingerprint());
+        assert_ne!(i9.fingerprint(), tiny.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_parameter_class() {
+        let base = MachineModel::i7_9700k();
+        let mut threads = base.clone();
+        threads.threads = 4;
+        assert_ne!(base.fingerprint(), threads.fingerprint());
+        let mut clock = base.clone();
+        clock.clock_ghz += 0.1;
+        assert_ne!(base.fingerprint(), clock.fingerprint());
+        let mut cache = base.clone();
+        cache.caches[0].capacity_elems *= 2;
+        assert_ne!(base.fingerprint(), cache.fingerprint());
+        let mut bw = base.clone();
+        bw.caches[2].fill_bandwidth += 1.0;
+        assert_ne!(base.fingerprint(), bw.fingerprint());
     }
 
     #[test]

@@ -345,11 +345,8 @@ impl Permutation {
     /// Position of `idx` counted from the innermost loop, 1-based as in the
     /// paper (innermost = 1, outermost = 7).
     pub fn position_from_inner(&self, idx: LoopIndex) -> usize {
-        let pos_from_outer = self
-            .order
-            .iter()
-            .position(|&x| x == idx)
-            .expect("permutation contains all indices");
+        let pos_from_outer =
+            self.order.iter().position(|&x| x == idx).expect("permutation contains all indices");
         7 - pos_from_outer
     }
 
@@ -357,11 +354,7 @@ impl Permutation {
     /// from the innermost loop. E.g. `surrounding_of_position(1)` returns the
     /// six outer loops of the innermost loop.
     pub fn indices_outside_position(&self, pos: usize) -> Vec<LoopIndex> {
-        self.order
-            .iter()
-            .copied()
-            .filter(|&idx| self.position_from_inner(idx) > pos)
-            .collect()
+        self.order.iter().copied().filter(|&idx| self.position_from_inner(idx) > pos).collect()
     }
 
     /// Enumerate all 5040 permutations of the seven loop indices.
@@ -499,8 +492,7 @@ mod tests {
     fn enumerate_all_has_5040_unique_permutations() {
         let all = Permutation::enumerate_all();
         assert_eq!(all.len(), 5040);
-        let unique: std::collections::HashSet<String> =
-            all.iter().map(|p| p.compact()).collect();
+        let unique: std::collections::HashSet<String> = all.iter().map(|p| p.compact()).collect();
         assert_eq!(unique.len(), 5040);
     }
 

@@ -160,12 +160,18 @@ impl TileSizes {
 
     /// Footprint of the kernel-tensor slice accessed by one tile.
     pub fn kernel_footprint(&self) -> usize {
-        self.get(LoopIndex::K) * self.get(LoopIndex::C) * self.get(LoopIndex::R) * self.get(LoopIndex::S)
+        self.get(LoopIndex::K)
+            * self.get(LoopIndex::C)
+            * self.get(LoopIndex::R)
+            * self.get(LoopIndex::S)
     }
 
     /// Footprint of the output-tensor slice accessed by one tile.
     pub fn output_footprint(&self) -> usize {
-        self.get(LoopIndex::N) * self.get(LoopIndex::K) * self.get(LoopIndex::H) * self.get(LoopIndex::W)
+        self.get(LoopIndex::N)
+            * self.get(LoopIndex::K)
+            * self.get(LoopIndex::H)
+            * self.get(LoopIndex::W)
     }
 
     /// Number of tiles (product over indices of `ceil(extent/tile)`) when this
@@ -288,8 +294,7 @@ impl TileConfig {
     pub fn normalized(&self, shape: &ConvShape) -> TileConfig {
         let mut out = self.clone();
         let ext = shape.extents();
-        out.tiles[TilingLevel::L3.ordinal()] =
-            out.tiles[TilingLevel::L3.ordinal()].min_with(&ext);
+        out.tiles[TilingLevel::L3.ordinal()] = out.tiles[TilingLevel::L3.ordinal()].min_with(&ext);
         for lvl in [TilingLevel::L2, TilingLevel::L1, TilingLevel::Register] {
             let outer = out.tiles[lvl.ordinal() + 1].as_array();
             out.tiles[lvl.ordinal()] = out.tiles[lvl.ordinal()].min_with(&outer);

@@ -70,8 +70,8 @@ impl RealTiles {
     /// Clamp each tile into `[1, extent]` for a given enclosing extent vector.
     pub fn clamped(&self, extents: &[f64; 7]) -> RealTiles {
         let mut out = *self;
-        for j in 0..7 {
-            out.sizes[j] = out.sizes[j].clamp(1.0, extents[j].max(1.0));
+        for (size, &extent) in out.sizes.iter_mut().zip(extents) {
+            *size = size.clamp(1.0, extent.max(1.0));
         }
         out
     }
@@ -169,11 +169,17 @@ fn lines(elems: f64, line: usize) -> f64 {
 /// Footprint of a tensor measured in cache lines (spatial-locality extension):
 /// only the fastest-varying dimension is scaled by the line size.
 fn output_footprint_lines(t: &RealTiles, line: usize) -> f64 {
-    t.get(LoopIndex::N) * t.get(LoopIndex::K) * t.get(LoopIndex::H) * lines(t.get(LoopIndex::W), line)
+    t.get(LoopIndex::N)
+        * t.get(LoopIndex::K)
+        * t.get(LoopIndex::H)
+        * lines(t.get(LoopIndex::W), line)
 }
 
 fn kernel_footprint_lines(t: &RealTiles, line: usize) -> f64 {
-    t.get(LoopIndex::K) * t.get(LoopIndex::C) * t.get(LoopIndex::R) * lines(t.get(LoopIndex::S), line)
+    t.get(LoopIndex::K)
+        * t.get(LoopIndex::C)
+        * t.get(LoopIndex::R)
+        * lines(t.get(LoopIndex::S), line)
 }
 
 fn input_footprint_lines(shape: &ConvShape, t: &RealTiles, line: usize) -> f64 {
@@ -252,14 +258,12 @@ pub fn single_level_volume_general(
     // ---- Output: always case 1 (no partial reuse possible). Factor 2 for
     // read + write-back.
     let r_out = reuse_position(perm, |i| i.present_in_output());
-    let out_vol = 2.0
-        * trip_product(shape, perm, &t, extents, r_out)
-        * output_footprint_lines(&t, line);
+    let out_vol =
+        2.0 * trip_product(shape, perm, &t, extents, r_out) * output_footprint_lines(&t, line);
 
     // ---- Kernel: always case 1.
     let r_ker = reuse_position(perm, |i| i.present_in_kernel());
-    let ker_vol =
-        trip_product(shape, perm, &t, extents, r_ker) * kernel_footprint_lines(&t, line);
+    let ker_vol = trip_product(shape, perm, &t, extents, r_ker) * kernel_footprint_lines(&t, line);
 
     // ---- Input: case 1 when the innermost present iterator is n or c,
     // case 2 (partial sliding-window reuse) when it is w, h, s or r.
@@ -349,9 +353,8 @@ mod tests {
 
     /// Closed form of Eq. 5 for class 1 ⟨{kt,ct,rt,st},{nt,ht},wt⟩.
     fn eq5_reference(s: &ConvShape, t: &RealTiles) -> f64 {
-        let (nn, nk, nc, nr, ns, nh, nw) = (
-            s.n as f64, s.k as f64, s.c as f64, s.r as f64, s.s as f64, s.h as f64, s.w as f64,
-        );
+        let (nn, nk, nc, nr, ns, nh, nw) =
+            (s.n as f64, s.k as f64, s.c as f64, s.r as f64, s.s as f64, s.h as f64, s.w as f64);
         let (tn, tk, tc, tr, ts, th, tw) = (
             t.get(LoopIndex::N),
             t.get(LoopIndex::K),
@@ -361,11 +364,15 @@ mod tests {
             t.get(LoopIndex::H),
             t.get(LoopIndex::W),
         );
-        (nk / tk) * (nc / tc) * (nr / tr) * (ns / ts)
+        (nk / tk)
+            * (nc / tc)
+            * (nr / tr)
+            * (ns / ts)
             * (tk * tc * tr * ts
                 + (nn / tn)
                     * (nh / th)
-                    * (2.0 * (nw / tw) * tn * tk * th * tw + tn * tc * (th + tr - 1.0) * (nw + ts - 1.0)))
+                    * (2.0 * (nw / tw) * tn * tk * th * tw
+                        + tn * tc * (th + tr - 1.0) * (nw + ts - 1.0)))
     }
 
     #[test]
@@ -390,9 +397,8 @@ mod tests {
         let t = tiles();
         let perm = Permutation::parse("nkhwcrs").unwrap();
         let dv = single_level_volume(&s, &perm, &t, &CostOptions::default());
-        let (nn, nk, nc, nr, ns, nh, nw) = (
-            s.n as f64, s.k as f64, s.c as f64, s.r as f64, s.s as f64, s.h as f64, s.w as f64,
-        );
+        let (nn, nk, nc, nr, ns, nh, nw) =
+            (s.n as f64, s.k as f64, s.c as f64, s.r as f64, s.s as f64, s.h as f64, s.w as f64);
         let (tn, tk, tc, tr, ts, th, tw) = (
             t.get(LoopIndex::N),
             t.get(LoopIndex::K),
@@ -405,8 +411,16 @@ mod tests {
         let trips_all =
             (nn / tn) * (nk / tk) * (nc / tc) * (nr / tr) * (ns / ts) * (nh / th) * (nw / tw);
         let ker = trips_all * tk * tc * tr * ts;
-        let input = (nn / tn) * (nk / tk) * (nc / tc) * (nr / tr) * (nh / th) * (nw / tw)
-            * tn * tc * (th + tr - 1.0) * (tw + ns - 1.0);
+        let input = (nn / tn)
+            * (nk / tk)
+            * (nc / tc)
+            * (nr / tr)
+            * (nh / th)
+            * (nw / tw)
+            * tn
+            * tc
+            * (th + tr - 1.0)
+            * (tw + ns - 1.0);
         let out = 2.0 * (nn / tn) * (nk / tk) * (nh / th) * (nw / tw) * tn * tk * th * tw;
         assert!((dv.kernel - ker).abs() / ker < 1e-12);
         assert!((dv.input - input).abs() / input < 1e-12, "in {} vs {}", dv.input, input);
@@ -420,9 +434,8 @@ mod tests {
         let t = tiles();
         let perm = Permutation::parse("nchrswk").unwrap();
         let dv = single_level_volume(&s, &perm, &t, &CostOptions::default());
-        let (nn, nk, nc, nr, ns, nh, nw) = (
-            s.n as f64, s.k as f64, s.c as f64, s.r as f64, s.s as f64, s.h as f64, s.w as f64,
-        );
+        let (nn, nk, nc, nr, ns, nh, nw) =
+            (s.n as f64, s.k as f64, s.c as f64, s.r as f64, s.s as f64, s.h as f64, s.w as f64);
         let (tn, tk, tc, tr, ts, th, tw) = (
             t.get(LoopIndex::N),
             t.get(LoopIndex::K),
@@ -432,8 +445,15 @@ mod tests {
             t.get(LoopIndex::H),
             t.get(LoopIndex::W),
         );
-        let expected_in = (nn / tn) * (nc / tc) * (nr / tr) * (ns / ts) * (nh / th)
-            * tn * tc * (th + tr - 1.0) * (nw + ts - 1.0);
+        let expected_in = (nn / tn)
+            * (nc / tc)
+            * (nr / tr)
+            * (ns / ts)
+            * (nh / th)
+            * tn
+            * tc
+            * (th + tr - 1.0)
+            * (nw + ts - 1.0);
         assert!((dv.input - expected_in).abs() / expected_in < 1e-12);
         let trips_all =
             (nn / tn) * (nk / tk) * (nc / tc) * (nr / tr) * (ns / ts) * (nh / th) * (nw / tw);
@@ -503,7 +523,7 @@ mod tests {
         let s = shape();
         let t = tiles();
         let fp = total_footprint(&s, &t);
-        assert!(capacity_constraint(&s, &t, fp) .abs() < 1e-9);
+        assert!(capacity_constraint(&s, &t, fp).abs() < 1e-9);
         assert!(capacity_constraint(&s, &t, fp + 1.0) < 0.0);
         assert!(capacity_constraint(&s, &t, fp - 1.0) > 0.0);
         // Footprint matches the integer computation in conv-spec.
@@ -530,7 +550,10 @@ mod tests {
         let perm = Permutation::parse("kcrsnhw").unwrap();
         let elems = single_level_volume(&s, &perm, &t, &CostOptions { line_elems: 1 }).total();
         let lines = single_level_volume(&s, &perm, &t, &CostOptions { line_elems: 16 }).total();
-        assert!(lines < elems, "line-granular volume {lines} should be below element volume {elems}");
+        assert!(
+            lines < elems,
+            "line-granular volume {lines} should be below element volume {elems}"
+        );
     }
 
     #[test]

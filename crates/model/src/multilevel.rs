@@ -21,9 +21,7 @@ use conv_spec::{
 };
 use serde::{Deserialize, Serialize};
 
-use crate::cost::{
-    single_level_volume_general, total_footprint, CostOptions, RealTiles,
-};
+use crate::cost::{single_level_volume_general, total_footprint, CostOptions, RealTiles};
 
 /// Real-valued tile sizes for all four levels (Register, L1, L2, L3).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,8 +50,7 @@ impl MultiLevelTiles {
     pub fn normalized(&self, shape: &ConvShape) -> Self {
         let mut out = *self;
         let ext = RealTiles::full(shape).as_array();
-        out.levels[TilingLevel::L3.ordinal()] =
-            out.levels[TilingLevel::L3.ordinal()].clamped(&ext);
+        out.levels[TilingLevel::L3.ordinal()] = out.levels[TilingLevel::L3.ordinal()].clamped(&ext);
         for lvl in [TilingLevel::L2, TilingLevel::L1, TilingLevel::Register] {
             let outer = out.levels[lvl.ordinal() + 1].as_array();
             out.levels[lvl.ordinal()] = out.levels[lvl.ordinal()].clamped(&outer);
@@ -108,7 +105,7 @@ impl ParallelSpec {
             let extent = shape.extent(idx);
             let mut f = 1;
             for cand in (1..=remaining).rev() {
-                if remaining % cand == 0 && extent >= cand {
+                if remaining.is_multiple_of(cand) && extent >= cand {
                     f = cand;
                     break;
                 }
@@ -132,9 +129,7 @@ impl ParallelSpec {
     /// Whether only non-reduction dimensions are parallelized and the factor
     /// product matches the thread count.
     pub fn is_valid(&self) -> bool {
-        let no_reduction = ALL_INDICES
-            .iter()
-            .all(|&i| !i.is_reduction() || self.factor(i) == 1);
+        let no_reduction = ALL_INDICES.iter().all(|&i| !i.is_reduction() || self.factor(i) == 1);
         no_reduction && self.total() == self.threads
     }
 }
@@ -424,11 +419,7 @@ mod tests {
         let m = model();
         let tiles = nested_tiles();
         let p = m.predict_tiles(&tiles);
-        let max = p
-            .scaled_costs
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = p.scaled_costs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(p.bottleneck_cost, max);
         assert_eq!(p.scaled_cost(p.bottleneck), max);
         assert!(p.projected_gflops(&m.machine, 1) > 0.0);

@@ -47,13 +47,14 @@ impl std::fmt::Display for PermutationClass {
 
 /// The eight pruned permutation classes of Sec. 4, with representatives.
 pub fn pruned_classes() -> Vec<PermutationClass> {
-    let mk = |id: usize, desc: &str, rep: &str, innermost: LoopIndex, members: usize| PermutationClass {
-        id,
-        description: desc.to_string(),
-        representative: Permutation::parse(rep).expect("valid representative"),
-        innermost,
-        member_count: members,
-    };
+    let mk =
+        |id: usize, desc: &str, rep: &str, innermost: LoopIndex, members: usize| PermutationClass {
+            id,
+            description: desc.to_string(),
+            representative: Permutation::parse(rep).expect("valid representative"),
+            innermost,
+            member_count: members,
+        };
     vec![
         mk(1, "<{kt,ct,rt,st},{nt,ht},wt>", "kcrsnhw", LoopIndex::W, 24 * 2),
         mk(2, "<{kt,ct,rt,st},{nt,wt},ht>", "kcrsnwh", LoopIndex::H, 24 * 2),

@@ -22,7 +22,10 @@ use mopt_solver::{floor_refine, IntegerRefineOptions, MultiStart, NlpSolver, Pro
 use serde::{Deserialize, Serialize};
 
 /// Options controlling the optimizer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Every field is integral or boolean, so the options participate directly
+/// in hash-keyed schedule caches (`Eq` + `Hash`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct OptimizerOptions {
     /// Number of threads the generated configuration targets.
     pub threads: usize,
@@ -152,9 +155,7 @@ impl MOptOptimizer {
             });
         }
         candidates.sort_by(|a, b| {
-            a.predicted_cost
-                .partial_cmp(&b.predicted_cost)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            a.predicted_cost.partial_cmp(&b.predicted_cost).unwrap_or(std::cmp::Ordering::Equal)
         });
         candidates.truncate(self.options.keep_top);
         OptimizeResult { ranked: candidates, optimize_seconds: start.elapsed().as_secs_f64() }
@@ -239,12 +240,10 @@ impl MOptOptimizer {
 
         let model_obj = model.clone();
         let assemble_obj = assemble.clone();
-        let mut problem = Problem::new(dim)
-            .with_bounds(lower, upper)
-            .with_objective(move |x| {
-                let tiles = assemble_obj(x);
-                model_obj.scaled_cost(&tiles, obj_level)
-            });
+        let mut problem = Problem::new(dim).with_bounds(lower, upper).with_objective(move |x| {
+            let tiles = assemble_obj(x);
+            model_obj.scaled_cost(&tiles, obj_level)
+        });
 
         // Capacity constraints for every level that is still free (fixed
         // levels already satisfy theirs by construction).
@@ -519,7 +518,12 @@ mod tests {
         let opt = MOptOptimizer::new(
             shape,
             machine.clone(),
-            OptimizerOptions { threads: machine.threads, max_classes: 1, multistart: 1, ..OptimizerOptions::fast() },
+            OptimizerOptions {
+                threads: machine.threads,
+                max_classes: 1,
+                multistart: 1,
+                ..OptimizerOptions::fast()
+            },
         );
         assert!(opt.parallel_spec().is_valid());
         let result = opt.optimize();

@@ -138,26 +138,17 @@ pub fn top_k_loss(predicted_cost: &[f64], measured_perf: &[f64], k: usize) -> f6
     }
     let mut order: Vec<usize> = (0..predicted_cost.len()).collect();
     order.sort_by(|&i, &j| {
-        predicted_cost[i]
-            .partial_cmp(&predicted_cost[j])
-            .unwrap_or(std::cmp::Ordering::Equal)
+        predicted_cost[i].partial_cmp(&predicted_cost[j]).unwrap_or(std::cmp::Ordering::Equal)
     });
-    let best_of_top_k = order
-        .iter()
-        .take(k)
-        .map(|&i| measured_perf[i])
-        .fold(f64::NEG_INFINITY, f64::max);
+    let best_of_top_k =
+        order.iter().take(k).map(|&i| measured_perf[i]).fold(f64::NEG_INFINITY, f64::max);
     (1.0 - best_of_top_k / best_overall).max(0.0)
 }
 
 /// Compute the measured bandwidth-scaled bottleneck cost from per-level
 /// volumes (the same figure of merit the model uses, applied to measured
 /// volumes).
-pub fn measured_bottleneck_cost(
-    volumes: &[f64; 4],
-    machine: &MachineModel,
-    threads: usize,
-) -> f64 {
+pub fn measured_bottleneck_cost(volumes: &[f64; 4], machine: &MachineModel, threads: usize) -> f64 {
     TilingLevel::ALL
         .iter()
         .map(|&l| {
@@ -188,9 +179,8 @@ pub fn validate_operator(
     let points = configs
         .iter()
         .map(|config| {
-            let model =
-                MultiLevelModel::new(*shape, machine.clone(), config.permutation.clone())
-                    .with_parallel(parallel);
+            let model = MultiLevelModel::new(*shape, machine.clone(), config.permutation.clone())
+                .with_parallel(parallel);
             let predicted = model.predict_config(config);
             let dm = sim.simulate(shape, config);
             let measured_volumes = [
@@ -203,8 +193,7 @@ pub fn validate_operator(
             let fmas_per_cycle = (machine.simd_width * machine.fma_units * threads.max(1)) as f64;
             let compute_cycles = (shape.flops() as f64 / 2.0) / fmas_per_cycle;
             let cycles = measured_cost.max(compute_cycles);
-            let measured_gflops =
-                shape.flops() as f64 / (cycles / (machine.clock_ghz * 1e9)) / 1e9;
+            let measured_gflops = shape.flops() as f64 / (cycles / (machine.clock_ghz * 1e9)) / 1e9;
             ValidationPoint {
                 config: config.clone(),
                 predicted,

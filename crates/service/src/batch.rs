@@ -1,0 +1,349 @@
+//! Whole-network batch planning.
+//!
+//! Networks repeat shapes (ResNet-18's 12 conv layers contain only 12
+//! distinct shapes across many more layer instances, and serving traffic
+//! repeats whole networks), so the planner first dedupes layers to unique
+//! cache keys, serves what it can from the [`ScheduleCache`], and fans the
+//! remaining independent solves across a `std::thread` worker pool — the
+//! per-layer problems share nothing, so this is embarrassingly parallel.
+//! The result is a [`NetworkPlan`] with one best configuration per layer
+//! plus aggregate cost and timing statistics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use conv_spec::{benchmarks, BenchmarkOp, BenchmarkSuite, ConvShape, MachineModel};
+use mopt_core::{MOptOptimizer, OptimizeResult, OptimizedConfig, OptimizerOptions};
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheKey, ScheduleCache};
+
+/// One layer to plan: a display name plus its shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedLayer {
+    /// Display name (e.g. the paper's `"Y0"`, or `"conv3_2"`).
+    pub name: String,
+    /// The conv2d problem shape.
+    pub shape: ConvShape,
+}
+
+impl From<&BenchmarkOp> for NamedLayer {
+    fn from(op: &BenchmarkOp) -> Self {
+        NamedLayer { name: op.name.clone(), shape: op.shape }
+    }
+}
+
+/// The plan for one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedLayer {
+    /// The layer's display name.
+    pub name: String,
+    /// The layer's shape.
+    pub shape: ConvShape,
+    /// The best configuration found (MOpt-1).
+    pub best: OptimizedConfig,
+    /// Whether the result came from the cache (vs. a fresh solve).
+    pub from_cache: bool,
+}
+
+/// Aggregate statistics for one planning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Layers planned.
+    pub layers: usize,
+    /// Unique cache keys among them.
+    pub unique_shapes: usize,
+    /// Unique keys served from the cache.
+    pub cache_hits: usize,
+    /// Unique keys solved fresh.
+    pub solves: usize,
+    /// Sum of the layers' predicted bottleneck costs (cycles).
+    pub total_predicted_cost: f64,
+    /// Sum of per-solve optimizer seconds (CPU cost of the fresh solves).
+    pub solve_seconds: f64,
+    /// Wall-clock seconds for the whole planning call.
+    pub wall_seconds: f64,
+    /// Worker threads used for the fresh solves.
+    pub workers: usize,
+}
+
+/// The plan for a whole network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkPlan {
+    /// Per-layer plans, in request order.
+    pub layers: Vec<PlannedLayer>,
+    /// Aggregate statistics.
+    pub stats: PlanStats,
+}
+
+impl NetworkPlan {
+    /// The planned layer with the largest predicted cost (the network's
+    /// projected bottleneck), if any layers were planned.
+    pub fn bottleneck(&self) -> Option<&PlannedLayer> {
+        self.layers.iter().max_by(|a, b| {
+            a.best
+                .predicted_cost
+                .partial_cmp(&b.best.predicted_cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+/// Plans whole networks against one machine model, memoizing through a
+/// shared [`ScheduleCache`].
+pub struct NetworkPlanner<'a> {
+    cache: &'a ScheduleCache,
+    machine: MachineModel,
+    options: OptimizerOptions,
+    workers: usize,
+}
+
+impl<'a> NetworkPlanner<'a> {
+    /// A planner for `machine` with `options`, using as many worker threads
+    /// as the host exposes (capped at 8).
+    pub fn new(cache: &'a ScheduleCache, machine: MachineModel, options: OptimizerOptions) -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+        NetworkPlanner { cache, machine, options, workers }
+    }
+
+    /// Override the worker-pool size (values are clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Plan one of the paper's Table-1 suites.
+    pub fn plan_suite(&self, suite: BenchmarkSuite) -> NetworkPlan {
+        self.plan_ops(&benchmarks::suite(suite))
+    }
+
+    /// Plan all 32 Table-1 operators.
+    pub fn plan_table1(&self) -> NetworkPlan {
+        self.plan_ops(&benchmarks::all_operators())
+    }
+
+    /// Plan a list of benchmark operators.
+    pub fn plan_ops(&self, ops: &[BenchmarkOp]) -> NetworkPlan {
+        let layers: Vec<NamedLayer> = ops.iter().map(NamedLayer::from).collect();
+        self.plan(&layers)
+    }
+
+    /// Plan an explicit layer list.
+    ///
+    /// Identical shapes are solved once; every layer gets its plan in
+    /// request order. The result is deterministic: it equals what
+    /// sequential per-layer [`MOptOptimizer::optimize`] calls would produce
+    /// (the solver is seeded, and solves are independent).
+    pub fn plan(&self, layers: &[NamedLayer]) -> NetworkPlan {
+        let started = Instant::now();
+
+        // Dedupe request order into unique keys; `layer_slots[i]` is the
+        // unique-key index for layer `i`.
+        let mut unique: Vec<CacheKey> = Vec::new();
+        let mut slot_of: std::collections::HashMap<CacheKey, usize> =
+            std::collections::HashMap::new();
+        let layer_slots: Vec<usize> = layers
+            .iter()
+            .map(|l| {
+                let key = CacheKey::new(l.shape, &self.machine, &self.options);
+                *slot_of.entry(key.clone()).or_insert_with(|| {
+                    unique.push(key);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+
+        // Split into warm hits and cold solves.
+        let mut results: Vec<Option<(OptimizeResult, bool)>> = Vec::new();
+        let mut to_solve: Vec<(usize, CacheKey)> = Vec::new();
+        for (i, key) in unique.iter().enumerate() {
+            match self.cache.get(key) {
+                Some(result) => results.push(Some((result, true))),
+                None => {
+                    results.push(None);
+                    to_solve.push((i, key.clone()));
+                }
+            }
+        }
+        let cache_hits = unique.len() - to_solve.len();
+
+        // Fan the cold solves across the worker pool.
+        let solved: Mutex<Vec<(usize, OptimizeResult)>> = Mutex::new(Vec::new());
+        let next_job = AtomicUsize::new(0);
+        let workers = self.workers.min(to_solve.len()).max(1);
+        if !to_solve.is_empty() {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let j = next_job.fetch_add(1, Ordering::Relaxed);
+                        let Some((slot, key)) = to_solve.get(j) else { break };
+                        let result = MOptOptimizer::new(
+                            key.shape,
+                            self.machine.clone(),
+                            self.options.clone(),
+                        )
+                        .optimize();
+                        self.cache.insert(key.clone(), result.clone());
+                        solved.lock().expect("solver results poisoned").push((*slot, result));
+                    });
+                }
+            });
+        }
+        for (slot, result) in solved.into_inner().expect("solver results poisoned") {
+            results[slot] = Some((result, false));
+        }
+
+        // Assemble per-layer plans in request order.
+        let mut solve_seconds = 0.0;
+        let mut total_predicted_cost = 0.0;
+        let planned: Vec<PlannedLayer> = layers
+            .iter()
+            .zip(&layer_slots)
+            .map(|(layer, &slot)| {
+                let (result, from_cache) =
+                    results[slot].as_ref().expect("every unique key resolved");
+                let best = result.best().clone();
+                total_predicted_cost += best.predicted_cost;
+                PlannedLayer {
+                    name: layer.name.clone(),
+                    shape: layer.shape,
+                    best,
+                    from_cache: *from_cache,
+                }
+            })
+            .collect();
+        // Count each fresh solve's optimizer time once (not per duplicate).
+        for (slot, _) in &to_solve {
+            if let Some((result, _)) = &results[*slot] {
+                solve_seconds += result.optimize_seconds;
+            }
+        }
+
+        NetworkPlan {
+            layers: planned,
+            stats: PlanStats {
+                layers: layers.len(),
+                unique_shapes: unique.len(),
+                cache_hits,
+                solves: to_solve.len(),
+                total_predicted_cost,
+                solve_seconds,
+                wall_seconds: started.elapsed().as_secs_f64(),
+                workers,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_options() -> OptimizerOptions {
+        OptimizerOptions { max_classes: 2, ..OptimizerOptions::fast() }
+    }
+
+    fn tiny_layers() -> Vec<NamedLayer> {
+        let shapes = [
+            ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap(),
+            ConvShape::new(1, 16, 8, 1, 1, 8, 8, 1).unwrap(),
+            ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap(), // duplicate of #0
+            ConvShape::new(1, 4, 4, 3, 3, 12, 12, 2).unwrap(),
+        ];
+        shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &shape)| NamedLayer { name: format!("L{i}"), shape })
+            .collect()
+    }
+
+    #[test]
+    fn dedupes_identical_shapes() {
+        let cache = ScheduleCache::new(64);
+        let planner =
+            NetworkPlanner::new(&cache, MachineModel::tiny_test_machine(), fast_options())
+                .with_workers(2);
+        let plan = planner.plan(&tiny_layers());
+        assert_eq!(plan.stats.layers, 4);
+        assert_eq!(plan.stats.unique_shapes, 3);
+        assert_eq!(plan.stats.solves, 3);
+        assert_eq!(plan.stats.cache_hits, 0);
+        // Duplicate layers get identical plans.
+        assert_eq!(plan.layers[0].best, plan.layers[2].best);
+        assert!(plan.bottleneck().is_some());
+    }
+
+    #[test]
+    fn second_run_is_all_cache_hits() {
+        let cache = ScheduleCache::new(64);
+        let planner =
+            NetworkPlanner::new(&cache, MachineModel::tiny_test_machine(), fast_options())
+                .with_workers(2);
+        let cold = planner.plan(&tiny_layers());
+        let warm = planner.plan(&tiny_layers());
+        assert_eq!(warm.stats.cache_hits, 3);
+        assert_eq!(warm.stats.solves, 0);
+        assert!(warm.layers.iter().all(|l| l.from_cache));
+        assert!(cold.layers.iter().all(|l| !l.from_cache));
+        for (a, b) in cold.layers.iter().zip(&warm.layers) {
+            assert_eq!(a.best, b.best);
+        }
+    }
+
+    #[test]
+    fn parallel_plan_matches_sequential_optimization() {
+        let cache = ScheduleCache::new(64);
+        let machine = MachineModel::tiny_test_machine();
+        let options = fast_options();
+        let layers = tiny_layers();
+        let plan = NetworkPlanner::new(&cache, machine.clone(), options.clone())
+            .with_workers(4)
+            .plan(&layers);
+        for layer in &plan.layers {
+            let sequential =
+                MOptOptimizer::new(layer.shape, machine.clone(), options.clone()).optimize();
+            assert_eq!(
+                layer.best,
+                *sequential.best(),
+                "parallel plan for {} diverged from a sequential solve",
+                layer.name
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let machine = MachineModel::tiny_test_machine();
+        let options = fast_options();
+        let layers = tiny_layers();
+        let cache1 = ScheduleCache::new(64);
+        let plan1 = NetworkPlanner::new(&cache1, machine.clone(), options.clone())
+            .with_workers(1)
+            .plan(&layers);
+        let cache4 = ScheduleCache::new(64);
+        let plan4 = NetworkPlanner::new(&cache4, machine, options).with_workers(4).plan(&layers);
+        for (a, b) in plan1.layers.iter().zip(&plan4.layers) {
+            assert_eq!(a.best, b.best);
+        }
+    }
+
+    #[test]
+    fn plan_suite_covers_every_layer() {
+        let cache = ScheduleCache::new(64);
+        // Scaled-down machine + fast options keep this a functional test.
+        let mut options = fast_options();
+        options.max_classes = 1;
+        let planner = NetworkPlanner::new(&cache, MachineModel::tiny_test_machine(), options);
+        let ops = benchmarks::scaled_operators(6, 8);
+        let resnet: Vec<BenchmarkOp> =
+            ops.into_iter().filter(|op| op.suite == BenchmarkSuite::ResNet18).collect();
+        let plan = planner.plan_ops(&resnet);
+        assert_eq!(plan.stats.layers, 12);
+        assert!(plan.stats.unique_shapes <= 12);
+        for (op, layer) in resnet.iter().zip(&plan.layers) {
+            assert_eq!(op.name, layer.name);
+            assert!(layer.best.config.validate(&op.shape).is_ok());
+        }
+    }
+}

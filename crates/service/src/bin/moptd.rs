@@ -1,0 +1,169 @@
+//! `moptd` — the MOpt schedule server.
+//!
+//! Serves the JSON-lines protocol of [`mopt_service::server`] over TCP
+//! (`--listen ADDR`, one thread per connection) or stdin/stdout
+//! (`--stdio`). With `--snapshot PATH` the schedule cache is loaded from
+//! `PATH` at startup (if present) and saved back on every `"Save"` request,
+//! whenever a connection drains, at stdin EOF in `--stdio` mode, and — in
+//! TCP mode, where an abrupt kill would otherwise lose solves made over
+//! long-lived connections — by a background autosaver every 30 seconds
+//! while the cache is dirty.
+//!
+//! ```text
+//! moptd --stdio [--snapshot cache.json] [--capacity N]
+//! moptd --listen 127.0.0.1:7077 [--snapshot cache.json] [--capacity N]
+//!
+//! echo '{"Optimize": {"op": "Y0", "machine": {"Preset": "i7-9700k"}}}' | moptd --stdio
+//! ```
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use mopt_service::ServiceState;
+
+struct Args {
+    stdio: bool,
+    listen: Option<String>,
+    snapshot: Option<std::path::PathBuf>,
+    capacity: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { stdio: false, listen: None, snapshot: None, capacity: 4096 };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stdio" => args.stdio = true,
+            "--listen" => {
+                args.listen = Some(it.next().ok_or("--listen needs an address")?);
+            }
+            "--snapshot" => {
+                args.snapshot = Some(it.next().ok_or("--snapshot needs a path")?.into());
+            }
+            "--capacity" => {
+                args.capacity = it
+                    .next()
+                    .ok_or("--capacity needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --capacity: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "moptd — MOpt schedule server\n\n\
+                     USAGE:\n  moptd --stdio [--snapshot PATH] [--capacity N]\n  \
+                     moptd --listen ADDR [--snapshot PATH] [--capacity N]\n\n\
+                     One JSON request per input line, one JSON response per output line.\n\
+                     Requests: Optimize, PlanNetwork, Stats, Save, Ping. See README.md."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if args.stdio == args.listen.is_some() {
+        return Err("pass exactly one of --stdio or --listen ADDR".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("moptd: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut state = ServiceState::new(args.capacity);
+    if let Some(path) = &args.snapshot {
+        state = match state.with_snapshot(path.clone()) {
+            Ok(state) => {
+                eprintln!(
+                    "moptd: snapshot {} loaded ({} entries)",
+                    path.display(),
+                    state.cache.len()
+                );
+                state
+            }
+            Err(e) => {
+                eprintln!("moptd: cannot load snapshot {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+    }
+    let state = Arc::new(state);
+
+    if args.stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(e) = state.serve_connection(stdin.lock(), stdout.lock()) {
+            eprintln!("moptd: stdio loop failed: {e}");
+        }
+        persist_cache(&state);
+        return;
+    }
+
+    let addr = args.listen.expect("checked by parse_args");
+    let listener = match TcpListener::bind(&addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("moptd: cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("moptd: listening on {addr}");
+    if args.snapshot.is_some() {
+        // There is no portable signal handling without external crates, so
+        // long-lived TCP service persists via a dirty-checking autosaver
+        // rather than an atexit hook.
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let mut saved_insertions = state.cache.stats().insertions;
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(30));
+                let insertions = state.cache.stats().insertions;
+                if insertions != saved_insertions {
+                    saved_insertions = insertions;
+                    persist_cache(&state);
+                }
+            }
+        });
+    }
+    for conn in listener.incoming() {
+        match conn {
+            Ok(stream) => {
+                let state = Arc::clone(&state);
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "<unknown>".to_string());
+                std::thread::spawn(move || {
+                    let reader = BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("moptd: cannot clone stream for {peer}: {e}");
+                            return;
+                        }
+                    });
+                    let writer = BufWriter::new(stream);
+                    if let Err(e) = state.serve_connection(reader, writer) {
+                        eprintln!("moptd: connection {peer} failed: {e}");
+                    }
+                    // Keep the snapshot fresh after each connection drains.
+                    persist_cache(&state);
+                });
+            }
+            Err(e) => eprintln!("moptd: accept failed: {e}"),
+        }
+    }
+}
+
+fn persist_cache(state: &ServiceState) {
+    match state.save() {
+        Ok(Some(entries)) => eprintln!("moptd: snapshot saved ({entries} entries)"),
+        Ok(None) => {}
+        Err(e) => eprintln!("moptd: snapshot save failed: {e}"),
+    }
+}

@@ -1,0 +1,47 @@
+//! `mopt_service`: the serving layer of the MOpt reproduction.
+//!
+//! The paper makes tile-size optimization cheap enough to run on demand;
+//! this crate makes it cheap enough to *serve*:
+//!
+//! * [`cache`] — a sharded, thread-safe LRU cache of [`mopt_core::OptimizeResult`]s
+//!   keyed by `(shape, machine fingerprint, optimizer options)`, with
+//!   hit/miss/eviction counters,
+//! * [`persist`] — versioned JSON snapshots so a warm cache survives
+//!   process restarts,
+//! * [`batch`] — a whole-network planner that dedupes identical layer
+//!   shapes and fans the unique solves across a `std::thread` worker pool,
+//! * [`server`] — a JSON-lines request/response protocol (`Optimize`,
+//!   `PlanNetwork`, `Stats`, `Save`, `Ping`) served over TCP or
+//!   stdin/stdout by the `moptd` binary.
+//!
+//! # Example
+//!
+//! ```
+//! use conv_spec::{ConvShape, MachineModel};
+//! use mopt_core::OptimizerOptions;
+//! use mopt_service::{NetworkPlanner, ScheduleCache};
+//! use mopt_service::batch::NamedLayer;
+//!
+//! let cache = ScheduleCache::new(128);
+//! let options = OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() };
+//! let planner = NetworkPlanner::new(&cache, MachineModel::tiny_test_machine(), options);
+//! let layers = vec![NamedLayer {
+//!     name: "conv1".into(),
+//!     shape: ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1)?,
+//! }];
+//! let cold = planner.plan(&layers);
+//! let warm = planner.plan(&layers);
+//! assert_eq!(cold.layers[0].best, warm.layers[0].best);
+//! assert!(warm.layers[0].from_cache);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod persist;
+pub mod server;
+
+pub use batch::{NetworkPlan, NetworkPlanner, PlanStats, PlannedLayer};
+pub use cache::{CacheKey, CacheStats, ScheduleCache};
+pub use persist::{load_snapshot, save_snapshot, PersistError, Snapshot};
+pub use server::{MachineSpec, Request, Response, ServiceState, ServiceStats};

@@ -1,0 +1,481 @@
+//! The JSON-lines request/response protocol and its dispatch loop.
+//!
+//! One request per line, one response per line — a dependency-light wire
+//! protocol that works identically over TCP and stdin/stdout (the `moptd`
+//! binary drives both). Requests are externally tagged enums, e.g.:
+//!
+//! ```text
+//! {"Optimize": {"op": "Y0", "machine": {"Preset": "i7-9700k"}}}
+//! {"PlanNetwork": {"suite": "resnet18", "machine": {"Preset": "tiny"}}}
+//! "Stats"
+//! ```
+//!
+//! Malformed input never kills the connection: it produces an
+//! `{"Error": ...}` response and the loop continues.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use conv_spec::{benchmarks, BenchmarkSuite, ConvShape, MachineModel};
+use mopt_core::{MOptOptimizer, OptimizeResult, OptimizerOptions};
+use serde::{Deserialize, Serialize};
+
+use crate::batch::{NamedLayer, NetworkPlan, NetworkPlanner};
+use crate::cache::{CacheKey, CacheStats, ScheduleCache};
+
+/// How a request names the target machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MachineSpec {
+    /// A named preset: `"i7-9700k"`, `"i9-10980xe"`, or `"tiny"`.
+    Preset(String),
+    /// A full inline machine description.
+    Custom(MachineModel),
+}
+
+impl MachineSpec {
+    /// Resolve to a machine model.
+    pub fn resolve(&self) -> Result<MachineModel, String> {
+        match self {
+            MachineSpec::Custom(m) => Ok(m.clone()),
+            MachineSpec::Preset(name) => {
+                match name.to_ascii_lowercase().replace(['-', '_', ' '], "").as_str() {
+                    "i79700k" | "i7" | "coffeelake" => Ok(MachineModel::i7_9700k()),
+                    "i910980xe" | "i9" | "cascadelake" => Ok(MachineModel::i9_10980xe()),
+                    "tiny" | "tinytest" | "test" => Ok(MachineModel::tiny_test_machine()),
+                    _ => Err(format!(
+                        "unknown machine preset `{name}` (try \"i7-9700k\", \"i9-10980xe\", \"tiny\")"
+                    )),
+                }
+            }
+        }
+    }
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec::Preset("i7-9700k".to_string())
+    }
+}
+
+/// A request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Optimize one operator: either a Table-1 name (`"Y0"`) or an explicit
+    /// shape. `options` defaults to [`OptimizerOptions::default`].
+    Optimize {
+        /// Table-1 operator name (e.g. `"Y0"`, `"R4*"`).
+        op: Option<String>,
+        /// Explicit shape (used when `op` is absent).
+        shape: Option<ConvShape>,
+        /// Target machine.
+        machine: MachineSpec,
+        /// Optimizer options.
+        options: Option<OptimizerOptions>,
+    },
+    /// Plan a whole network: one of the Table-1 suites by name, or an
+    /// explicit layer list.
+    PlanNetwork {
+        /// Suite name: `"yolo9000"`, `"resnet18"`, `"mobilenet"`, or
+        /// `"table1"` for all 32 operators.
+        suite: Option<String>,
+        /// Explicit layers (used when `suite` is absent).
+        layers: Option<Vec<NamedLayer>>,
+        /// Target machine.
+        machine: MachineSpec,
+        /// Optimizer options.
+        options: Option<OptimizerOptions>,
+        /// Worker threads for the fresh solves (default: host parallelism).
+        workers: Option<usize>,
+    },
+    /// Report cache and service statistics.
+    Stats,
+    /// Persist the cache to the server's snapshot path now.
+    Save,
+    /// Liveness check.
+    Ping,
+}
+
+/// Service-level statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Requests served (any type).
+    pub requests: u64,
+    /// Seconds since the service started.
+    pub uptime_seconds: f64,
+}
+
+/// A response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Result of an `Optimize` request.
+    Optimized {
+        /// The operator name, when the request used one.
+        op: Option<String>,
+        /// The problem shape that was optimized.
+        shape: ConvShape,
+        /// Whether the result came from the schedule cache.
+        cached: bool,
+        /// The ranked configurations.
+        result: OptimizeResult,
+    },
+    /// Result of a `PlanNetwork` request.
+    Planned {
+        /// The network plan.
+        plan: NetworkPlan,
+    },
+    /// Result of a `Stats` request.
+    Stats {
+        /// The statistics.
+        stats: ServiceStats,
+    },
+    /// Result of a `Save` request: entries persisted.
+    Saved {
+        /// Number of entries written.
+        entries: usize,
+    },
+    /// Reply to `Ping`.
+    Pong,
+    /// Any failure (parse error, unknown name, I/O error, ...).
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Shared server state: the schedule cache plus counters and the snapshot
+/// location. Designed to sit in an `Arc` shared by connection threads.
+pub struct ServiceState {
+    /// The schedule cache.
+    pub cache: ScheduleCache,
+    snapshot_path: Option<std::path::PathBuf>,
+    requests: AtomicU64,
+    started: Instant,
+}
+
+impl ServiceState {
+    /// Fresh state with a cache of `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ServiceState {
+            cache: ScheduleCache::new(capacity),
+            snapshot_path: None,
+            requests: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Attach a snapshot path: loads any existing snapshot now (ignoring a
+    /// missing file) and enables the `Save` request.
+    pub fn with_snapshot(
+        mut self,
+        path: std::path::PathBuf,
+    ) -> Result<Self, crate::persist::PersistError> {
+        match crate::persist::load_snapshot(&self.cache, &path) {
+            Ok(_) => {}
+            Err(crate::persist::PersistError::Io(e))
+                if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        self.snapshot_path = Some(path);
+        Ok(self)
+    }
+
+    /// Requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Persist the cache if a snapshot path is configured. Returns the
+    /// number of entries written, or `None` when unconfigured.
+    pub fn save(&self) -> Result<Option<usize>, crate::persist::PersistError> {
+        match &self.snapshot_path {
+            Some(path) => crate::persist::save_snapshot(&self.cache, path).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Dispatch one request.
+    pub fn handle(&self, request: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats {
+                stats: ServiceStats {
+                    cache: self.cache.stats(),
+                    requests: self.requests(),
+                    uptime_seconds: self.started.elapsed().as_secs_f64(),
+                },
+            },
+            Request::Save => match self.save() {
+                Ok(Some(entries)) => Response::Saved { entries },
+                Ok(None) => Response::Error {
+                    message: "no snapshot path configured (start moptd with --snapshot)".into(),
+                },
+                Err(e) => Response::Error { message: e.to_string() },
+            },
+            Request::Optimize { op, shape, machine, options } => {
+                self.handle_optimize(op.as_deref(), *shape, machine, options)
+            }
+            Request::PlanNetwork { suite, layers, machine, options, workers } => {
+                self.handle_plan(suite.as_deref(), layers.as_deref(), machine, options, *workers)
+            }
+        }
+    }
+
+    fn handle_optimize(
+        &self,
+        op: Option<&str>,
+        shape: Option<ConvShape>,
+        machine: &MachineSpec,
+        options: &Option<OptimizerOptions>,
+    ) -> Response {
+        let machine = match machine.resolve() {
+            Ok(m) => m,
+            Err(message) => return Response::Error { message },
+        };
+        let shape = match (op, shape) {
+            (Some(name), _) => match benchmarks::by_name(name) {
+                Some(bench) => bench.shape,
+                None => {
+                    return Response::Error {
+                        message: format!("unknown Table-1 operator `{name}`"),
+                    }
+                }
+            },
+            (None, Some(shape)) => shape,
+            (None, None) => {
+                return Response::Error { message: "Optimize needs either `op` or `shape`".into() }
+            }
+        };
+        let options = options.clone().unwrap_or_default();
+        let key = CacheKey::new(shape, &machine, &options);
+        let mut cached = true;
+        let result = self.cache.get_or_compute(key, || {
+            cached = false;
+            MOptOptimizer::new(shape, machine.clone(), options.clone()).optimize()
+        });
+        Response::Optimized { op: op.map(str::to_string), shape, cached, result }
+    }
+
+    fn handle_plan(
+        &self,
+        suite: Option<&str>,
+        layers: Option<&[NamedLayer]>,
+        machine: &MachineSpec,
+        options: &Option<OptimizerOptions>,
+        workers: Option<usize>,
+    ) -> Response {
+        let machine = match machine.resolve() {
+            Ok(m) => m,
+            Err(message) => return Response::Error { message },
+        };
+        let layer_list: Vec<NamedLayer> = match (suite, layers) {
+            (Some(name), _) => {
+                match name.to_ascii_lowercase().replace(['-', '_', ' '], "").as_str() {
+                    "yolo9000" | "yolo" => suite_layers(BenchmarkSuite::Yolo9000),
+                    "resnet18" | "resnet" => suite_layers(BenchmarkSuite::ResNet18),
+                    "mobilenet" => suite_layers(BenchmarkSuite::MobileNet),
+                    "table1" | "all" => {
+                        benchmarks::all_operators().iter().map(NamedLayer::from).collect()
+                    }
+                    _ => {
+                        return Response::Error {
+                            message: format!(
+                                "unknown suite `{name}` (try \"yolo9000\", \"resnet18\", \"mobilenet\", \"table1\")"
+                            ),
+                        }
+                    }
+                }
+            }
+            (None, Some(layers)) if !layers.is_empty() => layers.to_vec(),
+            _ => {
+                return Response::Error {
+                    message: "PlanNetwork needs either `suite` or a non-empty `layers`".into(),
+                }
+            }
+        };
+        let options = options.clone().unwrap_or_default();
+        let mut planner = NetworkPlanner::new(&self.cache, machine, options);
+        if let Some(workers) = workers {
+            planner = planner.with_workers(workers);
+        }
+        Response::Planned { plan: planner.plan(&layer_list) }
+    }
+
+    /// Parse one request line, dispatch it, and serialize the response.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match serde_json::from_str::<Request>(line) {
+            Ok(request) => self.handle(&request),
+            Err(e) => Response::Error { message: format!("bad request: {e}") },
+        };
+        serde_json::to_string(&response)
+            .unwrap_or_else(|e| format!("{{\"Error\":{{\"message\":\"serialize: {e}\"}}}}"))
+    }
+
+    /// Serve one connection: read JSON-lines requests until EOF, writing one
+    /// response line each. Blank lines are ignored. Malformed input — bad
+    /// JSON or even invalid UTF-8 — produces an `Error` response, never a
+    /// dropped connection; only real I/O failures end the loop.
+    pub fn serve_connection<R: BufRead, W: Write>(
+        &self,
+        mut reader: R,
+        mut writer: W,
+    ) -> std::io::Result<()> {
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if reader.read_until(b'\n', &mut buf)? == 0 {
+                return Ok(());
+            }
+            let line = String::from_utf8_lossy(&buf);
+            if line.trim().is_empty() {
+                continue;
+            }
+            writer.write_all(self.handle_line(line.trim_end_matches(['\r', '\n'])).as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
+    }
+}
+
+fn suite_layers(suite: BenchmarkSuite) -> Vec<NamedLayer> {
+    benchmarks::suite(suite).iter().map(NamedLayer::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_state() -> ServiceState {
+        ServiceState::new(64)
+    }
+
+    fn fast_options_json() -> String {
+        let options = OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() };
+        serde_json::to_string(&options).unwrap()
+    }
+
+    #[test]
+    fn ping_and_stats() {
+        let state = tiny_state();
+        assert_eq!(state.handle_line("\"Ping\""), "\"Pong\"");
+        let stats: Response = serde_json::from_str(&state.handle_line("\"Stats\"")).unwrap();
+        match stats {
+            Response::Stats { stats } => {
+                assert_eq!(stats.requests, 2);
+                assert_eq!(stats.cache.entries, 0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimize_by_shape_then_cached() {
+        let state = tiny_state();
+        let line = format!(
+            "{{\"Optimize\": {{\"shape\": {}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            serde_json::to_string(&ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap()).unwrap(),
+            fast_options_json(),
+        );
+        let first: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        let second: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        match (first, second) {
+            (
+                Response::Optimized { cached: false, result: a, .. },
+                Response::Optimized { cached: true, result: b, .. },
+            ) => assert_eq!(a.ranked, b.ranked),
+            other => panic!("expected cold then warm Optimized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimize_by_table1_name() {
+        let state = tiny_state();
+        let line = format!(
+            "{{\"Optimize\": {{\"op\": \"M9\", \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            fast_options_json(),
+        );
+        let response: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        match response {
+            Response::Optimized { op, shape, result, .. } => {
+                assert_eq!(op.as_deref(), Some("M9"));
+                assert_eq!(shape, benchmarks::by_name("M9").unwrap().shape);
+                assert!(!result.ranked.is_empty());
+            }
+            other => panic!("expected Optimized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_requests_produce_errors_not_panics() {
+        let state = tiny_state();
+        for line in [
+            "not json",
+            "{\"Optimize\": {\"machine\": {\"Preset\": \"tiny\"}}}",
+            "{\"Optimize\": {\"op\": \"NOPE\", \"machine\": {\"Preset\": \"tiny\"}}}",
+            "{\"Optimize\": {\"op\": \"Y0\", \"machine\": {\"Preset\": \"vax\"}}}",
+            "{\"PlanNetwork\": {\"machine\": {\"Preset\": \"tiny\"}}}",
+            "{\"PlanNetwork\": {\"suite\": \"alexnet\", \"machine\": {\"Preset\": \"tiny\"}}}",
+            "\"Save\"",
+        ] {
+            let response: Response = serde_json::from_str(&state.handle_line(line)).unwrap();
+            assert!(
+                matches!(response, Response::Error { .. }),
+                "line {line:?} should produce an Error response, got {response:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_network_over_connection() {
+        let state = tiny_state();
+        let request = format!(
+            "{{\"PlanNetwork\": {{\"layers\": [{{\"name\": \"a\", \"shape\": {}}}, {{\"name\": \"b\", \"shape\": {}}}], \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}, \"workers\": 2}}}}\n\"Stats\"\n",
+            serde_json::to_string(&ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap()).unwrap(),
+            serde_json::to_string(&ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap()).unwrap(),
+            fast_options_json(),
+        );
+        let mut output = Vec::new();
+        state.serve_connection(std::io::BufReader::new(request.as_bytes()), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let mut lines = text.lines();
+        let plan: Response = serde_json::from_str(lines.next().unwrap()).unwrap();
+        match plan {
+            Response::Planned { plan } => {
+                assert_eq!(plan.stats.layers, 2);
+                assert_eq!(plan.stats.unique_shapes, 1);
+                assert_eq!(plan.layers[0].best, plan.layers[1].best);
+            }
+            other => panic!("expected Planned, got {other:?}"),
+        }
+        let stats: Response = serde_json::from_str(lines.next().unwrap()).unwrap();
+        match stats {
+            Response::Stats { stats } => assert_eq!(stats.cache.entries, 1),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_save_via_request() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("moptd-save-req-{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let state = ServiceState::new(16).with_snapshot(path.clone()).unwrap();
+        let line = format!(
+            "{{\"Optimize\": {{\"shape\": {}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            serde_json::to_string(&ConvShape::new(1, 4, 4, 3, 3, 8, 8, 1).unwrap()).unwrap(),
+            fast_options_json(),
+        );
+        state.handle_line(&line);
+        let response: Response = serde_json::from_str(&state.handle_line("\"Save\"")).unwrap();
+        assert_eq!(response, Response::Saved { entries: 1 });
+        // A fresh state with the same path starts warm.
+        let rewarmed = ServiceState::new(16).with_snapshot(path.clone()).unwrap();
+        assert_eq!(rewarmed.cache.len(), 1);
+        let warm: Response = serde_json::from_str(&rewarmed.handle_line(&line)).unwrap();
+        assert!(matches!(warm, Response::Optimized { cached: true, .. }));
+        std::fs::remove_file(&path).ok();
+    }
+}

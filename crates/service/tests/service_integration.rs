@@ -1,0 +1,237 @@
+//! Integration tests for the serving layer: the acceptance criteria of the
+//! `mopt-service` subsystem.
+//!
+//! * warm whole-network planning of the 32 Table-1 operators is ≥10x
+//!   faster than the cold run,
+//! * a `moptd` round trip (`Optimize` request → `OptimizedConfig` response
+//!   → execution via `TiledConv`) matches `conv2d_naive`,
+//! * serialized results survive text round trips exactly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+use conv_exec::naive::conv2d_naive;
+use conv_exec::{Tensor4, TiledConv};
+use conv_spec::{benchmarks, ConvShape, MachineModel, TileConfig};
+use mopt_core::{OptimizeResult, OptimizerOptions};
+use mopt_service::batch::NamedLayer;
+use mopt_service::{NetworkPlanner, Request, Response, ScheduleCache, ServiceState};
+
+fn fast_options() -> OptimizerOptions {
+    OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() }
+}
+
+/// Acceptance: planning all 32 Table-1 operators a second time (cache
+/// populated) must be at least 10x faster than the cold run.
+#[test]
+fn warm_table1_planning_is_10x_faster_than_cold() {
+    let cache = ScheduleCache::new(256);
+    let planner = NetworkPlanner::new(&cache, MachineModel::i7_9700k(), fast_options());
+
+    let t_cold = Instant::now();
+    let cold = planner.plan_table1();
+    let cold_seconds = t_cold.elapsed().as_secs_f64();
+
+    let t_warm = Instant::now();
+    let warm = planner.plan_table1();
+    let warm_seconds = t_warm.elapsed().as_secs_f64();
+
+    assert_eq!(cold.stats.layers, 32);
+    assert_eq!(cold.stats.cache_hits, 0);
+    assert_eq!(warm.stats.cache_hits, warm.stats.unique_shapes);
+    assert_eq!(warm.stats.solves, 0);
+    assert!(warm.layers.iter().all(|l| l.from_cache));
+    for (a, b) in cold.layers.iter().zip(&warm.layers) {
+        assert_eq!(a.best, b.best, "warm plan diverged for {}", a.name);
+    }
+    assert!(
+        warm_seconds * 10.0 <= cold_seconds,
+        "warm planning ({warm_seconds:.4}s) is not ≥10x faster than cold ({cold_seconds:.4}s)"
+    );
+}
+
+/// Acceptance: an `Optimize` request's returned configuration, executed by
+/// `TiledConv`, computes the same convolution as the naive reference.
+#[test]
+fn optimize_response_executes_correctly() {
+    let state = ServiceState::new(16);
+    let shape = ConvShape::new(1, 8, 4, 3, 3, 12, 12, 1).unwrap();
+    let request = Request::Optimize {
+        op: None,
+        shape: Some(shape),
+        machine: mopt_service::MachineSpec::Preset("tiny".into()),
+        options: Some(fast_options()),
+    };
+    let response = state.handle(&request);
+    let result = match response {
+        Response::Optimized { result, shape: s, .. } => {
+            assert_eq!(s, shape);
+            result
+        }
+        other => panic!("expected Optimized, got {other:?}"),
+    };
+
+    let best: TileConfig = result.best().config.clone();
+    assert!(best.validate(&shape).is_ok());
+    let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 11);
+    let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 22);
+    let reference = conv2d_naive(&shape, &input, &kernel);
+    let tiled = TiledConv::new(shape, best, 1).unwrap().run(&input, &kernel);
+    assert!(
+        reference.allclose(&tiled, 1e-3),
+        "optimized configuration computes a different convolution"
+    );
+}
+
+/// The same round trip through the real `moptd` binary over stdio: request
+/// in, JSON response out, executed configuration matches the reference.
+#[test]
+fn moptd_stdio_round_trip_matches_naive() {
+    let shape = ConvShape::new(1, 8, 4, 3, 3, 12, 12, 1).unwrap();
+    let request = serde_json::to_string(&Request::Optimize {
+        op: None,
+        shape: Some(shape),
+        machine: mopt_service::MachineSpec::Preset("tiny".into()),
+        options: Some(fast_options()),
+    })
+    .unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_moptd"))
+        .args(["--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("moptd spawns");
+    {
+        let stdin = child.stdin.as_mut().expect("moptd stdin");
+        stdin.write_all(request.as_bytes()).unwrap();
+        stdin.write_all(b"\n\"Ping\"\n").unwrap();
+    }
+    child.stdin.take(); // close stdin so moptd exits
+    let stdout = BufReader::new(child.stdout.take().expect("moptd stdout"));
+    let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "moptd exited with {status}");
+    assert_eq!(lines.len(), 2, "expected two response lines, got {lines:?}");
+    assert_eq!(lines[1], "\"Pong\"");
+
+    let response: Response = serde_json::from_str(&lines[0]).unwrap();
+    let result = match response {
+        Response::Optimized { result, .. } => result,
+        other => panic!("expected Optimized, got {other:?}"),
+    };
+    let best = result.best().config.clone();
+    let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 5);
+    let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 6);
+    let reference = conv2d_naive(&shape, &input, &kernel);
+    let tiled = TiledConv::new(shape, best, 1).unwrap().run(&input, &kernel);
+    assert!(reference.allclose(&tiled, 1e-3));
+}
+
+/// `moptd --snapshot`: a second process starts warm from the first's cache.
+#[test]
+fn moptd_snapshot_warms_across_processes() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("moptd-itest-snapshot-{}.json", std::process::id()));
+    std::fs::remove_file(&path).ok();
+
+    let shape = ConvShape::new(1, 4, 4, 3, 3, 8, 8, 1).unwrap();
+    let request = serde_json::to_string(&Request::Optimize {
+        op: None,
+        shape: Some(shape),
+        machine: mopt_service::MachineSpec::Preset("tiny".into()),
+        options: Some(fast_options()),
+    })
+    .unwrap();
+
+    let run = |expect_cached: bool| {
+        let output = Command::new(env!("CARGO_BIN_EXE_moptd"))
+            .args(["--stdio", "--snapshot", path.to_str().unwrap()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .and_then(|mut child| {
+                child
+                    .stdin
+                    .as_mut()
+                    .expect("stdin")
+                    .write_all(format!("{request}\n").as_bytes())?;
+                child.stdin.take();
+                child.wait_with_output()
+            })
+            .expect("moptd runs");
+        let line = String::from_utf8(output.stdout).unwrap();
+        let response: Response = serde_json::from_str(line.trim()).unwrap();
+        match response {
+            Response::Optimized { cached, result, .. } => {
+                assert_eq!(
+                    cached, expect_cached,
+                    "expected cached={expect_cached} from snapshot state"
+                );
+                result
+            }
+            other => panic!("expected Optimized, got {other:?}"),
+        }
+    };
+
+    let cold = run(false);
+    let warm = run(true);
+    assert_eq!(cold.ranked, warm.ranked, "snapshot must reproduce the exact result");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Satellite: serde round trips are exact for the protocol's payload types.
+#[test]
+fn serde_round_trips_are_exact() {
+    let machine = MachineModel::tiny_test_machine();
+    let shape = ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap();
+    let result = mopt_core::MOptOptimizer::new(shape, machine, fast_options()).optimize();
+
+    // OptimizeResult round trip (bit-exact floats via shortest formatting).
+    let text = serde_json::to_string(&result).unwrap();
+    let back: OptimizeResult = serde_json::from_str(&text).unwrap();
+    assert_eq!(result, back);
+
+    // TileConfig round trip.
+    let config = result.best().config.clone();
+    let text = serde_json::to_string(&config).unwrap();
+    let back: TileConfig = serde_json::from_str(&text).unwrap();
+    assert_eq!(config, back);
+
+    // Request/Response round trips.
+    let request = Request::PlanNetwork {
+        suite: Some("resnet18".into()),
+        layers: None,
+        machine: mopt_service::MachineSpec::Custom(MachineModel::i9_10980xe()),
+        options: Some(OptimizerOptions::default()),
+        workers: Some(4),
+    };
+    let text = serde_json::to_string(&request).unwrap();
+    let back: Request = serde_json::from_str(&text).unwrap();
+    assert_eq!(request, back);
+}
+
+/// The cache dedupes across suites: Table-1 contains every suite, so
+/// planning a suite after Table-1 is fully warm.
+#[test]
+fn suite_plans_reuse_table1_cache_entries() {
+    let cache = ScheduleCache::new(256);
+    let machine = MachineModel::tiny_test_machine();
+    let planner = NetworkPlanner::new(&cache, machine, fast_options());
+    // Scaled-down stand-in for Table 1 keeps this test fast in debug builds.
+    let ops = benchmarks::scaled_operators(8, 16);
+    let cold = planner.plan_ops(&ops);
+    assert_eq!(cold.stats.layers, 32);
+
+    let resnet: Vec<NamedLayer> = ops
+        .iter()
+        .filter(|op| op.suite == conv_spec::BenchmarkSuite::ResNet18)
+        .map(NamedLayer::from)
+        .collect();
+    let warm = planner.plan(&resnet);
+    assert_eq!(warm.stats.solves, 0);
+    assert!(warm.layers.iter().all(|l| l.from_cache));
+}

@@ -58,9 +58,7 @@ impl BarrierSolver {
             return;
         }
         let viol = |p: &Problem, y: &[f64]| -> f64 {
-            (0..p.num_constraints())
-                .map(|i| p.constraint(i, y).max(0.0).powi(2))
-                .sum::<f64>()
+            (0..p.num_constraints()).map(|i| p.constraint(i, y).max(0.0).powi(2)).sum::<f64>()
         };
         let mut step = 1.0;
         for _ in 0..self.inner_iters {
@@ -179,7 +177,7 @@ impl NlpSolver for BarrierSolver {
 
 /// Pull a feasible point slightly off active constraints and bounds so that
 /// `-g(x) > 0` and the barrier is finite.
-fn nudge_strictly_feasible(problem: &Problem, x: &mut Vec<f64>) {
+fn nudge_strictly_feasible(problem: &Problem, x: &mut [f64]) {
     for _ in 0..50 {
         let active = (0..problem.num_constraints()).any(|i| problem.constraint(i, x) >= -1e-12);
         if !active {
@@ -188,17 +186,16 @@ fn nudge_strictly_feasible(problem: &Problem, x: &mut Vec<f64>) {
         // Move toward the box center, which for the capacity-style
         // constraints used here (monotonically increasing in every variable)
         // reduces the constraint values.
-        let center: Vec<f64> = (0..problem.dim())
-            .map(|j| 0.5 * (problem.lower()[j] + problem.upper()[j]))
-            .collect();
-        for j in 0..problem.dim() {
-            x[j] = x[j] + 0.05 * (center[j].min(x[j]) - x[j]) - 1e-9 * x[j].abs();
+        let center: Vec<f64> =
+            (0..problem.dim()).map(|j| 0.5 * (problem.lower()[j] + problem.upper()[j])).collect();
+        for (xj, &c) in x.iter_mut().zip(&center) {
+            *xj = *xj + 0.05 * (c.min(*xj) - *xj) - 1e-9 * xj.abs();
         }
         problem.project(x);
         // Shrink toward lower bounds as a last resort.
         if (0..problem.num_constraints()).any(|i| problem.constraint(i, x) >= 0.0) {
-            for j in 0..problem.dim() {
-                x[j] = problem.lower()[j] + 0.9 * (x[j] - problem.lower()[j]);
+            for (xj, &lo) in x.iter_mut().zip(problem.lower()) {
+                *xj = lo + 0.9 * (*xj - lo);
             }
         }
     }
@@ -221,9 +218,7 @@ mod tests {
 
     #[test]
     fn bound_constrained_minimum_at_box_edge() {
-        let p = Problem::new(1)
-            .with_bounds(vec![2.0], vec![10.0])
-            .with_objective(|x| x[0] * x[0]);
+        let p = Problem::new(1).with_bounds(vec![2.0], vec![10.0]).with_objective(|x| x[0] * x[0]);
         let r = BarrierSolver::default().solve(&p, &[7.0]);
         assert!(r.feasible);
         assert!((r.x[0] - 2.0).abs() < 1e-3);
@@ -266,7 +261,7 @@ mod tests {
             .with_bounds(vec![0.5, 0.5], vec![100.0, 100.0])
             .with_objective(|x| x[0] + 2.0 * x[1])
             .with_constraint(|x| x[0] * x[1] - 50.0); // xy <= 50
-        // Start far outside the feasible region.
+                                                      // Start far outside the feasible region.
         let r = BarrierSolver::default().solve(&p, &[90.0, 90.0]);
         assert!(r.feasible, "violation {}", r.max_violation);
         assert!(r.x[0] * r.x[1] <= 50.0 + 1e-3);

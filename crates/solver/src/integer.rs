@@ -33,7 +33,11 @@ impl Default for IntegerRefineOptions {
 /// infeasible, coordinates are reduced greedily until feasible (this always
 /// terminates at the all-lower-bound point, which the tile problems keep
 /// feasible by construction).
-pub fn floor_refine(problem: &Problem, x: &[f64], options: &IntegerRefineOptions) -> (Vec<f64>, f64) {
+pub fn floor_refine(
+    problem: &Problem,
+    x: &[f64],
+    options: &IntegerRefineOptions,
+) -> (Vec<f64>, f64) {
     let dim = problem.dim();
     assert_eq!(x.len(), dim, "point dimension mismatch");
     let mut xi: Vec<f64> = (0..dim)
@@ -64,7 +68,7 @@ pub fn floor_refine(problem: &Problem, x: &[f64], options: &IntegerRefineOptions
         for j in 0..dim {
             let mut moves = vec![1.0, -1.0];
             if options.scale_moves {
-                moves.push(xi[j]);        // double
+                moves.push(xi[j]); // double
                 moves.push(-(xi[j] / 2.0).floor()); // halve
             }
             for delta in moves {
@@ -110,7 +114,7 @@ pub fn snap_to_divisor(value: usize, extent: usize) -> usize {
     let mut best = value;
     let mut best_dist = usize::MAX;
     for d in 1..=extent {
-        if extent % d == 0 {
+        if extent.is_multiple_of(d) {
             let dist = d.abs_diff(value);
             if dist < best_dist {
                 best_dist = dist;

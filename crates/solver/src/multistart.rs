@@ -69,11 +69,7 @@ impl MultiStart {
         MultiStart {
             random_starts,
             base: BaseSolver::Penalty,
-            penalty: PenaltySolver {
-                outer_iters: 4,
-                inner_iters: 40,
-                ..PenaltySolver::default()
-            },
+            penalty: PenaltySolver { outer_iters: 4, inner_iters: 40, ..PenaltySolver::default() },
             ..Self::default()
         }
     }
@@ -147,13 +143,11 @@ mod tests {
     /// A deliberately multi-modal objective: two basins, the deeper one near
     /// the upper bound.
     fn two_basin_problem() -> Problem {
-        Problem::new(1)
-            .with_bounds(vec![0.0], vec![10.0])
-            .with_objective(|x| {
-                let a = (x[0] - 2.0).powi(2);            // local basin at 2 (depth 0 + 1)
-                let b = (x[0] - 8.0).powi(2) - 5.0;      // global basin at 8 (depth -5)
-                (a.min(b)) + 1.0
-            })
+        Problem::new(1).with_bounds(vec![0.0], vec![10.0]).with_objective(|x| {
+            let a = (x[0] - 2.0).powi(2); // local basin at 2 (depth 0 + 1)
+            let b = (x[0] - 8.0).powi(2) - 5.0; // global basin at 8 (depth -5)
+            (a.min(b)) + 1.0
+        })
     }
 
     #[test]
@@ -171,8 +165,7 @@ mod tests {
         let a = MultiStart::default().solve(&p, &[1.0]);
         let b = MultiStart::default().solve(&p, &[1.0]);
         assert_eq!(a.x, b.x);
-        let mut other = MultiStart::default();
-        other.seed = 1234;
+        let other = MultiStart { seed: 1234, ..Default::default() };
         let c = other.solve(&p, &[1.0]);
         // Different seed may or may not change the answer, but must stay valid.
         assert!(c.feasible);
@@ -192,9 +185,10 @@ mod tests {
 
     #[test]
     fn penalty_only_mode_works() {
-        let p = Problem::new(1).with_bounds(vec![0.0], vec![4.0]).with_objective(|x| (x[0] - 3.0).powi(2));
-        let mut ms = MultiStart::default();
-        ms.base = BaseSolver::Penalty;
+        let p = Problem::new(1)
+            .with_bounds(vec![0.0], vec![4.0])
+            .with_objective(|x| (x[0] - 3.0).powi(2));
+        let ms = MultiStart { base: BaseSolver::Penalty, ..Default::default() };
         let r = ms.solve(&p, &[0.0]);
         assert!((r.x[0] - 3.0).abs() < 0.05);
     }

@@ -145,8 +145,8 @@ mod tests {
         let p = Problem::new(1)
             .with_bounds(vec![0.0], vec![10.0])
             .with_objective(|x| x[0])
-            .with_constraint(|x| x[0] + 1.0)      // x <= -1
-            .with_constraint(|x| 1.0 - x[0]);     // x >= 1
+            .with_constraint(|x| x[0] + 1.0) // x <= -1
+            .with_constraint(|x| 1.0 - x[0]); // x >= 1
         let r = PenaltySolver::default().solve(&p, &[5.0]);
         assert!(!r.feasible);
         assert!(r.max_violation > 0.5);

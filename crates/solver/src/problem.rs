@@ -111,9 +111,9 @@ impl Problem {
         for g in &self.constraints {
             v = v.max(g(x));
         }
-        for j in 0..self.dim {
-            v = v.max(self.lower[j] - x[j]);
-            v = v.max(x[j] - self.upper[j]);
+        for (j, &xj) in x.iter().enumerate().take(self.dim) {
+            v = v.max(self.lower[j] - xj);
+            v = v.max(xj - self.upper[j]);
         }
         v.max(0.0)
     }
@@ -125,8 +125,8 @@ impl Problem {
 
     /// Clamp a point into the box bounds.
     pub fn project(&self, x: &mut [f64]) {
-        for j in 0..self.dim {
-            x[j] = x[j].clamp(self.lower[j], self.upper[j]);
+        for (j, xj) in x.iter_mut().enumerate().take(self.dim) {
+            *xj = xj.clamp(self.lower[j], self.upper[j]);
         }
     }
 
@@ -225,10 +225,34 @@ mod tests {
 
     #[test]
     fn result_ordering_prefers_feasible_then_objective() {
-        let feas_low = SolveResult { x: vec![], objective: 1.0, feasible: true, max_violation: 0.0, iterations: 1 };
-        let feas_high = SolveResult { x: vec![], objective: 2.0, feasible: true, max_violation: 0.0, iterations: 1 };
-        let infeas = SolveResult { x: vec![], objective: 0.0, feasible: false, max_violation: 3.0, iterations: 1 };
-        let infeas_less = SolveResult { x: vec![], objective: 0.0, feasible: false, max_violation: 1.0, iterations: 1 };
+        let feas_low = SolveResult {
+            x: vec![],
+            objective: 1.0,
+            feasible: true,
+            max_violation: 0.0,
+            iterations: 1,
+        };
+        let feas_high = SolveResult {
+            x: vec![],
+            objective: 2.0,
+            feasible: true,
+            max_violation: 0.0,
+            iterations: 1,
+        };
+        let infeas = SolveResult {
+            x: vec![],
+            objective: 0.0,
+            feasible: false,
+            max_violation: 3.0,
+            iterations: 1,
+        };
+        let infeas_less = SolveResult {
+            x: vec![],
+            objective: 0.0,
+            feasible: false,
+            max_violation: 1.0,
+            iterations: 1,
+        };
         assert!(feas_low.better_than(&feas_high));
         assert!(feas_high.better_than(&infeas));
         assert!(!infeas.better_than(&feas_low));

@@ -1,0 +1,156 @@
+//! Offline stand-in for `criterion`, vendored into the workspace.
+//!
+//! Provides the API surface the repository's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros — with
+//! a simple measured-median harness: warm up briefly, run timed batches, and
+//! print ns/iteration (plus element throughput when configured). No
+//! statistical analysis or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher {
+    iters_timed: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Measure a closure: brief warm-up, then timed batches sized so the
+    /// measurement lasts a few milliseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: time one call, target ~20 ms of
+        // measurement, capped to keep even multi-second benches bounded.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(20);
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters_timed = batch;
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters_timed.max(1) as f64
+    }
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored harness sizes batches
+    /// automatically.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.throughput, f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { iters_timed: 0, total: Duration::ZERO };
+    f(&mut b);
+    let ns = b.ns_per_iter();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.3} Melem/s", n as f64 / ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.3} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<48} {ns:>14.1} ns/iter ({} iters){rate}", b.iters_timed);
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10).throughput(Throughput::Elements(128));
+        group.bench_function("sum", |b| b.iter(|| (0..128u64).sum::<u64>()));
+        group.finish();
+    }
+}

@@ -1,0 +1,329 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! The build environment is offline, so this macro is written against the
+//! bare `proc_macro` API (no `syn` / `quote`). It supports exactly the item
+//! shapes the workspace derives on:
+//!
+//! * structs with named fields, unit structs, tuple structs,
+//! * enums whose variants are unit, tuple, or struct-like,
+//! * no generic parameters, no `#[serde(...)]` attributes.
+//!
+//! Representations match serde's defaults: named structs are objects, tuple
+//! structs are arrays, unit enum variants are strings, and payload-carrying
+//! variants are externally tagged single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum: (variant name, variant body) pairs.
+    Enum(Vec<(String, VariantBody)>),
+}
+
+#[derive(Debug)]
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Advance past a run of `#[...]` attributes starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Advance past an optional `pub` / `pub(...)` visibility at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a token stream on top-level commas, dropping empty segments.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !current.is_empty() {
+                    segments.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(tok),
+        }
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+/// Parse `name: Type` field segments into field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .into_iter()
+        .map(|seg| {
+            let toks: Vec<TokenTree> = seg;
+            let mut i = skip_attrs(&toks, 0);
+            i = skip_vis(&toks, i);
+            match toks.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored serde ({name})");
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(split_commas(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive: malformed struct body for {name}: {other:?}"),
+        },
+        "enum" => {
+            let group = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde_derive: malformed enum body for {name}: {other:?}"),
+            };
+            let mut variants = Vec::new();
+            for seg in split_commas(group.stream()) {
+                let toks: Vec<TokenTree> = seg;
+                let mut j = skip_attrs(&toks, 0);
+                let vname = match toks.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("serde_derive: expected variant name, found {other:?}"),
+                };
+                j += 1;
+                let vbody = match toks.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        VariantBody::Tuple(split_commas(g.stream()).len())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        VariantBody::Struct(parse_named_fields(g.stream()))
+                    }
+                    _ => VariantBody::Unit,
+                };
+                variants.push((vname, vbody));
+            }
+            Body::Enum(variants)
+        }
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    Item { name, body }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(obj)"
+            )
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Object(::std::vec::Vec::new())".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, vbody) in variants {
+                match vbody {
+                    VariantBody::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantBody::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("ref __f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    VariantBody::Struct(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| format!("ref {f}")).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match *self {{\n{arms}}}")
+        }
+    };
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    output.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{f}: ::serde::de_field(obj, \"{f}\", \"{name}\")?,\n"));
+            }
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::TupleStruct(n) => {
+            let mut inits = String::new();
+            for k in 0..*n {
+                inits.push_str(&format!(
+                    "::serde::Deserialize::from_value(items.get({k}).ok_or_else(|| ::serde::DeError::expected(\"array element\", \"{name}\"))?)?,\n"
+                ));
+            }
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (vname, vbody) in variants {
+                match vbody {
+                    VariantBody::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantBody::Tuple(n) => {
+                        let expr = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?))"
+                            )
+                        } else {
+                            let mut inits = String::new();
+                            for k in 0..*n {
+                                inits.push_str(&format!(
+                                    "::serde::Deserialize::from_value(items.get({k}).ok_or_else(|| ::serde::DeError::expected(\"array element\", \"{name}::{vname}\"))?)?,\n"
+                                ));
+                            }
+                            format!(
+                                "{{ let items = payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname}({inits})) }}"
+                            )
+                        };
+                        payload_arms.push_str(&format!("\"{vname}\" => {expr},\n"));
+                    }
+                    VariantBody::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::de_field(obj, \"{f}\", \"{name}::{vname}\")?,\n"
+                            ));
+                        }
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let obj = payload.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{inits}}}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, payload) = &pairs[0];\n\
+                 match tag.as_str() {{\n{payload_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key object\", \"{name}\")),\n}}"
+            )
+        }
+    };
+    let output = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<{name}, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    );
+    output.parse().expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -63,6 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         budget
     );
     println!("\nlower simulated cost is better; MOpt reaches its answer without any measurements,");
-    println!("which is the paper's Sec. 12 observation (9–23 s of solver time vs hours of tuning).");
+    println!(
+        "which is the paper's Sec. 12 observation (9–23 s of solver time vs hours of tuning)."
+    );
     Ok(())
 }

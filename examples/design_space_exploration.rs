@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let configs = space.sample_many(30, 42);
     let report = validate_operator("example-op", &shape, &machine, &configs, 1);
     println!("\nValidation over {} sampled configurations:", report.points.len());
-    println!("  rank correlation (model cost vs simulated cost): {:.2}", report.cost_rank_correlation());
+    println!(
+        "  rank correlation (model cost vs simulated cost): {:.2}",
+        report.cost_rank_correlation()
+    );
     println!("  top-1 loss: {:.1}%", report.top_k_loss(1) * 100.0);
     println!("  top-5 loss: {:.1}%", report.top_k_loss(5) * 100.0);
     println!("(the paper reports < 4.5% top-1 loss on all 32 benchmark operators)");

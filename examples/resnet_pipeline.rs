@@ -48,7 +48,13 @@ fn main() {
         let mopt_gf = project(mopt_cfg);
         let lib_gf = project(&lib_cfg);
         speedups.push(mopt_gf / lib_gf.max(1e-12));
-        println!("{:<6} {:>14.1} {:>14.1} {:>9.2}x", op.name, mopt_gf, lib_gf, mopt_gf / lib_gf.max(1e-12));
+        println!(
+            "{:<6} {:>14.1} {:>14.1} {:>9.2}x",
+            op.name,
+            mopt_gf,
+            lib_gf,
+            mopt_gf / lib_gf.max(1e-12)
+        );
     }
     let geo = {
         let s: f64 = speedups.iter().map(|v| v.ln()).sum();

@@ -4,8 +4,8 @@
 //! exercise the public API of every workspace crate through a single
 //! dependency. It re-exports the member crates under stable names.
 //!
-//! See `README.md` for the architecture overview and `DESIGN.md` for the
-//! system inventory and per-experiment index.
+//! See `README.md` for the architecture overview, the crate inventory, and
+//! the `moptd` server quickstart.
 
 pub use autotune;
 pub use baselines;
@@ -14,4 +14,5 @@ pub use conv_exec;
 pub use conv_spec;
 pub use mopt_core;
 pub use mopt_model;
+pub use mopt_service;
 pub use mopt_solver;

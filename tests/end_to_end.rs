@@ -44,8 +44,7 @@ fn optimizer_beats_untiled_execution_in_simulated_traffic() {
     let optimized = sim.simulate(&shape, &result.best().config);
     // A degenerate configuration: tiny register tile, no cache blocking.
     let mut bad = TileConfig::untiled(&shape);
-    *bad.level_mut(TilingLevel::Register) =
-        mopt_repro::conv_spec::TileSizes::ones();
+    *bad.level_mut(TilingLevel::Register) = mopt_repro::conv_spec::TileSizes::ones();
     let bad = bad.normalized(&shape);
     let unblocked = sim.simulate(&shape, &bad);
     let (_, opt_cost) = optimized.bottleneck(&machine, 1);
@@ -72,7 +71,8 @@ fn model_and_trace_simulator_agree_on_ranking_small_operator() {
     let model_good = model.predict_config(&good);
     let model_bad = model.predict_config(&bad);
 
-    let sim_good = TraceSimulator::new(&shape, &machine, CacheKind::IdealFullyAssociative).run(&good);
+    let sim_good =
+        TraceSimulator::new(&shape, &machine, CacheKind::IdealFullyAssociative).run(&good);
     let sim_bad = TraceSimulator::new(&shape, &machine, CacheKind::IdealFullyAssociative).run(&bad);
 
     let model_says_good_better =
@@ -85,10 +85,7 @@ fn model_and_trace_simulator_agree_on_ranking_small_operator() {
 
 #[test]
 fn library_baseline_and_mopt_configuration_both_compute_the_same_result() {
-    let op = benchmarks::scaled_operators(12, 24)
-        .into_iter()
-        .find(|o| o.name == "R6")
-        .unwrap();
+    let op = benchmarks::scaled_operators(12, 24).into_iter().find(|o| o.name == "R6").unwrap();
     let shape = op.shape;
     let machine = MachineModel::i7_9700k();
     let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 20);
@@ -100,9 +97,8 @@ fn library_baseline_and_mopt_configuration_both_compute_the_same_result() {
     assert!(reference.allclose(&lib_out, 1e-3));
 
     let result = fast_optimizer(shape, &machine, 1).optimize();
-    let mopt_out = TiledConv::new(shape, result.best().config.clone(), 1)
-        .unwrap()
-        .run(&input, &kernel);
+    let mopt_out =
+        TiledConv::new(shape, result.best().config.clone(), 1).unwrap().run(&input, &kernel);
     assert!(reference.allclose(&mopt_out, 1e-3));
 }
 

@@ -5,21 +5,29 @@ use proptest::prelude::*;
 
 use mopt_repro::conv_exec::naive::conv2d_naive;
 use mopt_repro::conv_exec::{Tensor4, TiledConv};
-use mopt_repro::conv_spec::{ConvShape, LoopIndex, Permutation, TileConfig, TileSizes, ALL_INDICES};
-use mopt_repro::mopt_model::cost::{
-    single_level_volume, total_footprint, CostOptions, RealTiles,
+use mopt_repro::conv_spec::{
+    ConvShape, LoopIndex, Permutation, TileConfig, TileSizes, ALL_INDICES,
 };
+use mopt_repro::mopt_model::cost::{single_level_volume, total_footprint, CostOptions, RealTiles};
 use mopt_repro::mopt_model::prune::{classify, pruned_classes};
 use mopt_repro::mopt_solver::{BarrierSolver, NlpSolver, PenaltySolver, Problem};
 
 /// Strategy: a small but non-degenerate conv shape.
 fn shape_strategy() -> impl Strategy<Value = ConvShape> {
-    (1usize..=2, 1usize..=12, 1usize..=12, 1usize..=3, 1usize..=3, 2usize..=10, 2usize..=10, 1usize..=2)
+    (
+        1usize..=2,
+        1usize..=12,
+        1usize..=12,
+        1usize..=3,
+        1usize..=3,
+        2usize..=10,
+        2usize..=10,
+        1usize..=2,
+    )
         .prop_map(|(n, k, c, r, s, h, w, stride)| {
             ConvShape::new(n, k, c, r, s, h, w, stride).expect("non-zero extents")
         })
 }
-
 
 /// Strategy: one of the 5040 permutations.
 fn permutation_strategy() -> impl Strategy<Value = Permutation> {
