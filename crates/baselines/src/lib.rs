@@ -162,7 +162,7 @@ fn pick_block(extent: usize, min: usize, max: usize) -> usize {
 /// Halve tile sizes (largest contributor first) until the footprint fits.
 fn shrink_to_capacity(tiles: &mut TileSizes, shape: &ConvShape, capacity: usize) {
     let mut guard = 0;
-    while tiles.footprint(shape.stride) > capacity && guard < 64 {
+    while tiles.footprint(shape) > capacity && guard < 64 {
         guard += 1;
         // Shrink the largest of the channel/spatial dims.
         let mut best = LoopIndex::C;
@@ -214,7 +214,7 @@ mod tests {
         let shape = ConvShape::new(1, 256, 256, 3, 3, 28, 28, 1).unwrap();
         let plan = lib.plan(&shape);
         let l1_tile = plan.config.level(TilingLevel::L1);
-        assert!(l1_tile.footprint(shape.stride) <= lib.machine.capacity(TilingLevel::L1) / 2);
+        assert!(l1_tile.footprint(&shape) <= lib.machine.capacity(TilingLevel::L1) / 2);
     }
 
     #[test]
@@ -248,6 +248,26 @@ mod tests {
         let expected = conv2d_naive(&shape, &input, &kernel);
         let got = lib.run(&shape, &input, &kernel);
         assert!(expected.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn depthwise_and_dilated_layers_plan_and_execute_correctly() {
+        let lib = OneDnnLike::new(machine());
+        for shape in [
+            ConvShape::depthwise(8, 11, 3, 1),
+            ConvShape::depthwise(8, 11, 3, 2),
+            ConvShape::from_table1_dilated(6, 4, 13, 3, 1, 2),
+        ] {
+            let plan = lib.plan(&shape);
+            assert!(plan.config.validate(&shape).is_ok(), "invalid plan for {shape}");
+            let (ni, ci, hi, wi) = shape.input_dims();
+            let (kk, kc, kr, ks) = shape.kernel_dims();
+            let input = Tensor4::random(ni, ci, hi, wi, 95);
+            let kernel = Tensor4::random(kk, kc, kr, ks, 96);
+            let expected = conv2d_naive(&shape, &input, &kernel);
+            let got = lib.run(&shape, &input, &kernel);
+            assert!(expected.allclose(&got, 1e-4), "{shape}");
+        }
     }
 
     #[test]

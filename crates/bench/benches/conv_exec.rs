@@ -38,5 +38,32 @@ fn bench_conv_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_conv_variants);
+/// Generalized workloads: a MobileNet(V2)-style depthwise stage and a
+/// DeepLab-style dilated operator through the same three execution paths.
+fn bench_generalized_conv(c: &mut Criterion) {
+    let machine = MachineModel::i7_9700k();
+    for (label, shape) in [
+        ("depthwise", ConvShape::depthwise(64, 30, 3, 1)),
+        ("dilated_d2", ConvShape::from_table1_dilated(32, 32, 33, 3, 1, 2)),
+    ] {
+        let (ni, ci, hi, wi) = shape.input_dims();
+        let (kk, kc, kr, ks) = shape.kernel_dims();
+        let input = Tensor4::random(ni, ci, hi, wi, 7);
+        let kernel = Tensor4::random(kk, kc, kr, ks, 8);
+
+        let group_name = format!("conv2d_{label}");
+        let mut group = c.benchmark_group(&group_name);
+        group.throughput(Throughput::Elements(shape.flops() as u64));
+        group.sample_size(10);
+        group.bench_function("naive", |b| b.iter(|| conv2d_naive(&shape, &input, &kernel)));
+        group.bench_function("im2col_gemm", |b| {
+            b.iter(|| conv2d_im2col(&shape, &input, &kernel, &GemmBlocking::default(), 1))
+        });
+        let tiled = TiledConv::new(shape, heuristic_config(&shape, &machine), 1).unwrap();
+        group.bench_function("tiled_heuristic_1t", |b| b.iter(|| tiled.run(&input, &kernel)));
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_conv_variants, bench_generalized_conv);
 criterion_main!(benches);

@@ -64,5 +64,41 @@ fn bench_single_lookup(c: &mut Criterion) {
     c.bench_function("service/cache_hit_lookup", |b| b.iter(|| cache.get(&key).is_some()));
 }
 
-criterion_group!(benches, bench_cold_planning, bench_warm_planning, bench_single_lookup);
+/// Warm planning over the generalized suites (MobileNetV2 depthwise +
+/// dilated DeepLab): the new shape fields flow through the same cache keys.
+fn bench_warm_generalized_planning(c: &mut Criterion) {
+    let cache = ScheduleCache::new(256);
+    let planner = NetworkPlanner::new(&cache, MachineModel::i7_9700k(), fast_options());
+    let ops: Vec<_> = conv_spec::benchmarks::extended_operators()
+        .into_iter()
+        .filter(|op| {
+            matches!(
+                op.suite,
+                conv_spec::BenchmarkSuite::MobileNetV2 | conv_spec::BenchmarkSuite::DilatedDeepLab
+            )
+        })
+        .collect();
+    let cold = planner.plan_ops(&ops); // populate
+    assert_eq!(cold.stats.solves, cold.stats.unique_shapes);
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    group.bench_function("plan_generalized_warm", |b| {
+        b.iter(|| {
+            let plan = planner.plan_ops(&ops);
+            assert_eq!(plan.stats.solves, 0);
+            plan.stats.cache_hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_planning,
+    bench_warm_planning,
+    bench_single_lookup,
+    bench_warm_generalized_planning
+);
 criterion_main!(benches);

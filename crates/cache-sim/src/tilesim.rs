@@ -106,7 +106,14 @@ fn kernel_slice(region: &TileRegion) -> Slice4 {
     }
 }
 
-fn input_slice(region: &TileRegion, stride: usize) -> Slice4 {
+/// The input-tensor bounding box of a tile region: the spatial window is the
+/// dilated sliding-window span, and the channel interval covers the per-group
+/// channel band(s) reached by the region's K range (a bounding interval when
+/// the K range straddles several groups — consistent with the analytical
+/// model's group-span over-approximation; exact for dense shapes).
+fn input_slice(region: &TileRegion, shape: &ConvShape) -> Slice4 {
+    let stride = shape.stride;
+    let dil = shape.dilation;
     let h0 = region.start_of(LoopIndex::H);
     let hs = region.size_of(LoopIndex::H);
     let w0 = region.start_of(LoopIndex::W);
@@ -115,14 +122,26 @@ fn input_slice(region: &TileRegion, stride: usize) -> Slice4 {
     let rs = region.size_of(LoopIndex::R);
     let s0 = region.start_of(LoopIndex::S);
     let ss = region.size_of(LoopIndex::S);
-    let row_start = h0 * stride + r0;
-    let row_len = (hs - 1) * stride + rs;
-    let col_start = w0 * stride + s0;
-    let col_len = (ws - 1) * stride + ss;
+    let row_start = h0 * stride + r0 * dil;
+    let row_len = (hs - 1) * stride + (rs - 1) * dil + 1;
+    let col_start = w0 * stride + s0 * dil;
+    let col_len = (ws - 1) * stride + (ss - 1) * dil + 1;
+    let c0 = region.start_of(LoopIndex::C);
+    let cs = region.size_of(LoopIndex::C);
+    let (ch_start, ch_len) = if shape.groups <= 1 {
+        (c0, cs)
+    } else {
+        let cpg = shape.reduction_c();
+        let k0 = region.start_of(LoopIndex::K);
+        let ks = region.size_of(LoopIndex::K);
+        let groups = shape.groups_spanned(k0, ks);
+        let (g_lo, g_hi) = (*groups.start(), *groups.end());
+        (g_lo * cpg + c0, (g_hi - g_lo) * cpg + cs)
+    };
     Slice4 {
         dims: [
             Interval { start: region.start_of(LoopIndex::N), len: region.size_of(LoopIndex::N) },
-            Interval { start: region.start_of(LoopIndex::C), len: region.size_of(LoopIndex::C) },
+            Interval { start: ch_start, len: ch_len },
             Interval { start: row_start, len: row_len },
             Interval { start: col_start, len: col_len },
         ],
@@ -317,7 +336,7 @@ impl TileTrafficSimulator {
         let mut output = 0f64;
         let mut count = 0u64;
         let visited = walker.walk(level, |region| {
-            let in_s = input_slice(region, shape.stride);
+            let in_s = input_slice(region, shape);
             let ker_s = kernel_slice(region);
             let out_s = output_slice(region);
             match &prev {
@@ -502,9 +521,43 @@ mod tests {
     fn stride_two_input_slices() {
         let shape = ConvShape::from_table1(2, 1, 9, 3, 2); // output 4x4
         let region = TileRegion::full(&shape);
-        let s = input_slice(&region, 2);
+        let s = input_slice(&region, &shape);
         assert_eq!(s.dims[2].len, (4 - 1) * 2 + 3);
         assert_eq!(s.volume(), 9 * 9);
+    }
+
+    #[test]
+    fn dilated_input_slice_spans_the_wider_window() {
+        let shape = ConvShape::from_table1_dilated(2, 1, 11, 3, 1, 2); // eff 5, out 7x7
+        let region = TileRegion::full(&shape);
+        let s = input_slice(&region, &shape);
+        assert_eq!(s.dims[2].len, (7 - 1) + (3 - 1) * 2 + 1);
+        assert_eq!(s.volume(), 11 * 11);
+    }
+
+    #[test]
+    fn grouped_input_slice_covers_spanned_channel_bands() {
+        let shape = ConvShape::new_general(1, 8, 8, 1, 1, 4, 4, 1, 1, 4).unwrap();
+        // Full region: all 4 groups → all 8 channels.
+        let full = TileRegion::full(&shape);
+        assert_eq!(input_slice(&full, &shape).dims[1].len, 8);
+        // A region covering k = 2..4 (group 1 only) → channels 2..4.
+        let mut sub = full;
+        sub.start[LoopIndex::K.canonical_position()] = 2;
+        sub.size[LoopIndex::K.canonical_position()] = 2;
+        let s = input_slice(&sub, &shape);
+        assert_eq!((s.dims[1].start, s.dims[1].len), (2, 2));
+    }
+
+    #[test]
+    fn depthwise_untiled_traffic_matches_tensor_sizes() {
+        let shape = ConvShape::depthwise(8, 10, 3, 1);
+        let cfg = TileConfig::untiled(&shape);
+        let sim = TileTrafficSimulator::default();
+        let stats = sim.level_traffic(&shape, &cfg, TilingLevel::L3);
+        assert_eq!(stats.input_elems, shape.input_elems() as f64);
+        assert_eq!(stats.kernel_elems, shape.kernel_elems() as f64);
+        assert_eq!(stats.output_elems, shape.output_elems() as f64);
     }
 
     #[test]

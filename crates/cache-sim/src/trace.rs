@@ -48,20 +48,30 @@ impl TraceSimulator {
     pub fn run(&mut self, config: &TileConfig) -> DataMovement {
         let config = config.normalized(&self.shape);
         let walker = TileWalker::new(&self.shape, &config);
-        let stride = self.shape.stride;
+        let shape = self.shape;
         // Collect regions first to avoid borrowing `self` inside the closure.
         let mut regions: Vec<TileRegion> = Vec::new();
         walker.walk(TilingLevel::Register, |r| {
             regions.push(*r);
             true
         });
+        // Scratch buffers for the per-tile input row/column sets, reused
+        // across the (potentially millions of) register tiles.
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
         for region in &regions {
-            self.simulate_register_tile(region, stride);
+            self.simulate_register_tile(region, &shape, &mut rows, &mut cols);
         }
         self.hierarchy.data_movement(self.shape.flops() as f64)
     }
 
-    fn simulate_register_tile(&mut self, region: &TileRegion, stride: usize) {
+    fn simulate_register_tile(
+        &mut self,
+        region: &TileRegion,
+        shape: &ConvShape,
+        rows: &mut Vec<usize>,
+        cols: &mut Vec<usize>,
+    ) {
         let n0 = region.start_of(LoopIndex::N);
         let nn = region.size_of(LoopIndex::N);
         let k0 = region.start_of(LoopIndex::K);
@@ -104,18 +114,23 @@ impl TraceSimulator {
                 }
             }
         }
-        // Distinct input elements streamed through registers.
-        let in_h0 = h0 * stride + r0;
-        let in_h_len = (nh - 1) * stride + nr;
-        let in_w0 = w0 * stride + s0;
-        let in_w_len = (nw - 1) * stride + ns;
+        // Distinct input elements streamed through registers: for each
+        // channel group the tile's K range reaches, the group's channel band
+        // restricted to the tile's relative C range, over the exact set of
+        // (dilated) input rows and columns the tile touches.
+        fill_distinct_input_positions(rows, h0, nh, shape.stride, r0, nr, shape.dilation);
+        fill_distinct_input_positions(cols, w0, nw, shape.stride, s0, ns, shape.dilation);
+        let cpg = shape.reduction_c();
         for n in n0..n0 + nn {
-            for c in c0..c0 + nc {
-                for hi in in_h0..in_h0 + in_h_len {
-                    for wi in in_w0..in_w0 + in_w_len {
-                        let addr = self.addresses.input(n, c, hi, wi);
-                        self.hierarchy.access(addr, false);
-                        reg_loads += 1;
+            for g in shape.groups_spanned(k0, nk) {
+                for c in c0..c0 + nc {
+                    let c_abs = g * cpg + c;
+                    for &hi in rows.iter() {
+                        for &wi in cols.iter() {
+                            let addr = self.addresses.input(n, c_abs, hi, wi);
+                            self.hierarchy.access(addr, false);
+                            reg_loads += 1;
+                        }
                     }
                 }
             }
@@ -140,6 +155,39 @@ impl TraceSimulator {
     pub fn hierarchy(&self) -> &MemoryHierarchy {
         &self.hierarchy
     }
+}
+
+/// Fill `buf` with the sorted distinct input positions `{p·stride +
+/// t·dilation}` touched by a tile with output positions `p ∈ [p0, p0+np)`
+/// and kernel taps `t ∈ [t0, t0+nt)` along one spatial axis. For
+/// `dilation == 1` this is the contiguous pre-generalization range
+/// `[p0·stride + t0, … + (np-1)·stride + nt)`; for larger dilations the
+/// touched rows can be non-contiguous, so the exact union is materialized
+/// (sort + dedup in the caller-provided scratch buffer — no per-tile
+/// allocation once the buffer has grown).
+fn fill_distinct_input_positions(
+    buf: &mut Vec<usize>,
+    p0: usize,
+    np: usize,
+    stride: usize,
+    t0: usize,
+    nt: usize,
+    dilation: usize,
+) {
+    buf.clear();
+    if dilation == 1 {
+        let start = p0 * stride + t0;
+        let len = (np - 1) * stride + nt;
+        buf.extend(start..start + len);
+        return;
+    }
+    for p in p0..p0 + np {
+        for t in t0..t0 + nt {
+            buf.push(p * stride + t * dilation);
+        }
+    }
+    buf.sort_unstable();
+    buf.dedup();
 }
 
 #[cfg(test)]
@@ -266,6 +314,52 @@ mod tests {
         for lvl in [TilingLevel::Register, TilingLevel::L1, TilingLevel::L2, TilingLevel::L3] {
             assert!(real.volume(lvl) > 0.0, "no traffic recorded at {lvl}");
         }
+    }
+
+    #[test]
+    fn distinct_positions_match_dense_range_and_dilated_union() {
+        let positions = |p0, np, stride, t0, nt, dil| {
+            let mut buf = Vec::new();
+            fill_distinct_input_positions(&mut buf, p0, np, stride, t0, nt, dil);
+            buf
+        };
+        // Dense: contiguous range.
+        assert_eq!(positions(1, 3, 1, 0, 3, 1), vec![1, 2, 3, 4, 5]);
+        // Dilation 2, single output position: every other pixel.
+        assert_eq!(positions(0, 1, 1, 0, 3, 2), vec![0, 2, 4]);
+        // Dilation 2 with two adjacent outputs: union fills in the gaps.
+        assert_eq!(positions(0, 2, 1, 0, 3, 2), vec![0, 1, 2, 3, 4, 5]);
+        // Stride 2 + dilation 2: only even pixels.
+        assert_eq!(positions(0, 2, 2, 0, 2, 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn depthwise_register_traffic_counts_each_group_band_once() {
+        let s = ConvShape::depthwise(4, 4, 1, 1);
+        let m = MachineModel::tiny_test_machine();
+        let cfg = TileConfig::untiled(&s);
+        let mut sim = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative);
+        let dm = sim.run(&cfg);
+        let reg = dm.level(TilingLevel::Register);
+        // Whole problem in one register tile: In + Ker + Out loads, Out store.
+        assert_eq!(
+            reg.inbound_elems,
+            (s.output_elems() + s.kernel_elems() + s.input_elems()) as f64
+        );
+        assert_eq!(reg.outbound_elems, s.output_elems() as f64);
+    }
+
+    #[test]
+    fn dilated_trace_covers_cold_footprint() {
+        let s = ConvShape::from_table1_dilated(4, 3, 12, 3, 1, 2);
+        let m = MachineModel::tiny_test_machine();
+        let cfg = TileConfig::untiled(&s);
+        let mut sim = TraceSimulator::new(&s, &m, CacheKind::IdealFullyAssociative);
+        let dm = sim.run(&cfg);
+        // Every kernel and output element is touched; the dilated input
+        // window touches every input pixel of the full (untiled) problem.
+        let cold = (s.input_elems() + s.kernel_elems() + s.output_elems()) as f64;
+        assert!(dm.volume(TilingLevel::L3) >= cold * 0.99);
     }
 
     #[test]

@@ -46,12 +46,25 @@ impl GemmBlocking {
 }
 
 /// Expand the input tensor into the im2col matrix, stored row-major with
-/// dimensions `(C·R·S) × (N·H·W)`.
+/// dimensions `(C·R·S) × (N·H·W)` — the dense (single-group) form. For
+/// grouped shapes use [`im2col_group`], which expands one group's channel
+/// band.
 pub fn im2col(shape: &ConvShape, input: &Tensor4) -> Vec<f32> {
-    let rows = shape.c * shape.r * shape.s;
+    assert_eq!(shape.groups, 1, "im2col expands dense shapes; use im2col_group");
+    im2col_group(shape, input, 0)
+}
+
+/// Expand the channel band of group `g` into its im2col matrix, stored
+/// row-major with dimensions `((C/G)·R·S) × (N·H·W)`, honouring stride and
+/// dilation.
+pub fn im2col_group(shape: &ConvShape, input: &Tensor4, g: usize) -> Vec<f32> {
+    let cpg = shape.reduction_c();
+    let rows = cpg * shape.r * shape.s;
     let cols = shape.n * shape.h * shape.w;
+    let c_base = g * cpg;
+    let dil = shape.dilation;
     let mut col = vec![0.0f32; rows * cols];
-    for c in 0..shape.c {
+    for c in 0..cpg {
         for r in 0..shape.r {
             for s in 0..shape.s {
                 let row = (c * shape.r + r) * shape.s + s;
@@ -59,8 +72,12 @@ pub fn im2col(shape: &ConvShape, input: &Tensor4) -> Vec<f32> {
                     for h in 0..shape.h {
                         for w in 0..shape.w {
                             let colidx = (n * shape.h + h) * shape.w + w;
-                            col[row * cols + colidx] =
-                                input.at(n, c, h * shape.stride + r, w * shape.stride + s);
+                            col[row * cols + colidx] = input.at(
+                                n,
+                                c_base + c,
+                                h * shape.stride + r * dil,
+                                w * shape.stride + s * dil,
+                            );
                         }
                     }
                 }
@@ -113,10 +130,15 @@ pub fn blocked_gemm(
     }
 }
 
-/// Complete im2col convolution with a chosen blocking and thread count.
+/// Complete im2col convolution with a chosen blocking and thread count,
+/// generalized over stride, dilation, and channel groups (one im2col + GEMM
+/// per group; a dense shape is the single-group special case with an
+/// unchanged execution path).
 ///
-/// Threads split the output-channel dimension (rows of the GEMM), which keeps
-/// their output slices disjoint.
+/// For dense shapes, threads split the output-channel dimension (rows of the
+/// GEMM); for grouped shapes the independent groups themselves fan out
+/// across the thread pool (within a group, `K/groups` rows — 1 for
+/// depthwise — would give threads nothing to do).
 pub fn conv2d_im2col(
     shape: &ConvShape,
     input: &Tensor4,
@@ -125,46 +147,93 @@ pub fn conv2d_im2col(
     threads: usize,
 ) -> Tensor4 {
     crate::naive::check_dims(shape, input, kernel);
-    let m = shape.k;
-    let kdim = shape.c * shape.r * shape.s;
+    let m = shape.k_per_group(); // GEMM rows per group
+    let kdim = shape.reduction_c() * shape.r * shape.s;
     let n = shape.n * shape.h * shape.w;
-    let col = im2col(shape, input);
-    let a = kernel.as_slice(); // KCRS row-major is exactly (K) × (C·R·S)
     let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
 
-    // NOTE: the output tensor is NCHW = (N, K, H, W); for N == 1 the GEMM
-    // result (K × N·H·W) is already in the right layout. For N > 1 we compute
-    // into a scratch (K × N·H·W) matrix and transpose back.
-    let threads = threads.clamp(1, m.max(1));
-    let mut c_mat = vec![0.0f32; m * n];
-    if threads <= 1 {
-        blocked_gemm(m, kdim, n, a, &col, &mut c_mat, blocking);
-    } else {
-        let rows_per = m.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, c_chunk) in c_mat.chunks_mut(rows_per * n).enumerate() {
-                let a_start = t * rows_per * kdim;
-                let rows = c_chunk.len() / n;
-                let a_chunk = &a[a_start..a_start + rows * kdim];
-                let col_ref = &col;
-                scope.spawn(move || {
-                    blocked_gemm(rows, kdim, n, a_chunk, col_ref, c_chunk, blocking);
-                });
-            }
-        });
+    // NOTE: the output tensor is NCHW = (N, K, H, W); for N == 1 each group's
+    // GEMM result (K/G × N·H·W) is already in the right layout. For N > 1 we
+    // compute into a scratch (K/G × N·H·W) matrix and transpose back.
+    if shape.groups == 1 {
+        let threads = threads.clamp(1, m.max(1));
+        let col = im2col_group(shape, input, 0);
+        let a = kernel.as_slice(); // KCRS row-major is exactly (K) × (C·R·S)
+        let mut c_mat = vec![0.0f32; m * n];
+        if threads <= 1 {
+            blocked_gemm(m, kdim, n, a, &col, &mut c_mat, blocking);
+        } else {
+            let rows_per = m.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (t, c_chunk) in c_mat.chunks_mut(rows_per * n).enumerate() {
+                    let a_start = t * rows_per * kdim;
+                    let rows = c_chunk.len() / n;
+                    let a_chunk = &a[a_start..a_start + rows * kdim];
+                    let col_ref = &col;
+                    scope.spawn(move || {
+                        blocked_gemm(rows, kdim, n, a_chunk, col_ref, c_chunk, blocking);
+                    });
+                }
+            });
+        }
+        scatter_group(shape, &mut out, 0, &c_mat);
+        return out;
     }
 
-    for k in 0..shape.k {
+    // Grouped: each group's im2col + GEMM is independent, so groups are the
+    // parallel unit. A work-stealing counter keeps the pool balanced when
+    // groups outnumber threads.
+    let workers = threads.clamp(1, shape.groups);
+    if workers <= 1 {
+        for g in 0..shape.groups {
+            let col = im2col_group(shape, input, g);
+            // KCRS row-major: group g's kernel rows are one contiguous block.
+            let a = &kernel.as_slice()[g * m * kdim..(g + 1) * m * kdim];
+            let mut c_mat = vec![0.0f32; m * n];
+            blocked_gemm(m, kdim, n, a, &col, &mut c_mat, blocking);
+            scatter_group(shape, &mut out, g, &c_mat);
+        }
+        return out;
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: std::sync::Mutex<Vec<(usize, Vec<f32>)>> = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let g = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if g >= shape.groups {
+                    break;
+                }
+                let col = im2col_group(shape, input, g);
+                let a = &kernel.as_slice()[g * m * kdim..(g + 1) * m * kdim];
+                let mut c_mat = vec![0.0f32; m * n];
+                blocked_gemm(m, kdim, n, a, &col, &mut c_mat, blocking);
+                results.lock().expect("im2col results poisoned").push((g, c_mat));
+            });
+        }
+    });
+    for (g, c_mat) in results.into_inner().expect("im2col results poisoned") {
+        scatter_group(shape, &mut out, g, &c_mat);
+    }
+    out
+}
+
+/// Copy one group's GEMM result matrix (`K/G × N·H·W`, row-major) into the
+/// NCHW output tensor.
+fn scatter_group(shape: &ConvShape, out: &mut Tensor4, g: usize, c_mat: &[f32]) {
+    let m = shape.k_per_group();
+    let n = shape.n * shape.h * shape.w;
+    for k_rel in 0..m {
+        let k = g * m + k_rel;
         for nb in 0..shape.n {
             for h in 0..shape.h {
                 for w in 0..shape.w {
                     let colidx = (nb * shape.h + h) * shape.w + w;
-                    *out.at_mut(nb, k, h, w) = c_mat[k * n + colidx];
+                    *out.at_mut(nb, k, h, w) = c_mat[k_rel * n + colidx];
                 }
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -208,6 +277,38 @@ mod tests {
             let reference = conv2d_naive(&shape, &input, &kernel);
             let got = conv2d_im2col(&shape, &input, &kernel, &GemmBlocking::default(), 1);
             assert!(reference.allclose(&got, 1e-4), "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn depthwise_and_grouped_im2col_match_naive() {
+        for shape in [
+            ConvShape::depthwise(8, 10, 3, 1),
+            ConvShape::depthwise(6, 11, 3, 2),
+            ConvShape::new_general(1, 6, 4, 3, 3, 7, 7, 1, 1, 2).unwrap(),
+        ] {
+            let (ni, ci, hi, wi) = shape.input_dims();
+            let (kk, kc, kr, ks) = shape.kernel_dims();
+            let input = Tensor4::random(ni, ci, hi, wi, 51);
+            let kernel = Tensor4::random(kk, kc, kr, ks, 52);
+            let reference = conv2d_naive(&shape, &input, &kernel);
+            for threads in [1, 2] {
+                let got = conv2d_im2col(&shape, &input, &kernel, &GemmBlocking::default(), threads);
+                assert!(reference.allclose(&got, 1e-4), "{shape} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn dilated_im2col_matches_naive() {
+        for dilation in [2, 3] {
+            let shape = ConvShape::from_table1_dilated(5, 3, 13, 3, 1, dilation);
+            let (ni, ci, hi, wi) = shape.input_dims();
+            let input = Tensor4::random(ni, ci, hi, wi, 61);
+            let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 62);
+            let reference = conv2d_naive(&shape, &input, &kernel);
+            let got = conv2d_im2col(&shape, &input, &kernel, &GemmBlocking::default(), 1);
+            assert!(reference.allclose(&got, 1e-4), "dilation {dilation}");
         }
     }
 

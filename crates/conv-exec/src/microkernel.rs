@@ -24,7 +24,9 @@ pub struct KernelRegion {
     pub n: (usize, usize),
     /// Output-channel range.
     pub k: (usize, usize),
-    /// Input-channel range.
+    /// Input-channel range, group-relative: offsets are within
+    /// `0..shape.reduction_c()` (for dense shapes that is the full channel
+    /// range).
     pub c: (usize, usize),
     /// Kernel-row range.
     pub r: (usize, usize),
@@ -37,12 +39,13 @@ pub struct KernelRegion {
 }
 
 impl KernelRegion {
-    /// The full iteration space of a shape.
+    /// The full iteration space of a shape (the C range is the per-group
+    /// reduction extent).
     pub fn full(shape: &ConvShape) -> Self {
         KernelRegion {
             n: (0, shape.n),
             k: (0, shape.k),
-            c: (0, shape.c),
+            c: (0, shape.reduction_c()),
             r: (0, shape.r),
             s: (0, shape.s),
             h: (0, shape.h),
@@ -67,6 +70,12 @@ impl KernelRegion {
 /// The output block is loaded into a stack accumulator at entry and written
 /// back at exit, exactly like the generated microkernel keeps accumulators in
 /// vector registers across the reduction loops.
+///
+/// The region's `c` range is group-relative (`0..shape.reduction_c()`). For
+/// grouped shapes the K range is split internally at group boundaries so that
+/// each sub-block reads one contiguous band of input channels; dense shapes
+/// take exactly the pre-generalization path (a single block with input
+/// channel base 0).
 pub fn run_microkernel(
     shape: &ConvShape,
     input: &Tensor4,
@@ -74,14 +83,37 @@ pub fn run_microkernel(
     output: &mut Tensor4,
     region: &KernelRegion,
 ) {
-    let acc_len = region.output_points();
-    if acc_len == 0 || region.macs() == 0 {
+    if region.output_points() == 0 || region.macs() == 0 {
         return;
     }
-    if acc_len <= MAX_ACCUMULATORS {
-        microkernel_blocked(shape, input, kernel, output, region);
+    if shape.groups <= 1 {
+        dispatch(shape, input, kernel, output, region, 0);
+        return;
+    }
+    let k_per_group = shape.k_per_group().max(1);
+    let (k0, nk) = region.k;
+    for group in shape.groups_spanned(k0, nk) {
+        let k_lo = k0.max(group * k_per_group);
+        let k_hi = ((group + 1) * k_per_group).min(k0 + nk);
+        let sub = KernelRegion { k: (k_lo, k_hi - k_lo), ..*region };
+        dispatch(shape, input, kernel, output, &sub, shape.input_channel(k_lo, 0));
+    }
+}
+
+/// Run one single-group block through the blocked or direct path. `c_base` is
+/// the absolute input channel corresponding to the region's relative `c = 0`.
+fn dispatch(
+    shape: &ConvShape,
+    input: &Tensor4,
+    kernel: &PackedKernel,
+    output: &mut Tensor4,
+    region: &KernelRegion,
+    c_base: usize,
+) {
+    if region.output_points() <= MAX_ACCUMULATORS {
+        microkernel_blocked(shape, input, kernel, output, region, c_base);
     } else {
-        microkernel_direct(shape, input, kernel, output, region);
+        microkernel_direct(shape, input, kernel, output, region, c_base);
     }
 }
 
@@ -94,6 +126,7 @@ fn microkernel_blocked(
     kernel: &PackedKernel,
     output: &mut Tensor4,
     region: &KernelRegion,
+    c_base: usize,
 ) {
     let (n0, nn) = region.n;
     let (k0, nk) = region.k;
@@ -103,6 +136,7 @@ fn microkernel_blocked(
     let (h0, nh) = region.h;
     let (w0, nw) = region.w;
     let stride = shape.stride;
+    let dil = shape.dilation;
 
     let mut acc = [0.0f32; MAX_ACCUMULATORS];
     let acc_len = nn * nh * nw * nk;
@@ -124,16 +158,18 @@ fn microkernel_blocked(
     }
 
     // Reduction loops: c, r, s outermost (as in Listing 4), then the
-    // outer-product over output pixels × output channels.
+    // outer-product over output pixels × output channels. The kernel is
+    // addressed with the group-relative channel, the input with the absolute
+    // one; dilation spreads the sampled pixels by `dil`.
     for c in c0..c0 + nc {
         for r in r0..r0 + nr {
             for s in s0..s0 + ns {
                 let mut idx = 0;
                 for n in n0..n0 + nn {
                     for h in h0..h0 + nh {
-                        let in_row = h * stride + r;
+                        let in_row = h * stride + r * dil;
                         for w in w0..w0 + nw {
-                            let x = input.at(n, c, in_row, w * stride + s);
+                            let x = input.at(n, c_base + c, in_row, w * stride + s * dil);
                             // Innermost: contiguous packed-kernel lanes.
                             let block = &mut acc[idx..idx + nk];
                             for (k_i, a) in block.iter_mut().enumerate() {
@@ -171,6 +207,7 @@ fn microkernel_direct(
     kernel: &PackedKernel,
     output: &mut Tensor4,
     region: &KernelRegion,
+    c_base: usize,
 ) {
     let (n0, nn) = region.n;
     let (k0, nk) = region.k;
@@ -180,6 +217,7 @@ fn microkernel_direct(
     let (h0, nh) = region.h;
     let (w0, nw) = region.w;
     let stride = shape.stride;
+    let dil = shape.dilation;
     for n in n0..n0 + nn {
         for k in k0..k0 + nk {
             for c in c0..c0 + nc {
@@ -187,10 +225,10 @@ fn microkernel_direct(
                     for s in s0..s0 + ns {
                         let kv = kernel.at(k, c, r, s);
                         for h in h0..h0 + nh {
-                            let in_row = h * stride + r;
+                            let in_row = h * stride + r * dil;
                             for w in w0..w0 + nw {
                                 *output.at_mut(n, k, h, w) +=
-                                    input.at(n, c, in_row, w * stride + s) * kv;
+                                    input.at(n, c_base + c, in_row, w * stride + s * dil) * kv;
                             }
                         }
                     }
@@ -206,8 +244,10 @@ mod tests {
     use crate::naive::conv2d_naive;
 
     fn setup(shape: &ConvShape) -> (Tensor4, Tensor4, PackedKernel) {
-        let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 11);
-        let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 12);
+        let (ni, ci, hi, wi) = shape.input_dims();
+        let (kk, kc, kr, ks) = shape.kernel_dims();
+        let input = Tensor4::random(ni, ci, hi, wi, 11);
+        let kernel = Tensor4::random(kk, kc, kr, ks, 12);
         let packed = PackedKernel::pack(shape, &kernel, 8);
         (input, kernel, packed)
     }
@@ -264,6 +304,41 @@ mod tests {
         // Output points exceed MAX_ACCUMULATORS → fallback path.
         let shape = ConvShape::new(1, 16, 2, 3, 3, 12, 12, 1).unwrap();
         assert!(KernelRegion::full(&shape).output_points() > MAX_ACCUMULATORS);
+        let (input, kernel, packed) = setup(&shape);
+        let reference = conv2d_naive(&shape, &input, &kernel);
+        let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+        run_microkernel(&shape, &input, &packed, &mut out, &KernelRegion::full(&shape));
+        assert!(reference.allclose(&out, 1e-4));
+    }
+
+    #[test]
+    fn depthwise_full_region_matches_naive() {
+        let shape = ConvShape::depthwise(12, 8, 3, 1);
+        let (input, kernel, packed) = setup(&shape);
+        let reference = conv2d_naive(&shape, &input, &kernel);
+        let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+        run_microkernel(&shape, &input, &packed, &mut out, &KernelRegion::full(&shape));
+        assert!(reference.allclose(&out, 1e-4), "max diff {}", reference.max_abs_diff(&out));
+    }
+
+    #[test]
+    fn grouped_region_spanning_groups_matches_naive() {
+        // K regions that straddle group boundaries must be split internally.
+        let shape = ConvShape::new_general(1, 8, 8, 3, 3, 6, 6, 1, 1, 4).unwrap();
+        let (input, kernel, packed) = setup(&shape);
+        let reference = conv2d_naive(&shape, &input, &kernel);
+        let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+        // Split K as (0..3), (3..8): both sub-ranges straddle group edges.
+        for (k0, nk) in [(0usize, 3usize), (3, 5)] {
+            let region = KernelRegion { k: (k0, nk), ..KernelRegion::full(&shape) };
+            run_microkernel(&shape, &input, &packed, &mut out, &region);
+        }
+        assert!(reference.allclose(&out, 1e-4));
+    }
+
+    #[test]
+    fn dilated_region_matches_naive() {
+        let shape = ConvShape::from_table1_dilated(4, 3, 12, 3, 1, 2);
         let (input, kernel, packed) = setup(&shape);
         let reference = conv2d_naive(&shape, &input, &kernel);
         let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);

@@ -5,8 +5,13 @@ use conv_spec::ConvShape;
 
 use crate::tensor::Tensor4;
 
-/// Direct seven-loop convolution:
-/// `Out[n][k][h][w] += In[n][c][h*stride+r][w*stride+s] * Ker[k][c][r][s]`.
+/// Direct seven-loop convolution, generalized over stride, dilation, and
+/// channel groups:
+/// `Out[n][k][h][w] += In[n][g·(C/G)+c][h*stride+r*dilation][w*stride+s*dilation] * Ker[k][c][r][s]`
+/// where `g = k / (K/G)` is output channel `k`'s group and `c` runs over the
+/// per-group reduction extent `C/G`. For dense shapes (`G == 1`,
+/// `dilation == 1`) this is exactly the paper's loop nest, with an identical
+/// floating-point evaluation order.
 ///
 /// # Panics
 ///
@@ -14,14 +19,23 @@ use crate::tensor::Tensor4;
 pub fn conv2d_naive(shape: &ConvShape, input: &Tensor4, kernel: &Tensor4) -> Tensor4 {
     check_dims(shape, input, kernel);
     let mut out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+    let cpg = shape.reduction_c();
+    let kpg = shape.k_per_group().max(1);
+    let (stride, dil) = (shape.stride, shape.dilation);
     for n in 0..shape.n {
         for k in 0..shape.k {
-            for c in 0..shape.c {
+            let c_base = (k / kpg) * cpg;
+            for c in 0..cpg {
                 for r in 0..shape.r {
                     for s in 0..shape.s {
                         for h in 0..shape.h {
                             for w in 0..shape.w {
-                                let x = input.at(n, c, h * shape.stride + r, w * shape.stride + s);
+                                let x = input.at(
+                                    n,
+                                    c_base + c,
+                                    h * stride + r * dil,
+                                    w * stride + s * dil,
+                                );
                                 let kv = kernel.at(k, c, r, s);
                                 *out.at_mut(n, k, h, w) += x * kv;
                             }
@@ -35,20 +49,17 @@ pub fn conv2d_naive(shape: &ConvShape, input: &Tensor4, kernel: &Tensor4) -> Ten
 }
 
 /// Validate that the input and kernel tensors have the dimensions implied by
-/// `shape`.
+/// `shape` (the kernel's channel dimension is the per-group reduction extent
+/// `C/groups`).
 ///
 /// # Panics
 ///
 /// Panics with a descriptive message when a dimension mismatches.
 pub fn check_dims(shape: &ConvShape, input: &Tensor4, kernel: &Tensor4) {
-    assert_eq!(
-        input.dims(),
-        (shape.n, shape.c, shape.input_h(), shape.input_w()),
-        "input tensor dimensions do not match the shape"
-    );
+    assert_eq!(input.dims(), shape.input_dims(), "input tensor dimensions do not match the shape");
     assert_eq!(
         kernel.dims(),
-        (shape.k, shape.c, shape.r, shape.s),
+        shape.kernel_dims(),
         "kernel tensor dimensions do not match the shape"
     );
 }
@@ -102,6 +113,42 @@ mod tests {
         let kernel = Tensor4::from_vec((1, 2, 1, 1), vec![1.0, 1.0]);
         let out = conv2d_naive(&shape, &input, &kernel);
         assert_eq!(out.as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn depthwise_channels_stay_independent() {
+        // Depthwise 1x1 kernel = per-channel scaling: channel i is scaled by
+        // kernel[i] and never mixes with other channels.
+        let shape = ConvShape::depthwise(2, 2, 1, 1);
+        let input =
+            Tensor4::from_vec((1, 2, 2, 2), vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]);
+        let kernel = Tensor4::from_vec(shape.kernel_dims(), vec![2.0, 0.5]);
+        let out = conv2d_naive(&shape, &input, &kernel);
+        assert_eq!(out.as_slice(), &[2.0, 4.0, 6.0, 8.0, 5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn grouped_convolution_reduces_within_groups_only() {
+        // 4 input channels, 2 output channels, 2 groups: output channel 0 sums
+        // channels {0,1}, output channel 1 sums channels {2,3}.
+        let shape = ConvShape::new_general(1, 2, 4, 1, 1, 1, 1, 1, 1, 2).unwrap();
+        let input = Tensor4::from_vec((1, 4, 1, 1), vec![1.0, 2.0, 4.0, 8.0]);
+        let kernel = Tensor4::from_vec(shape.kernel_dims(), vec![1.0, 1.0, 1.0, 1.0]);
+        let out = conv2d_naive(&shape, &input, &kernel);
+        assert_eq!(out.as_slice(), &[3.0, 12.0]);
+    }
+
+    #[test]
+    fn dilation_samples_spread_input_pixels() {
+        // A 2x2 kernel of ones with dilation 2 over a 3x3 input sums the four
+        // corners of the image.
+        let shape = ConvShape::new(1, 1, 1, 2, 2, 1, 1, 1).unwrap().with_dilation(2).unwrap();
+        assert_eq!(shape.input_h(), 3);
+        let data: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let input = Tensor4::from_vec((1, 1, 3, 3), data);
+        let kernel = Tensor4::from_vec((1, 1, 2, 2), vec![1.0; 4]);
+        let out = conv2d_naive(&shape, &input, &kernel);
+        assert_eq!(out.as_slice(), &[0.0 + 2.0 + 6.0 + 8.0]);
     }
 
     #[test]

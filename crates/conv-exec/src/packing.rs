@@ -21,7 +21,9 @@ pub struct PackedKernel {
 }
 
 impl PackedKernel {
-    /// Pack a `KCRS` kernel tensor for a given SIMD vector length.
+    /// Pack a `KCRS` kernel tensor for a given SIMD vector length. The `C`
+    /// dimension of the kernel tensor is the per-group reduction extent
+    /// (`shape.reduction_c()`), i.e. 1 for a depthwise shape.
     ///
     /// # Panics
     ///
@@ -31,13 +33,13 @@ impl PackedKernel {
         assert!(vec_len > 0, "vector length must be positive");
         assert_eq!(
             kernel.dims(),
-            (shape.k, shape.c, shape.r, shape.s),
+            shape.kernel_dims(),
             "kernel tensor dimensions do not match the shape"
         );
         let layout = PackedKernelLayout::new(shape, vec_len);
         let mut data = vec![0.0f32; layout.len()];
         for k in 0..shape.k {
-            for c in 0..shape.c {
+            for c in 0..shape.reduction_c() {
                 for r in 0..shape.r {
                     for s in 0..shape.s {
                         data[layout.offset(k, c, r, s)] = kernel.at(k, c, r, s);

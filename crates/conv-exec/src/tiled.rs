@@ -99,7 +99,7 @@ impl TiledConv {
                         let region = KernelRegion {
                             n: (0, 1),
                             k: (k_lo, k_len),
-                            c: (0, shape.c),
+                            c: (0, shape.reduction_c()),
                             r: (0, shape.r),
                             s: (0, shape.s),
                             h: (0, shape.h),
@@ -141,7 +141,7 @@ impl TiledConv {
                             let region = KernelRegion {
                                 n: (n_lo, n_len),
                                 k: (0, shape.k),
-                                c: (0, shape.c),
+                                c: (0, shape.reduction_c()),
                                 r: (0, shape.r),
                                 s: (0, shape.s),
                                 h: (0, shape.h),
@@ -290,8 +290,10 @@ mod tests {
     use conv_spec::Permutation;
 
     fn reference(shape: &ConvShape, seed: u64) -> (Tensor4, Tensor4, Tensor4) {
-        let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), seed);
-        let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, seed + 1);
+        let (ni, ci, hi, wi) = shape.input_dims();
+        let (kk, kc, kr, ks) = shape.kernel_dims();
+        let input = Tensor4::random(ni, ci, hi, wi, seed);
+        let kernel = Tensor4::random(kk, kc, kr, ks, seed + 1);
         let out = conv2d_naive(shape, &input, &kernel);
         (input, kernel, out)
     }
@@ -416,6 +418,82 @@ mod tests {
             [3, 4, 3, 3, 3, 6, 6],
         );
         let conv = TiledConv::new(shape, cfg, 2).unwrap();
+        let got = conv.run(&input, &kernel);
+        assert!(expected.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn depthwise_tiled_matches_naive_across_permutations_and_threads() {
+        let shape = ConvShape::depthwise(12, 12, 3, 1);
+        let (input, kernel, expected) = reference(&shape, 800);
+        for perm in ["kcrsnhw", "nkhwcrs", "nchrswk"] {
+            let cfg = config(
+                &shape,
+                perm,
+                [1, 4, 1, 1, 1, 1, 4],
+                [1, 6, 1, 3, 3, 2, 5],
+                [1, 12, 1, 3, 3, 5, 10],
+                [1, 12, 1, 3, 3, 10, 10],
+            );
+            for threads in [1, 3] {
+                let conv = TiledConv::new(shape, cfg.clone(), threads).unwrap();
+                let got = conv.run(&input, &kernel);
+                assert!(
+                    expected.allclose(&got, 1e-4),
+                    "perm {perm} threads {threads}: max diff {}",
+                    expected.max_abs_diff(&got)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_tiled_matches_naive_with_group_straddling_k_tiles() {
+        // K tile of 3 with k_per_group 2: tiles straddle group boundaries.
+        let shape = ConvShape::new_general(1, 8, 8, 3, 3, 9, 9, 1, 1, 4).unwrap();
+        let (input, kernel, expected) = reference(&shape, 900);
+        let cfg = config(
+            &shape,
+            "kcrsnhw",
+            [1, 3, 1, 1, 1, 1, 3],
+            [1, 3, 2, 3, 3, 3, 5],
+            [1, 8, 2, 3, 3, 6, 9],
+            [1, 8, 2, 3, 3, 9, 9],
+        );
+        let conv = TiledConv::new(shape, cfg, 1).unwrap();
+        let got = conv.run(&input, &kernel);
+        assert!(expected.allclose(&got, 1e-4));
+    }
+
+    #[test]
+    fn dilated_and_strided_dilated_tiled_match_naive() {
+        for (stride, dilation) in [(1, 2), (2, 2), (1, 3)] {
+            let shape = ConvShape::from_table1_dilated(6, 4, 17, 3, stride, dilation);
+            let (input, kernel, expected) = reference(&shape, 1000 + dilation as u64);
+            let cfg = config(
+                &shape,
+                "kcrsnhw",
+                [1, 2, 1, 1, 1, 1, 3],
+                [1, 4, 2, 3, 3, 2, 3],
+                [1, 6, 4, 3, 3, 3, 5],
+                [1, 6, 4, 3, 3, 5, 5],
+            );
+            let conv = TiledConv::new(shape, cfg, 1).unwrap();
+            let got = conv.run(&input, &kernel);
+            assert!(
+                expected.allclose(&got, 1e-4),
+                "stride {stride} dilation {dilation}: max diff {}",
+                expected.max_abs_diff(&got)
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_dilated_combination_matches_naive() {
+        let mut shape = ConvShape::from_table1_dilated(8, 8, 15, 3, 1, 2);
+        shape.groups = 8;
+        let (input, kernel, expected) = reference(&shape, 1100);
+        let conv = TiledConv::new(shape, TileConfig::untiled(&shape), 2).unwrap();
         let got = conv.run(&input, &kernel);
         assert!(expected.allclose(&got, 1e-4));
     }

@@ -1,8 +1,24 @@
-//! The 32 conv2d benchmark operators of Table 1 (Yolo-9000, ResNet-18,
-//! MobileNet), exactly as used in the paper's evaluation.
+//! Benchmark operator suites.
+//!
+//! The first three suites are the 32 conv2d benchmark operators of Table 1
+//! (Yolo-9000, ResNet-18, MobileNet), exactly as used in the paper's
+//! evaluation — except that the MobileNet operators are now expressed as the
+//! **true depthwise** convolutions of the network (`groups == c == k`)
+//! instead of the paper's regular-conv2d stand-ins; the stand-ins remain
+//! available as deprecated aliases (`M1pw` ... `M9pw`,
+//! [`mobilenet_pointwise_form`]) so existing snapshots and scripts that key
+//! on the dense shapes stay warm.
+//!
+//! Two further suites exercise the generalized convolution support:
+//!
+//! * [`mobilenet_v2`] — the nine depthwise stages of MobileNetV2
+//!   (`V1` ... `V9`, expansion-layer channel counts, strides 1 and 2),
+//! * [`dilated_deeplab`] — DeepLab/ESPNet-style dilated (atrous) 3x3
+//!   operators (`D1` ... `D5`, dilation 2 and 4, including one dilated
+//!   depthwise op).
 //!
 //! All benchmarks use batch size 1; strides are 1 unless the layer is marked
-//! with `*` in the paper's table (stride 2).
+//! with `*` (stride 2).
 
 use serde::{Deserialize, Serialize};
 
@@ -15,15 +31,28 @@ pub enum BenchmarkSuite {
     Yolo9000,
     /// ResNet-18 (12 conv2d operators).
     ResNet18,
-    /// MobileNet (9 conv2d operators; the paper uses the regular conv2d
-    /// form of each depthwise stage's shape).
+    /// MobileNet (9 operators — the depthwise stages of Table 1, now with
+    /// their true `groups == c == k` depthwise shapes).
     MobileNet,
+    /// MobileNetV2 depthwise stages (9 operators, expansion channel counts).
+    MobileNetV2,
+    /// DeepLab/ESPNet-style dilated 3x3 operators (5 operators).
+    DilatedDeepLab,
 }
 
 impl BenchmarkSuite {
-    /// All three suites in the order the paper presents them.
+    /// The paper's three Table-1 suites, in the order the paper presents them.
     pub const ALL: [BenchmarkSuite; 3] =
         [BenchmarkSuite::Yolo9000, BenchmarkSuite::ResNet18, BenchmarkSuite::MobileNet];
+
+    /// Every suite, including the generalized-convolution extensions.
+    pub const EXTENDED: [BenchmarkSuite; 5] = [
+        BenchmarkSuite::Yolo9000,
+        BenchmarkSuite::ResNet18,
+        BenchmarkSuite::MobileNet,
+        BenchmarkSuite::MobileNetV2,
+        BenchmarkSuite::DilatedDeepLab,
+    ];
 
     /// Human-readable suite name.
     pub fn name(self) -> &'static str {
@@ -31,6 +60,8 @@ impl BenchmarkSuite {
             BenchmarkSuite::Yolo9000 => "Yolo-9000",
             BenchmarkSuite::ResNet18 => "ResNet-18",
             BenchmarkSuite::MobileNet => "MobileNet",
+            BenchmarkSuite::MobileNetV2 => "MobileNetV2-DW",
+            BenchmarkSuite::DilatedDeepLab => "DeepLab-Dilated",
         }
     }
 }
@@ -41,7 +72,7 @@ impl std::fmt::Display for BenchmarkSuite {
     }
 }
 
-/// One named conv2d operator from Table 1.
+/// One named conv2d operator from a benchmark suite.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BenchmarkOp {
     /// The layer label used in the paper (e.g. `"Y0"`, `"R1*"`, `"M9"`).
@@ -66,6 +97,39 @@ impl BenchmarkOp {
             name: name.to_string(),
             suite,
             shape: ConvShape::from_table1(k, c, hw, rs, stride),
+        }
+    }
+
+    fn depthwise(
+        name: &str,
+        suite: BenchmarkSuite,
+        channels: usize,
+        hw: usize,
+        rs: usize,
+        stride: usize,
+    ) -> Self {
+        BenchmarkOp {
+            name: name.to_string(),
+            suite,
+            shape: ConvShape::depthwise(channels, hw, rs, stride),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dilated(
+        name: &str,
+        suite: BenchmarkSuite,
+        k: usize,
+        c: usize,
+        hw: usize,
+        rs: usize,
+        stride: usize,
+        dilation: usize,
+    ) -> Self {
+        BenchmarkOp {
+            name: name.to_string(),
+            suite,
+            shape: ConvShape::from_table1_dilated(k, c, hw, rs, stride, dilation),
         }
     }
 
@@ -119,24 +183,84 @@ pub fn resnet18() -> Vec<BenchmarkOp> {
     ]
 }
 
-/// The nine conv2d operators of MobileNet (Table 1, right).
-/// Layers marked `*` in the paper use stride 2.
+/// The nine MobileNet operators of Table 1 (right) as **true depthwise**
+/// convolutions (`groups == c == k`). The channel counts, spatial extents,
+/// kernel sizes, and stride markers are exactly the paper's; only the
+/// previously implicit "run the depthwise stage as a regular conv2d"
+/// approximation is gone.
 pub fn mobilenet() -> Vec<BenchmarkOp> {
     use BenchmarkSuite::MobileNet as S;
     vec![
-        BenchmarkOp::new("M1", S, 32, 32, 112, 3, 1),
-        BenchmarkOp::new("M2*", S, 64, 64, 112, 3, 2),
-        BenchmarkOp::new("M3", S, 128, 128, 56, 3, 1),
-        BenchmarkOp::new("M4*", S, 128, 128, 56, 3, 2),
-        BenchmarkOp::new("M5", S, 256, 256, 28, 3, 1),
-        BenchmarkOp::new("M6*", S, 256, 256, 28, 3, 2),
-        BenchmarkOp::new("M7", S, 512, 512, 14, 3, 1),
-        BenchmarkOp::new("M8*", S, 512, 512, 14, 3, 2),
-        BenchmarkOp::new("M9", S, 1024, 1024, 7, 3, 1),
+        BenchmarkOp::depthwise("M1", S, 32, 112, 3, 1),
+        BenchmarkOp::depthwise("M2*", S, 64, 112, 3, 2),
+        BenchmarkOp::depthwise("M3", S, 128, 56, 3, 1),
+        BenchmarkOp::depthwise("M4*", S, 128, 56, 3, 2),
+        BenchmarkOp::depthwise("M5", S, 256, 28, 3, 1),
+        BenchmarkOp::depthwise("M6*", S, 256, 28, 3, 2),
+        BenchmarkOp::depthwise("M7", S, 512, 14, 3, 1),
+        BenchmarkOp::depthwise("M8*", S, 512, 14, 3, 2),
+        BenchmarkOp::depthwise("M9", S, 1024, 7, 3, 1),
     ]
 }
 
-/// All 32 operators in paper order (Yolo, ResNet, MobileNet).
+/// Deprecated: the paper's regular-conv2d ("pointwise form") stand-ins for
+/// the MobileNet depthwise stages, under the alias names `M1pw` ... `M9pw`.
+///
+/// Kept so that schedule-cache snapshots and scripts built against the dense
+/// shapes keep resolving (and staying warm); new work should use
+/// [`mobilenet`] (true depthwise) instead.
+#[deprecated(note = "use mobilenet() — the true depthwise shapes — instead")]
+pub fn mobilenet_pointwise_form() -> Vec<BenchmarkOp> {
+    use BenchmarkSuite::MobileNet as S;
+    vec![
+        BenchmarkOp::new("M1pw", S, 32, 32, 112, 3, 1),
+        BenchmarkOp::new("M2pw*", S, 64, 64, 112, 3, 2),
+        BenchmarkOp::new("M3pw", S, 128, 128, 56, 3, 1),
+        BenchmarkOp::new("M4pw*", S, 128, 128, 56, 3, 2),
+        BenchmarkOp::new("M5pw", S, 256, 256, 28, 3, 1),
+        BenchmarkOp::new("M6pw*", S, 256, 256, 28, 3, 2),
+        BenchmarkOp::new("M7pw", S, 512, 512, 14, 3, 1),
+        BenchmarkOp::new("M8pw*", S, 512, 512, 14, 3, 2),
+        BenchmarkOp::new("M9pw", S, 1024, 1024, 7, 3, 1),
+    ]
+}
+
+/// The nine depthwise stages of MobileNetV2 (inverted-residual expansion
+/// channel counts; layers marked `*` use stride 2).
+pub fn mobilenet_v2() -> Vec<BenchmarkOp> {
+    use BenchmarkSuite::MobileNetV2 as S;
+    vec![
+        BenchmarkOp::depthwise("V1", S, 32, 112, 3, 1),
+        BenchmarkOp::depthwise("V2*", S, 96, 112, 3, 2),
+        BenchmarkOp::depthwise("V3", S, 144, 56, 3, 1),
+        BenchmarkOp::depthwise("V4*", S, 144, 56, 3, 2),
+        BenchmarkOp::depthwise("V5", S, 192, 28, 3, 1),
+        BenchmarkOp::depthwise("V6*", S, 192, 28, 3, 2),
+        BenchmarkOp::depthwise("V7", S, 384, 14, 3, 1),
+        BenchmarkOp::depthwise("V8*", S, 576, 14, 3, 2),
+        BenchmarkOp::depthwise("V9", S, 960, 7, 3, 1),
+    ]
+}
+
+/// DeepLab/ESPNet-style dilated (atrous) operators: 3x3 kernels with
+/// dilation 2 and 4 on output-stride-16 feature maps, including one dilated
+/// depthwise op (`D5`, ESPNet-style).
+pub fn dilated_deeplab() -> Vec<BenchmarkOp> {
+    use BenchmarkSuite::DilatedDeepLab as S;
+    let mut ops = vec![
+        BenchmarkOp::dilated("D1", S, 256, 256, 33, 3, 1, 2),
+        BenchmarkOp::dilated("D2", S, 256, 256, 33, 3, 1, 4),
+        BenchmarkOp::dilated("D3", S, 512, 512, 17, 3, 1, 2),
+        BenchmarkOp::dilated("D4", S, 256, 512, 33, 3, 1, 2),
+    ];
+    // D5: dilated depthwise (ESPNet's reduced-parameter spatial stage).
+    let mut d5 = ConvShape::from_table1_dilated(256, 256, 33, 3, 1, 2);
+    d5.groups = 256;
+    ops.push(BenchmarkOp { name: "D5".to_string(), suite: S, shape: d5 });
+    ops
+}
+
+/// All 32 Table-1 operators in paper order (Yolo, ResNet, MobileNet).
 pub fn all_operators() -> Vec<BenchmarkOp> {
     let mut v = yolo9000();
     v.extend(resnet18());
@@ -144,11 +268,25 @@ pub fn all_operators() -> Vec<BenchmarkOp> {
     v
 }
 
-/// Look up a single operator by its paper label (e.g. `"Y5"`, `"R9"`,
-/// `"M2*"` — the trailing `*` may be omitted).
+/// Every operator of every suite (Table 1 plus the MobileNetV2 depthwise and
+/// dilated suites), plus the deprecated MobileNet pointwise-form aliases.
+pub fn extended_operators() -> Vec<BenchmarkOp> {
+    let mut v = all_operators();
+    v.extend(mobilenet_v2());
+    v.extend(dilated_deeplab());
+    #[allow(deprecated)]
+    v.extend(mobilenet_pointwise_form());
+    v
+}
+
+/// Look up a single operator by its label (e.g. `"Y5"`, `"R9"`, `"M2*"`,
+/// `"V3"`, `"D1"`, or the deprecated `"M2pw"` — the trailing `*` may be
+/// omitted). Searches every suite including the deprecated aliases.
 pub fn by_name(name: &str) -> Option<BenchmarkOp> {
     let norm = name.trim().trim_end_matches('*').to_ascii_uppercase();
-    all_operators().into_iter().find(|op| op.name.trim_end_matches('*').eq_ignore_ascii_case(&norm))
+    extended_operators()
+        .into_iter()
+        .find(|op| op.name.trim_end_matches('*').eq_ignore_ascii_case(&norm))
 }
 
 /// The operators for one suite.
@@ -157,30 +295,52 @@ pub fn suite(s: BenchmarkSuite) -> Vec<BenchmarkOp> {
         BenchmarkSuite::Yolo9000 => yolo9000(),
         BenchmarkSuite::ResNet18 => resnet18(),
         BenchmarkSuite::MobileNet => mobilenet(),
+        BenchmarkSuite::MobileNetV2 => mobilenet_v2(),
+        BenchmarkSuite::DilatedDeepLab => dilated_deeplab(),
     }
 }
 
-/// Reduced-size variants of the benchmark operators for fast functional tests
-/// and examples: spatial extents capped at `max_hw`, channel extents capped at
-/// `max_ch`. The aspect of each operator (pointwise vs 3x3, strided vs not) is
-/// preserved.
+/// Reduced-size variants of the Table-1 benchmark operators for fast
+/// functional tests and examples: spatial extents capped at `max_hw`, channel
+/// extents capped at `max_ch`. The aspect of each operator (pointwise vs 3x3,
+/// strided vs not, depthwise vs dense, dilation) is preserved.
 pub fn scaled_operators(max_hw: usize, max_ch: usize) -> Vec<BenchmarkOp> {
-    all_operators()
-        .into_iter()
-        .map(|mut op| {
-            let s = &mut op.shape;
-            s.k = s.k.min(max_ch);
-            s.c = s.c.min(max_ch);
-            s.h = s.h.min(max_hw);
-            s.w = s.w.min(max_hw);
-            op
-        })
-        .collect()
+    all_operators().into_iter().map(|op| scale_op(op, max_hw, max_ch)).collect()
+}
+
+/// Reduced-size variants of every suite (see [`scaled_operators`]), including
+/// the MobileNetV2 depthwise and dilated suites.
+pub fn scaled_extended_operators(max_hw: usize, max_ch: usize) -> Vec<BenchmarkOp> {
+    extended_operators().into_iter().map(|op| scale_op(op, max_hw, max_ch)).collect()
+}
+
+fn scale_op(mut op: BenchmarkOp, max_hw: usize, max_ch: usize) -> BenchmarkOp {
+    let s = &mut op.shape;
+    let was_depthwise = s.is_depthwise();
+    s.k = s.k.min(max_ch);
+    s.c = s.c.min(max_ch);
+    s.h = s.h.min(max_hw);
+    s.w = s.w.min(max_hw);
+    if was_depthwise {
+        // Depthwise stays depthwise: k == c == groups after capping.
+        let ch = s.k.min(s.c);
+        s.k = ch;
+        s.c = ch;
+        s.groups = ch;
+    } else if s.groups > 1 {
+        // General grouped op: shrink the group count until it divides both
+        // capped channel extents (1 always does).
+        while !s.c.is_multiple_of(s.groups) || !s.k.is_multiple_of(s.groups) {
+            s.groups -= 1;
+        }
+    }
+    op
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shape::LoopIndex;
 
     #[test]
     fn table1_operator_counts() {
@@ -188,6 +348,9 @@ mod tests {
         assert_eq!(resnet18().len(), 12);
         assert_eq!(mobilenet().len(), 9);
         assert_eq!(all_operators().len(), 32);
+        assert_eq!(mobilenet_v2().len(), 9);
+        assert_eq!(dilated_deeplab().len(), 5);
+        assert_eq!(extended_operators().len(), 32 + 9 + 5 + 9);
     }
 
     #[test]
@@ -207,6 +370,54 @@ mod tests {
         assert_eq!(m9.shape.k, 1024);
         assert_eq!(m9.shape.c, 1024);
         assert_eq!(m9.shape.h, 5); // (7 - 3) / 1 + 1
+        assert!(m9.shape.is_depthwise());
+    }
+
+    #[test]
+    fn mobilenet_ops_are_true_depthwise() {
+        for op in mobilenet() {
+            assert!(op.shape.is_depthwise(), "{} is not depthwise", op.name);
+            assert_eq!(op.shape.extent(LoopIndex::C), 1, "{}", op.name);
+            assert_eq!(op.shape.r, 3);
+        }
+        for op in mobilenet_v2() {
+            assert!(op.shape.is_depthwise(), "{} is not depthwise", op.name);
+        }
+    }
+
+    #[test]
+    fn deprecated_pointwise_aliases_keep_the_dense_shapes() {
+        #[allow(deprecated)]
+        let pw = mobilenet_pointwise_form();
+        assert_eq!(pw.len(), 9);
+        for (dw, dense) in mobilenet().iter().zip(pw.iter()) {
+            assert_eq!(dense.shape.groups, 1, "{}", dense.name);
+            // Same channel counts, extents, and stride — only groups differ.
+            assert_eq!(dw.shape.k, dense.shape.k);
+            assert_eq!(dw.shape.c, dense.shape.c);
+            assert_eq!(dw.shape.h, dense.shape.h);
+            assert_eq!(dw.shape.stride, dense.shape.stride);
+        }
+        // The aliases resolve through by_name.
+        let m5pw = by_name("M5pw").unwrap();
+        assert_eq!(m5pw.shape.groups, 1);
+        assert_eq!(m5pw.shape.k, 256);
+    }
+
+    #[test]
+    fn dilated_suite_structure() {
+        let ops = dilated_deeplab();
+        for op in &ops {
+            assert!(op.shape.dilation >= 2, "{} is not dilated", op.name);
+            assert_eq!(op.shape.r, 3);
+        }
+        let d2 = by_name("D2").unwrap();
+        assert_eq!(d2.shape.dilation, 4);
+        assert_eq!(d2.shape.effective_r(), 9);
+        assert_eq!(d2.shape.h, 25); // (33 - 9) / 1 + 1
+        let d5 = by_name("D5").unwrap();
+        assert!(d5.shape.is_depthwise());
+        assert_eq!(d5.shape.dilation, 2);
     }
 
     #[test]
@@ -221,7 +432,7 @@ mod tests {
 
     #[test]
     fn all_names_unique() {
-        let ops = all_operators();
+        let ops = extended_operators();
         let names: std::collections::HashSet<&str> = ops.iter().map(|o| o.name.as_str()).collect();
         assert_eq!(names.len(), ops.len());
     }
@@ -231,12 +442,14 @@ mod tests {
         assert!(by_name("r10").is_some());
         assert!(by_name("R10*").is_some());
         assert!(by_name("m2").is_some());
+        assert!(by_name("v8").is_some());
+        assert!(by_name("d1").is_some());
         assert!(by_name("Z1").is_none());
     }
 
     #[test]
     fn batch_size_is_one_everywhere() {
-        for op in all_operators() {
+        for op in extended_operators() {
             assert_eq!(op.shape.n, 1, "{} must use batch 1", op.name);
         }
     }
@@ -249,7 +462,29 @@ mod tests {
             assert_eq!(orig.name, small.name);
             assert_eq!(orig.shape.r, small.shape.r);
             assert_eq!(orig.shape.stride, small.shape.stride);
+            assert_eq!(orig.shape.dilation, small.shape.dilation);
+            assert_eq!(orig.shape.is_depthwise(), small.shape.is_depthwise());
             assert!(small.shape.h <= 16 && small.shape.k <= 64);
+        }
+        // Extended scaling keeps every shape valid (groups divide channels).
+        for op in scaled_extended_operators(12, 48) {
+            assert!(
+                ConvShape::new_general(
+                    op.shape.n,
+                    op.shape.k,
+                    op.shape.c,
+                    op.shape.r,
+                    op.shape.s,
+                    op.shape.h,
+                    op.shape.w,
+                    op.shape.stride,
+                    op.shape.dilation,
+                    op.shape.groups,
+                )
+                .is_ok(),
+                "scaled {} is invalid",
+                op.name
+            );
         }
     }
 }

@@ -87,10 +87,12 @@ pub enum KernelLayout {
 }
 
 impl KernelLayout {
-    /// Linear offset of `Ker[k][c][r][s]` for a problem `shape`.
+    /// Linear offset of `Ker[k][c][r][s]` for a problem `shape`; `c` is the
+    /// group-relative reduction index (`0 <= c < shape.reduction_c()`), which
+    /// for dense shapes is simply the input channel.
     pub fn offset(self, shape: &ConvShape, k: usize, c: usize, r: usize, s: usize) -> usize {
         match self {
-            KernelLayout::Kcrs => ((k * shape.c + c) * shape.r + r) * shape.s + s,
+            KernelLayout::Kcrs => ((k * shape.reduction_c() + c) * shape.r + r) * shape.s + s,
         }
     }
 }
@@ -115,12 +117,14 @@ pub struct PackedKernelLayout {
 }
 
 impl PackedKernelLayout {
-    /// Layout for a problem shape and SIMD vector length.
+    /// Layout for a problem shape and SIMD vector length. The packed `c`
+    /// dimension is the per-group reduction extent (`shape.reduction_c()`),
+    /// matching the `Ker[K][C/groups][R][S]` kernel tensor.
     pub fn new(shape: &ConvShape, vec_len: usize) -> Self {
         PackedKernelLayout {
             vec_len,
             k_groups: shape.k.div_ceil(vec_len),
-            c: shape.c,
+            c: shape.reduction_c(),
             r: shape.r,
             s: shape.s,
         }

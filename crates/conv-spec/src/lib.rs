@@ -1,24 +1,32 @@
 //! Problem, layout, benchmark, and machine descriptions shared by every crate
 //! of the MOpt reproduction.
 //!
-//! The CNN (conv2d) computation optimized by the paper is
+//! The CNN (conv2d) computation optimized by the paper, generalized over
+//! stride, dilation, and channel groups, is
 //!
 //! ```text
-//! Out[n][k][h][w] += In[n][c][h*stride + r][w*stride + s] * Ker[k][c][r][s]
+//! Out[n][k][h][w] += In[n][g·(C/G) + c][h·stride + r·dilation][w·stride + s·dilation]
+//!                    · Ker[k][c][r][s]        with g = k / (K/G)
 //! ```
 //!
 //! a seven-dimensional loop nest over the indices `n, k, c, r, s, h, w`
-//! (batch, output channel, input channel, kernel row, kernel column, output
-//! row, output column). This crate defines:
+//! (batch, output channel, per-group input channel, kernel row, kernel
+//! column, output row, output column). Dense conv2d is the special case
+//! `dilation == 1, groups == 1`; `groups == C == K` is a depthwise
+//! convolution (MobileNet) and `dilation > 1` an atrous one (DeepLab).
+//! This crate defines:
 //!
-//! * [`ConvShape`] — the seven problem extents plus stride, with derived
-//!   quantities (FLOP count, tensor sizes, input extents),
+//! * [`ConvShape`] — the seven problem extents plus stride, dilation, and
+//!   groups, with derived quantities (FLOP count, tensor sizes, input
+//!   extents, the per-group reduction extent) and a stable
+//!   [`ConvShape::fingerprint`],
 //! * [`LoopIndex`] and [`Permutation`] — the loop-index algebra used by the
 //!   analytical model and the pruning analysis,
 //! * [`TileSizes`], [`TileConfig`] and [`TilingLevel`] — tile-size vectors for
-//!   single- and multi-level tiling,
+//!   single- and multi-level tiling, with shape-aware footprints,
 //! * [`benchmarks`] — the 32 conv2d operators of Table 1 (Yolo-9000,
-//!   ResNet-18, MobileNet),
+//!   ResNet-18, MobileNet — the latter as true depthwise shapes), plus
+//!   MobileNetV2 depthwise and DeepLab-style dilated suites,
 //! * [`machine`] — memory-hierarchy descriptions (cache capacities,
 //!   bandwidths, cores, SIMD width) with presets for the two CPUs used in the
 //!   paper's evaluation,
@@ -35,7 +43,19 @@
 //! // output spatial extent is 542 for a 544x544 input with a 3x3 kernel
 //! assert_eq!(yolo0.shape.flops(), 2 * 32 * 3 * 542 * 542 * 3 * 3);
 //! assert!(ConvShape::unit(LoopIndex::N).n == 1);
+//!
+//! // Generalized shapes: a depthwise MobileNet stage and a dilated conv.
+//! let dw = ConvShape::depthwise(32, 112, 3, 1);
+//! assert!(dw.is_depthwise());
+//! assert_eq!(dw.extent(LoopIndex::C), 1);          // per-group reduction
+//! assert_eq!(dw.kernel_dims(), (32, 1, 3, 3));     // 1/groups the weights
+//!
+//! let atrous = ConvShape::from_table1_dilated(64, 64, 33, 3, 1, 2);
+//! assert_eq!(atrous.effective_r(), 5);             // (3-1)*2 + 1
+//! assert_eq!(atrous.input_h(), 33);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod benchmarks;
 pub mod layout;

@@ -141,21 +141,34 @@ impl TileSizes {
     ///
     /// `Tn*Tc*(Th+Tr-1)*(Tw+Ts-1) + Tk*Tc*Tr*Ts + Tn*Tk*Th*Tw`
     ///
-    /// `stride` scales the input spatial reach: for stride > 1 the input slice
-    /// spans `(Th-1)*stride + Tr` rows (and similarly for columns).
-    pub fn footprint(&self, stride: usize) -> usize {
-        self.input_footprint(stride) + self.kernel_footprint() + self.output_footprint()
+    /// generalized for the shape's stride, dilation, and groups: the input
+    /// slice spans `(Th-1)*stride + (Tr-1)*dilation + 1` rows (similarly for
+    /// columns), and when the K tile spans several channel groups the input
+    /// slice covers one per-group channel band per spanned group.
+    pub fn footprint(&self, shape: &ConvShape) -> usize {
+        self.input_footprint(shape) + self.kernel_footprint() + self.output_footprint()
     }
 
     /// Footprint of the input-tensor slice accessed by one tile.
-    pub fn input_footprint(&self, stride: usize) -> usize {
+    pub fn input_footprint(&self, shape: &ConvShape) -> usize {
         let th = self.get(LoopIndex::H);
         let tw = self.get(LoopIndex::W);
         let tr = self.get(LoopIndex::R);
         let ts = self.get(LoopIndex::S);
-        let in_h = (th - 1) * stride + tr;
-        let in_w = (tw - 1) * stride + ts;
-        self.get(LoopIndex::N) * self.get(LoopIndex::C) * in_h * in_w
+        let in_h = (th - 1) * shape.stride + (tr - 1) * shape.dilation + 1;
+        let in_w = (tw - 1) * shape.stride + (ts - 1) * shape.dilation + 1;
+        let span = self.group_span(shape);
+        self.get(LoopIndex::N) * self.get(LoopIndex::C) * span * in_h * in_w
+    }
+
+    /// Number of channel groups a K tile of this size can span (1 for dense
+    /// shapes): `ceil(Tk / (K/groups))`, capped at the group count.
+    pub fn group_span(&self, shape: &ConvShape) -> usize {
+        if shape.groups <= 1 {
+            return 1;
+        }
+        let k_per_group = shape.k_per_group().max(1);
+        self.get(LoopIndex::K).div_ceil(k_per_group).clamp(1, shape.groups)
     }
 
     /// Footprint of the kernel-tensor slice accessed by one tile.
@@ -322,21 +335,52 @@ mod tests {
 
     #[test]
     fn footprint_matches_eq4() {
+        let s = ConvShape::new(2, 16, 8, 3, 3, 14, 14, 1).unwrap();
         let t = TileSizes::from_array([2, 4, 3, 3, 3, 5, 6]);
         // In: Tn*Tc*(Th+Tr-1)*(Tw+Ts-1) = 2*3*7*8 = 336
-        assert_eq!(t.input_footprint(1), 2 * 3 * (5 + 3 - 1) * (6 + 3 - 1));
+        assert_eq!(t.input_footprint(&s), 2 * 3 * (5 + 3 - 1) * (6 + 3 - 1));
         // Ker: Tk*Tc*Tr*Ts = 4*3*3*3 = 108
         assert_eq!(t.kernel_footprint(), 4 * 3 * 3 * 3);
         // Out: Tn*Tk*Th*Tw = 2*4*5*6 = 240
         assert_eq!(t.output_footprint(), 2 * 4 * 5 * 6);
-        assert_eq!(t.footprint(1), 336 + 108 + 240);
+        assert_eq!(t.footprint(&s), 336 + 108 + 240);
     }
 
     #[test]
     fn footprint_with_stride_two() {
+        let s = ConvShape::from_table1(1, 1, 9, 3, 2);
         let t = TileSizes::from_array([1, 1, 1, 3, 3, 4, 4]);
         // input rows = (4-1)*2 + 3 = 9
-        assert_eq!(t.input_footprint(2), 9 * 9);
+        assert_eq!(t.input_footprint(&s), 9 * 9);
+    }
+
+    #[test]
+    fn footprint_with_dilation_widens_the_halo() {
+        let dense = ConvShape::new(1, 4, 4, 3, 3, 8, 8, 1).unwrap();
+        let dilated = dense.with_dilation(2).unwrap();
+        let t = TileSizes::from_array([1, 2, 2, 3, 3, 4, 4]);
+        // Dense rows: (4-1)*1 + 3 = 6; dilated rows: (4-1)*1 + (3-1)*2+1 = 8.
+        assert_eq!(t.input_footprint(&dense), 2 * 6 * 6);
+        assert_eq!(t.input_footprint(&dilated), 2 * 8 * 8);
+        assert!(t.footprint(&dilated) > t.footprint(&dense));
+    }
+
+    #[test]
+    fn footprint_group_span_counts_spanned_groups() {
+        let grouped = ConvShape::new_general(1, 16, 8, 3, 3, 8, 8, 1, 1, 4).unwrap();
+        // k_per_group = 4. A K tile of 4 stays in one group, 5 spans two,
+        // 16 spans all four.
+        let base = TileSizes::from_array([1, 4, 2, 3, 3, 4, 4]);
+        assert_eq!(base.group_span(&grouped), 1);
+        assert_eq!(base.with(LoopIndex::K, 5).group_span(&grouped), 2);
+        assert_eq!(base.with(LoopIndex::K, 16).group_span(&grouped), 4);
+        // Input footprint scales with the spanned groups.
+        let one = base.input_footprint(&grouped);
+        let all = base.with(LoopIndex::K, 16).input_footprint(&grouped);
+        assert_eq!(all, one * 4);
+        // Dense shapes always span one "group".
+        let dense = ConvShape::new(1, 16, 8, 3, 3, 8, 8, 1).unwrap();
+        assert_eq!(base.with(LoopIndex::K, 16).group_span(&dense), 1);
     }
 
     #[test]

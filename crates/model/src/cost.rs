@@ -132,12 +132,44 @@ impl ArrayVolumes {
     }
 }
 
-/// Tile footprint of the input tensor (elements), honouring the stride.
+/// Number of elements of the (dilated) input window spanned by a tile of
+/// `t` output positions combined with a tile of `k` kernel taps along one
+/// spatial dimension: `(t-1)·stride + (k-1)·dilation + 1`.
+///
+/// For `dilation == 1` this is exactly the paper's `(T-1)·stride + K` (and
+/// `T + K - 1` at stride 1); the rewrite is bit-identical for dense shapes
+/// because subtracting and re-adding 1.0 is exact for every tile value ≥ 1.
+fn dilated_window(t: f64, taps: f64, stride: f64, dilation: f64) -> f64 {
+    // Compute the effective (dilated) tap span first: for dilation == 1 it is
+    // exactly `taps` (x−1 and +1 are exact for x ≥ 1), so the final addition
+    // sequence — (t−1)·stride + taps — is operation-for-operation the dense
+    // expression and therefore bit-identical to the pre-generalization model.
+    let eff_taps = (taps - 1.0) * dilation + 1.0;
+    (t - 1.0) * stride + eff_taps
+}
+
+/// Continuous group-span factor: how many of the shape's channel groups a K
+/// tile of (real-valued) size `tk` reaches. Dense shapes always yield exactly
+/// `1.0`; grouped shapes yield `clamp(tk / (K/groups), 1, groups)`, so an
+/// untiled K loop touches every group (and hence every input channel).
+fn group_span(shape: &ConvShape, tk: f64) -> f64 {
+    if shape.groups <= 1 {
+        return 1.0;
+    }
+    let k_per_group = (shape.k_per_group().max(1)) as f64;
+    (tk / k_per_group).clamp(1.0, shape.groups as f64)
+}
+
+/// Tile footprint of the input tensor (elements), honouring the stride,
+/// dilation, and channel groups. `T_c` is the *per-group* reduction tile, so
+/// the footprint is multiplied by the number of groups the K tile spans.
 pub fn input_footprint(shape: &ConvShape, t: &RealTiles) -> f64 {
     let stride = shape.stride as f64;
-    let rows = (t.get(LoopIndex::H) - 1.0) * stride + t.get(LoopIndex::R);
-    let cols = (t.get(LoopIndex::W) - 1.0) * stride + t.get(LoopIndex::S);
-    t.get(LoopIndex::N) * t.get(LoopIndex::C) * rows * cols
+    let dilation = shape.dilation as f64;
+    let rows = dilated_window(t.get(LoopIndex::H), t.get(LoopIndex::R), stride, dilation);
+    let cols = dilated_window(t.get(LoopIndex::W), t.get(LoopIndex::S), stride, dilation);
+    let span = group_span(shape, t.get(LoopIndex::K));
+    t.get(LoopIndex::N) * t.get(LoopIndex::C) * span * rows * cols
 }
 
 /// Tile footprint of the kernel tensor (elements).
@@ -184,9 +216,11 @@ fn kernel_footprint_lines(t: &RealTiles, line: usize) -> f64 {
 
 fn input_footprint_lines(shape: &ConvShape, t: &RealTiles, line: usize) -> f64 {
     let stride = shape.stride as f64;
-    let rows = (t.get(LoopIndex::H) - 1.0) * stride + t.get(LoopIndex::R);
-    let cols = (t.get(LoopIndex::W) - 1.0) * stride + t.get(LoopIndex::S);
-    t.get(LoopIndex::N) * t.get(LoopIndex::C) * rows * lines(cols, line)
+    let dilation = shape.dilation as f64;
+    let rows = dilated_window(t.get(LoopIndex::H), t.get(LoopIndex::R), stride, dilation);
+    let cols = dilated_window(t.get(LoopIndex::W), t.get(LoopIndex::S), stride, dilation);
+    let span = group_span(shape, t.get(LoopIndex::K));
+    t.get(LoopIndex::N) * t.get(LoopIndex::C) * span * rows * lines(cols, line)
 }
 
 /// Innermost (1-based from the inner end) position in `perm` of a loop index
@@ -267,11 +301,18 @@ pub fn single_level_volume_general(
 
     // ---- Input: case 1 when the innermost present iterator is n or c,
     // case 2 (partial sliding-window reuse) when it is w, h, s or r.
+    // Dilation widens the sliding window: stepping the s (or r) loop by one
+    // tile moves the input window by `dilation` columns (rows) per kernel
+    // tap, so the per-step "new data" term scales by the dilation; stepping
+    // the w (or h) loop still moves by `stride` per output position. Grouped
+    // convolution multiplies every input term by the number of channel
+    // groups the K tile spans (`group_span`, exactly 1.0 for dense shapes).
+    let dilation = shape.dilation as f64;
     let r_in = reuse_position(perm, |i| i.present_in_input());
     let at_r_in = perm.inner_to_outer()[r_in - 1];
     let outer_prod = trip_product(shape, perm, &t, extents, r_in + 1);
     let tn = t.get(LoopIndex::N);
-    let tc = t.get(LoopIndex::C);
+    let tc = t.get(LoopIndex::C) * group_span(shape, t.get(LoopIndex::K));
     let th = t.get(LoopIndex::H);
     let tw = t.get(LoopIndex::W);
     let tr = t.get(LoopIndex::R);
@@ -280,8 +321,8 @@ pub fn single_level_volume_general(
     let nw = extents.get(LoopIndex::W);
     let nr = extents.get(LoopIndex::R);
     let ns = extents.get(LoopIndex::S);
-    let rows_tile = (th - 1.0) * stride + tr;
-    let cols_tile = (tw - 1.0) * stride + ts;
+    let rows_tile = dilated_window(th, tr, stride, dilation);
+    let cols_tile = dilated_window(tw, ts, stride, dilation);
     let in_vol = match at_r_in {
         LoopIndex::N | LoopIndex::C => {
             trip_product(shape, perm, &t, extents, r_in) * input_footprint_lines(shape, &t, line)
@@ -294,7 +335,7 @@ pub fn single_level_volume_general(
             outer_prod * (partial + first)
         }
         LoopIndex::S => {
-            let partial = tn * tc * rows_tile * lines((ns - ts).max(0.0), line);
+            let partial = tn * tc * rows_tile * lines(dilation * (ns - ts).max(0.0), line);
             let first = tn * tc * rows_tile * lines(cols_tile, line);
             outer_prod * (partial + first)
         }
@@ -304,7 +345,7 @@ pub fn single_level_volume_general(
             outer_prod * (partial + first)
         }
         LoopIndex::R => {
-            let partial = tn * tc * (nr - tr).max(0.0) * lines(cols_tile, line);
+            let partial = tn * tc * (dilation * (nr - tr).max(0.0)) * lines(cols_tile, line);
             let first = tn * tc * rows_tile * lines(cols_tile, line);
             outer_prod * (partial + first)
         }
@@ -528,7 +569,7 @@ mod tests {
         assert!(capacity_constraint(&s, &t, fp - 1.0) > 0.0);
         // Footprint matches the integer computation in conv-spec.
         let int_t = t.to_tile_sizes();
-        assert_eq!(int_t.footprint(s.stride) as f64, fp);
+        assert_eq!(int_t.footprint(&s) as f64, fp);
     }
 
     #[test]
@@ -565,6 +606,90 @@ mod tests {
         let dv_small = single_level_volume(&s, &perm, &small, &CostOptions::default()).total();
         let dv_large = single_level_volume(&s, &perm, &large, &CostOptions::default()).total();
         assert!(dv_large < dv_small);
+    }
+
+    #[test]
+    fn dilation_widens_input_footprint_and_volume() {
+        let dense = ConvShape::new(1, 8, 8, 3, 3, 10, 10, 1).unwrap();
+        let dilated = dense.with_dilation(2).unwrap();
+        let t = RealTiles::from_array([1.0, 4.0, 4.0, 3.0, 3.0, 5.0, 5.0]);
+        // Rows: dense (5-1)+3 = 7; dilated (5-1) + (3-1)*2+1 = 9.
+        assert!(input_footprint(&dilated, &t) > input_footprint(&dense, &t));
+        assert_eq!(input_footprint(&dilated, &t), 1.0 * 4.0 * 9.0 * 9.0);
+        for perm_text in ["kcrsnhw", "nkhwcrs", "nchrswk"] {
+            let perm = Permutation::parse(perm_text).unwrap();
+            let dv_dense = single_level_volume(&dense, &perm, &t, &CostOptions::default());
+            let dv_dil = single_level_volume(&dilated, &perm, &t, &CostOptions::default());
+            assert!(
+                dv_dil.input >= dv_dense.input,
+                "{perm_text}: dilated input {} below dense {}",
+                dv_dil.input,
+                dv_dense.input
+            );
+            // Kernel and output volumes are unaffected by dilation.
+            assert_eq!(dv_dil.kernel, dv_dense.kernel);
+            assert_eq!(dv_dil.output, dv_dense.output);
+        }
+    }
+
+    #[test]
+    fn grouped_shapes_shrink_kernel_volume_but_keep_input_whole() {
+        // Untiled execution must move each tensor exactly once, for grouped
+        // and depthwise shapes too: the per-group C reduction shrinks the
+        // kernel by 1/groups while the group-span factor restores the full
+        // input channel count.
+        for groups in [2, 4, 8] {
+            let s = ConvShape::new_general(1, 8, 8, 3, 3, 10, 10, 1, 1, groups).unwrap();
+            let t = RealTiles::full(&s);
+            for perm_text in ["nkcrshw", "kcrsnhw", "whsrcnk"] {
+                let perm = Permutation::parse(perm_text).unwrap();
+                let dv = single_level_volume(&s, &perm, &t, &CostOptions::default());
+                assert!((dv.kernel - s.kernel_elems() as f64).abs() < 1e-9, "groups {groups}");
+                assert!((dv.input - s.input_elems() as f64).abs() < 1e-9, "groups {groups}");
+                assert!((dv.output - 2.0 * s.output_elems() as f64).abs() < 1e-9);
+            }
+        }
+        let dw = ConvShape::depthwise(16, 12, 3, 1);
+        let t = RealTiles::full(&dw);
+        let dv = single_level_volume(
+            &dw,
+            &Permutation::parse("kcrsnhw").unwrap(),
+            &t,
+            &CostOptions::default(),
+        );
+        assert!((dv.kernel - (16.0 * 9.0)).abs() < 1e-9);
+        assert!((dv.input - dw.input_elems() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_span_scales_partial_k_tiles() {
+        let s = ConvShape::new_general(1, 16, 8, 3, 3, 10, 10, 1, 1, 4).unwrap();
+        // K tile of one group: input footprint covers one channel band.
+        let one = RealTiles::from_array([1.0, 4.0, 2.0, 3.0, 3.0, 5.0, 5.0]);
+        let all = one.with(LoopIndex::K, 16.0);
+        assert!((input_footprint(&s, &all) - 4.0 * input_footprint(&s, &one)).abs() < 1e-9);
+        // The dense shape is insensitive to the K tile.
+        let dense = ConvShape::new(1, 16, 8, 3, 3, 10, 10, 1).unwrap();
+        assert_eq!(input_footprint(&dense, &one), input_footprint(&dense, &all));
+    }
+
+    #[test]
+    fn dense_formulas_are_bit_identical_to_legacy_closed_forms() {
+        // The generalized expressions must reproduce the pre-generalization
+        // values exactly (not just approximately) when dilation == 1 and
+        // groups == 1 — the property the schedule cache relies on.
+        let s = ConvShape::new(2, 16, 8, 3, 3, 12, 12, 2).unwrap();
+        for t in [
+            tiles(),
+            RealTiles::from_array([1.7, 4.2, 2.9, 3.0, 1.5, 4.8, 6.3]),
+            RealTiles::from_array([2.0, 16.0, 8.0, 3.0, 3.0, 12.0, 12.0]),
+        ] {
+            let stride = s.stride as f64;
+            let legacy_rows = (t.get(LoopIndex::H) - 1.0) * stride + t.get(LoopIndex::R);
+            let legacy_cols = (t.get(LoopIndex::W) - 1.0) * stride + t.get(LoopIndex::S);
+            let legacy_in = t.get(LoopIndex::N) * t.get(LoopIndex::C) * legacy_rows * legacy_cols;
+            assert_eq!(input_footprint(&s, &t), legacy_in);
+        }
     }
 
     #[test]

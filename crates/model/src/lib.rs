@@ -19,6 +19,16 @@
 //! integer tile sizes for configuration ranking and validation against the
 //! cache simulator.
 //!
+//! # Generalized convolution
+//!
+//! The cost expressions cover strided, **dilated**, and **grouped** (incl.
+//! depthwise) convolutions: dilation widens the input sliding window from
+//! `(R-1)` to `(R-1)·dilation` halo rows, grouping shrinks the C reduction
+//! and the kernel footprint by `1/groups` while a *group-span* factor charges
+//! the input footprint with one channel band per group the K tile reaches.
+//! For `dilation == 1, groups == 1` every expression is bit-identical to the
+//! paper's dense model.
+//!
 //! # Example
 //!
 //! ```
@@ -30,8 +40,23 @@
 //! let tiles = RealTiles::from_array([1.0, 16.0, 8.0, 3.0, 3.0, 14.0, 28.0]);
 //! let dv = single_level_volume(&shape, &perm, &tiles, &CostOptions::default());
 //! assert!(dv.total() > 0.0);
+//!
+//! // A dilated variant of the same layer moves at least as much input data
+//! // (wider halo), while the kernel volume is unchanged.
+//! let dilated = shape.with_dilation(2)?;
+//! let dv2 = single_level_volume(&dilated, &perm, &tiles, &CostOptions::default());
+//! assert!(dv2.input >= dv.input);
+//! assert_eq!(dv2.kernel, dv.kernel);
+//!
+//! // A depthwise shape's kernel footprint shrinks by 1/groups.
+//! let dw = ConvShape::depthwise(64, 56, 3, 1);
+//! let full = RealTiles::full(&dw);
+//! let dv_dw = single_level_volume(&dw, &perm, &full, &CostOptions::default());
+//! assert_eq!(dv_dw.kernel, (64 * 9) as f64);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod cost;
 pub mod multilevel;

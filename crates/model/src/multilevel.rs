@@ -467,6 +467,31 @@ mod tests {
     }
 
     #[test]
+    fn depthwise_and_dilated_predictions_are_sane() {
+        // The multi-level assembly must stay well-behaved on generalized
+        // shapes: positive finite volumes that grow toward the core, and a
+        // depthwise kernel volume 1/groups of the dense one at every level.
+        for s in [
+            ConvShape::depthwise(32, 30, 3, 1),
+            ConvShape::new(1, 32, 16, 3, 3, 26, 26, 1).unwrap().with_dilation(2).unwrap(),
+            ConvShape::new_general(1, 32, 16, 3, 3, 28, 28, 1, 1, 4).unwrap(),
+        ] {
+            let m = MultiLevelModel::new(s, machine(), Permutation::parse("kcrsnhw").unwrap());
+            let tiles = MultiLevelTiles::full(&s);
+            let p = m.predict_tiles(&tiles);
+            for level in TilingLevel::ALL {
+                assert!(
+                    p.volume(level).is_finite() && p.volume(level) > 0.0,
+                    "bad volume at {level} for {s}"
+                );
+            }
+            assert!(p.volume(TilingLevel::Register) >= p.volume(TilingLevel::L3));
+            assert!(p.bottleneck_cost.is_finite() && p.bottleneck_cost > 0.0);
+            assert!(p.projected_gflops(&machine(), 1) > 0.0);
+        }
+    }
+
+    #[test]
     fn model_rankings_correlate_with_tile_simulator() {
         // The model's figure of merit should broadly agree with the
         // tile-granularity traffic simulator on which of two configurations

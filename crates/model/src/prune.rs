@@ -17,6 +17,14 @@
 //! | 6 | ⟨{nt, ct, wt, rt, st}, ht, kt⟩ |
 //! | 7 | ⟨{nt, ct, ht, wt, rt}, st, kt⟩ |
 //! | 8 | ⟨{nt, ct, ht, wt, st}, rt, kt⟩ |
+//!
+//! The classification is purely structural (which index is innermost, which
+//! band sits above it), so it is unchanged by the generalized shapes: stride,
+//! dilation, and channel groups only rescale the per-class cost expressions
+//! (wider input halos, a `1/groups` smaller C reduction, a group-span factor
+//! on the input terms) without reordering which classes can dominate. The
+//! numeric dominance checks below are exercised against dilated and grouped
+//! shapes as well as the paper's dense ones.
 
 use conv_spec::{ConvShape, LoopIndex, Permutation};
 use serde::{Deserialize, Serialize};
@@ -247,6 +255,30 @@ mod tests {
                 assert!(
                     ratio <= 1.0 + 1e-9,
                     "pruning unsound for shape {s} permutation {p}: ratio {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_holds_for_dilated_and_grouped_shapes() {
+        // The pruning theorem must survive the generalization: for dilated,
+        // grouped, and depthwise shapes the eight representatives still
+        // dominate a sweep of other permutations at sampled tile sizes.
+        let shapes = [
+            ConvShape::new(1, 16, 16, 3, 3, 12, 12, 1).unwrap().with_dilation(2).unwrap(),
+            ConvShape::new_general(1, 16, 8, 3, 3, 14, 14, 1, 1, 4).unwrap(),
+            ConvShape::depthwise(16, 14, 3, 1),
+            ConvShape::depthwise(16, 15, 3, 1).with_dilation(2).unwrap(),
+        ];
+        let all = Permutation::enumerate_all();
+        for (i, s) in shapes.iter().enumerate() {
+            let samples = sample_tiles(s, 4);
+            for p in all.iter().skip(i * 7).step_by(131) {
+                let ratio = dominance_ratio(s, p, &samples);
+                assert!(
+                    ratio <= 1.0 + 1e-9,
+                    "pruning unsound for generalized shape {s} permutation {p}: ratio {ratio}"
                 );
             }
         }

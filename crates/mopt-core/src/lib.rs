@@ -15,6 +15,12 @@
 //!   movement, and top-k loss-of-performance against the best of a sampled
 //!   configuration set (Figures 5 and 6).
 //!
+//! The optimizer accepts any [`conv_spec::ConvShape`], including dilated and
+//! grouped/depthwise ones: the solver's tile bounds come from the shape's
+//! loop-trip counts (so the C tile is bounded by the per-group reduction
+//! extent) and the capacity/dominance constraints see the generalized
+//! footprints through the model crate.
+//!
 //! # Example
 //!
 //! ```
@@ -27,6 +33,15 @@
 //! let result = optimizer.optimize();
 //! let best = result.best();
 //! assert!(best.config.validate(&shape).is_ok());
+//!
+//! // A depthwise stage optimizes the same way; its C tile is pinned at the
+//! // per-group reduction extent 1.
+//! let dw = ConvShape::depthwise(16, 16, 3, 1);
+//! let mut options = OptimizerOptions::fast();
+//! options.max_classes = 1;
+//! let dw_best = MOptOptimizer::new(dw, MachineModel::tiny_test_machine(), options)
+//!     .optimize();
+//! assert!(dw_best.best().config.validate(&dw).is_ok());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

@@ -343,6 +343,19 @@ impl MOptOptimizer {
             for (j, &idx) in ALL_INDICES.iter().enumerate() {
                 t.set(idx, xi[j].round().max(1.0) as usize);
             }
+            // For grouped shapes, snap K tiles larger than one group down to
+            // a whole number of groups. The solver's continuous group-span
+            // relaxation (tk / k_per_group) and the integer footprint's
+            // conservative ceil agree exactly at group-aligned K tiles, so
+            // this keeps the integer configuration inside the capacity
+            // envelope the solver certified.
+            if self.shape.groups > 1 {
+                let k_per_group = self.shape.k_per_group().max(1);
+                let tk = t.get(LoopIndex::K);
+                if tk > k_per_group {
+                    t.set(LoopIndex::K, (tk / k_per_group) * k_per_group);
+                }
+            }
             int_levels[level.ordinal()] = t;
         }
 
@@ -398,7 +411,7 @@ pub fn heuristic_config(shape: &ConvShape, machine: &MachineModel) -> TileConfig
         let cap = machine.capacity(level) / 2;
         let mut t = TileSizes::full(shape);
         let mut guard = 0;
-        while t.footprint(shape.stride) > cap && guard < 64 {
+        while t.footprint(shape) > cap && guard < 64 {
             guard += 1;
             let mut largest = LoopIndex::K;
             let mut val = 0;
@@ -463,7 +476,7 @@ mod tests {
         let best = result.best();
         let machine = opt.machine();
         for level in [TilingLevel::L1, TilingLevel::L2, TilingLevel::L3] {
-            let fp = best.config.level(level).footprint(shape.stride);
+            let fp = best.config.level(level).footprint(&shape);
             assert!(
                 fp <= machine.capacity(level),
                 "level {level} footprint {fp} exceeds capacity {}",
@@ -493,6 +506,37 @@ mod tests {
             result.best().predicted_cost,
             bad.bottleneck_cost
         );
+    }
+
+    #[test]
+    fn grouped_configs_have_group_aligned_k_tiles_and_fit_capacities() {
+        for shape in [
+            ConvShape::new_general(1, 32, 16, 3, 3, 14, 14, 1, 1, 4).unwrap(),
+            ConvShape::depthwise(32, 16, 3, 1),
+        ] {
+            let opt = optimizer(shape);
+            let result = opt.optimize();
+            let k_per_group = shape.k_per_group().max(1);
+            for candidate in &result.ranked {
+                for level in TilingLevel::ALL {
+                    let tk = candidate.config.level(level).get(LoopIndex::K);
+                    assert!(
+                        tk <= k_per_group || tk % k_per_group == 0,
+                        "{shape}: K tile {tk} straddles groups of {k_per_group} at {level}"
+                    );
+                }
+                // At group-aligned K tiles the integer footprint matches the
+                // continuous capacity constraint the solver enforced.
+                for level in [TilingLevel::L1, TilingLevel::L2, TilingLevel::L3] {
+                    let fp = candidate.config.level(level).footprint(&shape);
+                    assert!(
+                        fp <= opt.machine().capacity(level),
+                        "{shape}: level {level} footprint {fp} exceeds capacity {}",
+                        opt.machine().capacity(level)
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -537,7 +581,7 @@ mod tests {
         let cfg = heuristic_config(&shape, &machine);
         assert!(cfg.validate(&shape).is_ok());
         for level in [TilingLevel::L1, TilingLevel::L2, TilingLevel::L3] {
-            assert!(cfg.level(level).footprint(shape.stride) <= machine.capacity(level));
+            assert!(cfg.level(level).footprint(&shape) <= machine.capacity(level));
         }
     }
 

@@ -14,6 +14,13 @@
 //!   `PlanNetwork`, `Stats`, `Save`, `Ping`) served over TCP or
 //!   stdin/stdout by the `moptd` binary.
 //!
+//! Shapes on the wire carry optional `dilation` and `groups` fields
+//! (defaulting to 1), so the protocol serves depthwise and dilated
+//! convolutions while requests and snapshots written before the
+//! generalization keep parsing — and keep hitting the same cache entries.
+//! See `docs/PROTOCOL.md` at the repository root for the full JSON-lines
+//! protocol.
+//!
 //! # Example
 //!
 //! ```
@@ -25,14 +32,15 @@
 //! let cache = ScheduleCache::new(128);
 //! let options = OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() };
 //! let planner = NetworkPlanner::new(&cache, MachineModel::tiny_test_machine(), options);
-//! let layers = vec![NamedLayer {
-//!     name: "conv1".into(),
-//!     shape: ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1)?,
-//! }];
+//! let layers = vec![
+//!     NamedLayer { name: "conv1".into(), shape: ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1)? },
+//!     // A depthwise layer plans through the same cache-keyed pipeline.
+//!     NamedLayer { name: "dw1".into(), shape: ConvShape::depthwise(8, 10, 3, 1) },
+//! ];
 //! let cold = planner.plan(&layers);
 //! let warm = planner.plan(&layers);
 //! assert_eq!(cold.layers[0].best, warm.layers[0].best);
-//! assert!(warm.layers[0].from_cache);
+//! assert!(warm.layers.iter().all(|l| l.from_cache));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

@@ -73,11 +73,13 @@ pub enum Request {
         /// Optimizer options.
         options: Option<OptimizerOptions>,
     },
-    /// Plan a whole network: one of the Table-1 suites by name, or an
+    /// Plan a whole network: one of the benchmark suites by name, or an
     /// explicit layer list.
     PlanNetwork {
-        /// Suite name: `"yolo9000"`, `"resnet18"`, `"mobilenet"`, or
-        /// `"table1"` for all 32 operators.
+        /// Suite name: `"yolo9000"`, `"resnet18"`, `"mobilenet"` (true
+        /// depthwise), `"mobilenetv2"` (MobileNetV2 depthwise stages),
+        /// `"dilated"` (DeepLab/ESPNet-style dilated ops), `"table1"` for
+        /// all 32 Table-1 operators, or `"extended"` for every suite.
         suite: Option<String>,
         /// Explicit layers (used when `suite` is absent).
         layers: Option<Vec<NamedLayer>>,
@@ -277,13 +279,20 @@ impl ServiceState {
                     "yolo9000" | "yolo" => suite_layers(BenchmarkSuite::Yolo9000),
                     "resnet18" | "resnet" => suite_layers(BenchmarkSuite::ResNet18),
                     "mobilenet" => suite_layers(BenchmarkSuite::MobileNet),
+                    "mobilenetv2" | "mobilenetv2dw" => suite_layers(BenchmarkSuite::MobileNetV2),
+                    "dilated" | "deeplab" | "deeplabdilated" => {
+                        suite_layers(BenchmarkSuite::DilatedDeepLab)
+                    }
                     "table1" | "all" => {
                         benchmarks::all_operators().iter().map(NamedLayer::from).collect()
+                    }
+                    "extended" => {
+                        benchmarks::extended_operators().iter().map(NamedLayer::from).collect()
                     }
                     _ => {
                         return Response::Error {
                             message: format!(
-                                "unknown suite `{name}` (try \"yolo9000\", \"resnet18\", \"mobilenet\", \"table1\")"
+                                "unknown suite `{name}` (try \"yolo9000\", \"resnet18\", \"mobilenet\", \"mobilenetv2\", \"dilated\", \"table1\", \"extended\")"
                             ),
                         }
                     }

@@ -130,6 +130,122 @@ fn moptd_stdio_round_trip_matches_naive() {
     assert!(reference.allclose(&tiled, 1e-3));
 }
 
+/// Acceptance: `moptd` serves an `Optimize` request for a depthwise
+/// MobileNetV2 stage (by suite name) and for a dilation-2 convolution (by
+/// explicit shape, including the new `dilation` field on the wire), and the
+/// returned schedules executed via `TiledConv` match the naive reference.
+#[test]
+fn moptd_serves_depthwise_and_dilated_shapes() {
+    let v5 = benchmarks::by_name("V5").unwrap().shape;
+    assert!(v5.is_depthwise());
+    let dilated = ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap().with_dilation(2).unwrap();
+
+    let by_name_request = serde_json::to_string(&Request::Optimize {
+        op: Some("V5".into()),
+        shape: None,
+        machine: mopt_service::MachineSpec::Preset("tiny".into()),
+        options: Some(fast_options()),
+    })
+    .unwrap();
+    let by_shape_request = serde_json::to_string(&Request::Optimize {
+        op: None,
+        shape: Some(dilated),
+        machine: mopt_service::MachineSpec::Preset("tiny".into()),
+        options: Some(fast_options()),
+    })
+    .unwrap();
+    // The dilated request really carries the new field on the wire.
+    assert!(by_shape_request.contains("\"dilation\":2"));
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_moptd"))
+        .args(["--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("moptd spawns");
+    {
+        let stdin = child.stdin.as_mut().expect("moptd stdin");
+        stdin.write_all(format!("{by_name_request}\n{by_shape_request}\n").as_bytes()).unwrap();
+    }
+    child.stdin.take();
+    let stdout = BufReader::new(child.stdout.take().expect("moptd stdout"));
+    let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+    assert!(child.wait().unwrap().success());
+    assert_eq!(lines.len(), 2, "expected two response lines, got {lines:?}");
+
+    for (line, shape, seed) in [(&lines[0], v5, 71u64), (&lines[1], dilated, 72u64)] {
+        let response: Response = serde_json::from_str(line).unwrap();
+        let result = match response {
+            Response::Optimized { result, shape: served, .. } => {
+                assert_eq!(served, shape);
+                result
+            }
+            other => panic!("expected Optimized for {shape}, got {other:?}"),
+        };
+        let best = result.best().config.clone();
+        assert!(best.validate(&shape).is_ok());
+        let (ni, ci, hi, wi) = shape.input_dims();
+        let (kk, kc, kr, ks) = shape.kernel_dims();
+        let input = Tensor4::random(ni, ci, hi, wi, seed);
+        let kernel = Tensor4::random(kk, kc, kr, ks, seed + 1);
+        let reference = conv2d_naive(&shape, &input, &kernel);
+        let tiled = TiledConv::new(shape, best, 2).unwrap().run(&input, &kernel);
+        assert!(
+            reference.allclose(&tiled, 1e-3),
+            "served schedule for {shape} diverges from the naive reference"
+        );
+    }
+}
+
+/// Backward compatibility: a legacy request whose shape JSON has no
+/// `dilation`/`groups` fields still parses and hits the same cache entry as
+/// the explicit dense form.
+#[test]
+fn legacy_wire_shapes_parse_and_share_cache_entries() {
+    let state = ServiceState::new(16);
+    let legacy = format!(
+        "{{\"Optimize\": {{\"shape\": {{\"n\":1,\"k\":8,\"c\":4,\"r\":3,\"s\":3,\"h\":10,\"w\":10,\"stride\":1}}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+        serde_json::to_string(&fast_options()).unwrap()
+    );
+    let explicit = format!(
+        "{{\"Optimize\": {{\"shape\": {}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+        serde_json::to_string(&ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap()).unwrap(),
+        serde_json::to_string(&fast_options()).unwrap()
+    );
+    let first: Response = serde_json::from_str(&state.handle_line(&legacy)).unwrap();
+    let second: Response = serde_json::from_str(&state.handle_line(&explicit)).unwrap();
+    match (first, second) {
+        (
+            Response::Optimized { cached: false, result: a, .. },
+            Response::Optimized { cached: true, result: b, .. },
+        ) => assert_eq!(a.ranked, b.ranked),
+        other => panic!("expected cold legacy then warm explicit, got {other:?}"),
+    }
+}
+
+/// The new suites are servable through `PlanNetwork`.
+#[test]
+fn plan_network_serves_generalized_suites() {
+    let state = ServiceState::new(64);
+    for (suite, expected_layers) in [("mobilenetv2", 9), ("dilated", 5)] {
+        let line = format!(
+            "{{\"PlanNetwork\": {{\"suite\": \"{suite}\", \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}, \"workers\": 4}}}}",
+            serde_json::to_string(&fast_options()).unwrap()
+        );
+        let response: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        match response {
+            Response::Planned { plan } => {
+                assert_eq!(plan.stats.layers, expected_layers, "suite {suite}");
+                for layer in &plan.layers {
+                    assert!(layer.best.config.validate(&layer.shape).is_ok());
+                }
+            }
+            other => panic!("expected Planned for {suite}, got {other:?}"),
+        }
+    }
+}
+
 /// `moptd --snapshot`: a second process starts warm from the first's cache.
 #[test]
 fn moptd_snapshot_warms_across_processes() {

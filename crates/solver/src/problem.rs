@@ -13,6 +13,13 @@ pub type ScalarFn = Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>;
 /// subject to g_i(x) <= 0        for every registered constraint
 ///            lower_j <= x_j <= upper_j
 /// ```
+///
+/// For the tile-size problems built by `mopt-core`, the box upper bounds are
+/// the shape's *loop-trip counts* (`conv_spec::ConvShape::extent`), not the
+/// raw tensor extents — for grouped convolutions the C-tile variable is
+/// therefore bounded by the per-group reduction extent `C/groups`, and the
+/// capacity constraints see the dilated input halo and group-span factor
+/// through the model's footprint expressions.
 #[derive(Clone)]
 pub struct Problem {
     dim: usize,

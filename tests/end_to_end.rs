@@ -105,13 +105,59 @@ fn library_baseline_and_mopt_configuration_both_compute_the_same_result() {
 #[test]
 fn strided_benchmark_operators_execute_correctly_end_to_end() {
     // Every strided (stride-2) operator structure from Table 1, scaled down.
+    // The MobileNet entries are true depthwise shapes, so this also covers
+    // grouped execution end to end.
     let machine = MachineModel::i7_9700k();
-    for op in benchmarks::scaled_operators(10, 16).into_iter().filter(|o| o.is_strided()) {
+    let ops = benchmarks::scaled_operators(10, 16);
+    let strided: Vec<_> = ops.into_iter().filter(|o| o.is_strided()).collect();
+    assert!(strided.iter().any(|o| o.shape.is_depthwise()), "expected depthwise M* operators");
+    for op in strided {
         let shape = op.shape;
-        let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 30);
-        let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 31);
+        let (ni, ci, hi, wi) = shape.input_dims();
+        let (kk, kc, kr, ks) = shape.kernel_dims();
+        let input = Tensor4::random(ni, ci, hi, wi, 30);
+        let kernel = Tensor4::random(kk, kc, kr, ks, 31);
         let reference = conv2d_naive(&shape, &input, &kernel);
         let config = heuristic_config(&shape, &machine);
+        let out = TiledConv::new(shape, config, 2).unwrap().run(&input, &kernel);
+        assert!(reference.allclose(&out, 1e-3), "operator {}", op.name);
+    }
+}
+
+#[test]
+fn depthwise_and_dilated_operators_optimize_and_execute_end_to_end() {
+    // The full pipeline on the generalized suites: optimize a scaled
+    // MobileNetV2 depthwise stage and a dilated DeepLab-style operator, then
+    // execute the chosen schedule and compare with the reference.
+    let machine = MachineModel::i7_9700k();
+    let scaled: Vec<_> = benchmarks::extended_operators()
+        .into_iter()
+        .filter(|op| op.name == "V5" || op.name == "D1" || op.name == "D5")
+        .map(|mut op| {
+            let s = &mut op.shape;
+            let was_depthwise = s.is_depthwise();
+            s.k = s.k.min(16);
+            s.c = s.c.min(16);
+            s.h = s.h.min(12);
+            s.w = s.w.min(12);
+            if was_depthwise {
+                s.groups = s.k.min(s.c);
+            } else {
+                s.groups = 1;
+            }
+            op
+        })
+        .collect();
+    assert_eq!(scaled.len(), 3);
+    for op in scaled {
+        let shape = op.shape;
+        let result = fast_optimizer(shape, &machine, 2).optimize();
+        let config = result.best().config.clone();
+        let (ni, ci, hi, wi) = shape.input_dims();
+        let (kk, kc, kr, ks) = shape.kernel_dims();
+        let input = Tensor4::random(ni, ci, hi, wi, 50);
+        let kernel = Tensor4::random(kk, kc, kr, ks, 51);
+        let reference = conv2d_naive(&shape, &input, &kernel);
         let out = TiledConv::new(shape, config, 2).unwrap().run(&input, &kernel);
         assert!(reference.allclose(&out, 1e-3), "operator {}", op.name);
     }

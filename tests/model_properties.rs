@@ -128,7 +128,7 @@ proptest! {
         }
         let real: RealTiles = (&tiles).into();
         let model_fp = total_footprint(&shape, &real);
-        let spec_fp = tiles.footprint(shape.stride) as f64;
+        let spec_fp = tiles.footprint(&shape) as f64;
         prop_assert!((model_fp - spec_fp).abs() < 1e-9);
     }
 
