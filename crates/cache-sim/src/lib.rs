@@ -47,5 +47,5 @@ pub use counters::{DataMovement, LevelTraffic};
 pub use hierarchy::{CacheKind, MemoryHierarchy};
 pub use lru::FullyAssocLru;
 pub use setassoc::SetAssocCache;
-pub use tilesim::{TileTrafficSimulator, TileTrafficStats};
+pub use tilesim::{FusedPairTraffic, TileTrafficSimulator, TileTrafficStats};
 pub use trace::TraceSimulator;

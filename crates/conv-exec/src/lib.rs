@@ -16,6 +16,9 @@
 //!   a small stack block, FMA-friendly inner loop),
 //! * [`tiled`] — the multi-level tiled executor driven by a
 //!   [`conv_spec::TileConfig`] with thread-parallel outer loops,
+//! * [`fused`] — a fused depthwise + pointwise executor that consumes the
+//!   intermediate tensor band-by-band in cache (bit-for-bit equal to the two
+//!   naive convolutions run sequentially),
 //! * [`measure`] — timing helpers (GFLOPS, repetitions, cache flushing).
 //!
 //! # Example
@@ -35,6 +38,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod fused;
 pub mod im2col;
 pub mod measure;
 pub mod microkernel;
@@ -43,6 +47,7 @@ pub mod packing;
 pub mod tensor;
 pub mod tiled;
 
+pub use fused::{pointwise_consumer, FusedDwPw};
 pub use measure::{measure_gflops, MeasureOptions, Measurement};
 pub use packing::PackedKernel;
 pub use tensor::Tensor4;

@@ -1,0 +1,249 @@
+//! Builders for the benchmark-suite network blocks.
+//!
+//! Two block families ground the graph planner in the existing suites:
+//!
+//! * [`mobilenet_v2_block`] — the inverted-residual block around one of the
+//!   MobileNetV2 depthwise stages `V1` ... `V9`: a pointwise expansion, the
+//!   depthwise stage itself, and a pointwise (linear) projection, with ReLUs
+//!   after the expansion and the depthwise stage. The depthwise → pointwise
+//!   tail is exactly the pattern the fused executor in `conv_exec` runs.
+//! * [`resnet_residual_block`] — a ResNet-style residual block around one of
+//!   the stride-1 ResNet-18 layers: two 3x3 convolutions on the main path
+//!   and a projection convolution on the skip path, joined by an elementwise
+//!   add. Because the workspace's convolutions are "valid" (unpadded), the
+//!   skip projection uses a 5x5 kernel so both paths land on the same
+//!   spatial extent.
+
+use conv_spec::{benchmarks, ConvShape};
+
+use crate::ir::{Graph, OpKind, TensorInfo};
+use crate::GraphError;
+
+/// The MobileNetV2 inverted-residual block whose depthwise stage is an
+/// arbitrary depthwise shape. The expansion factor is 6 when the expanded
+/// channel count divides by 6 (the network's usual factor), otherwise 1
+/// (the first block).
+///
+/// # Panics
+///
+/// Panics if `dw` is not a depthwise convolution.
+pub fn mobilenet_v2_block_from(dw: &ConvShape, name: impl Into<String>) -> Graph {
+    assert!(dw.is_depthwise(), "{dw} is not depthwise");
+    let expanded = dw.k;
+    let cin = if expanded.is_multiple_of(6) { expanded / 6 } else { expanded };
+    let cout = cin;
+    let pw_expand = ConvShape::new(dw.n, expanded, cin, 1, 1, dw.input_h(), dw.input_w(), 1)
+        .expect("valid expansion shape");
+    let pw_project =
+        ConvShape::new(dw.n, cout, expanded, 1, 1, dw.h, dw.w, 1).expect("valid projection shape");
+
+    let mut g = Graph::new(name);
+    let expand = g.add_conv("expand", pw_expand);
+    let relu1 = g.add_node("relu1", OpKind::Relu);
+    let dw_id = g.add_conv("dw", *dw);
+    let relu2 = g.add_node("relu2", OpKind::Relu);
+    let project = g.add_conv("project", pw_project);
+    let expanded_dims = TensorInfo::nchw(pw_expand.output_dims());
+    let dw_out = TensorInfo::nchw(dw.output_dims());
+    g.connect(expand, relu1, expanded_dims);
+    g.connect(relu1, dw_id, expanded_dims);
+    g.connect(dw_id, relu2, dw_out);
+    g.connect(relu2, project, dw_out);
+    g
+}
+
+/// The inverted-residual block around MobileNetV2 depthwise stage `V{stage}`
+/// (`stage` in `1..=9`, the operators of `benchmarks::mobilenet_v2`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownBlock`] for a stage outside `1..=9`.
+pub fn mobilenet_v2_block(stage: usize) -> Result<Graph, GraphError> {
+    let ops = benchmarks::mobilenet_v2();
+    if stage == 0 || stage > ops.len() {
+        return Err(GraphError::UnknownBlock(format!(
+            "mbv2 stage {stage} (have 1..={})",
+            ops.len()
+        )));
+    }
+    Ok(mobilenet_v2_block_from(&ops[stage - 1].shape, format!("mbv2-block{stage}")))
+}
+
+/// A ResNet-style residual block whose first main-path convolution is
+/// `conv1` (any dense 3x3 stride-1 shape): main path `conv1 → relu → conv2`
+/// (same channel count), skip path a 5x5 projection landing on conv2's
+/// output extent, joined by `Add` and a final ReLU.
+///
+/// # Panics
+///
+/// Panics if `conv1` is not a dense stride-1 3x3 convolution or its output
+/// is too small for the second convolution.
+pub fn resnet_residual_block_from(conv1: &ConvShape, name: impl Into<String>) -> Graph {
+    assert!(
+        conv1.r == 3
+            && conv1.s == 3
+            && conv1.stride == 1
+            && conv1.groups == 1
+            && conv1.dilation == 1,
+        "{conv1} is not a dense stride-1 3x3 convolution"
+    );
+    assert!(conv1.h > 2 && conv1.w > 2, "{conv1} output too small for a second 3x3");
+    let conv2 = ConvShape::new(conv1.n, conv1.k, conv1.k, 3, 3, conv1.h - 2, conv1.w - 2, 1)
+        .expect("valid second conv");
+    // Two valid 3x3 convs shrink the spatial extent by 4; a single valid 5x5
+    // projection shrinks by the same 4, so the skip path lands on conv2's
+    // output extent while reading the same graph input.
+    let skip = ConvShape::new(conv1.n, conv1.k, conv1.c, 5, 5, conv1.h - 2, conv1.w - 2, 1)
+        .expect("valid skip projection");
+    debug_assert_eq!(skip.input_dims(), conv1.input_dims());
+
+    let mut g = Graph::new(name);
+    let c1 = g.add_conv("conv1", *conv1);
+    let relu1 = g.add_node("relu1", OpKind::Relu);
+    let c2 = g.add_conv("conv2", conv2);
+    let sk = g.add_conv("skip", skip);
+    let add = g.add_node("add", OpKind::Add);
+    let relu2 = g.add_node("relu2", OpKind::Relu);
+    let mid = TensorInfo::nchw(conv1.output_dims());
+    let out = TensorInfo::nchw(conv2.output_dims());
+    g.connect(c1, relu1, mid);
+    g.connect(relu1, c2, mid);
+    g.connect(c2, add, out);
+    g.connect(sk, add, out);
+    g.connect(add, relu2, out);
+    g
+}
+
+/// The residual block around a stride-1 ResNet-18 Table-1 layer (`"R2"`,
+/// `"R6"`, `"R8"`, `"R9"`, or `"R12"`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownBlock`] for unknown or strided layers.
+pub fn resnet_residual_block(layer: &str) -> Result<Graph, GraphError> {
+    let op = benchmarks::by_name(layer)
+        .filter(|op| op.suite == conv_spec::BenchmarkSuite::ResNet18)
+        .ok_or_else(|| GraphError::UnknownBlock(format!("ResNet layer {layer}")))?;
+    let s = op.shape;
+    if s.stride != 1 || s.r != 3 {
+        return Err(GraphError::UnknownBlock(format!(
+            "{layer} is not a stride-1 3x3 ResNet layer"
+        )));
+    }
+    Ok(resnet_residual_block_from(&s, format!("resnet-block-{}", op.name.to_lowercase())))
+}
+
+/// Resolve a named block: `"mbv2-block3"` / `"mbv2:3"` / `"v2_block_3"`
+/// (MobileNetV2 inverted-residual stage 3) or `"resnet-r2"` / `"resnet:R2"`
+/// (residual block around ResNet layer R2). Case, `-`, `_`, `:` and spaces
+/// are ignored.
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownBlock`] when the name matches no block.
+pub fn by_name(name: &str) -> Result<Graph, GraphError> {
+    let norm: String = name
+        .trim()
+        .to_ascii_lowercase()
+        .chars()
+        .filter(|c| !['-', '_', ':', ' '].contains(c))
+        .collect();
+    if let Some(rest) = norm
+        .strip_prefix("mbv2block")
+        .or_else(|| norm.strip_prefix("v2block"))
+        .or_else(|| norm.strip_prefix("mbv2"))
+        .or_else(|| norm.strip_prefix("v2"))
+    {
+        let stage: usize = rest
+            .parse()
+            .map_err(|_| GraphError::UnknownBlock(format!("bad MobileNetV2 stage in `{name}`")))?;
+        return mobilenet_v2_block(stage);
+    }
+    if let Some(rest) = norm.strip_prefix("resnetr").or_else(|| norm.strip_prefix("resnetblockr")) {
+        return resnet_residual_block(&format!("R{rest}"));
+    }
+    Err(GraphError::UnknownBlock(format!(
+        "`{name}` (try \"mbv2-block1\"..\"mbv2-block9\" or \"resnet-r2\")"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_spec::LoopIndex;
+
+    #[test]
+    fn every_mobilenet_v2_block_validates() {
+        for stage in 1..=9 {
+            let g = mobilenet_v2_block(stage).unwrap();
+            g.validate().unwrap_or_else(|e| panic!("stage {stage}: {e}"));
+            assert_eq!(g.conv_nodes().len(), 3);
+            // The depthwise stage is the V-suite shape.
+            let dw = g.nodes[g.conv_nodes()[1]].op.conv_shape().unwrap();
+            assert!(dw.is_depthwise());
+            assert_eq!(*dw, benchmarks::mobilenet_v2()[stage - 1].shape);
+            // Expansion factor 6 for all stages whose width divides by 6.
+            let expand = g.nodes[g.conv_nodes()[0]].op.conv_shape().unwrap();
+            if dw.k.is_multiple_of(6) {
+                assert_eq!(expand.c * 6, dw.k, "stage {stage}");
+            }
+        }
+        assert!(mobilenet_v2_block(0).is_err());
+        assert!(mobilenet_v2_block(10).is_err());
+    }
+
+    #[test]
+    fn mobilenet_block_chains_expand_dw_project() {
+        let g = mobilenet_v2_block(5).unwrap();
+        let dims = g.node_output_dims().unwrap();
+        let convs = g.conv_nodes();
+        let dw = g.nodes[convs[1]].op.conv_shape().unwrap();
+        // The expansion feeds the depthwise input extent exactly.
+        assert_eq!(dims[convs[0]], dw.input_dims());
+        // The projection consumes the depthwise output exactly.
+        let project = g.nodes[convs[2]].op.conv_shape().unwrap();
+        assert_eq!(project.input_dims(), dw.output_dims());
+        assert_eq!(project.extent(LoopIndex::R), 1);
+    }
+
+    #[test]
+    fn resnet_blocks_validate_and_balance_paths() {
+        for layer in ["R2", "R6", "R8", "R9", "R12"] {
+            let g = resnet_residual_block(layer).unwrap();
+            g.validate().unwrap_or_else(|e| panic!("{layer}: {e}"));
+            assert_eq!(g.conv_nodes().len(), 3);
+            // Exactly one Add joining two equal tensors, checked by validate.
+            let adds = g.nodes.iter().filter(|n| n.op == OpKind::Add).count();
+            assert_eq!(adds, 1);
+        }
+        assert!(resnet_residual_block("R1").is_err()); // strided
+        assert!(resnet_residual_block("R3").is_err()); // pointwise
+        assert!(resnet_residual_block("Y0").is_err()); // wrong suite
+    }
+
+    #[test]
+    fn scaled_blocks_also_validate() {
+        // The builders keep working on scaled-down shapes (used by fast
+        // service tests with the tiny machine).
+        let dw = ConvShape::depthwise(12, 14, 3, 1);
+        let g = mobilenet_v2_block_from(&dw, "tiny-block");
+        g.validate().unwrap();
+        let small = ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap();
+        resnet_residual_block_from(&small, "tiny-res").validate().unwrap();
+    }
+
+    #[test]
+    fn by_name_resolves_spelling_variants() {
+        assert_eq!(by_name("mbv2-block3").unwrap().name, "mbv2-block3");
+        assert_eq!(by_name("MBV2:3").unwrap().name, "mbv2-block3");
+        assert_eq!(
+            by_name("V2_Block_5").unwrap().fingerprint(),
+            mobilenet_v2_block(5).unwrap().fingerprint()
+        );
+        assert_eq!(by_name("resnet-r2").unwrap().name, "resnet-block-r2");
+        assert_eq!(by_name("RESNET:R12").unwrap().name, "resnet-block-r12");
+        assert!(by_name("mbv2-block99").is_err());
+        assert!(by_name("alexnet").is_err());
+        assert!(by_name("mbv2-blockx").is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Fusion-aware cross-layer cost extension.
+//!
+//! The per-operator model (and Algorithm 1) optimizes each convolution in
+//! isolation, so the intermediate tensor between a producer and its consumer
+//! is always stored to memory by one schedule and re-loaded by the next —
+//! for MobileNet-style depthwise → pointwise pairs this round trip is the
+//! dominant avoidable traffic. This module prices *fusing* two adjacent
+//! operators: the producer's output tile is consumed in-cache by the
+//! consumer, deleting one store and one load of the intermediate tensor at
+//! the memory boundary, provided the *joint* working set still fits the same
+//! certified capacity envelope the per-operator solves used.
+//!
+//! The evaluation is deliberately conservative:
+//!
+//! * only the DRAM-boundary (L3-fill) traffic is credited — inner levels keep
+//!   their per-operator volumes,
+//! * the joint footprint charges the producer's and the consumer's L3 tile
+//!   footprints in full (the shared intermediate tile is double-counted), so
+//!   a fused plan is only accepted when both certified tiles co-reside with
+//!   slack,
+//! * structural feasibility ([`fusable_pair`]) requires the consumer to be a
+//!   dense stride-1, dilation-1 pointwise op whose input is exactly the
+//!   producer's output — the pattern whose in-cache consumption the fused
+//!   executor in `conv_exec` realizes.
+
+use conv_spec::{ConvShape, MachineModel, TileSizes, TilingLevel};
+use serde::{Deserialize, Serialize};
+
+/// Why a producer → consumer pair cannot be fused (or `Fusable`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FusabilityCheck {
+    /// The pair is structurally fusable.
+    Fusable,
+    /// The consumer is not a dense stride-1/dilation-1 pointwise op.
+    ConsumerNotPointwise,
+    /// The consumer's input tensor is not the producer's output tensor
+    /// (channel or spatial mismatch).
+    ShapeMismatch,
+}
+
+/// Structural fusability of a producer → consumer convolution pair.
+///
+/// Fusion (as modeled here and executed by `conv_exec`'s fused executor)
+/// requires the consumer to read the intermediate tensor position-wise:
+/// a dense 1x1, stride-1, dilation-1 convolution whose input dimensions are
+/// exactly the producer's output dimensions. The producer may be any
+/// convolution (the executable depthwise → pointwise case is a subset).
+pub fn fusable_pair(producer: &ConvShape, consumer: &ConvShape) -> FusabilityCheck {
+    if !consumer.is_pointwise()
+        || consumer.stride != 1
+        || consumer.dilation != 1
+        || consumer.groups != 1
+    {
+        return FusabilityCheck::ConsumerNotPointwise;
+    }
+    if consumer.input_dims() != producer.output_dims() {
+        return FusabilityCheck::ShapeMismatch;
+    }
+    FusabilityCheck::Fusable
+}
+
+/// The outcome of pricing one producer → consumer fusion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusionEvaluation {
+    /// Elements of the intermediate tensor (producer output = consumer input).
+    pub intermediate_elems: f64,
+    /// DRAM-boundary volume of the two operators planned separately
+    /// (elements; the sum of the per-operator L3-fill volumes).
+    pub unfused_volume: f64,
+    /// DRAM-boundary volume when fused: the unfused volume minus the deleted
+    /// store + load of the intermediate tensor.
+    pub fused_volume: f64,
+    /// Joint L3 footprint of the two certified tile working sets (elements).
+    pub fused_footprint: f64,
+    /// The capacity envelope the joint footprint was checked against
+    /// (the machine's L3 capacity, the same envelope the per-operator
+    /// solves certified their tiles under).
+    pub capacity: f64,
+    /// Whether the fusion is structurally possible *and* fits the envelope.
+    pub feasible: bool,
+}
+
+impl FusionEvaluation {
+    /// Elements of DRAM traffic saved by fusing (0 when infeasible).
+    pub fn saving(&self) -> f64 {
+        if self.feasible {
+            self.unfused_volume - self.fused_volume
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Price the fusion of `producer` → `consumer` on `machine`.
+///
+/// `producer_l3_tiles` / `consumer_l3_tiles` are the L3-level tile sizes of
+/// each operator's chosen schedule (the tiles whose footprints the
+/// per-operator solves certified against the L3 capacity); their joint
+/// footprint must fit the same envelope for the intermediate to be consumed
+/// in-cache. `producer_l3_volume` / `consumer_l3_volume` are the model's
+/// DRAM-boundary (L3-fill) volumes of the two schedules.
+///
+/// The deleted traffic is `2 × intermediate` elements: the paper's DRAM cost
+/// charges the output tensor twice (write-back + re-read) and the consumer's
+/// load of the same tensor once more; fusion removes the producer-side round
+/// trip entirely while the consumer-side read stays (it happens in cache).
+/// Of the three movements (write, re-read as output, read as input) the two
+/// that cross the DRAM boundary for scheduling reasons alone — the store and
+/// the consumer's load — are credited.
+pub fn evaluate_fusion(
+    producer: &ConvShape,
+    consumer: &ConvShape,
+    producer_l3_tiles: &TileSizes,
+    consumer_l3_tiles: &TileSizes,
+    producer_l3_volume: f64,
+    consumer_l3_volume: f64,
+    machine: &MachineModel,
+) -> FusionEvaluation {
+    let intermediate = producer.output_elems() as f64;
+    let unfused = producer_l3_volume + consumer_l3_volume;
+    let capacity = machine.capacity(TilingLevel::L3) as f64;
+    let footprint =
+        (producer_l3_tiles.footprint(producer) + consumer_l3_tiles.footprint(consumer)) as f64;
+    let structurally = fusable_pair(producer, consumer) == FusabilityCheck::Fusable;
+    let feasible = structurally && footprint <= capacity;
+    let fused = if feasible { (unfused - 2.0 * intermediate).max(0.0) } else { unfused };
+    FusionEvaluation {
+        intermediate_elems: intermediate,
+        unfused_volume: unfused,
+        fused_volume: fused,
+        fused_footprint: footprint,
+        capacity,
+        feasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_spec::ConvShape;
+
+    fn dw_pw_pair() -> (ConvShape, ConvShape) {
+        // A MobileNet-style stage: depthwise 3x3 then pointwise projection.
+        let dw = ConvShape::depthwise(16, 18, 3, 1); // out 16x16
+        let pw = ConvShape::new(1, 8, 16, 1, 1, dw.h, dw.w, 1).unwrap();
+        (dw, pw)
+    }
+
+    #[test]
+    fn structural_fusability() {
+        let (dw, pw) = dw_pw_pair();
+        assert_eq!(fusable_pair(&dw, &pw), FusabilityCheck::Fusable);
+        // A 3x3 consumer is not fusable.
+        let conv3 = ConvShape::new(1, 8, 16, 3, 3, dw.h - 2, dw.w - 2, 1).unwrap();
+        assert_eq!(fusable_pair(&dw, &conv3), FusabilityCheck::ConsumerNotPointwise);
+        // A pointwise consumer with the wrong channel count mismatches.
+        let wrong = ConvShape::new(1, 8, 32, 1, 1, dw.h, dw.w, 1).unwrap();
+        assert_eq!(fusable_pair(&dw, &wrong), FusabilityCheck::ShapeMismatch);
+        // Strided and grouped pointwise consumers are rejected.
+        let strided = ConvShape::new(1, 8, 16, 1, 1, dw.h / 2, dw.w / 2, 2).unwrap();
+        assert_eq!(fusable_pair(&dw, &strided), FusabilityCheck::ConsumerNotPointwise);
+    }
+
+    #[test]
+    fn feasible_fusion_deletes_one_store_and_one_load() {
+        let (dw, pw) = dw_pw_pair();
+        let machine = MachineModel::i7_9700k();
+        // Untiled L3 tiles (both fit the 3M-element L3 easily at this size).
+        let eval = evaluate_fusion(
+            &dw,
+            &pw,
+            &TileSizes::full(&dw),
+            &TileSizes::full(&pw),
+            10_000.0,
+            20_000.0,
+            &machine,
+        );
+        assert!(eval.feasible);
+        assert_eq!(eval.intermediate_elems, dw.output_elems() as f64);
+        assert_eq!(eval.unfused_volume, 30_000.0);
+        assert_eq!(eval.fused_volume, 30_000.0 - 2.0 * dw.output_elems() as f64);
+        assert_eq!(eval.saving(), 2.0 * dw.output_elems() as f64);
+    }
+
+    #[test]
+    fn capacity_envelope_rejects_oversized_joint_footprints() {
+        // A larger stage: the tiny machine's 16K-element L3 cannot co-host
+        // both working sets (the depthwise one alone exceeds it).
+        let dw = ConvShape::depthwise(32, 24, 3, 1);
+        let pw = ConvShape::new(1, 16, 32, 1, 1, dw.h, dw.w, 1).unwrap();
+        let machine = MachineModel::tiny_test_machine();
+        let eval = evaluate_fusion(
+            &dw,
+            &pw,
+            &TileSizes::full(&dw),
+            &TileSizes::full(&pw),
+            10_000.0,
+            20_000.0,
+            &machine,
+        );
+        assert!(
+            !eval.feasible,
+            "joint footprint {} vs capacity {}",
+            eval.fused_footprint, eval.capacity
+        );
+        assert_eq!(eval.fused_volume, eval.unfused_volume);
+        assert_eq!(eval.saving(), 0.0);
+    }
+
+    #[test]
+    fn structural_rejection_keeps_unfused_volume() {
+        let (dw, _) = dw_pw_pair();
+        let conv3 = ConvShape::new(1, 8, 16, 3, 3, dw.h - 2, dw.w - 2, 1).unwrap();
+        let machine = MachineModel::i7_9700k();
+        let eval = evaluate_fusion(
+            &dw,
+            &conv3,
+            &TileSizes::full(&dw),
+            &TileSizes::full(&conv3),
+            5.0,
+            7.0,
+            &machine,
+        );
+        assert!(!eval.feasible);
+        assert_eq!(eval.fused_volume, 12.0);
+    }
+
+    #[test]
+    fn saving_never_drives_volume_negative() {
+        let (dw, pw) = dw_pw_pair();
+        let machine = MachineModel::i7_9700k();
+        // Pathologically small per-op volumes: the credit is clamped at zero.
+        let eval = evaluate_fusion(
+            &dw,
+            &pw,
+            &TileSizes::full(&dw),
+            &TileSizes::full(&pw),
+            1.0,
+            1.0,
+            &machine,
+        );
+        assert!(eval.feasible);
+        assert_eq!(eval.fused_volume, 0.0);
+    }
+}

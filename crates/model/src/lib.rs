@@ -12,7 +12,11 @@
 //!   to contain a global optimum,
 //! * [`multilevel`] — assembly of per-level cost expressions for multi-level
 //!   tiling (Sec. 5), including the parallel adaptation of Sec. 7 and the
-//!   bandwidth-scaled min–max objective.
+//!   bandwidth-scaled min–max objective,
+//! * [`fused`] — a cross-layer extension pricing the fusion of a producer →
+//!   consumer pair (the intermediate tensor's store + load at the DRAM
+//!   boundary is deleted when the joint working set fits the same certified
+//!   capacity envelope), used by `mopt_graph`'s fusion-aware planner.
 //!
 //! The expressions are evaluated on real-valued tile sizes so that they can be
 //! used directly as objectives/constraints of the non-linear solver, and on
@@ -59,9 +63,11 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod fused;
 pub mod multilevel;
 pub mod prune;
 
 pub use cost::{single_level_volume, ArrayVolumes, CostOptions, RealTiles};
+pub use fused::{evaluate_fusion, fusable_pair, FusabilityCheck, FusionEvaluation};
 pub use multilevel::{MultiLevelModel, ParallelSpec};
 pub use prune::{pruned_classes, PermutationClass};

@@ -15,6 +15,12 @@
 //!
 //! echo '{"Optimize": {"op": "Y0", "machine": {"Preset": "i7-9700k"}}}' | moptd --stdio
 //! ```
+//!
+//! Verbs: `Optimize`, `PlanNetwork`, `PlanGraph` (fusion-aware graph
+//! planning), `Stats`, `Save`, `Ping` (replies with the crate version).
+//! Client disconnects — stdin EOF, broken pipes, connection resets — end a
+//! connection gracefully: state is persisted and nothing is logged as an
+//! error.
 
 use std::io::{BufReader, BufWriter};
 use std::net::TcpListener;
@@ -54,7 +60,8 @@ fn parse_args() -> Result<Args, String> {
                      USAGE:\n  moptd --stdio [--snapshot PATH] [--capacity N]\n  \
                      moptd --listen ADDR [--snapshot PATH] [--capacity N]\n\n\
                      One JSON request per input line, one JSON response per output line.\n\
-                     Requests: Optimize, PlanNetwork, Stats, Save, Ping. See README.md."
+                     Requests: Optimize, PlanNetwork, PlanGraph, Stats, Save, Ping.\n\
+                     See README.md and docs/PROTOCOL.md."
                 );
                 std::process::exit(0);
             }
@@ -98,8 +105,12 @@ fn main() {
     if args.stdio {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
-        if let Err(e) = state.serve_connection(stdin.lock(), stdout.lock()) {
-            eprintln!("moptd: stdio loop failed: {e}");
+        // Client disconnects (stdin EOF, broken pipe on stdout) come back as
+        // Ok(()) from serve_connection; either way the shutdown is graceful:
+        // persist the cache and exit 0.
+        match state.serve_connection(stdin.lock(), stdout.lock()) {
+            Ok(()) => eprintln!("moptd: stdin closed, shutting down"),
+            Err(e) => eprintln!("moptd: stdio loop failed: {e}"),
         }
         persist_cache(&state);
         return;
@@ -148,10 +159,12 @@ fn main() {
                         }
                     });
                     let writer = BufWriter::new(stream);
+                    // A client hanging up mid-conversation is a normal
+                    // drain (Ok), not a failure; only unexpected I/O errors
+                    // are logged. Both paths keep the snapshot fresh.
                     if let Err(e) = state.serve_connection(reader, writer) {
                         eprintln!("moptd: connection {peer} failed: {e}");
                     }
-                    // Keep the snapshot fresh after each connection drains.
                     persist_cache(&state);
                 });
             }

@@ -55,8 +55,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries inserted.
     pub insertions: u64,
-    /// Entries evicted to stay within capacity.
+    /// Entries evicted to stay within capacity (sum over all shards).
     pub evictions: u64,
+    /// Evictions per shard, indexed by shard number — a skewed vector flags
+    /// keys hashing unevenly (e.g. one hot suite thrashing a single shard
+    /// while the rest of the cache sits idle).
+    pub shard_evictions: Vec<u64>,
     /// Entries currently resident.
     pub entries: usize,
     /// Maximum resident entries.
@@ -75,15 +79,70 @@ impl CacheStats {
     }
 }
 
-struct Entry {
-    result: OptimizeResult,
-    last_used: u64,
+/// A bounded map with least-recently-used eviction, driven by an *external*
+/// monotonic tick so callers can share one clock across several maps (the
+/// sharded schedule cache) or own a clock outright (the graph-plan cache).
+/// This is the single LRU implementation both caches in this crate build on.
+pub(crate) struct LruMap<K, V> {
+    entries: HashMap<K, (V, u64)>,
+    evictions: u64,
 }
 
-#[derive(Default)]
-struct Shard {
-    entries: HashMap<CacheKey, Entry>,
+impl<K: std::cmp::Eq + Hash + Clone, V> Default for LruMap<K, V> {
+    fn default() -> Self {
+        LruMap { entries: HashMap::new(), evictions: 0 }
+    }
 }
+
+impl<K: std::cmp::Eq + Hash + Clone, V> LruMap<K, V> {
+    /// Look up `key`, refreshing its recency to `tick` on a hit.
+    pub fn get(&mut self, key: &K, tick: u64) -> Option<&V> {
+        self.entries.get_mut(key).map(|(value, last_used)| {
+            *last_used = tick;
+            &*value
+        })
+    }
+
+    /// Insert (or refresh) an entry at recency `tick`, evicting the least
+    /// recently used entry first when the map is at `capacity` and the key
+    /// is new. Returns whether an eviction happened.
+    pub fn insert(&mut self, key: K, value: V, tick: u64, capacity: usize) -> bool {
+        let mut evicted = false;
+        if self.entries.len() >= capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) =
+                self.entries.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+                evicted = true;
+            }
+        }
+        self.entries.insert(key, (value, tick));
+        evicted
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Evictions this map has performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drop every entry (the eviction counter is preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Every resident `(key, value, last_used)` triple, unordered.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V, u64)> {
+        self.entries.iter().map(|(k, (v, used))| (k, v, *used))
+    }
+}
+
+type Shard = LruMap<CacheKey, OptimizeResult>;
 
 /// The sharded schedule cache. All methods take `&self`; the cache is meant
 /// to be shared across server threads (e.g. in an `Arc`).
@@ -119,12 +178,13 @@ impl ScheduleCache {
 
     /// Look up a cached result, refreshing its recency on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<OptimizeResult> {
+        let tick = self.tick();
         let mut shard = self.lock_shard(key);
-        match shard.entries.get_mut(key) {
-            Some(entry) => {
-                entry.last_used = self.tick();
+        match shard.get(key, tick) {
+            Some(result) => {
+                let result = result.clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.result.clone())
+                Some(result)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -136,17 +196,11 @@ impl ScheduleCache {
     /// Insert (or refresh) a result, evicting the least recently used entry
     /// of the target shard if it is full.
     pub fn insert(&self, key: CacheKey, result: OptimizeResult) {
-        let last_used = self.tick();
+        let tick = self.tick();
         let mut shard = self.lock_shard(&key);
-        if shard.entries.len() >= self.shard_capacity && !shard.entries.contains_key(&key) {
-            if let Some(victim) =
-                shard.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
-            {
-                shard.entries.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
+        if shard.insert(key, result, tick, self.shard_capacity) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        shard.entries.insert(key, Entry { result, last_used });
         self.insertions.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -171,7 +225,7 @@ impl ScheduleCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").entries.len()).sum()
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -187,8 +241,13 @@ impl ScheduleCache {
     /// Drop every entry (counters are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").entries.clear();
+            shard.lock().expect("cache shard poisoned").clear();
         }
+    }
+
+    /// Evictions per shard, indexed by shard number.
+    pub fn shard_evictions(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").evictions()).collect()
     }
 
     /// Snapshot of the hit/miss/eviction counters and occupancy.
@@ -198,6 +257,7 @@ impl ScheduleCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            shard_evictions: self.shard_evictions(),
             entries: self.len(),
             capacity: self.capacity,
         }
@@ -209,9 +269,7 @@ impl ScheduleCache {
         let mut all: Vec<(CacheKey, OptimizeResult, u64)> = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().expect("cache shard poisoned");
-            all.extend(
-                shard.entries.iter().map(|(k, e)| (k.clone(), e.result.clone(), e.last_used)),
-            );
+            all.extend(shard.iter().map(|(k, v, used)| (k.clone(), v.clone(), used)));
         }
         all.sort_by_key(|(_, _, used)| *used);
         all.into_iter().map(|(k, r, _)| (k, r)).collect()
@@ -337,6 +395,22 @@ pub(crate) mod tests {
         assert!(cache.get(a).is_none());
         assert_eq!(cache.get(same_shard).map(|r| r.best().predicted_cost), Some(2.0));
         assert_eq!(cache.stats().evictions, 1);
+        // The per-shard breakdown pins the eviction to a's shard.
+        let per_shard = cache.shard_evictions();
+        assert_eq!(per_shard.len(), ScheduleCache::SHARDS);
+        assert_eq!(per_shard.iter().sum::<u64>(), 1);
+        assert_eq!(per_shard[a.shard_index(ScheduleCache::SHARDS)], 1);
+    }
+
+    #[test]
+    fn shard_eviction_counts_sum_to_the_global_counter() {
+        let cache = ScheduleCache::new(1);
+        for key in (1..=64).map(key_for) {
+            cache.insert(key.clone(), dummy_result(&key.shape, 1.0));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.shard_evictions.iter().sum::<u64>(), stats.evictions);
+        assert!(stats.evictions > 0);
     }
 
     #[test]

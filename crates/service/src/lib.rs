@@ -10,9 +10,12 @@
 //!   process restarts,
 //! * [`batch`] — a whole-network planner that dedupes identical layer
 //!   shapes and fans the unique solves across a `std::thread` worker pool,
+//! * [`graphs`] — a fingerprint-keyed cache of fusion-aware
+//!   [`mopt_graph::GraphPlan`]s plus the `graph` section of the `Stats`
+//!   reply,
 //! * [`server`] — a JSON-lines request/response protocol (`Optimize`,
-//!   `PlanNetwork`, `Stats`, `Save`, `Ping`) served over TCP or
-//!   stdin/stdout by the `moptd` binary.
+//!   `PlanNetwork`, `PlanGraph`, `Stats`, `Save`, `Ping`) served over TCP
+//!   or stdin/stdout by the `moptd` binary.
 //!
 //! Shapes on the wire carry optional `dilation` and `groups` fields
 //! (defaulting to 1), so the protocol serves depthwise and dilated
@@ -46,10 +49,12 @@
 
 pub mod batch;
 pub mod cache;
+pub mod graphs;
 pub mod persist;
 pub mod server;
 
 pub use batch::{NetworkPlan, NetworkPlanner, PlanStats, PlannedLayer};
 pub use cache::{CacheKey, CacheStats, ScheduleCache};
+pub use graphs::{GraphCacheKey, GraphPlanCache, GraphServiceStats};
 pub use persist::{load_snapshot, save_snapshot, PersistError, Snapshot};
 pub use server::{MachineSpec, Request, Response, ServiceState, ServiceStats};

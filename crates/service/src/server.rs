@@ -7,6 +7,7 @@
 //! ```text
 //! {"Optimize": {"op": "Y0", "machine": {"Preset": "i7-9700k"}}}
 //! {"PlanNetwork": {"suite": "resnet18", "machine": {"Preset": "tiny"}}}
+//! {"PlanGraph": {"block": "mbv2-block5", "machine": {"Preset": "i7-9700k"}}}
 //! "Stats"
 //! ```
 //!
@@ -19,10 +20,12 @@ use std::time::Instant;
 
 use conv_spec::{benchmarks, BenchmarkSuite, ConvShape, MachineModel};
 use mopt_core::{MOptOptimizer, OptimizeResult, OptimizerOptions};
+use mopt_graph::{builders, Graph, GraphPlan, GraphPlanner};
 use serde::{Deserialize, Serialize};
 
 use crate::batch::{NamedLayer, NetworkPlan, NetworkPlanner};
 use crate::cache::{CacheKey, CacheStats, ScheduleCache};
+use crate::graphs::{GraphCacheKey, GraphPlanCache, GraphServiceStats};
 
 /// How a request names the target machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,6 +93,25 @@ pub enum Request {
         /// Worker threads for the fresh solves (default: host parallelism).
         workers: Option<usize>,
     },
+    /// Plan a whole network *graph* with the fusion-aware cross-layer
+    /// planner: fusion cut-points are chosen by a dynamic program, fused
+    /// segments keep their intermediate tensors in cache, and the result is
+    /// memoized by the graph's stable fingerprint.
+    PlanGraph {
+        /// Named block: `"mbv2-block1"` ... `"mbv2-block9"` (MobileNetV2
+        /// inverted-residual stages) or `"resnet-r2"` etc. (residual blocks
+        /// around the stride-1 ResNet layers).
+        block: Option<String>,
+        /// Explicit inline graph (used when `block` is absent).
+        graph: Option<Graph>,
+        /// Target machine.
+        machine: MachineSpec,
+        /// Optimizer options for the per-operator solves.
+        options: Option<OptimizerOptions>,
+        /// Worker threads for the fresh per-operator solves (default: host
+        /// parallelism).
+        workers: Option<usize>,
+    },
     /// Report cache and service statistics.
     Stats,
     /// Persist the cache to the server's snapshot path now.
@@ -101,8 +123,11 @@ pub enum Request {
 /// Service-level statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceStats {
-    /// Cache counters.
+    /// Schedule-cache counters (including per-shard eviction counts).
     pub cache: CacheStats,
+    /// Graph-planning counters (plan cache plus cumulative segment and
+    /// fusion counts).
+    pub graph: GraphServiceStats,
     /// Requests served (any type).
     pub requests: u64,
     /// Seconds since the service started.
@@ -128,6 +153,13 @@ pub enum Response {
         /// The network plan.
         plan: NetworkPlan,
     },
+    /// Result of a `PlanGraph` request.
+    GraphPlanned {
+        /// Whether the plan came from the graph-plan cache.
+        cached: bool,
+        /// The fusion-aware graph plan.
+        plan: GraphPlan,
+    },
     /// Result of a `Stats` request.
     Stats {
         /// The statistics.
@@ -139,7 +171,11 @@ pub enum Response {
         entries: usize,
     },
     /// Reply to `Ping`.
-    Pong,
+    Pong {
+        /// The serving crate's version (`CARGO_PKG_VERSION`), so deployments
+        /// can be audited over the wire.
+        version: String,
+    },
     /// Any failure (parse error, unknown name, I/O error, ...).
     Error {
         /// Human-readable description.
@@ -152,16 +188,23 @@ pub enum Response {
 pub struct ServiceState {
     /// The schedule cache.
     pub cache: ScheduleCache,
+    /// The graph-plan cache (fingerprint-keyed) plus its counters.
+    pub graph_cache: GraphPlanCache,
     snapshot_path: Option<std::path::PathBuf>,
     requests: AtomicU64,
     started: Instant,
 }
 
 impl ServiceState {
-    /// Fresh state with a cache of `capacity` entries.
+    /// Fresh state with a schedule cache of `capacity` entries. The
+    /// graph-plan cache is bounded at a quarter of that (at least 16):
+    /// plans are per-graph rather than per-shape, so far fewer are live,
+    /// but each carries every member schedule and must not accumulate
+    /// unboundedly under arbitrary inline-graph traffic.
     pub fn new(capacity: usize) -> Self {
         ServiceState {
             cache: ScheduleCache::new(capacity),
+            graph_cache: GraphPlanCache::new((capacity / 4).max(16)),
             snapshot_path: None,
             requests: AtomicU64::new(0),
             started: Instant::now(),
@@ -202,10 +245,11 @@ impl ServiceState {
     pub fn handle(&self, request: &Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match request {
-            Request::Ping => Response::Pong,
+            Request::Ping => Response::Pong { version: env!("CARGO_PKG_VERSION").to_string() },
             Request::Stats => Response::Stats {
                 stats: ServiceStats {
                     cache: self.cache.stats(),
+                    graph: self.graph_cache.stats(),
                     requests: self.requests(),
                     uptime_seconds: self.started.elapsed().as_secs_f64(),
                 },
@@ -222,6 +266,9 @@ impl ServiceState {
             }
             Request::PlanNetwork { suite, layers, machine, options, workers } => {
                 self.handle_plan(suite.as_deref(), layers.as_deref(), machine, options, *workers)
+            }
+            Request::PlanGraph { block, graph, machine, options, workers } => {
+                self.handle_plan_graph(block.as_deref(), graph.as_ref(), machine, options, *workers)
             }
         }
     }
@@ -313,6 +360,76 @@ impl ServiceState {
         Response::Planned { plan: planner.plan(&layer_list) }
     }
 
+    fn handle_plan_graph(
+        &self,
+        block: Option<&str>,
+        graph: Option<&Graph>,
+        machine: &MachineSpec,
+        options: &Option<OptimizerOptions>,
+        workers: Option<usize>,
+    ) -> Response {
+        let machine = match machine.resolve() {
+            Ok(m) => m,
+            Err(message) => return Response::Error { message },
+        };
+        let graph: Graph = match (block, graph) {
+            (Some(name), _) => match builders::by_name(name) {
+                Ok(graph) => graph,
+                Err(e) => return Response::Error { message: e.to_string() },
+            },
+            (None, Some(graph)) => graph.clone(),
+            (None, None) => {
+                return Response::Error {
+                    message: "PlanGraph needs either `block` or `graph`".into(),
+                }
+            }
+        };
+        // Gate before the worker-pool warm-up below: an invalid graph must
+        // not cost a single optimizer solve. (GraphPlanner::plan validates
+        // again as its own public contract; the graphs are tiny, so the
+        // repeat is nanoseconds.)
+        if let Err(e) = graph.validate() {
+            return Response::Error { message: format!("invalid graph: {e}") };
+        }
+        let options = options.clone().unwrap_or_default();
+        let key = GraphCacheKey {
+            graph_fingerprint: graph.fingerprint(),
+            machine_fingerprint: machine.fingerprint(),
+            options: options.clone(),
+        };
+        if let Some(plan) = self.graph_cache.get(&key) {
+            return Response::GraphPlanned { cached: true, plan };
+        }
+        // Warm the per-operator schedules through the existing batch planner
+        // (dedupe + worker pool + shared schedule cache), then run the fusion
+        // dynamic program with cache-backed lookups.
+        let layers: Vec<NamedLayer> = graph
+            .conv_nodes()
+            .into_iter()
+            .map(|id| NamedLayer {
+                name: graph.nodes[id].name.clone(),
+                shape: *graph.nodes[id].op.conv_shape().expect("conv node"),
+            })
+            .collect();
+        let mut planner = NetworkPlanner::new(&self.cache, machine.clone(), options.clone());
+        if let Some(workers) = workers {
+            planner = planner.with_workers(workers);
+        }
+        let _ = planner.plan(&layers);
+        let result = GraphPlanner::new(machine.clone()).plan(&graph, |shape| {
+            self.cache.get_or_compute(CacheKey::new(*shape, &machine, &options), || {
+                MOptOptimizer::new(*shape, machine.clone(), options.clone()).optimize()
+            })
+        });
+        match result {
+            Ok(plan) => {
+                self.graph_cache.insert(key, &plan);
+                Response::GraphPlanned { cached: false, plan }
+            }
+            Err(e) => Response::Error { message: format!("graph planning failed: {e}") },
+        }
+    }
+
     /// Parse one request line, dispatch it, and serialize the response.
     pub fn handle_line(&self, line: &str) -> String {
         let response = match serde_json::from_str::<Request>(line) {
@@ -326,25 +443,48 @@ impl ServiceState {
     /// Serve one connection: read JSON-lines requests until EOF, writing one
     /// response line each. Blank lines are ignored. Malformed input — bad
     /// JSON or even invalid UTF-8 — produces an `Error` response, never a
-    /// dropped connection; only real I/O failures end the loop.
+    /// dropped connection. A client disconnecting mid-conversation (broken
+    /// pipe, connection reset/aborted) is a *clean* end of the connection,
+    /// not an error, so callers persist state and exit gracefully; only
+    /// unexpected I/O failures surface as `Err`.
     pub fn serve_connection<R: BufRead, W: Write>(
         &self,
         mut reader: R,
         mut writer: W,
     ) -> std::io::Result<()> {
+        let disconnected = |e: &std::io::Error| {
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::UnexpectedEof
+            )
+        };
         let mut buf = Vec::new();
         loop {
             buf.clear();
-            if reader.read_until(b'\n', &mut buf)? == 0 {
-                return Ok(());
+            match reader.read_until(b'\n', &mut buf) {
+                Ok(0) => return Ok(()),
+                Ok(_) => {}
+                Err(e) if disconnected(&e) => return Ok(()),
+                Err(e) => return Err(e),
             }
             let line = String::from_utf8_lossy(&buf);
             if line.trim().is_empty() {
                 continue;
             }
-            writer.write_all(self.handle_line(line.trim_end_matches(['\r', '\n'])).as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
+            let reply = self.handle_line(line.trim_end_matches(['\r', '\n']));
+            let write = (|| {
+                writer.write_all(reply.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()
+            })();
+            match write {
+                Ok(()) => {}
+                Err(e) if disconnected(&e) => return Ok(()),
+                Err(e) => return Err(e),
+            }
         }
     }
 }
@@ -367,14 +507,20 @@ mod tests {
     }
 
     #[test]
-    fn ping_and_stats() {
+    fn ping_reports_the_crate_version() {
         let state = tiny_state();
-        assert_eq!(state.handle_line("\"Ping\""), "\"Pong\"");
+        let pong: Response = serde_json::from_str(&state.handle_line("\"Ping\"")).unwrap();
+        match pong {
+            Response::Pong { version } => assert_eq!(version, env!("CARGO_PKG_VERSION")),
+            other => panic!("expected Pong, got {other:?}"),
+        }
         let stats: Response = serde_json::from_str(&state.handle_line("\"Stats\"")).unwrap();
         match stats {
             Response::Stats { stats } => {
                 assert_eq!(stats.requests, 2);
                 assert_eq!(stats.cache.entries, 0);
+                assert_eq!(stats.cache.shard_evictions.len(), ScheduleCache::SHARDS);
+                assert_eq!(stats.graph.entries, 0);
             }
             other => panic!("expected Stats, got {other:?}"),
         }
@@ -427,6 +573,8 @@ mod tests {
             "{\"Optimize\": {\"op\": \"Y0\", \"machine\": {\"Preset\": \"vax\"}}}",
             "{\"PlanNetwork\": {\"machine\": {\"Preset\": \"tiny\"}}}",
             "{\"PlanNetwork\": {\"suite\": \"alexnet\", \"machine\": {\"Preset\": \"tiny\"}}}",
+            "{\"PlanGraph\": {\"machine\": {\"Preset\": \"tiny\"}}}",
+            "{\"PlanGraph\": {\"block\": \"alexnet\", \"machine\": {\"Preset\": \"tiny\"}}}",
             "\"Save\"",
         ] {
             let response: Response = serde_json::from_str(&state.handle_line(line)).unwrap();
@@ -463,6 +611,95 @@ mod tests {
         match stats {
             Response::Stats { stats } => assert_eq!(stats.cache.entries, 1),
             other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_graph_by_inline_graph_fuses_and_caches() {
+        let state = tiny_state();
+        // A scaled-down MobileNetV2 block whose dw → project working set
+        // fits even the tiny machine's L3, so the fusion is taken.
+        let graph = mopt_graph::builders::mobilenet_v2_block_from(
+            &ConvShape::depthwise(12, 14, 3, 1),
+            "tiny-block",
+        );
+        let line = format!(
+            "{{\"PlanGraph\": {{\"graph\": {}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}, \"workers\": 2}}}}",
+            serde_json::to_string(&graph).unwrap(),
+            fast_options_json(),
+        );
+        let first: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        let plan = match first {
+            Response::GraphPlanned { cached: false, plan } => plan,
+            other => panic!("expected fresh GraphPlanned, got {other:?}"),
+        };
+        assert_eq!(plan.fingerprint, graph.fingerprint());
+        assert_eq!(plan.fusions_taken, 1);
+        assert!(plan.fused_volume < plan.unfused_volume);
+        // Second request: served from the graph-plan cache, identical plan.
+        let second: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        match second {
+            Response::GraphPlanned { cached: true, plan: warm } => assert_eq!(warm, plan),
+            other => panic!("expected cached GraphPlanned, got {other:?}"),
+        }
+        // The per-operator solves landed in the shared schedule cache.
+        assert_eq!(state.cache.len(), 3);
+        // Stats report the graph section.
+        let stats: Response = serde_json::from_str(&state.handle_line("\"Stats\"")).unwrap();
+        match stats {
+            Response::Stats { stats } => {
+                assert_eq!(stats.graph.entries, 1);
+                assert_eq!((stats.graph.hits, stats.graph.misses), (1, 1));
+                assert_eq!(stats.graph.segments_planned, plan.segments.len() as u64);
+                assert_eq!(stats.graph.fusions_taken, 1);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_graph_by_block_name() {
+        let state = tiny_state();
+        let line = format!(
+            "{{\"PlanGraph\": {{\"block\": \"resnet-r12\", \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}, \"workers\": 2}}}}",
+            fast_options_json(),
+        );
+        let response: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        match response {
+            Response::GraphPlanned { cached: false, plan } => {
+                assert_eq!(plan.graph, "resnet-block-r12");
+                // conv1 → conv2 chain + the skip projection.
+                assert_eq!(plan.chains, 2);
+                let total_ops: usize = plan.segments.iter().map(|s| s.ops.len()).sum();
+                assert_eq!(total_ops, 3);
+                // 3x3 consumers are never fusion candidates.
+                assert_eq!(plan.fusion_candidates, 0);
+                for seg in &plan.segments {
+                    for op in &seg.ops {
+                        assert!(op.best.config.validate(&op.shape).is_ok());
+                    }
+                }
+            }
+            other => panic!("expected GraphPlanned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_graph_rejects_invalid_inline_graphs() {
+        let state = tiny_state();
+        let mut graph = mopt_graph::builders::mobilenet_v2_block_from(
+            &ConvShape::depthwise(8, 10, 3, 1),
+            "broken",
+        );
+        graph.edges[0].tensor = mopt_graph::TensorInfo::nchw((9, 9, 9, 9));
+        let line = format!(
+            "{{\"PlanGraph\": {{\"graph\": {}, \"machine\": {{\"Preset\": \"tiny\"}}}}}}",
+            serde_json::to_string(&graph).unwrap(),
+        );
+        let response: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        match response {
+            Response::Error { message } => assert!(message.contains("invalid graph")),
+            other => panic!("expected Error, got {other:?}"),
         }
     }
 

@@ -115,7 +115,10 @@ fn moptd_stdio_round_trip_matches_naive() {
     let status = child.wait().unwrap();
     assert!(status.success(), "moptd exited with {status}");
     assert_eq!(lines.len(), 2, "expected two response lines, got {lines:?}");
-    assert_eq!(lines[1], "\"Pong\"");
+    match serde_json::from_str::<Response>(&lines[1]).unwrap() {
+        Response::Pong { version } => assert_eq!(version, env!("CARGO_PKG_VERSION")),
+        other => panic!("expected Pong, got {other:?}"),
+    }
 
     let response: Response = serde_json::from_str(&lines[0]).unwrap();
     let result = match response {
@@ -328,6 +331,147 @@ fn serde_round_trips_are_exact() {
     let text = serde_json::to_string(&request).unwrap();
     let back: Request = serde_json::from_str(&text).unwrap();
     assert_eq!(request, back);
+}
+
+/// Acceptance (tentpole): a `PlanGraph` request for a real MobileNetV2
+/// inverted-residual block, served end-to-end through the `moptd` binary
+/// over stdio, returns a plan whose depthwise → pointwise tail is fused with
+/// strictly less modeled traffic than the per-layer plan — and executing the
+/// returned fused segment with the fused executor is bit-for-bit identical
+/// to the sequential naive reference.
+#[test]
+fn moptd_plan_graph_fused_schedule_executes_correctly() {
+    use conv_exec::FusedDwPw;
+    use mopt_graph::GraphPlan;
+
+    // The i7's L3 easily co-hosts a V5-stage dw + project working set, so
+    // the fusion must be taken. Fast options keep the three solves quick.
+    let request = format!(
+        "{{\"PlanGraph\": {{\"block\": \"mbv2-block5\", \"machine\": {{\"Preset\": \"i7-9700k\"}}, \"options\": {}, \"workers\": 4}}}}",
+        serde_json::to_string(&fast_options()).unwrap()
+    );
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_moptd"))
+        .args(["--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("moptd spawns");
+    {
+        let stdin = child.stdin.as_mut().expect("moptd stdin");
+        stdin.write_all(format!("{request}\n{request}\n").as_bytes()).unwrap();
+    }
+    child.stdin.take();
+    let stdout = BufReader::new(child.stdout.take().expect("moptd stdout"));
+    let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+    assert!(child.wait().unwrap().success());
+    assert_eq!(lines.len(), 2, "expected two response lines, got {lines:?}");
+
+    let parse = |line: &str| -> (bool, GraphPlan) {
+        match serde_json::from_str::<Response>(line).unwrap() {
+            Response::GraphPlanned { cached, plan } => (cached, plan),
+            other => panic!("expected GraphPlanned, got {other:?}"),
+        }
+    };
+    let (cold_cached, plan) = parse(&lines[0]);
+    let (warm_cached, warm) = parse(&lines[1]);
+    assert!(!cold_cached);
+    assert!(warm_cached, "second identical request must hit the graph-plan cache");
+    assert_eq!(plan, warm);
+
+    // The plan fuses exactly the depthwise → pointwise tail and its modeled
+    // traffic is strictly below the unfused per-layer plan.
+    assert_eq!(plan.graph, "mbv2-block5");
+    assert_eq!(plan.fusions_taken, 1);
+    assert!(
+        plan.fused_volume < plan.unfused_volume,
+        "fused {} must be strictly below unfused {}",
+        plan.fused_volume,
+        plan.unfused_volume
+    );
+    let seg = plan.executable_segments().next().expect("an executable fused segment");
+    assert_eq!(seg.ops.len(), 2);
+    let dw = seg.ops[0].shape;
+    let pw = seg.ops[1].shape;
+    assert!(dw.is_depthwise() && pw.is_pointwise());
+    assert_eq!(seg.relu_between, vec![true], "MobileNetV2 has a ReLU before the projection");
+
+    // Execute the returned fused segment: bit-for-bit against running the
+    // two naive convolutions (with the ReLU in between) sequentially.
+    let fused = FusedDwPw::new(dw, pw).unwrap().with_relu_intermediate(true);
+    let input = Tensor4::random(dw.n, dw.c, dw.input_h(), dw.input_w(), 91);
+    let dwk = {
+        let (k, c, r, s) = dw.kernel_dims();
+        Tensor4::random(k, c, r, s, 92)
+    };
+    let pwk = {
+        let (k, c, r, s) = pw.kernel_dims();
+        Tensor4::random(k, c, r, s, 93)
+    };
+    let got = fused.run(&input, &dwk, &pwk);
+    let reference = fused.run_sequential(&input, &dwk, &pwk);
+    assert_eq!(got.as_slice(), reference.as_slice(), "fused execution must be bit-for-bit exact");
+
+    // The non-fused expansion layer's schedule still executes correctly.
+    let expand = &plan.segments[0].ops[0];
+    assert_eq!(expand.name, "expand");
+    let e_in = Tensor4::random(
+        expand.shape.n,
+        expand.shape.c,
+        expand.shape.input_h(),
+        expand.shape.input_w(),
+        94,
+    );
+    let e_ker = {
+        let (k, c, r, s) = expand.shape.kernel_dims();
+        Tensor4::random(k, c, r, s, 95)
+    };
+    let e_ref = conv2d_naive(&expand.shape, &e_in, &e_ker);
+    let e_tiled =
+        TiledConv::new(expand.shape, expand.best.config.clone(), 2).unwrap().run(&e_in, &e_ker);
+    assert!(e_ref.allclose(&e_tiled, 1e-3));
+}
+
+/// The fused plan also wins on the *measured* (tile-simulated) traffic axis:
+/// for the fused segment of a MobileNetV2 block, the `tilesim` estimate of
+/// the fused pair is strictly below the two stand-alone schedules.
+#[test]
+fn fused_plan_beats_unfused_in_tilesim_traffic() {
+    use cache_sim::TileTrafficSimulator;
+    use conv_spec::TilingLevel;
+
+    let state = ServiceState::new(64);
+    let graph = mopt_graph::builders::mobilenet_v2_block(5).unwrap();
+    let request = Request::PlanGraph {
+        block: None,
+        graph: Some(graph),
+        machine: mopt_service::MachineSpec::Preset("i7-9700k".into()),
+        options: Some(fast_options()),
+        workers: Some(4),
+    };
+    let plan = match state.handle(&request) {
+        Response::GraphPlanned { plan, .. } => plan,
+        other => panic!("expected GraphPlanned, got {other:?}"),
+    };
+    let seg = plan.executable_segments().next().expect("a fused dw→pw segment");
+    let (dw, pw) = (&seg.ops[0], &seg.ops[1]);
+    let sim = TileTrafficSimulator::default();
+    let est = sim.fused_pair_traffic(
+        &dw.shape,
+        &dw.best.config,
+        &pw.shape,
+        &pw.best.config,
+        TilingLevel::L3,
+    );
+    assert!(
+        est.fused_total < est.unfused_total,
+        "tilesim: fused {} must be strictly below unfused {}",
+        est.fused_total,
+        est.unfused_total
+    );
+    // The deleted traffic is at least the intermediate store + load.
+    assert!(est.saving() >= 2.0 * est.intermediate_elems);
 }
 
 /// The cache dedupes across suites: Table-1 contains every suite, so

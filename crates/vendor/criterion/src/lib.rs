@@ -6,6 +6,11 @@
 //! a simple measured-median harness: warm up briefly, run timed batches, and
 //! print ns/iteration (plus element throughput when configured). No
 //! statistical analysis or HTML reports.
+//!
+//! Like real criterion, `--test` on the bench binary's command line
+//! (`cargo bench -- --test`) switches to smoke mode: every benchmark body
+//! runs exactly once, untimed, so CI can verify the harnesses still build
+//! and execute without paying measurement time.
 
 use std::time::{Duration, Instant};
 
@@ -20,16 +25,30 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Whether the bench binary was invoked in smoke mode (`-- --test`).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// The per-benchmark measurement driver.
 pub struct Bencher {
     iters_timed: u64,
     total: Duration,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Measure a closure: brief warm-up, then timed batches sized so the
-    /// measurement lasts a few milliseconds.
+    /// measurement lasts a few milliseconds. In `--test` smoke mode the
+    /// closure runs exactly once.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            let start = Instant::now();
+            black_box(f());
+            self.total = start.elapsed();
+            self.iters_timed = 1;
+            return;
+        }
         // Warm-up and batch sizing: time one call, target ~20 ms of
         // measurement, capped to keep even multi-second benches bounded.
         let t0 = Instant::now();
@@ -104,8 +123,12 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
-    let mut b = Bencher { iters_timed: 0, total: Duration::ZERO };
+    let mut b = Bencher { iters_timed: 0, total: Duration::ZERO, test_mode: test_mode() };
     f(&mut b);
+    if b.test_mode {
+        println!("bench {name:<48} ok (smoke)");
+        return;
+    }
     let ns = b.ns_per_iter();
     let rate = match throughput {
         Some(Throughput::Elements(n)) => {

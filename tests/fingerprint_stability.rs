@@ -1,0 +1,65 @@
+//! Fingerprint-stability regression tests.
+//!
+//! Persisted schedule-cache snapshots, the graph-plan cache, and any
+//! external tooling key on `ConvShape::fingerprint`,
+//! `MachineModel::fingerprint`, and `Graph::fingerprint`. Those keys must
+//! never change silently across refactors — a drifted fingerprint turns
+//! every warm snapshot cold and disconnects old plans from their graphs.
+//! This test pins the *exact* values for representative Table-1 and V-suite
+//! shapes, the three machine presets, and two builder blocks. If one of
+//! these assertions fails, a fingerprinted input changed: either revert the
+//! change, or bump the snapshot format version (`SNAPSHOT_VERSION`) and
+//! update these constants deliberately.
+
+use conv_spec::{benchmarks, MachineModel};
+use mopt_graph::builders;
+
+fn shape_fp(name: &str) -> u64 {
+    benchmarks::by_name(name).unwrap_or_else(|| panic!("unknown op {name}")).shape.fingerprint()
+}
+
+#[test]
+fn table1_shape_fingerprints_are_pinned() {
+    // Yolo-9000 first and last, a strided ResNet layer, a true-depthwise
+    // MobileNet stage.
+    assert_eq!(shape_fp("Y0"), 0x1fc1971c1b4dd226);
+    assert_eq!(shape_fp("Y23"), 0x03ebf9c493a00e7a);
+    assert_eq!(shape_fp("R1*"), 0x8a178f6e72b03c85);
+    assert_eq!(shape_fp("M9"), 0xc840842c60791958);
+}
+
+#[test]
+fn extended_suite_shape_fingerprints_are_pinned() {
+    // A MobileNetV2 depthwise stage and a dilation-4 DeepLab operator: the
+    // generalized fields (groups, dilation) feed the fingerprint too.
+    assert_eq!(shape_fp("V5"), 0x101fee14d5000f24);
+    assert_eq!(shape_fp("D2"), 0x5c24775e7fe0c040);
+}
+
+#[test]
+fn machine_fingerprints_are_pinned() {
+    assert_eq!(MachineModel::i7_9700k().fingerprint(), 0x9816bf4b53bbc120);
+    assert_eq!(MachineModel::i9_10980xe().fingerprint(), 0x782972077507640c);
+    assert_eq!(MachineModel::tiny_test_machine().fingerprint(), 0x78eb150ec3959242);
+}
+
+#[test]
+fn builder_graph_fingerprints_are_pinned() {
+    // Graph fingerprints fold in node names, ops, shape fingerprints, edges,
+    // and tensor layouts; pinning two blocks pins the whole chain.
+    assert_eq!(builders::mobilenet_v2_block(5).unwrap().fingerprint(), 0x5787f63fa367440c);
+    assert_eq!(builders::resnet_residual_block("R2").unwrap().fingerprint(), 0xacdee62815802e41);
+}
+
+#[test]
+fn fingerprints_are_process_stable() {
+    // The FNV-1a fingerprints must not depend on process-randomized hashing:
+    // recomputing in-process always agrees (std::hash::SipHash would not).
+    for name in ["Y0", "R1*", "M9", "V5", "D2"] {
+        assert_eq!(shape_fp(name), shape_fp(name));
+    }
+    assert_eq!(
+        builders::mobilenet_v2_block(5).unwrap().fingerprint(),
+        builders::mobilenet_v2_block(5).unwrap().fingerprint()
+    );
+}
