@@ -1,0 +1,82 @@
+//! Criterion bench: multicore planning and parallel execution.
+//!
+//! Execution: `ParTiledConv` at 1/2/4/8 threads against the sequential
+//! `TiledConv` walk (on a multi-core host the speedup tracks
+//! `min(threads, cores)`; on one core the bench measures the partitioning
+//! overhead, which must stay small). Planning: a multicore solve — which
+//! searches both parallel axes — against the sequential solve of the same
+//! operator, plus the parallel fused depthwise → pointwise executor.
+
+use conv_exec::{pointwise_consumer, FusedDwPw, ParTiledConv, Tensor4, TiledConv};
+use conv_spec::{ConvShape, MachineModel};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mopt_core::{MOptOptimizer, OptimizerOptions};
+
+fn shape() -> ConvShape {
+    // Extents divisible by 8 so every thread count slices evenly.
+    ConvShape::new(1, 32, 16, 3, 3, 24, 24, 1).unwrap()
+}
+
+fn bench_parallel_execution(c: &mut Criterion) {
+    let shape = shape();
+    let machine = MachineModel::i7_9700k();
+    let options = OptimizerOptions { max_classes: 1, multistart: 0, ..Default::default() };
+    let config = MOptOptimizer::new(shape, machine, options).optimize().best().config.clone();
+    let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 5);
+    let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 6);
+
+    let mut group = c.benchmark_group("parallel_exec");
+    group.throughput(Throughput::Elements(shape.flops() as u64));
+    group.sample_size(10);
+    let sequential = TiledConv::new(shape, config.clone(), 1).unwrap();
+    group.bench_function("tiled_sequential", |b| b.iter(|| sequential.run(&input, &kernel)));
+    for threads in [2usize, 4, 8] {
+        let par = ParTiledConv::new(shape, config.clone(), threads).unwrap();
+        group.bench_function(&format!("par_tiled_{threads}t"), |b| {
+            b.iter(|| par.run(&input, &kernel))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_fused(c: &mut Criterion) {
+    let dw = ConvShape::depthwise(32, 26, 3, 1);
+    let pw = pointwise_consumer(&dw, 16);
+    let fused = FusedDwPw::new(dw, pw).unwrap().with_relu_intermediate(true);
+    let (ni, ci, hi, wi) = dw.input_dims();
+    let input = Tensor4::random(ni, ci, hi, wi, 7);
+    let (dk, dc, dr, ds) = dw.kernel_dims();
+    let dwk = Tensor4::random(dk, dc, dr, ds, 8);
+    let (pk, pc, pr, ps) = pw.kernel_dims();
+    let pwk = Tensor4::random(pk, pc, pr, ps, 9);
+
+    let mut group = c.benchmark_group("parallel_fused_dw_pw");
+    group.throughput(Throughput::Elements((dw.flops() + pw.flops()) as u64));
+    group.sample_size(10);
+    group.bench_function("sequential_bands", |b| b.iter(|| fused.run(&input, &dwk, &pwk)));
+    for threads in [2usize, 4] {
+        group.bench_function(&format!("parallel_bands_{threads}t"), |b| {
+            b.iter(|| fused.run_parallel(&input, &dwk, &pwk, threads))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multicore_planning(c: &mut Criterion) {
+    let shape = shape();
+    let machine = MachineModel::i7_9700k();
+    let mut group = c.benchmark_group("multicore_plan");
+    group.sample_size(10);
+    for threads in [1usize, 8] {
+        let options =
+            OptimizerOptions { threads, max_classes: 1, multistart: 0, ..Default::default() };
+        let machine = machine.clone();
+        group.bench_function(&format!("solve_{threads}t"), |b| {
+            b.iter(|| MOptOptimizer::new(shape, machine.clone(), options.clone()).optimize())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_execution, bench_parallel_fused, bench_multicore_planning);
+criterion_main!(benches);

@@ -103,66 +103,152 @@ impl FusedDwPw {
     ///
     /// Panics if the tensor dimensions do not match the shapes.
     pub fn run(&self, input: &Tensor4, dw_kernel: &Tensor4, pw_kernel: &Tensor4) -> Tensor4 {
+        self.check_inputs(input, dw_kernel, pw_kernel);
+        let bh = self.band_rows.min(self.dw.h);
+        let mut band = Tensor4::zeros(1, self.dw.k, bh, self.dw.w);
+        let mut out = Tensor4::zeros(self.pw.n, self.pw.k, self.pw.h, self.pw.w);
+        for (n, h0, rows) in self.bands() {
+            self.run_band(input, dw_kernel, pw_kernel, &mut band, &mut out, n, h0, rows);
+        }
+        out
+    }
+
+    /// Run the fused pair with the bands partitioned across `threads` scoped
+    /// worker threads. Bands are whole units of the sequential band grid and
+    /// every band's computation is the very code [`run`](FusedDwPw::run)
+    /// executes, so each output row is produced by exactly one thread with an
+    /// identical accumulation sequence — the result is **bit-for-bit equal**
+    /// to the sequential fused run (and hence to the two naive convolutions).
+    /// Thread counts beyond the number of bands are capped.
+    pub fn run_parallel(
+        &self,
+        input: &Tensor4,
+        dw_kernel: &Tensor4,
+        pw_kernel: &Tensor4,
+        threads: usize,
+    ) -> Tensor4 {
+        self.check_inputs(input, dw_kernel, pw_kernel);
+        let bands = self.bands();
+        let chunks = crate::tiled::split_range(bands.len(), threads.max(1));
+        if chunks.len() <= 1 {
+            return self.run(input, dw_kernel, pw_kernel);
+        }
+        let bh = self.band_rows.min(self.dw.h);
+        let partials: Vec<Tensor4> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(start, len)| {
+                    let bands = &bands[start..start + len];
+                    scope.spawn(move || {
+                        let mut band = Tensor4::zeros(1, self.dw.k, bh, self.dw.w);
+                        let mut out = Tensor4::zeros(self.pw.n, self.pw.k, self.pw.h, self.pw.w);
+                        for &(n, h0, rows) in bands {
+                            self.run_band(
+                                input, dw_kernel, pw_kernel, &mut band, &mut out, n, h0, rows,
+                            );
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+        // Merge: each chunk owns disjoint (n, output-row) bands.
+        let mut out = Tensor4::zeros(self.pw.n, self.pw.k, self.pw.h, self.pw.w);
+        for (&(start, len), partial) in chunks.iter().zip(&partials) {
+            for &(n, h0, rows) in &bands[start..start + len] {
+                for k in 0..self.pw.k {
+                    for h in h0..h0 + rows {
+                        for w in 0..self.pw.w {
+                            *out.at_mut(n, k, h, w) = partial.at(n, k, h, w);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The sequential band grid: `(n, h0, rows)` triples in execution order.
+    fn bands(&self) -> Vec<(usize, usize, usize)> {
+        let bh = self.band_rows.min(self.dw.h);
+        let mut bands = Vec::new();
+        for n in 0..self.dw.n {
+            let mut h0 = 0;
+            while h0 < self.dw.h {
+                let rows = bh.min(self.dw.h - h0);
+                bands.push((n, h0, rows));
+                h0 += rows;
+            }
+        }
+        bands
+    }
+
+    fn check_inputs(&self, input: &Tensor4, dw_kernel: &Tensor4, pw_kernel: &Tensor4) {
         check_dims(&self.dw, input, dw_kernel);
         assert_eq!(
             pw_kernel.dims(),
             self.pw.kernel_dims(),
             "pointwise kernel dimensions do not match the shape"
         );
+    }
+
+    /// Compute one band: the depthwise stage for output rows
+    /// `[h0, h0 + rows)` of batch `n` into `band`, then the pointwise stage
+    /// consuming it while hot. This is the single definition both the
+    /// sequential and the parallel paths execute, so their per-element
+    /// accumulation sequences are identical by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn run_band(
+        &self,
+        input: &Tensor4,
+        dw_kernel: &Tensor4,
+        pw_kernel: &Tensor4,
+        band: &mut Tensor4,
+        out: &mut Tensor4,
+        n: usize,
+        h0: usize,
+        rows: usize,
+    ) {
         let (dw, pw) = (&self.dw, &self.pw);
         let channels = dw.k;
-        let bh = self.band_rows.min(dw.h);
-        let mut band = Tensor4::zeros(1, channels, bh, dw.w);
-        let mut out = Tensor4::zeros(pw.n, pw.k, pw.h, pw.w);
         let (stride, dil) = (dw.stride, dw.dilation);
-        for n in 0..dw.n {
-            let mut h0 = 0;
-            while h0 < dw.h {
-                let rows = bh.min(dw.h - h0);
-                // Depthwise stage for rows [h0, h0 + rows): channel-major with
-                // r, s ascending — the exact accumulation order of
-                // `conv2d_naive` restricted to this band (k == c, C/G == 1).
-                band.fill_zero();
-                for c in 0..channels {
-                    for r in 0..dw.r {
-                        for s in 0..dw.s {
-                            let kv = dw_kernel.at(c, 0, r, s);
-                            for h in 0..rows {
-                                for w in 0..dw.w {
-                                    let x = input.at(
-                                        n,
-                                        c,
-                                        (h0 + h) * stride + r * dil,
-                                        w * stride + s * dil,
-                                    );
-                                    *band.at_mut(0, c, h, w) += x * kv;
-                                }
-                            }
+        // Depthwise stage for rows [h0, h0 + rows): channel-major with
+        // r, s ascending — the exact accumulation order of `conv2d_naive`
+        // restricted to this band (k == c, C/G == 1).
+        band.fill_zero();
+        for c in 0..channels {
+            for r in 0..dw.r {
+                for s in 0..dw.s {
+                    let kv = dw_kernel.at(c, 0, r, s);
+                    for h in 0..rows {
+                        for w in 0..dw.w {
+                            let x =
+                                input.at(n, c, (h0 + h) * stride + r * dil, w * stride + s * dil);
+                            *band.at_mut(0, c, h, w) += x * kv;
                         }
                     }
                 }
-                if self.relu_intermediate {
-                    for v in band.as_mut_slice() {
-                        *v = v.max(0.0);
-                    }
-                }
-                // Pointwise stage consumes the band while it is hot: for each
-                // output element the reduction runs over c ascending, exactly
-                // as in `conv2d_naive` (r == s == 1).
-                for k in 0..pw.k {
-                    for c in 0..channels {
-                        let kv = pw_kernel.at(k, c, 0, 0);
-                        for h in 0..rows {
-                            for w in 0..pw.w {
-                                *out.at_mut(n, k, h0 + h, w) += band.at(0, c, h, w) * kv;
-                            }
-                        }
-                    }
-                }
-                h0 += rows;
             }
         }
-        out
+        if self.relu_intermediate {
+            for v in band.as_mut_slice() {
+                *v = v.max(0.0);
+            }
+        }
+        // Pointwise stage consumes the band while it is hot: for each output
+        // element the reduction runs over c ascending, exactly as in
+        // `conv2d_naive` (r == s == 1).
+        for k in 0..pw.k {
+            for c in 0..channels {
+                let kv = pw_kernel.at(k, c, 0, 0);
+                for h in 0..rows {
+                    for w in 0..pw.w {
+                        *out.at_mut(n, k, h0 + h, w) += band.at(0, c, h, w) * kv;
+                    }
+                }
+            }
+        }
     }
 
     /// The unfused reference: the two naive convolutions run sequentially
@@ -262,6 +348,28 @@ mod tests {
             }
         }
         assert!(case >= 10, "the grid should exercise a real spread of shapes");
+    }
+
+    #[test]
+    fn parallel_bands_are_bit_identical_for_every_thread_count() {
+        // Thread counts from 1 to well beyond the band count (h = 12,
+        // band_rows = 2 → 6 bands per batch), with and without the ReLU.
+        for (n, relu) in [(1, false), (2, true)] {
+            let dw = ConvShape::new_general(n, 6, 6, 3, 3, 12, 12, 1, 1, 6).unwrap();
+            let pw = ConvShape::new(n, 4, 6, 1, 1, 12, 12, 1).unwrap();
+            let fused =
+                FusedDwPw::new(dw, pw).unwrap().with_band_rows(2).with_relu_intermediate(relu);
+            let (input, dwk, pwk) = random_pair(&dw, &pw, 4000 + n as u64);
+            let expected = fused.run(&input, &dwk, &pwk);
+            for threads in [1, 2, 3, 5, 64] {
+                let got = fused.run_parallel(&input, &dwk, &pwk, threads);
+                assert_eq!(
+                    got.as_slice(),
+                    expected.as_slice(),
+                    "n {n}, relu {relu}, threads {threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   a small stack block, FMA-friendly inner loop),
 //! * [`tiled`] — the multi-level tiled executor driven by a
 //!   [`conv_spec::TileConfig`] with thread-parallel outer loops,
+//! * [`partiled`] — the scoped-thread parallel executor partitioning the
+//!   schedule's parallel axis (`k` or the `n·h` output rows) across worker
+//!   threads, bit-for-bit equal to the sequential tile walk,
 //! * [`fused`] — a fused depthwise + pointwise executor that consumes the
 //!   intermediate tensor band-by-band in cache (bit-for-bit equal to the two
 //!   naive convolutions run sequentially),
@@ -44,12 +47,14 @@ pub mod measure;
 pub mod microkernel;
 pub mod naive;
 pub mod packing;
+pub mod partiled;
 pub mod tensor;
 pub mod tiled;
 
 pub use fused::{pointwise_consumer, FusedDwPw};
 pub use measure::{measure_gflops, MeasureOptions, Measurement};
 pub use packing::PackedKernel;
+pub use partiled::ParTiledConv;
 pub use tensor::Tensor4;
 pub use tiled::TiledConv;
 

@@ -55,6 +55,11 @@ impl TiledConv {
         &self.config
     }
 
+    /// The SIMD vector length used for kernel packing.
+    pub(crate) fn vec_len(&self) -> usize {
+        self.vec_len
+    }
+
     /// Run the convolution. The kernel is packed internally (packing time is
     /// part of the measured execution, as in the paper).
     pub fn run(&self, input: &Tensor4, kernel: &Tensor4) -> Tensor4 {
@@ -177,7 +182,9 @@ impl TiledConv {
     }
 
     /// Execute the multi-level tile loops over an arbitrary base region.
-    fn execute_region(
+    /// Shared with [`crate::ParTiledConv`], whose worker threads each run it
+    /// over their slice of the output.
+    pub(crate) fn execute_region(
         &self,
         input: &Tensor4,
         packed: &PackedKernel,
@@ -266,7 +273,7 @@ fn set_region_field(r: &mut KernelRegion, idx: LoopIndex, value: (usize, usize))
 }
 
 /// Split `extent` into at most `parts` contiguous `(start, len)` chunks.
-fn split_range(extent: usize, parts: usize) -> Vec<(usize, usize)> {
+pub(crate) fn split_range(extent: usize, parts: usize) -> Vec<(usize, usize)> {
     let parts = parts.clamp(1, extent.max(1));
     let base = extent / parts;
     let rem = extent % parts;

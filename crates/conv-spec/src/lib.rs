@@ -67,7 +67,7 @@ pub use benchmarks::{BenchmarkOp, BenchmarkSuite};
 pub use layout::{KernelLayout, PackedKernelLayout, TensorKind, TensorLayout};
 pub use machine::{CacheLevel, MachineModel, MemoryLevel};
 pub use shape::{ConvShape, LoopIndex, Permutation, ALL_INDICES};
-pub use tiling::{TileConfig, TileSizes, TilingLevel, NUM_TILING_LEVELS};
+pub use tiling::{ParallelAxis, TileConfig, TileSizes, TilingLevel, NUM_TILING_LEVELS};
 
 /// Crate-wide error type.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -271,6 +271,33 @@ impl MachineModel {
         }
     }
 
+    /// Capacity, in elements, available to *one* thread at a tiling level
+    /// when `threads` active threads share the chip.
+    ///
+    /// Private levels (registers, L1, L2 on both evaluation machines) are
+    /// per-core and unaffected; shared levels divide their capacity evenly
+    /// among the active threads — the contention model the multicore cost
+    /// uses for its capacity constraints. At `threads == 1` this is exactly
+    /// [`capacity`](Self::capacity).
+    pub fn capacity_per_thread(&self, level: TilingLevel, threads: usize) -> usize {
+        let cap = self.capacity(level);
+        let threads = threads.max(1);
+        if threads == 1 {
+            return cap;
+        }
+        let shared = match level {
+            TilingLevel::Register => false,
+            TilingLevel::L1 => self.cache(MemoryLevel::L1).is_some_and(|c| c.shared),
+            TilingLevel::L2 => self.cache(MemoryLevel::L2).is_some_and(|c| c.shared),
+            TilingLevel::L3 => self.cache(MemoryLevel::L3).is_some_and(|c| c.shared),
+        };
+        if shared {
+            (cap / threads).max(1)
+        } else {
+            cap
+        }
+    }
+
     /// Bandwidth (elements / cycle, per core for private levels, whole chip
     /// for shared levels) of the link that *fills* a tiling level:
     /// Register ← L1, L1 ← L2, L2 ← L3, L3 ← DRAM.
@@ -457,6 +484,23 @@ mod tests {
         let mut bw = base.clone();
         bw.caches[2].fill_bandwidth += 1.0;
         assert_ne!(base.fingerprint(), bw.fingerprint());
+    }
+
+    #[test]
+    fn per_thread_capacity_divides_shared_levels_only() {
+        let m = MachineModel::i7_9700k();
+        // threads == 1 is the whole-cache view, bit for bit.
+        for level in TilingLevel::ALL {
+            assert_eq!(m.capacity_per_thread(level, 1), m.capacity(level));
+            assert_eq!(m.capacity_per_thread(level, 0), m.capacity(level));
+        }
+        // Private L1/L2 (and registers) are per-core: unaffected by threads.
+        assert_eq!(m.capacity_per_thread(TilingLevel::Register, 8), m.register_elems);
+        assert_eq!(m.capacity_per_thread(TilingLevel::L1, 8), m.capacity(TilingLevel::L1));
+        assert_eq!(m.capacity_per_thread(TilingLevel::L2, 8), m.capacity(TilingLevel::L2));
+        // The shared L3 splits evenly among active threads.
+        assert_eq!(m.capacity_per_thread(TilingLevel::L3, 8), m.capacity(TilingLevel::L3) / 8);
+        assert_eq!(m.capacity_per_thread(TilingLevel::L3, 3), m.capacity(TilingLevel::L3) / 3);
     }
 
     #[test]

@@ -64,6 +64,52 @@ impl std::fmt::Display for TilingLevel {
     }
 }
 
+/// Which loop dimension a schedule partitions across threads (Sec. 7).
+///
+/// Parallelism is restricted to non-reduction dimensions so threads never
+/// write the same output element. The two axes the paper's generated code
+/// uses are the output-channel dimension `k` and the `n·h` output rows; the
+/// optimizer searches both jointly with the tile sizes and records the
+/// winner in [`TileConfig::parallel`]'s per-dimension factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelAxis {
+    /// Partition the `k` (output channel) dimension across threads.
+    OutputChannels,
+    /// Partition the `n·h` output rows across threads.
+    OutputRows,
+}
+
+impl ParallelAxis {
+    /// Both searchable axes.
+    pub const ALL: [ParallelAxis; 2] = [ParallelAxis::OutputChannels, ParallelAxis::OutputRows];
+
+    /// The non-reduction dimensions this axis prefers to split, most
+    /// preferred first. Later entries absorb thread counts the leading
+    /// dimension's extent cannot.
+    pub fn priority(self) -> [LoopIndex; 4] {
+        match self {
+            ParallelAxis::OutputChannels => {
+                [LoopIndex::K, LoopIndex::H, LoopIndex::W, LoopIndex::N]
+            }
+            ParallelAxis::OutputRows => [LoopIndex::H, LoopIndex::N, LoopIndex::W, LoopIndex::K],
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParallelAxis::OutputChannels => "k",
+            ParallelAxis::OutputRows => "rows",
+        }
+    }
+}
+
+impl std::fmt::Display for ParallelAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A vector of seven tile sizes, one per loop index, for one tiling level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TileSizes {
@@ -286,6 +332,19 @@ impl TileConfig {
         ALL_INDICES.iter().map(|&i| self.parallel.get(i)).product()
     }
 
+    /// The schedule's parallel axis, derived from the per-dimension factors:
+    /// [`ParallelAxis::OutputRows`] when the `n·h` split is wider than the
+    /// `k` split, [`ParallelAxis::OutputChannels`] otherwise (including the
+    /// sequential case, where every factor is 1).
+    pub fn parallel_axis(&self) -> ParallelAxis {
+        let rows = self.parallel.get(LoopIndex::N) * self.parallel.get(LoopIndex::H);
+        if rows > self.parallel.get(LoopIndex::K) {
+            ParallelAxis::OutputRows
+        } else {
+            ParallelAxis::OutputChannels
+        }
+    }
+
     /// Validate nesting: `register ⊆ l1 ⊆ l2 ⊆ l3 ⊆ shape`, all non-zero.
     ///
     /// # Errors
@@ -420,6 +479,23 @@ mod tests {
         let mut cfg = TileConfig::untiled(&s);
         cfg.parallel = TileSizes::ones().with(LoopIndex::K, 4).with(LoopIndex::H, 2);
         assert_eq!(cfg.total_parallelism(), 8);
+    }
+
+    #[test]
+    fn parallel_axis_is_derived_from_the_factors() {
+        let s = shape();
+        let mut cfg = TileConfig::untiled(&s);
+        // Sequential configurations default to the output-channel axis.
+        assert_eq!(cfg.parallel_axis(), ParallelAxis::OutputChannels);
+        cfg.parallel = TileSizes::ones().with(LoopIndex::K, 8);
+        assert_eq!(cfg.parallel_axis(), ParallelAxis::OutputChannels);
+        cfg.parallel = TileSizes::ones().with(LoopIndex::H, 4).with(LoopIndex::N, 2);
+        assert_eq!(cfg.parallel_axis(), ParallelAxis::OutputRows);
+        // Axis priorities lead with their namesake dimension.
+        assert_eq!(ParallelAxis::OutputChannels.priority()[0], LoopIndex::K);
+        assert_eq!(ParallelAxis::OutputRows.priority()[0], LoopIndex::H);
+        assert_eq!(ParallelAxis::ALL.len(), 2);
+        assert_eq!(format!("{}", ParallelAxis::OutputRows), "rows");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use conv_spec::{ConvShape, MachineModel, TilingLevel};
 use mopt_core::{OptimizeResult, OptimizedConfig};
-use mopt_model::fused::{evaluate_fusion, fusable_pair, FusabilityCheck};
+use mopt_model::fused::{evaluate_fusion_for_threads, fusable_pair, FusabilityCheck};
 use serde::{Deserialize, Serialize};
 
 use crate::ir::{Graph, NodeId, OpKind};
@@ -120,17 +120,34 @@ struct ChainLink {
 #[derive(Debug, Clone)]
 pub struct GraphPlanner {
     machine: MachineModel,
+    threads: usize,
 }
 
 impl GraphPlanner {
-    /// A planner for `machine`.
+    /// A planner for `machine` (sequential execution).
     pub fn new(machine: MachineModel) -> Self {
-        GraphPlanner { machine }
+        GraphPlanner { machine, threads: 1 }
+    }
+
+    /// Plan for `threads` active threads: fusion admissibility is checked
+    /// against the *per-thread* L3 envelope
+    /// ([`MachineModel::capacity_per_thread`]) — with the shared last-level
+    /// cache divided among co-running threads, a fused segment's joint
+    /// working set must fit one thread's share. `threads == 1` is the
+    /// whole-cache envelope.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The machine model.
     pub fn machine(&self) -> &MachineModel {
         &self.machine
+    }
+
+    /// The thread count the fusion envelope assumes.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Plan `graph`: validate it, obtain a per-operator schedule for every
@@ -149,7 +166,7 @@ impl GraphPlanner {
         graph.validate()?;
         let started = Instant::now();
         let chains = conv_chains(graph);
-        let capacity = self.machine.capacity(TilingLevel::L3) as f64;
+        let capacity = self.machine.capacity_per_thread(TilingLevel::L3, self.threads) as f64;
 
         let mut segments = Vec::new();
         let mut fusion_candidates = 0;
@@ -190,7 +207,7 @@ impl GraphPlanner {
                 if structural[i] {
                     fusion_candidates += 1;
                 }
-                pair_evals.push(evaluate_fusion(
+                pair_evals.push(evaluate_fusion_for_threads(
                     &ops[i].shape,
                     &ops[i + 1].shape,
                     ops[i].best.config.level(TilingLevel::L3),
@@ -198,6 +215,7 @@ impl GraphPlanner {
                     volumes[i],
                     volumes[i + 1],
                     &self.machine,
+                    self.threads,
                 ));
             }
             let savings: Vec<f64> = pair_evals.iter().map(|e| 2.0 * e.intermediate_elems).collect();
@@ -463,6 +481,24 @@ mod tests {
         assert_eq!(plan.fusions_rejected, 1);
         assert_eq!(plan.fused_volume, plan.unfused_volume);
         assert!(plan.segments.iter().all(|s| !s.fused));
+    }
+
+    #[test]
+    fn per_thread_envelope_rejects_fusion_under_contention() {
+        // The dw → project joint working set (~0.94M elements) fits the
+        // i7's whole 3M-element L3, but not a 1/8 share of it: the same
+        // graph fuses sequentially and must not when 8 threads co-run.
+        let g = builders::mobilenet_v2_block_from(&ConvShape::depthwise(64, 66, 3, 1), "mt-block");
+        let machine = MachineModel::i7_9700k();
+        let whole = GraphPlanner::new(machine.clone()).plan(&g, solve_with(&machine)).unwrap();
+        assert_eq!(whole.fusions_taken, 1);
+        let planner = GraphPlanner::new(machine.clone()).with_threads(8);
+        assert_eq!(planner.threads(), 8);
+        let shared = planner.plan(&g, solve_with(&machine)).unwrap();
+        assert_eq!(shared.fusion_candidates, 1);
+        assert_eq!(shared.fusions_taken, 0);
+        assert_eq!(shared.fusions_rejected, 1);
+        assert_eq!(shared.fused_volume, shared.unfused_volume);
     }
 
     #[test]

@@ -116,9 +116,39 @@ pub fn evaluate_fusion(
     consumer_l3_volume: f64,
     machine: &MachineModel,
 ) -> FusionEvaluation {
+    evaluate_fusion_for_threads(
+        producer,
+        consumer,
+        producer_l3_tiles,
+        consumer_l3_tiles,
+        producer_l3_volume,
+        consumer_l3_volume,
+        machine,
+        1,
+    )
+}
+
+/// [`evaluate_fusion`] against the *per-thread* L3 envelope: with `threads`
+/// active threads sharing the last-level cache, a fused segment's joint
+/// working set must fit one thread's `1/P` capacity share
+/// ([`MachineModel::capacity_per_thread`]) — co-running threads each keep
+/// their own in-cache intermediate band, so the whole-cache envelope would
+/// overstate what any one of them can hold. At `threads == 1` this is
+/// exactly [`evaluate_fusion`].
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_fusion_for_threads(
+    producer: &ConvShape,
+    consumer: &ConvShape,
+    producer_l3_tiles: &TileSizes,
+    consumer_l3_tiles: &TileSizes,
+    producer_l3_volume: f64,
+    consumer_l3_volume: f64,
+    machine: &MachineModel,
+    threads: usize,
+) -> FusionEvaluation {
     let intermediate = producer.output_elems() as f64;
     let unfused = producer_l3_volume + consumer_l3_volume;
-    let capacity = machine.capacity(TilingLevel::L3) as f64;
+    let capacity = machine.capacity_per_thread(TilingLevel::L3, threads) as f64;
     let footprint =
         (producer_l3_tiles.footprint(producer) + consumer_l3_tiles.footprint(consumer)) as f64;
     let structurally = fusable_pair(producer, consumer) == FusabilityCheck::Fusable;
@@ -223,6 +253,55 @@ mod tests {
         );
         assert!(!eval.feasible);
         assert_eq!(eval.fused_volume, 12.0);
+    }
+
+    #[test]
+    fn per_thread_envelope_rejects_what_the_whole_cache_would_admit() {
+        // A pair whose joint footprint fits the i7's whole 3M-element L3 but
+        // not a 1/8 share of it.
+        let dw = ConvShape::depthwise(64, 66, 3, 1); // out 64x64x64 = 256K
+        let pw = ConvShape::new(1, 32, 64, 1, 1, dw.h, dw.w, 1).unwrap();
+        let machine = MachineModel::i7_9700k();
+        let whole = evaluate_fusion(
+            &dw,
+            &pw,
+            &TileSizes::full(&dw),
+            &TileSizes::full(&pw),
+            10_000.0,
+            20_000.0,
+            &machine,
+        );
+        assert!(
+            whole.feasible,
+            "joint footprint {} should fit {}",
+            whole.fused_footprint, whole.capacity
+        );
+        let shared = evaluate_fusion_for_threads(
+            &dw,
+            &pw,
+            &TileSizes::full(&dw),
+            &TileSizes::full(&pw),
+            10_000.0,
+            20_000.0,
+            &machine,
+            8,
+        );
+        assert_eq!(shared.fused_footprint, whole.fused_footprint);
+        assert_eq!(shared.capacity, whole.capacity / 8.0);
+        assert!(!shared.feasible, "a 1/8 L3 share must reject the fusion");
+        assert_eq!(shared.saving(), 0.0);
+        // threads == 1 delegates exactly.
+        let one = evaluate_fusion_for_threads(
+            &dw,
+            &pw,
+            &TileSizes::full(&dw),
+            &TileSizes::full(&pw),
+            10_000.0,
+            20_000.0,
+            &machine,
+            1,
+        );
+        assert_eq!(one, whole);
     }
 
     #[test]

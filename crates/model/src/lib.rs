@@ -68,6 +68,8 @@ pub mod multilevel;
 pub mod prune;
 
 pub use cost::{single_level_volume, ArrayVolumes, CostOptions, RealTiles};
-pub use fused::{evaluate_fusion, fusable_pair, FusabilityCheck, FusionEvaluation};
+pub use fused::{
+    evaluate_fusion, evaluate_fusion_for_threads, fusable_pair, FusabilityCheck, FusionEvaluation,
+};
 pub use multilevel::{MultiLevelModel, ParallelSpec};
 pub use prune::{pruned_classes, PermutationClass};

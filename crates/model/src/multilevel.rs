@@ -15,9 +15,22 @@
 //! `max_l DV_l / BW_l`; the solver handles the min–max by solving one
 //! minimization per candidate bottleneck level with dominance constraints
 //! (implemented in `mopt-core`). This module only evaluates the expressions.
+//!
+//! # Multicore adaptation
+//!
+//! Under parallel execution `P` threads partition the problem along the
+//! schedule's parallel axis ([`conv_spec::ParallelAxis`]: the `k` output
+//! channels or the `n·h` output rows). Each thread runs the full tiling on
+//! its `1/P` slice with its *private* L1/L2 intact, while the shared L3
+//! contributes only a `1/P` capacity share to each thread's capacity
+//! constraint and the DRAM-boundary traffic is *summed* across threads.
+//! Every parallel branch is gated on `threads > 1`, so at `threads == 1` the
+//! model is bit-identical to the sequential expressions (property-tested in
+//! `tests/multicore_parallel.rs`).
 
 use conv_spec::{
-    ConvShape, LoopIndex, MachineModel, Permutation, TileConfig, TilingLevel, ALL_INDICES,
+    ConvShape, LoopIndex, MachineModel, ParallelAxis, Permutation, TileConfig, TilingLevel,
+    ALL_INDICES,
 };
 use serde::{Deserialize, Serialize};
 
@@ -95,10 +108,16 @@ impl ParallelSpec {
     /// dimensions (the dimensions the paper's generated code parallelizes
     /// most often), preferring `k`.
     pub fn default_for(shape: &ConvShape, threads: usize) -> Self {
+        Self::along_axis(shape, threads, ParallelAxis::OutputChannels)
+    }
+
+    /// Decompose `threads` along a schedule-level parallel axis: the axis's
+    /// leading dimension takes the largest divisor of `threads` its extent
+    /// admits, later priority dimensions absorb the rest.
+    pub fn along_axis(shape: &ConvShape, threads: usize, axis: ParallelAxis) -> Self {
         let mut factors = [1usize; 7];
         let mut remaining = threads.max(1);
-        // Give k as much as divides the extent, then h, then w, then n.
-        for idx in [LoopIndex::K, LoopIndex::H, LoopIndex::W, LoopIndex::N] {
+        for idx in axis.priority() {
             if remaining == 1 {
                 break;
             }
@@ -114,6 +133,17 @@ impl ParallelSpec {
             remaining /= f;
         }
         ParallelSpec { threads: threads.max(1), factors }
+    }
+
+    /// The axis the factor vector predominantly splits (see
+    /// [`TileConfig::parallel_axis`] for the same rule on integer configs).
+    pub fn axis(&self) -> ParallelAxis {
+        let rows = self.factor(LoopIndex::N) * self.factor(LoopIndex::H);
+        if rows > self.factor(LoopIndex::K) {
+            ParallelAxis::OutputRows
+        } else {
+            ParallelAxis::OutputChannels
+        }
     }
 
     /// Parallelization factor for a dimension.
@@ -232,66 +262,117 @@ impl MultiLevelModel {
         }
     }
 
-    /// Effective enclosing extents for tiles of `level`.
-    ///
-    /// For the L2 level under parallel execution each thread works on a
-    /// `1/P_j` slice of the L3 tile along the parallelized dimensions, so the
-    /// enclosing extent shrinks accordingly (Sec. 7's `T_α3 / P T_α3`).
+    /// Effective enclosing extents for tiles of `level` (sequential model).
     fn enclosing_extents(&self, tiles: &MultiLevelTiles, level: TilingLevel) -> RealTiles {
         match level.outer() {
             None => RealTiles::full(&self.shape),
-            Some(outer) => {
-                let mut e = *tiles.level(outer);
-                if level == TilingLevel::L2 && self.parallel.threads > 1 {
-                    for &idx in &ALL_INDICES {
-                        let p = self.parallel.factor(idx) as f64;
-                        if p > 1.0 {
-                            e.set(idx, (e.get(idx) / p).max(1.0));
-                        }
-                    }
+            Some(outer) => *tiles.level(outer),
+        }
+    }
+
+    /// Per-thread problem extents under parallel execution: each parallelized
+    /// dimension's extent shrinks by its factor (continuous form, floored at
+    /// one iteration point). With one thread these are the problem extents.
+    pub fn thread_extents(&self) -> RealTiles {
+        let mut e = RealTiles::full(&self.shape);
+        if self.parallel.threads > 1 {
+            for &idx in &ALL_INDICES {
+                let p = self.parallel.factor(idx) as f64;
+                if p > 1.0 {
+                    e.set(idx, (e.get(idx) / p).max(1.0));
                 }
-                e
             }
         }
+        e
+    }
+
+    /// Tiles re-nested into one thread's slice of the problem: the L3 tile is
+    /// clamped to the per-thread extents, the inner levels to their outers.
+    fn thread_tiles(&self, tiles: &MultiLevelTiles) -> MultiLevelTiles {
+        let mut out = tiles.normalized(&self.shape);
+        let ext = self.thread_extents().as_array();
+        out.levels[TilingLevel::L3.ordinal()] = out.levels[TilingLevel::L3.ordinal()].clamped(&ext);
+        for lvl in [TilingLevel::L2, TilingLevel::L1, TilingLevel::Register] {
+            let outer = out.levels[lvl.ordinal() + 1].as_array();
+            out.levels[lvl.ordinal()] = out.levels[lvl.ordinal()].clamped(&outer);
+        }
+        out
     }
 
     /// Model-predicted data volume (elements, whole chip) crossing the
     /// boundary that fills tiles of `level`.
+    ///
+    /// Sequentially this is the Sec. 5 assembly. Under parallel execution
+    /// (Sec. 7, multicore adaptation) the `P` threads partition the problem
+    /// along the schedule's parallel axis: each thread runs the full tiling
+    /// on a `1/P` slice (with tiles clamped into its slice), and the chip
+    /// total — including the DRAM-boundary traffic — is the *sum* of the
+    /// per-thread volumes. At `threads == 1` the parallel path is never
+    /// taken, so the sequential expressions are reproduced bit for bit.
     pub fn level_volume(&self, tiles: &MultiLevelTiles, level: TilingLevel) -> f64 {
-        let tiles = tiles.normalized(&self.shape);
-        let extents = self.enclosing_extents(&tiles, level);
-        let inner = tiles.level(level);
+        if self.parallel.threads <= 1 {
+            let tiles = tiles.normalized(&self.shape);
+            let extents = self.enclosing_extents(&tiles, level);
+            let inner = tiles.level(level);
+            let per_outer = single_level_volume_general(
+                &self.shape,
+                &self.permutation,
+                inner,
+                &extents,
+                &self.options,
+            )
+            .total();
+            return self.outer_tile_count(&tiles, level) * per_outer;
+        }
+        let threads = self.parallel.threads as f64;
+        let tiles = self.thread_tiles(tiles);
+        let ext = self.thread_extents();
+        let extents = match level.outer() {
+            None => ext,
+            Some(outer) => *tiles.level(outer),
+        };
         let per_outer = single_level_volume_general(
             &self.shape,
             &self.permutation,
-            inner,
+            tiles.level(level),
             &extents,
             &self.options,
         )
         .total();
-        let mut count = self.outer_tile_count(&tiles, level);
-        // Under parallel execution the sub-tiles of an L3 tile are processed
-        // by `threads` cores; the chip-total L3→L2 volume is the sum of the
-        // per-core volumes.
-        if level == TilingLevel::L2 && self.parallel.threads > 1 {
-            count *= self.parallel.threads as f64;
-        }
-        count * per_outer
+        let count: f64 = match level.outer() {
+            None => 1.0,
+            Some(outer) => {
+                let t_outer = tiles.level(outer);
+                ALL_INDICES
+                    .iter()
+                    .map(|&idx| (ext.get(idx) / t_outer.get(idx).max(1e-12)).max(1.0))
+                    .product()
+            }
+        };
+        threads * count * per_outer
     }
 
     /// Tile footprint at a level (elements) — the left-hand side of that
-    /// level's capacity constraint.
+    /// level's capacity constraint. Under parallel execution the tile is
+    /// first clamped into one thread's slice of the problem.
     pub fn footprint(&self, tiles: &MultiLevelTiles, level: TilingLevel) -> f64 {
-        total_footprint(&self.shape, tiles.level(level))
+        if self.parallel.threads <= 1 {
+            return total_footprint(&self.shape, tiles.level(level));
+        }
+        total_footprint(&self.shape, self.thread_tiles(tiles).level(level))
     }
 
     /// Capacity constraint `footprint − capacity ≤ 0` for a level.
     ///
-    /// The shared L3 capacity is charged with the footprints of all threads'
-    /// sub-tiles (approximated by the single L3 tile footprint, since threads
-    /// partition it).
+    /// Private levels (registers, L1, L2) belong to one core and keep their
+    /// whole capacity. The shared L3 is divided among the active threads
+    /// ([`MachineModel::capacity_per_thread`]): each thread's tile must fit
+    /// its `1/P` share, so co-running threads never evict each other's
+    /// certified working sets. At `threads == 1` both terms are exactly the
+    /// sequential ones.
     pub fn capacity_slack(&self, tiles: &MultiLevelTiles, level: TilingLevel) -> f64 {
-        self.footprint(tiles, level) - self.machine.capacity(level) as f64
+        self.footprint(tiles, level)
+            - self.machine.capacity_per_thread(level, self.parallel.threads) as f64
     }
 
     /// Bandwidth-scaled cost `DV_l / BW_l` (cycles) of a level, accounting for
@@ -426,14 +507,57 @@ mod tests {
     }
 
     #[test]
-    fn parallel_execution_reduces_bottleneck_cost() {
+    fn multicore_model_shrinks_private_costs_and_sums_dram_traffic() {
+        let seq = model();
+        let tiles = nested_tiles();
+        let p_seq = seq.predict_tiles(&tiles);
+        for axis in ParallelAxis::ALL {
+            let par = model().with_parallel(ParallelSpec::along_axis(&shape(), 2, axis));
+            assert!(par.parallel.is_valid());
+            let p_par = par.predict_tiles(&tiles);
+            // Each core runs the tiling on a half-size slice with its own
+            // private L1/L2, so per-core time at the private levels shrinks.
+            for level in [TilingLevel::Register, TilingLevel::L1, TilingLevel::L2] {
+                assert!(
+                    p_par.scaled_cost(level) <= p_seq.scaled_cost(level) + 1e-9,
+                    "axis {axis}, level {level}: {} vs sequential {}",
+                    p_par.scaled_cost(level),
+                    p_seq.scaled_cost(level)
+                );
+            }
+            // Slicing loses cross-slice reuse: DRAM traffic summed over the
+            // threads never drops below the sequential volume.
+            assert!(
+                p_par.volume(TilingLevel::L3) >= p_seq.volume(TilingLevel::L3) - 1e-9,
+                "axis {axis}: {} vs sequential {}",
+                p_par.volume(TilingLevel::L3),
+                p_seq.volume(TilingLevel::L3)
+            );
+        }
+    }
+
+    #[test]
+    fn multicore_capacity_constraint_tightens_only_the_shared_level() {
+        let tiles = nested_tiles();
         let seq = model();
         let par = model().with_parallel(ParallelSpec::default_for(&shape(), 2));
-        assert!(par.parallel.is_valid());
-        let tiles = nested_tiles();
-        let c_seq = seq.predict_tiles(&tiles).bottleneck_cost;
-        let c_par = par.predict_tiles(&tiles).bottleneck_cost;
-        assert!(c_par <= c_seq, "parallel {c_par} vs sequential {c_seq}");
+        // Private levels keep their whole capacity (the tiny machine's L1/L2
+        // are private; the nested tiles fit their slices unclamped).
+        for level in [TilingLevel::Register, TilingLevel::L1] {
+            assert_eq!(seq.capacity_slack(&tiles, level), par.capacity_slack(&tiles, level));
+        }
+        // The shared L3 is charged against a per-thread share of the cache.
+        let cap = seq.machine.capacity(TilingLevel::L3) as f64;
+        let share = seq.machine.capacity_per_thread(TilingLevel::L3, 2) as f64;
+        assert!(share < cap);
+        assert_eq!(
+            seq.capacity_slack(&tiles, TilingLevel::L3),
+            seq.footprint(&tiles, TilingLevel::L3) - cap
+        );
+        assert_eq!(
+            par.capacity_slack(&tiles, TilingLevel::L3),
+            par.footprint(&tiles, TilingLevel::L3) - share
+        );
     }
 
     #[test]
@@ -442,6 +566,12 @@ mod tests {
         let good = ParallelSpec::default_for(&s, 8);
         assert!(good.is_valid());
         assert_eq!(good.total(), 8);
+        assert_eq!(good.axis(), ParallelAxis::OutputChannels);
+        let rows = ParallelSpec::along_axis(&s, 8, ParallelAxis::OutputRows);
+        assert!(rows.is_valid());
+        assert_eq!(rows.total(), 8);
+        assert_eq!(rows.axis(), ParallelAxis::OutputRows);
+        assert!(rows.factor(LoopIndex::H) > 1);
         let mut bad = ParallelSpec::sequential();
         bad.threads = 4;
         assert!(!bad.is_valid());

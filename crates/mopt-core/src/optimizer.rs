@@ -12,8 +12,8 @@
 //! and load-balanced across threads.
 
 use conv_spec::{
-    ConvShape, LoopIndex, MachineModel, Permutation, TileConfig, TileSizes, TilingLevel,
-    ALL_INDICES, NUM_TILING_LEVELS,
+    ConvShape, LoopIndex, MachineModel, ParallelAxis, Permutation, TileConfig, TileSizes,
+    TilingLevel, ALL_INDICES, NUM_TILING_LEVELS,
 };
 use mopt_model::cost::{CostOptions, RealTiles};
 use mopt_model::multilevel::{ModelPrediction, MultiLevelModel, MultiLevelTiles, ParallelSpec};
@@ -120,13 +120,39 @@ impl MOptOptimizer {
         MOptOptimizer { shape, machine, options }
     }
 
-    /// The parallel specification used by generated configurations.
+    /// The default parallel specification (output-channel axis) used by
+    /// generated configurations when no axis search happens.
     pub fn parallel_spec(&self) -> ParallelSpec {
         ParallelSpec::default_for(&self.shape, self.options.threads)
     }
 
+    /// The parallel specifications the optimizer searches jointly with the
+    /// tile sizes: sequential runs have exactly one (no parallelism); runs
+    /// with `threads > 1` try each [`ParallelAxis`] whose factor
+    /// decomposition is distinct (on shapes where both axes collapse to the
+    /// same factors only one candidate survives).
+    pub fn parallel_candidates(&self) -> Vec<ParallelSpec> {
+        if self.options.threads <= 1 {
+            return vec![ParallelSpec::sequential()];
+        }
+        let mut specs: Vec<ParallelSpec> = Vec::new();
+        for axis in ParallelAxis::ALL {
+            let spec = ParallelSpec::along_axis(&self.shape, self.options.threads, axis);
+            if !specs.iter().any(|s| s.factors == spec.factors) {
+                specs.push(spec);
+            }
+        }
+        specs
+    }
+
     /// Run the full design-space exploration (Algorithm 1) and return the
     /// ranked configurations.
+    ///
+    /// With `threads > 1` the parallel axis is searched *jointly* with the
+    /// tile sizes: every pruned class is solved once per candidate axis
+    /// (each solve sees that axis's per-thread extents, L3 capacity share,
+    /// and summed DRAM traffic), and the ranking compares the resulting
+    /// configurations across axes on equal multicore-model footing.
     ///
     /// # Panics
     ///
@@ -134,25 +160,26 @@ impl MOptOptimizer {
     pub fn optimize(&self) -> OptimizeResult {
         assert!(self.options.keep_top > 0, "keep_top must be at least 1");
         let start = std::time::Instant::now();
-        let parallel = self.parallel_spec();
         let mut candidates: Vec<OptimizedConfig> = Vec::new();
         for class in pruned_classes().into_iter().take(self.options.max_classes.max(1)) {
-            let model = MultiLevelModel::new(
-                self.shape,
-                self.machine.clone(),
-                class.representative.clone(),
-            )
-            .with_options(CostOptions { line_elems: self.options.line_elems })
-            .with_parallel(parallel);
-            let tiles = self.solve_class(&model);
-            let config = self.to_integer_config(&model, &tiles, &class.representative);
-            let prediction = model.predict_config(&config);
-            candidates.push(OptimizedConfig {
-                config,
-                class_id: class.id,
-                predicted_cost: prediction.bottleneck_cost,
-                prediction,
-            });
+            for parallel in self.parallel_candidates() {
+                let model = MultiLevelModel::new(
+                    self.shape,
+                    self.machine.clone(),
+                    class.representative.clone(),
+                )
+                .with_options(CostOptions { line_elems: self.options.line_elems })
+                .with_parallel(parallel);
+                let tiles = self.solve_class(&model);
+                let config = self.to_integer_config(&model, &tiles, &class.representative);
+                let prediction = model.predict_config(&config);
+                candidates.push(OptimizedConfig {
+                    config,
+                    class_id: class.id,
+                    predicted_cost: prediction.bottleneck_cost,
+                    prediction,
+                });
+            }
         }
         candidates.sort_by(|a, b| {
             a.predicted_cost.partial_cmp(&b.predicted_cost).unwrap_or(std::cmp::Ordering::Equal)
@@ -308,9 +335,11 @@ impl MOptOptimizer {
     ) -> TileConfig {
         let mut int_levels = [TileSizes::ones(); NUM_TILING_LEVELS];
         // Integerize outermost-first so inner levels can respect the outer
-        // integers when clamped by `normalized`.
+        // integers when clamped by `normalized`. Capacity envelopes are the
+        // per-thread shares the continuous solves certified against (shared
+        // L3 divided among threads; identical to the whole cache at 1).
         for level in [TilingLevel::L3, TilingLevel::L2, TilingLevel::L1, TilingLevel::Register] {
-            let capacity = self.machine.capacity(level) as f64;
+            let capacity = self.machine.capacity_per_thread(level, model.parallel.threads) as f64;
             let shape = self.shape;
             let dim = 7;
             let level_tiles = *tiles.level(level);
@@ -359,15 +388,14 @@ impl MOptOptimizer {
             int_levels[level.ordinal()] = t;
         }
 
-        let parallel = self.load_balance();
+        let parallel = Self::parallel_factors(&model.parallel);
         TileConfig::new(permutation.clone(), int_levels, parallel).normalized(&self.shape)
     }
 
-    /// Load balancing (Algorithm 1, line 24): choose parallelization factors
-    /// over non-reduction dimensions whose product is the thread count and
-    /// that divide the corresponding extents as evenly as possible.
-    fn load_balance(&self) -> TileSizes {
-        let spec = ParallelSpec::default_for(&self.shape, self.options.threads);
+    /// Load balancing (Algorithm 1, line 24): record the solved parallel
+    /// specification's per-dimension factors (non-reduction dimensions only,
+    /// product equal to the thread count) in the integer configuration.
+    fn parallel_factors(spec: &ParallelSpec) -> TileSizes {
         let mut t = TileSizes::ones();
         for &idx in &ALL_INDICES {
             t.set(idx, spec.factor(idx));
@@ -572,6 +600,41 @@ mod tests {
         assert!(opt.parallel_spec().is_valid());
         let result = opt.optimize();
         assert_eq!(result.best().config.total_parallelism(), machine.threads);
+    }
+
+    #[test]
+    fn axis_search_ranks_candidates_from_both_parallel_axes() {
+        let shape = small_shape(); // k = 32, h = 14: both axes can host 4 threads
+        let opt = MOptOptimizer::new(
+            shape,
+            MachineModel::i7_9700k(),
+            OptimizerOptions {
+                threads: 4,
+                max_classes: 1,
+                multistart: 0,
+                keep_top: 8,
+                ..OptimizerOptions::fast()
+            },
+        );
+        let specs = opt.parallel_candidates();
+        assert_eq!(specs.len(), 2, "k and rows decompositions must be distinct here");
+        assert!(specs.iter().all(|s| s.is_valid() && s.total() == 4));
+        let result = opt.optimize();
+        assert_eq!(result.ranked.len(), 2);
+        let axes: std::collections::HashSet<_> =
+            result.ranked.iter().map(|c| c.config.parallel_axis()).collect();
+        assert_eq!(axes.len(), 2, "one candidate per axis must survive");
+        for c in &result.ranked {
+            assert_eq!(c.config.total_parallelism(), 4);
+            assert!(c.config.validate(&shape).is_ok());
+            // The integer tiles respect the per-thread L3 share the solver
+            // certified (private L1/L2 keep their whole capacity).
+            let l3 = c.config.level(TilingLevel::L3).footprint(&shape);
+            assert!(l3 <= opt.machine().capacity_per_thread(TilingLevel::L3, 4));
+        }
+        // Sequential runs search exactly one (sequential) specification.
+        let seq = MOptOptimizer::new(shape, MachineModel::i7_9700k(), OptimizerOptions::fast());
+        assert_eq!(seq.parallel_candidates(), vec![ParallelSpec::sequential()]);
     }
 
     #[test]

@@ -185,12 +185,12 @@ impl<'a> NetworkPlanner<'a> {
                         )
                         .optimize();
                         self.cache.insert(key.clone(), result.clone());
-                        solved.lock().expect("solver results poisoned").push((*slot, result));
+                        crate::cache::lock_recover(&solved).push((*slot, result));
                     });
                 }
             });
         }
-        for (slot, result) in solved.into_inner().expect("solver results poisoned") {
+        for (slot, result) in solved.into_inner().unwrap_or_else(|e| e.into_inner()) {
             results[slot] = Some((result, false));
         }
 

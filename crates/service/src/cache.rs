@@ -16,11 +16,23 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use conv_spec::{ConvShape, MachineModel};
 use mopt_core::{OptimizeResult, OptimizerOptions};
 use serde::{Deserialize, Serialize};
+
+/// Lock a mutex, recovering from poisoning.
+///
+/// A panic on one request thread must not brick the daemon: the data under
+/// these locks (LRU maps whose operations are individually panic-free —
+/// lookups, inserts, counter bumps) stays structurally valid even if the
+/// panic unwound mid-method, so the right response to a poisoned lock is to
+/// take the guard and keep serving, not to propagate the panic to every
+/// future request that touches the shard.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// The canonical cache key: everything the optimizer's output depends on.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -63,8 +75,15 @@ pub struct CacheStats {
     pub shard_evictions: Vec<u64>,
     /// Entries currently resident.
     pub entries: usize,
-    /// Maximum resident entries.
+    /// Maximum resident entries the cache can actually hold (the *effective*
+    /// capacity: the requested capacity rounded up to a whole number of
+    /// entries per shard).
     pub capacity: usize,
+    /// The capacity the operator asked for when the cache was built. Shard
+    /// rounding can only inflate, so `capacity >= requested_capacity`;
+    /// reporting both keeps sizing decisions honest (a `--cache-capacity 1`
+    /// daemon really holds [`ScheduleCache::SHARDS`] entries).
+    pub requested_capacity: usize,
 }
 
 impl CacheStats {
@@ -150,6 +169,7 @@ pub struct ScheduleCache {
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
     capacity: usize,
+    requested_capacity: usize,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -162,12 +182,18 @@ impl ScheduleCache {
     pub const SHARDS: usize = 16;
 
     /// A cache holding at most `capacity` results (at least one per shard).
+    ///
+    /// The effective capacity is `capacity` rounded up to a whole number of
+    /// entries per shard — [`capacity`](Self::capacity) reports it, and
+    /// [`stats`](Self::stats) reports it alongside the requested value so
+    /// the rounding is visible to operators.
     pub fn new(capacity: usize) -> Self {
         let shard_capacity = capacity.div_ceil(Self::SHARDS).max(1);
         ScheduleCache {
             shards: (0..Self::SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity,
             capacity: shard_capacity * Self::SHARDS,
+            requested_capacity: capacity,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -225,7 +251,7 @@ impl ScheduleCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+        self.shards.iter().map(|s| lock_recover(s).len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -233,21 +259,26 @@ impl ScheduleCache {
         self.len() == 0
     }
 
-    /// Maximum number of resident entries.
+    /// Maximum number of resident entries (the effective capacity).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The capacity requested at construction, before shard rounding.
+    pub fn requested_capacity(&self) -> usize {
+        self.requested_capacity
     }
 
     /// Drop every entry (counters are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            lock_recover(shard).clear();
         }
     }
 
     /// Evictions per shard, indexed by shard number.
     pub fn shard_evictions(&self) -> Vec<u64> {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").evictions()).collect()
+        self.shards.iter().map(|s| lock_recover(s).evictions()).collect()
     }
 
     /// Snapshot of the hit/miss/eviction counters and occupancy.
@@ -260,6 +291,7 @@ impl ScheduleCache {
             shard_evictions: self.shard_evictions(),
             entries: self.len(),
             capacity: self.capacity,
+            requested_capacity: self.requested_capacity,
         }
     }
 
@@ -268,7 +300,7 @@ impl ScheduleCache {
     pub fn entries(&self) -> Vec<(CacheKey, OptimizeResult)> {
         let mut all: Vec<(CacheKey, OptimizeResult, u64)> = Vec::new();
         for shard in &self.shards {
-            let shard = shard.lock().expect("cache shard poisoned");
+            let shard = lock_recover(shard);
             all.extend(shard.iter().map(|(k, v, used)| (k.clone(), v.clone(), used)));
         }
         all.sort_by_key(|(_, _, used)| *used);
@@ -276,7 +308,7 @@ impl ScheduleCache {
     }
 
     fn lock_shard(&self, key: &CacheKey) -> std::sync::MutexGuard<'_, Shard> {
-        self.shards[key.shard_index(Self::SHARDS)].lock().expect("cache shard poisoned")
+        lock_recover(&self.shards[key.shard_index(Self::SHARDS)])
     }
 
     fn tick(&self) -> u64 {
@@ -453,6 +485,58 @@ pub(crate) mod tests {
         assert_eq!(stats.insertions, 64);
         assert_eq!(stats.hits + stats.misses, 64);
         assert!(cache.len() <= 32);
+    }
+
+    #[test]
+    fn poisoned_shard_keeps_serving_after_a_caught_panic() {
+        let cache = std::sync::Arc::new(ScheduleCache::new(64));
+        let key = key_for(4);
+        cache.insert(key.clone(), dummy_result(&key.shape, 1.0));
+
+        // Panic on another thread while holding the key's shard lock —
+        // exactly what a panic mid-insert leaves behind. The panic is caught
+        // (joined), poisoning the mutex.
+        let shard = key.shard_index(ScheduleCache::SHARDS);
+        let poisoner = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                let _guard = cache.shards[shard].lock().unwrap();
+                panic!("simulated panic mid-insert");
+            })
+        };
+        assert!(poisoner.join().is_err(), "the panic must have fired");
+        assert!(cache.shards[shard].is_poisoned());
+
+        // Every operation touching the poisoned shard still works.
+        assert_eq!(cache.get(&key).map(|r| r.best().predicted_cost), Some(1.0));
+        cache.insert(key.clone(), dummy_result(&key.shape, 2.0));
+        assert_eq!(cache.get(&key).map(|r| r.best().predicted_cost), Some(2.0));
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.shard_evictions.len(), ScheduleCache::SHARDS);
+        assert_eq!(cache.entries().len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stats_report_requested_and_effective_capacity() {
+        // A request of 1 is inflated to one entry per shard; stats must show
+        // both numbers so the operator sees the rounding.
+        let small = ScheduleCache::new(1);
+        assert_eq!(small.requested_capacity(), 1);
+        assert_eq!(small.capacity(), ScheduleCache::SHARDS);
+        let stats = small.stats();
+        assert_eq!(stats.requested_capacity, 1);
+        assert_eq!(stats.capacity, ScheduleCache::SHARDS);
+        // A shard-aligned request is reported unchanged.
+        let aligned = ScheduleCache::new(4 * ScheduleCache::SHARDS);
+        assert_eq!(aligned.stats().requested_capacity, aligned.stats().capacity);
+        // A misaligned request rounds up, never down.
+        let odd = ScheduleCache::new(ScheduleCache::SHARDS + 1);
+        assert_eq!(odd.stats().requested_capacity, ScheduleCache::SHARDS + 1);
+        assert_eq!(odd.stats().capacity, 2 * ScheduleCache::SHARDS);
     }
 
     #[test]

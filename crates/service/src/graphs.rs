@@ -17,7 +17,7 @@ use mopt_core::OptimizerOptions;
 use mopt_graph::GraphPlan;
 use serde::{Deserialize, Serialize};
 
-use crate::cache::LruMap;
+use crate::cache::{lock_recover, LruMap};
 
 /// Everything a cached graph plan depends on.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -55,7 +55,7 @@ pub struct GraphServiceStats {
 /// service-level counters. Inline `PlanGraph` requests can carry arbitrary
 /// graphs, so — like the schedule cache next to it — residency must be
 /// bounded or a client looping over distinct graphs would grow server
-/// memory without limit. The eviction machinery is the same [`LruMap`] the
+/// memory without limit. The eviction machinery is the same `LruMap` the
 /// schedule cache's shards use.
 pub struct GraphPlanCache {
     entries: Mutex<LruMap<GraphCacheKey, GraphPlan>>,
@@ -86,7 +86,7 @@ impl GraphPlanCache {
     /// Look up a cached plan, refreshing its recency on a hit.
     pub fn get(&self, key: &GraphCacheKey) -> Option<GraphPlan> {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().expect("graph cache poisoned");
+        let mut entries = lock_recover(&self.entries);
         match entries.get(key, tick) {
             Some(plan) => {
                 let plan = plan.clone();
@@ -108,13 +108,13 @@ impl GraphPlanCache {
         self.fusions_taken.fetch_add(plan.fusions_taken as u64, Ordering::Relaxed);
         self.fusions_rejected.fetch_add(plan.fusions_rejected as u64, Ordering::Relaxed);
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().expect("graph cache poisoned");
+        let mut entries = lock_recover(&self.entries);
         entries.insert(key, plan.clone(), tick, self.capacity);
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("graph cache poisoned").len()
+        lock_recover(&self.entries).len()
     }
 
     /// Whether the cache is empty.
@@ -129,7 +129,7 @@ impl GraphPlanCache {
 
     /// Snapshot of the counters for the `Stats` reply.
     pub fn stats(&self) -> GraphServiceStats {
-        let entries = self.entries.lock().expect("graph cache poisoned");
+        let entries = lock_recover(&self.entries);
         GraphServiceStats {
             entries: entries.len(),
             capacity: self.capacity,

@@ -56,5 +56,5 @@ pub mod server;
 pub use batch::{NetworkPlan, NetworkPlanner, PlanStats, PlannedLayer};
 pub use cache::{CacheKey, CacheStats, ScheduleCache};
 pub use graphs::{GraphCacheKey, GraphPlanCache, GraphServiceStats};
-pub use persist::{load_snapshot, save_snapshot, PersistError, Snapshot};
-pub use server::{MachineSpec, Request, Response, ServiceState, ServiceStats};
+pub use persist::{load_snapshot, remove_stale_temps, save_snapshot, PersistError, Snapshot};
+pub use server::{MachineSpec, Request, Response, ServiceState, ServiceStats, MAX_REQUEST_BYTES};

@@ -101,6 +101,12 @@ impl From<std::io::Error> for PersistError {
 /// Safe under concurrent calls: each call writes a uniquely named temp file
 /// (pid + sequence number) before the atomic rename, so racing saves never
 /// interleave into one file — the last complete snapshot wins.
+///
+/// The temp file never outlives a failed save: every error path (creation,
+/// write, `sync_all`, rename) removes it before the error is returned, so a
+/// daemon whose snapshot directory intermittently rejects renames does not
+/// shed an unbounded trail of `*.tmp.{pid}.{seq}` files. Temps leaked by a
+/// *killed* process are reaped at startup by [`remove_stale_temps`].
 pub fn save_snapshot(cache: &ScheduleCache, path: &Path) -> Result<usize, PersistError> {
     static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let snapshot = Snapshot::capture(cache);
@@ -122,6 +128,35 @@ pub fn save_snapshot(cache: &ScheduleCache, path: &Path) -> Result<usize, Persis
     }
     written?;
     Ok(n)
+}
+
+/// Remove temp files (`{stem}.tmp.{pid}.{seq}`) left next to `path` by saves
+/// that never completed — a crashed or killed process cannot run its own
+/// error-path cleanup, and the unique names mean no later save ever reuses
+/// (or removes) them. Returns the number of files removed.
+///
+/// Call this at startup, before the first save: the snapshot path has a
+/// single owning daemon, so anything matching the temp pattern at that point
+/// is garbage from a dead process, never an in-flight save.
+pub fn remove_stale_temps(path: &Path) -> std::io::Result<usize> {
+    let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+        return Ok(0);
+    };
+    let prefix = format!("{stem}.tmp.");
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let mut removed = 0;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with(&prefix) && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 /// Load a snapshot from `path` into `cache`. Returns the number of entries
@@ -212,6 +247,62 @@ mod tests {
         assert!(matches!(load_snapshot(&cache, &path), Err(PersistError::Format(_))));
         std::fs::remove_file(&path).ok();
         assert!(matches!(load_snapshot(&cache, &path), Err(PersistError::Io(_))));
+    }
+
+    fn stale_temps_next_to(path: &std::path::Path) -> Vec<std::path::PathBuf> {
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        let prefix = format!("{stem}.tmp.");
+        std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with(&prefix))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn failed_rename_leaves_no_temp_file_behind() {
+        // Make the final rename fail by pointing the snapshot path at an
+        // existing non-empty directory.
+        let dir = temp_path("rename-fails");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("occupied")).unwrap();
+        let cache = populated_cache(3);
+        match save_snapshot(&cache, &dir) {
+            Err(PersistError::Io(_)) => {}
+            other => panic!("expected an I/O error from the rename, got {other:?}"),
+        }
+        // The uniquely named temp must have been removed on the error path.
+        assert_eq!(
+            stale_temps_next_to(&dir),
+            Vec::<std::path::PathBuf>::new(),
+            "failed saves must not leak *.tmp.pid.seq files"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn startup_sweep_reaps_temps_of_dead_processes() {
+        let path = temp_path("stale-sweep");
+        std::fs::write(&path, "{}").ok();
+        let stem = path.file_stem().unwrap().to_str().unwrap();
+        let parent = path.parent().unwrap();
+        // Plant temps a killed daemon would have left (foreign pid).
+        for name in [format!("{stem}.tmp.1.0"), format!("{stem}.tmp.999999.3")] {
+            std::fs::write(parent.join(name), "partial").unwrap();
+        }
+        // An unrelated sibling must survive the sweep.
+        let unrelated = parent.join(format!("{stem}-other.json"));
+        std::fs::write(&unrelated, "keep").unwrap();
+        assert_eq!(stale_temps_next_to(&path).len(), 2);
+        assert_eq!(remove_stale_temps(&path).unwrap(), 2);
+        assert_eq!(stale_temps_next_to(&path), Vec::<std::path::PathBuf>::new());
+        assert!(unrelated.exists());
+        assert_eq!(remove_stale_temps(&path).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&unrelated).ok();
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! Malformed input never kills the connection: it produces an
 //! `{"Error": ...}` response and the loop continues.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -75,6 +75,10 @@ pub enum Request {
         machine: MachineSpec,
         /// Optimizer options.
         options: Option<OptimizerOptions>,
+        /// Thread count the schedule targets (overrides `options.threads`).
+        /// Joins the schedule-cache key: plans solved for different thread
+        /// counts are distinct entries.
+        threads: Option<usize>,
     },
     /// Plan a whole network: one of the benchmark suites by name, or an
     /// explicit layer list.
@@ -90,6 +94,9 @@ pub enum Request {
         machine: MachineSpec,
         /// Optimizer options.
         options: Option<OptimizerOptions>,
+        /// Thread count the schedules target (overrides `options.threads`;
+        /// joins the schedule-cache key).
+        threads: Option<usize>,
         /// Worker threads for the fresh solves (default: host parallelism).
         workers: Option<usize>,
     },
@@ -108,6 +115,11 @@ pub enum Request {
         machine: MachineSpec,
         /// Optimizer options for the per-operator solves.
         options: Option<OptimizerOptions>,
+        /// Thread count the plan targets (overrides `options.threads`).
+        /// Joins both the per-operator schedule-cache key and the graph-plan
+        /// cache key, and tightens fusion admissibility to the per-thread L3
+        /// envelope.
+        threads: Option<usize>,
         /// Worker threads for the fresh per-operator solves (default: host
         /// parallelism).
         workers: Option<usize>,
@@ -211,12 +223,14 @@ impl ServiceState {
         }
     }
 
-    /// Attach a snapshot path: loads any existing snapshot now (ignoring a
-    /// missing file) and enables the `Save` request.
+    /// Attach a snapshot path: reaps temp files a killed predecessor left
+    /// next to it, loads any existing snapshot (ignoring a missing file),
+    /// and enables the `Save` request.
     pub fn with_snapshot(
         mut self,
         path: std::path::PathBuf,
     ) -> Result<Self, crate::persist::PersistError> {
+        crate::persist::remove_stale_temps(&path).ok();
         match crate::persist::load_snapshot(&self.cache, &path) {
             Ok(_) => {}
             Err(crate::persist::PersistError::Io(e))
@@ -261,16 +275,43 @@ impl ServiceState {
                 },
                 Err(e) => Response::Error { message: e.to_string() },
             },
-            Request::Optimize { op, shape, machine, options } => {
-                self.handle_optimize(op.as_deref(), *shape, machine, options)
+            Request::Optimize { op, shape, machine, options, threads } => {
+                self.handle_optimize(op.as_deref(), *shape, machine, options, *threads)
             }
-            Request::PlanNetwork { suite, layers, machine, options, workers } => {
-                self.handle_plan(suite.as_deref(), layers.as_deref(), machine, options, *workers)
-            }
-            Request::PlanGraph { block, graph, machine, options, workers } => {
-                self.handle_plan_graph(block.as_deref(), graph.as_ref(), machine, options, *workers)
-            }
+            Request::PlanNetwork { suite, layers, machine, options, threads, workers } => self
+                .handle_plan(
+                    suite.as_deref(),
+                    layers.as_deref(),
+                    machine,
+                    options,
+                    *threads,
+                    *workers,
+                ),
+            Request::PlanGraph { block, graph, machine, options, threads, workers } => self
+                .handle_plan_graph(
+                    block.as_deref(),
+                    graph.as_ref(),
+                    machine,
+                    options,
+                    *threads,
+                    *workers,
+                ),
         }
+    }
+
+    /// The effective optimizer options of a request: the request's `options`
+    /// (or the defaults), with an explicit top-level `threads` field taking
+    /// precedence over `options.threads`. The result participates verbatim
+    /// in both cache keys, so thread counts always distinguish entries.
+    fn effective_options(
+        options: &Option<OptimizerOptions>,
+        threads: Option<usize>,
+    ) -> OptimizerOptions {
+        let mut options = options.clone().unwrap_or_default();
+        if let Some(threads) = threads {
+            options.threads = threads.max(1);
+        }
+        options
     }
 
     fn handle_optimize(
@@ -279,6 +320,7 @@ impl ServiceState {
         shape: Option<ConvShape>,
         machine: &MachineSpec,
         options: &Option<OptimizerOptions>,
+        threads: Option<usize>,
     ) -> Response {
         let machine = match machine.resolve() {
             Ok(m) => m,
@@ -298,7 +340,7 @@ impl ServiceState {
                 return Response::Error { message: "Optimize needs either `op` or `shape`".into() }
             }
         };
-        let options = options.clone().unwrap_or_default();
+        let options = Self::effective_options(options, threads);
         let key = CacheKey::new(shape, &machine, &options);
         let mut cached = true;
         let result = self.cache.get_or_compute(key, || {
@@ -314,6 +356,7 @@ impl ServiceState {
         layers: Option<&[NamedLayer]>,
         machine: &MachineSpec,
         options: &Option<OptimizerOptions>,
+        threads: Option<usize>,
         workers: Option<usize>,
     ) -> Response {
         let machine = match machine.resolve() {
@@ -352,7 +395,7 @@ impl ServiceState {
                 }
             }
         };
-        let options = options.clone().unwrap_or_default();
+        let options = Self::effective_options(options, threads);
         let mut planner = NetworkPlanner::new(&self.cache, machine, options);
         if let Some(workers) = workers {
             planner = planner.with_workers(workers);
@@ -366,6 +409,7 @@ impl ServiceState {
         graph: Option<&Graph>,
         machine: &MachineSpec,
         options: &Option<OptimizerOptions>,
+        threads: Option<usize>,
         workers: Option<usize>,
     ) -> Response {
         let machine = match machine.resolve() {
@@ -391,7 +435,7 @@ impl ServiceState {
         if let Err(e) = graph.validate() {
             return Response::Error { message: format!("invalid graph: {e}") };
         }
-        let options = options.clone().unwrap_or_default();
+        let options = Self::effective_options(options, threads);
         let key = GraphCacheKey {
             graph_fingerprint: graph.fingerprint(),
             machine_fingerprint: machine.fingerprint(),
@@ -416,11 +460,14 @@ impl ServiceState {
             planner = planner.with_workers(workers);
         }
         let _ = planner.plan(&layers);
-        let result = GraphPlanner::new(machine.clone()).plan(&graph, |shape| {
-            self.cache.get_or_compute(CacheKey::new(*shape, &machine, &options), || {
-                MOptOptimizer::new(*shape, machine.clone(), options.clone()).optimize()
-            })
-        });
+        let result = GraphPlanner::new(machine.clone()).with_threads(options.threads).plan(
+            &graph,
+            |shape| {
+                self.cache.get_or_compute(CacheKey::new(*shape, &machine, &options), || {
+                    MOptOptimizer::new(*shape, machine.clone(), options.clone()).optimize()
+                })
+            },
+        );
         match result {
             Ok(plan) => {
                 self.graph_cache.insert(key, &plan);
@@ -447,6 +494,12 @@ impl ServiceState {
     /// pipe, connection reset/aborted) is a *clean* end of the connection,
     /// not an error, so callers persist state and exit gracefully; only
     /// unexpected I/O failures surface as `Err`.
+    ///
+    /// Request lines are capped at [`MAX_REQUEST_BYTES`]: the line buffer is
+    /// client-controlled, so without a cap one endless line lets any client
+    /// drive the daemon out of memory. An oversized line is drained (in
+    /// constant memory) up to its newline and answered with an `Error`
+    /// response; the connection keeps serving.
     pub fn serve_connection<R: BufRead, W: Write>(
         &self,
         mut reader: R,
@@ -464,29 +517,79 @@ impl ServiceState {
         let mut buf = Vec::new();
         loop {
             buf.clear();
-            match reader.read_until(b'\n', &mut buf) {
+            // Read at most one byte past the cap so "exactly at the cap" and
+            // "over the cap" are distinguishable without buffering the rest.
+            match (&mut reader).take(MAX_REQUEST_BYTES as u64 + 1).read_until(b'\n', &mut buf) {
                 Ok(0) => return Ok(()),
                 Ok(_) => {}
                 Err(e) if disconnected(&e) => return Ok(()),
                 Err(e) => return Err(e),
+            }
+            let oversized = buf.len() > MAX_REQUEST_BYTES && buf.last() != Some(&b'\n');
+            if oversized {
+                buf.clear();
+                match drain_to_newline(&mut reader) {
+                    Ok(()) => {}
+                    Err(e) if disconnected(&e) => return Ok(()),
+                    Err(e) => return Err(e),
+                }
+                let reply = serde_json::to_string(&Response::Error {
+                    message: format!(
+                        "request line exceeds the {} MiB limit",
+                        MAX_REQUEST_BYTES / (1024 * 1024)
+                    ),
+                })
+                .expect("error response serializes");
+                match write_line(&mut writer, &reply) {
+                    Ok(()) => continue,
+                    Err(e) if disconnected(&e) => return Ok(()),
+                    Err(e) => return Err(e),
+                }
             }
             let line = String::from_utf8_lossy(&buf);
             if line.trim().is_empty() {
                 continue;
             }
             let reply = self.handle_line(line.trim_end_matches(['\r', '\n']));
-            let write = (|| {
-                writer.write_all(reply.as_bytes())?;
-                writer.write_all(b"\n")?;
-                writer.flush()
-            })();
-            match write {
+            match write_line(&mut writer, &reply) {
                 Ok(()) => {}
                 Err(e) if disconnected(&e) => return Ok(()),
                 Err(e) => return Err(e),
             }
         }
     }
+}
+
+/// Maximum accepted request-line length in bytes (16 MiB). Inline graphs and
+/// explicit layer lists fit comfortably; a line this long that still has no
+/// newline is runaway or malicious input.
+pub const MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
+
+/// Discard input up to and including the next newline (or EOF) without
+/// buffering it — constant-memory resynchronization after an oversized line.
+fn drain_to_newline<R: BufRead>(reader: &mut R) -> std::io::Result<()> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let len = available.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+fn write_line<W: Write>(writer: &mut W, reply: &str) -> std::io::Result<()> {
+    writer.write_all(reply.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
 }
 
 fn suite_layers(suite: BenchmarkSuite) -> Vec<NamedLayer> {
@@ -582,6 +685,78 @@ mod tests {
                 matches!(response, Response::Error { .. }),
                 "line {line:?} should produce an Error response, got {response:?}"
             );
+        }
+    }
+
+    #[test]
+    fn oversized_request_lines_get_an_error_and_the_connection_survives() {
+        let state = tiny_state();
+        // One line just over the cap (no newline until the very end), then a
+        // valid Ping: the server must answer both, in order, without dying.
+        let mut request = vec![b'x'; MAX_REQUEST_BYTES + 1024];
+        request.push(b'\n');
+        request.extend_from_slice(b"\"Ping\"\n");
+        let mut output = Vec::new();
+        state.serve_connection(std::io::BufReader::new(request.as_slice()), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let mut lines = text.lines();
+        let first: Response = serde_json::from_str(lines.next().unwrap()).unwrap();
+        match first {
+            Response::Error { message } => {
+                assert!(message.contains("16 MiB"), "unexpected message: {message}")
+            }
+            other => panic!("expected Error for the oversized line, got {other:?}"),
+        }
+        let second: Response = serde_json::from_str(lines.next().unwrap()).unwrap();
+        assert!(matches!(second, Response::Pong { .. }), "the connection must keep serving");
+        assert!(lines.next().is_none());
+        // A line exactly at the cap is *not* rejected as oversized (it is
+        // only malformed JSON).
+        let mut exact = vec![b'y'; MAX_REQUEST_BYTES];
+        exact.push(b'\n');
+        let mut output = Vec::new();
+        state.serve_connection(std::io::BufReader::new(exact.as_slice()), &mut output).unwrap();
+        let reply: Response =
+            serde_json::from_str(String::from_utf8(output).unwrap().lines().next().unwrap())
+                .unwrap();
+        match reply {
+            Response::Error { message } => {
+                assert!(message.contains("bad request"), "got: {message}")
+            }
+            other => panic!("expected a parse Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_distinct_cache_entries() {
+        let state = tiny_state();
+        let shape =
+            serde_json::to_string(&ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap()).unwrap();
+        let request = |threads: usize| {
+            format!(
+                "{{\"Optimize\": {{\"shape\": {shape}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}, \"threads\": {threads}}}}}",
+                fast_options_json(),
+            )
+        };
+        // The same shape planned for 1 and for 8 threads: two fresh solves,
+        // two resident entries.
+        let one: Response = serde_json::from_str(&state.handle_line(&request(1))).unwrap();
+        let eight: Response = serde_json::from_str(&state.handle_line(&request(8))).unwrap();
+        match (&one, &eight) {
+            (
+                Response::Optimized { cached: false, .. },
+                Response::Optimized { cached: false, .. },
+            ) => {}
+            other => panic!("both thread counts must be fresh solves, got {other:?}"),
+        }
+        assert_eq!(state.cache.len(), 2, "1-thread and 8-thread plans must not share an entry");
+        // Re-asking at 8 threads is a warm hit with the parallel schedule.
+        let warm: Response = serde_json::from_str(&state.handle_line(&request(8))).unwrap();
+        match warm {
+            Response::Optimized { cached: true, result, .. } => {
+                assert_eq!(result.best().config.total_parallelism(), 8);
+            }
+            other => panic!("expected a warm parallel plan, got {other:?}"),
         }
     }
 

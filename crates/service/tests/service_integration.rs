@@ -62,6 +62,7 @@ fn optimize_response_executes_correctly() {
         shape: Some(shape),
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
+        threads: None,
     };
     let response = state.handle(&request);
     let result = match response {
@@ -94,6 +95,7 @@ fn moptd_stdio_round_trip_matches_naive() {
         shape: Some(shape),
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
+        threads: None,
     })
     .unwrap();
 
@@ -148,6 +150,7 @@ fn moptd_serves_depthwise_and_dilated_shapes() {
         shape: None,
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
+        threads: None,
     })
     .unwrap();
     let by_shape_request = serde_json::to_string(&Request::Optimize {
@@ -155,6 +158,7 @@ fn moptd_serves_depthwise_and_dilated_shapes() {
         shape: Some(dilated),
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
+        threads: None,
     })
     .unwrap();
     // The dilated request really carries the new field on the wire.
@@ -262,6 +266,7 @@ fn moptd_snapshot_warms_across_processes() {
         shape: Some(shape),
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
+        threads: None,
     })
     .unwrap();
 
@@ -326,6 +331,7 @@ fn serde_round_trips_are_exact() {
         layers: None,
         machine: mopt_service::MachineSpec::Custom(MachineModel::i9_10980xe()),
         options: Some(OptimizerOptions::default()),
+        threads: None,
         workers: Some(4),
     };
     let text = serde_json::to_string(&request).unwrap();
@@ -448,6 +454,7 @@ fn fused_plan_beats_unfused_in_tilesim_traffic() {
         graph: Some(graph),
         machine: mopt_service::MachineSpec::Preset("i7-9700k".into()),
         options: Some(fast_options()),
+        threads: None,
         workers: Some(4),
     };
     let plan = match state.handle(&request) {
@@ -472,6 +479,70 @@ fn fused_plan_beats_unfused_in_tilesim_traffic() {
     );
     // The deleted traffic is at least the intermediate store + load.
     assert!(est.saving() >= 2.0 * est.intermediate_elems);
+}
+
+/// Multicore serving: a multi-threaded plan request through the `moptd`
+/// binary returns parallel schedules (factors multiplying to the requested
+/// thread count), keyed separately from the sequential plan of the same
+/// shape, and the parallel executor runs the returned schedule bit-for-bit
+/// identically to the sequential tile walk.
+#[test]
+fn moptd_serves_multithreaded_plans_with_distinct_cache_keys() {
+    use conv_exec::ParTiledConv;
+
+    let shape = ConvShape::new(1, 8, 4, 3, 3, 12, 12, 1).unwrap();
+    let layers = format!(
+        "[{{\"name\": \"l0\", \"shape\": {0}}}, {{\"name\": \"l1\", \"shape\": {0}}}]",
+        serde_json::to_string(&shape).unwrap()
+    );
+    let options = serde_json::to_string(&fast_options()).unwrap();
+    let plan_at = |threads: usize| {
+        format!(
+            "{{\"PlanNetwork\": {{\"layers\": {layers}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {options}, \"threads\": {threads}, \"workers\": 2}}}}"
+        )
+    };
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_moptd"))
+        .args(["--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("moptd spawns");
+    {
+        let stdin = child.stdin.as_mut().expect("moptd stdin");
+        stdin.write_all(format!("{}\n{}\n\"Stats\"\n", plan_at(1), plan_at(4)).as_bytes()).unwrap();
+    }
+    child.stdin.take();
+    let stdout = BufReader::new(child.stdout.take().expect("moptd stdout"));
+    let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+    assert!(child.wait().unwrap().success());
+    assert_eq!(lines.len(), 3, "expected three response lines, got {lines:?}");
+
+    let plan = |line: &str| match serde_json::from_str::<Response>(line).unwrap() {
+        Response::Planned { plan } => plan,
+        other => panic!("expected Planned, got {other:?}"),
+    };
+    let sequential = plan(&lines[0]);
+    let parallel = plan(&lines[1]);
+    assert_eq!(sequential.layers[0].best.config.total_parallelism(), 1);
+    assert_eq!(parallel.layers[0].best.config.total_parallelism(), 4);
+    // Identical layers dedupe within a request, but the 1-thread and the
+    // 4-thread plan are distinct cache entries.
+    match serde_json::from_str::<Response>(&lines[2]).unwrap() {
+        Response::Stats { stats } => assert_eq!(stats.cache.entries, 2),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    // Execute the parallel schedule: the returned parallel axis partitions
+    // the output across 4 threads bit-for-bit equal to the sequential walk.
+    let best = parallel.layers[0].best.config.clone();
+    let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 81);
+    let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 82);
+    let sequential_out = TiledConv::new(shape, best.clone(), 1).unwrap().run(&input, &kernel);
+    let parallel_out = ParTiledConv::new(shape, best, 4).unwrap().run(&input, &kernel);
+    assert_eq!(parallel_out.as_slice(), sequential_out.as_slice());
+    assert!(conv2d_naive(&shape, &input, &kernel).allclose(&parallel_out, 1e-3));
 }
 
 /// The cache dedupes across suites: Table-1 contains every suite, so

@@ -1,0 +1,101 @@
+//! Multicore planning and parallel execution, end to end: plan one layer at
+//! 1/2/4/8 threads with the contention-aware multicore model, execute each
+//! plan with the scoped-thread parallel executor (verifying bit-for-bit
+//! equality with the sequential walk), and cross-check the model's
+//! DRAM-traffic axis against the tile-granularity simulator on the
+//! per-thread slices.
+//!
+//! Run with `cargo run --release --example parallel_execution`.
+
+use std::time::Instant;
+
+use mopt_repro::cache_sim::TileTrafficSimulator;
+use mopt_repro::conv_exec::{ParTiledConv, Tensor4, TiledConv};
+use mopt_repro::conv_spec::{ConvShape, LoopIndex, MachineModel, TilingLevel, ALL_INDICES};
+use mopt_repro::mopt_core::{MOptOptimizer, OptimizerOptions};
+
+fn main() {
+    // Extents divisible by 8 so every thread count slices evenly on both
+    // parallel axes.
+    let shape = ConvShape::new(1, 64, 32, 3, 3, 32, 32, 1).unwrap();
+    let machine = MachineModel::i7_9700k();
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("operator: {shape}");
+    println!("machine (modeled): {machine}");
+    println!("host parallelism:  {host} (measured speedup is bounded by this)\n");
+
+    let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 7);
+    let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 8);
+    let sim = TileTrafficSimulator::default();
+
+    println!(
+        "{:>7} {:>6} {:>14} {:>14} {:>10} {:>10} {:>8}",
+        "threads", "axis", "model DRAM", "tilesim DRAM", "exec ms", "speedup", "exact"
+    );
+    let mut sequential_ms = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let options =
+            OptimizerOptions { threads, max_classes: 3, multistart: 0, ..Default::default() };
+        let result = MOptOptimizer::new(shape, machine.clone(), options).optimize();
+        let best = result.best();
+        let config = best.config.clone();
+
+        // Modeled DRAM traffic (whole chip: summed across threads).
+        let model_dram = best.prediction.volume(TilingLevel::L3);
+
+        // Measured axis: simulate one thread's slice of the problem with the
+        // same schedule, then sum across threads.
+        let mut sliced = shape;
+        for &idx in &ALL_INDICES {
+            let f = config.parallel.get(idx);
+            if f > 1 {
+                match idx {
+                    LoopIndex::N => sliced.n /= f,
+                    LoopIndex::K => sliced.k /= f,
+                    LoopIndex::H => sliced.h /= f,
+                    LoopIndex::W => sliced.w /= f,
+                    _ => {}
+                }
+            }
+        }
+        let per_thread = sim.simulate(&sliced, &config.normalized(&sliced));
+        let tilesim_dram = threads as f64 * per_thread.volume(TilingLevel::L3);
+
+        // Execute: the parallel run must be bit-for-bit the sequential walk.
+        let sequential = TiledConv::new(shape, config.clone(), 1).unwrap();
+        let reference = sequential.run(&input, &kernel);
+        let par = ParTiledConv::new(shape, config.clone(), threads).unwrap();
+        let started = Instant::now();
+        let reps = 3;
+        let mut out = par.run(&input, &kernel);
+        for _ in 1..reps {
+            out = par.run(&input, &kernel);
+        }
+        let ms = started.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        if threads == 1 {
+            sequential_ms = ms;
+        }
+        let exact = out.as_slice() == reference.as_slice();
+        assert!(exact, "parallel execution diverged from the sequential walk");
+
+        println!(
+            "{:>7} {:>6} {:>14.0} {:>14.0} {:>10.2} {:>9.2}x {:>8}",
+            threads,
+            config.parallel_axis().name(),
+            model_dram,
+            tilesim_dram,
+            ms,
+            sequential_ms / ms,
+            exact,
+        );
+    }
+
+    println!(
+        "\nModel and simulator agree on the traffic axis: slicing the problem \
+         across threads loses cross-slice reuse, so chip-total DRAM traffic \
+         grows with the thread count while per-core work shrinks — the trade \
+         the optimizer weighs when it searches the parallel axis. Measured \
+         wall-clock speedup tracks min(threads, host cores); on a \
+         single-core host the parallel runs only demonstrate exactness."
+    );
+}
