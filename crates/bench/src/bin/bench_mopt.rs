@@ -1,0 +1,211 @@
+//! `bench_mopt` — the serving-stack benchmark harness.
+//!
+//! Drives one benchmark suite through a [`mopt_service::ServiceState`] three
+//! times — cold (optimizer solves), warm (in-process cache), and db-warm (a
+//! fresh process over the populated schedule database, zero solves) — and
+//! emits a machine-readable `BENCH_mopt.json` with per-phase solve
+//! latencies, cache and database hit rates, and the fused-vs-unfused DRAM
+//! traffic of a MobileNetV2 block plan. CI runs this to keep the
+//! persistence-tier numbers visible per commit.
+//!
+//! ```text
+//! bench_mopt [--out BENCH_mopt.json] [--suite mobilenetv2] [--preset i7] [--threads N]
+//! ```
+
+use std::time::Instant;
+
+use mopt_core::OptimizerOptions;
+use mopt_service::{DbTierStats, MachineSpec, Request, Response, ServiceState, Tier};
+use serde::Serialize;
+
+/// Latency summary for one serving phase.
+#[derive(Debug, Serialize)]
+struct PhaseLatency {
+    /// Requests issued.
+    requests: usize,
+    /// Requests answered by the in-process cache.
+    cache_tier: usize,
+    /// Requests answered by the schedule database (re-rank, no solve).
+    db_tier: usize,
+    /// Requests answered by a fresh optimizer solve.
+    solver_tier: usize,
+    /// Total wall-clock seconds across the phase.
+    total_seconds: f64,
+    /// Mean per-request latency in microseconds.
+    mean_micros: f64,
+    /// Worst per-request latency in microseconds.
+    max_micros: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    suite: String,
+    preset: String,
+    threads: usize,
+    /// Empty state, no database content: every request is a solve.
+    cold: PhaseLatency,
+    /// Same process again: every request is an in-process cache hit.
+    warm: PhaseLatency,
+    /// A fresh process over the populated database: every request is a
+    /// db-tier re-rank, zero optimizer solves.
+    db_warm: PhaseLatency,
+    /// Cache hit fraction over the cold+warm phases.
+    cache_hit_rate: f64,
+    /// Db-tier hit fraction in the db-warm process.
+    db_hit_rate: f64,
+    /// The db-warm process's full database-tier counters.
+    db: DbTierStats,
+    /// Modeled DRAM traffic (elements) of the fused MobileNetV2 block plan.
+    fused_volume: f64,
+    /// Modeled DRAM traffic (elements) of the same block planned per-layer.
+    unfused_volume: f64,
+    /// fused / unfused (< 1.0 when fusion pays).
+    fused_traffic_ratio: f64,
+}
+
+fn run_phase(state: &ServiceState, suite: &str, preset: &str, threads: usize) -> PhaseLatency {
+    let ops: Vec<String> = conv_spec::benchmarks::extended_operators()
+        .iter()
+        .filter(|op| {
+            op.suite.name().to_ascii_lowercase().replace(['-', '_'], "").contains(suite)
+                || suite == "extended"
+        })
+        .map(|op| op.name.clone())
+        .collect();
+    assert!(!ops.is_empty(), "suite `{suite}` selected no operators");
+    let options = OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() };
+    let (mut cache_tier, mut db_tier, mut solver_tier) = (0usize, 0usize, 0usize);
+    let mut total_seconds = 0.0;
+    let mut max_micros: f64 = 0.0;
+    for op in &ops {
+        let request = Request::Optimize {
+            op: Some(op.clone()),
+            shape: None,
+            machine: MachineSpec::Preset(preset.to_string()),
+            options: Some(options.clone()),
+            threads: Some(threads),
+        };
+        let started = Instant::now();
+        let response = state.handle(&request);
+        let elapsed = started.elapsed().as_secs_f64();
+        total_seconds += elapsed;
+        max_micros = max_micros.max(elapsed * 1e6);
+        match response {
+            Response::Optimized { tier, .. } => match tier {
+                Some(Tier::Cache) => cache_tier += 1,
+                Some(Tier::Db) => db_tier += 1,
+                Some(Tier::Solver) | None => solver_tier += 1,
+            },
+            other => panic!("bench_mopt: Optimize for {op} failed: {other:?}"),
+        }
+    }
+    PhaseLatency {
+        requests: ops.len(),
+        cache_tier,
+        db_tier,
+        solver_tier,
+        total_seconds,
+        mean_micros: total_seconds * 1e6 / ops.len() as f64,
+        max_micros,
+    }
+}
+
+fn fused_traffic(state: &ServiceState, preset: &str) -> (f64, f64) {
+    let request = Request::PlanGraph {
+        block: Some("mbv2-block5".into()),
+        graph: None,
+        machine: MachineSpec::Preset(preset.to_string()),
+        options: Some(OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() }),
+        threads: None,
+        workers: Some(4),
+    };
+    match state.handle(&request) {
+        Response::GraphPlanned { plan, .. } => (plan.fused_volume, plan.unfused_volume),
+        other => panic!("bench_mopt: PlanGraph failed: {other:?}"),
+    }
+}
+
+fn main() {
+    let mut out = std::path::PathBuf::from("BENCH_mopt.json");
+    let mut suite = "mobilenetv2".to_string();
+    let mut preset = "i7".to_string();
+    let mut threads = 4usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = it.next().expect("--out needs a path").into(),
+            "--suite" => suite = it.next().expect("--suite needs a name").to_ascii_lowercase(),
+            "--preset" => preset = it.next().expect("--preset needs a name"),
+            "--threads" => {
+                threads = it.next().expect("--threads needs a number").parse().expect("--threads")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench_mopt — serving-stack benchmark harness\n\n\
+                     USAGE:\n  bench_mopt [--out BENCH_mopt.json] [--suite mobilenetv2] \
+                     [--preset i7] [--threads N]\n\n\
+                     Emits cold / warm / db-warm solve latency, cache + db hit rates, and\n\
+                     fused-vs-unfused DRAM traffic as JSON."
+                );
+                return;
+            }
+            other => {
+                eprintln!("bench_mopt: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db_dir = std::env::temp_dir().join(format!("bench-mopt-db-{}", std::process::id()));
+    std::fs::remove_dir_all(&db_dir).ok();
+
+    // Cold and warm phases share one process; cold solves write through to
+    // the database.
+    let state = ServiceState::new(512).with_db(db_dir.clone()).expect("open bench db");
+    let cold = run_phase(&state, &suite, &preset, threads);
+    let warm = run_phase(&state, &suite, &preset, threads);
+    let cache_stats = state.cache.stats();
+    let cache_hit_rate = if cache_stats.hits + cache_stats.misses == 0 {
+        0.0
+    } else {
+        cache_stats.hits as f64 / (cache_stats.hits + cache_stats.misses) as f64
+    };
+    state.db().expect("db attached").flush().expect("flush bench db");
+
+    // Db-warm phase: a fresh process image — empty cache, populated db.
+    let fresh = ServiceState::new(512).with_db(db_dir.clone()).expect("reopen bench db");
+    let db_warm = run_phase(&fresh, &suite, &preset, threads);
+    let db_stats = fresh.db().expect("db attached").stats();
+    let db_hit_rate = db_stats.hit_rate();
+
+    let (fused_volume, unfused_volume) = fused_traffic(&fresh, &preset);
+
+    let report = Report {
+        suite,
+        preset,
+        threads,
+        cold,
+        warm,
+        db_warm,
+        cache_hit_rate,
+        db_hit_rate,
+        db: db_stats,
+        fused_volume,
+        unfused_volume,
+        fused_traffic_ratio: fused_volume / unfused_volume,
+    };
+    let text = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, &text).expect("write report");
+    println!("{text}");
+    eprintln!("bench_mopt: report written to {}", out.display());
+    std::fs::remove_dir_all(&db_dir).ok();
+
+    // Self-check: the db-warm phase must have run without optimizer solves.
+    if report.db_warm.solver_tier != 0 {
+        eprintln!(
+            "bench_mopt: db-warm phase ran {} optimizer solves (expected 0)",
+            report.db_warm.solver_tier
+        );
+        std::process::exit(1);
+    }
+}

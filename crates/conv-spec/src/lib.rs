@@ -31,7 +31,11 @@
 //!   bandwidths, cores, SIMD width) with presets for the two CPUs used in the
 //!   paper's evaluation,
 //! * [`layout`] — tensor layout descriptors (NCHW, KCRS and the packed
-//!   microkernel layout) and index linearization helpers.
+//!   microkernel layout) and index linearization helpers,
+//! * [`canonical`] — cost-preserving normalization of shapes
+//!   ([`CanonicalSpec`]) with an invertible schedule rewrite
+//!   ([`SpecTransform`]), the key space of the persistent schedule
+//!   database (`mopt_db`).
 //!
 //! # Example
 //!
@@ -58,12 +62,14 @@
 #![warn(missing_docs)]
 
 pub mod benchmarks;
+pub mod canonical;
 pub mod layout;
 pub mod machine;
 pub mod shape;
 pub mod tiling;
 
 pub use benchmarks::{BenchmarkOp, BenchmarkSuite};
+pub use canonical::{canonicalize, CanonicalSpec, SpecTransform, PAD_QUANTUM};
 pub use layout::{KernelLayout, PackedKernelLayout, TensorKind, TensorLayout};
 pub use machine::{CacheLevel, MachineModel, MemoryLevel};
 pub use shape::{ConvShape, LoopIndex, Permutation, ALL_INDICES};

@@ -1,0 +1,285 @@
+//! Re-pricing stored candidates for new query settings.
+//!
+//! A record's entries were solved once, for the canonical shape, and are
+//! stored stripped to their sequential form. A query arrives for a *raw*
+//! shape at some `threads`/options setting; instead of re-running the
+//! optimizer, the candidates are
+//!
+//! 1. rewritten to the raw shape ([`conv_spec::SpecTransform`]),
+//! 2. combined with each parallel decomposition the optimizer itself would
+//!    search ([`mopt_core::MOptOptimizer::parallel_candidates`]), with the
+//!    L3 tile clamped into one thread's slice and greedily shrunk until it
+//!    fits the per-thread L3 share — the same envelope the direct solver
+//!    certifies against,
+//! 3. re-priced with the analytical model exactly as
+//!    [`MOptOptimizer::optimize`](mopt_core::MOptOptimizer::optimize)
+//!    prices its own candidates,
+//!
+//! and ranked. The served schedule is therefore one the direct optimizer
+//! would certify: valid for the raw shape, parallelism equal to the
+//! requested thread count, inside every capacity envelope, with a cost that
+//! is bit-identical to the direct model's prediction for that schedule.
+
+use conv_spec::{
+    canonicalize, CanonicalSpec, ConvShape, LoopIndex, MachineModel, SpecTransform, TileConfig,
+    TileSizes, TilingLevel,
+};
+use mopt_core::{MOptOptimizer, OptimizeResult, OptimizedConfig, OptimizerOptions};
+use mopt_model::cost::CostOptions;
+use mopt_model::multilevel::{MultiLevelModel, ParallelSpec};
+
+use crate::store::ScheduleEntry;
+
+/// Convert a solved [`OptimizeResult`] for a raw shape into storable
+/// entries: each ranked configuration is rewritten into canonical
+/// coordinates, stripped of its parallel factors, and re-priced at the
+/// canonical shape with the sequential reference model so entries from
+/// solves at different thread counts merge into one coherent ranking.
+pub fn entries_from_result(
+    canonical: &CanonicalSpec,
+    transform: &SpecTransform,
+    machine: &MachineModel,
+    solved_threads: usize,
+    result: &OptimizeResult,
+) -> Vec<ScheduleEntry> {
+    result
+        .ranked
+        .iter()
+        .map(|candidate| {
+            let oriented = transform.canonicalize_config(&candidate.config);
+            let config =
+                TileConfig::new(oriented.permutation.clone(), oriented.tiles, TileSizes::ones())
+                    .normalized(&canonical.shape);
+            let sequential_cost =
+                MultiLevelModel::new(canonical.shape, machine.clone(), config.permutation.clone())
+                    .predict_config(&config)
+                    .bottleneck_cost;
+            ScheduleEntry { config, class_id: candidate.class_id, sequential_cost, solved_threads }
+        })
+        .collect()
+}
+
+/// Convenience: canonicalize a raw shape and convert its solve result into
+/// storable entries in one call.
+pub fn entries_for_shape(
+    raw: &ConvShape,
+    machine: &MachineModel,
+    solved_threads: usize,
+    result: &OptimizeResult,
+) -> (CanonicalSpec, Vec<ScheduleEntry>) {
+    let (canonical, transform) = canonicalize(raw);
+    let entries = entries_from_result(&canonical, &transform, machine, solved_threads, result);
+    (canonical, entries)
+}
+
+/// Clamp a configuration's L3 tile into one thread's slice of the problem
+/// and greedily shrink it until it fits the per-thread L3 capacity share,
+/// then re-nest the inner levels. Returns `None` if no fitting tile exists
+/// within the shrink budget (the candidate is skipped).
+fn fit_to_envelope(
+    config: &TileConfig,
+    shape: &ConvShape,
+    machine: &MachineModel,
+    spec: &ParallelSpec,
+) -> Option<TileConfig> {
+    let mut config = config.clone();
+    let mut l3 = *config.level(TilingLevel::L3);
+    // One thread's slice: each parallelized dimension's extent shrinks by
+    // its factor (contiguous slices, so the largest slice is the ceiling).
+    if spec.threads > 1 {
+        let mut slice = TileSizes::full(shape);
+        for &idx in &conv_spec::ALL_INDICES {
+            let f = spec.factor(idx);
+            if f > 1 {
+                slice = slice.with(idx, shape.extent(idx).div_ceil(f).max(1));
+            }
+        }
+        l3 = l3.min_with(&slice.as_array());
+    }
+    let capacity = machine.capacity_per_thread(TilingLevel::L3, spec.threads);
+    let mut guard = 0;
+    while l3.footprint(shape) > capacity {
+        guard += 1;
+        if guard > 64 {
+            return None;
+        }
+        let mut largest = LoopIndex::K;
+        let mut val = 0;
+        for idx in [LoopIndex::K, LoopIndex::C, LoopIndex::H, LoopIndex::W] {
+            if l3.get(idx) > val {
+                val = l3.get(idx);
+                largest = idx;
+            }
+        }
+        if val <= 1 {
+            return None;
+        }
+        l3 = l3.with(largest, (val / 2).max(1));
+    }
+    *config.level_mut(TilingLevel::L3) = l3;
+    Some(config.normalized(shape))
+}
+
+/// Answer a query for `raw` at `options` from stored entries, without
+/// running the optimizer. Returns `None` when no stored candidate survives
+/// (e.g. nothing fits the per-thread envelope), in which case the caller
+/// falls back to a direct solve.
+///
+/// The returned result is shaped exactly like
+/// [`MOptOptimizer::optimize`](mopt_core::MOptOptimizer::optimize)'s:
+/// ranked by the model's bandwidth-scaled bottleneck cost under the query's
+/// thread count and cost options, truncated to `options.keep_top`.
+pub fn rerank(
+    raw: &ConvShape,
+    transform: &SpecTransform,
+    entries: &[ScheduleEntry],
+    machine: &MachineModel,
+    options: &OptimizerOptions,
+) -> Option<OptimizeResult> {
+    let start = std::time::Instant::now();
+    let optimizer = MOptOptimizer::new(*raw, machine.clone(), options.clone());
+    let parallel_candidates = optimizer.parallel_candidates();
+    let mut candidates: Vec<OptimizedConfig> = Vec::new();
+    for entry in entries {
+        let base = transform.denormalize_config(&entry.config);
+        for spec in &parallel_candidates {
+            let Some(fitted) = fit_to_envelope(&base, raw, machine, spec) else {
+                continue;
+            };
+            let mut factors = TileSizes::ones();
+            for &idx in &conv_spec::ALL_INDICES {
+                factors = factors.with(idx, spec.factor(idx));
+            }
+            let config = TileConfig::new(fitted.permutation.clone(), fitted.tiles, factors);
+            if config.validate(raw).is_err() {
+                continue;
+            }
+            let model = MultiLevelModel::new(*raw, machine.clone(), config.permutation.clone())
+                .with_options(CostOptions { line_elems: options.line_elems })
+                .with_parallel(*spec);
+            let prediction = model.predict_config(&config);
+            candidates.push(OptimizedConfig {
+                config,
+                class_id: entry.class_id,
+                predicted_cost: prediction.bottleneck_cost,
+                prediction,
+            });
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    candidates.sort_by(|a, b| {
+        a.predicted_cost.partial_cmp(&b.predicted_cost).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    candidates.truncate(options.keep_top.max(1));
+    Some(OptimizeResult { ranked: candidates, optimize_seconds: start.elapsed().as_secs_f64() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_options(threads: usize) -> OptimizerOptions {
+        OptimizerOptions { threads, max_classes: 1, keep_top: 8, ..OptimizerOptions::fast() }
+    }
+
+    fn machine() -> MachineModel {
+        MachineModel::tiny_test_machine()
+    }
+
+    fn solve(shape: &ConvShape, threads: usize) -> OptimizeResult {
+        MOptOptimizer::new(*shape, machine(), fast_options(threads)).optimize()
+    }
+
+    #[test]
+    fn stored_entries_are_sequential_and_canonical() {
+        let raw = ConvShape::new(1, 16, 8, 5, 3, 10, 12, 1).unwrap();
+        let result = solve(&raw, 1);
+        let (canonical, entries) = entries_for_shape(&raw, &machine(), 1, &result);
+        assert_eq!(entries.len(), result.ranked.len());
+        for entry in &entries {
+            assert_eq!(entry.config.total_parallelism(), 1);
+            assert!(entry.config.validate(&canonical.shape).is_ok());
+            assert!(entry.sequential_cost.is_finite() && entry.sequential_cost > 0.0);
+            assert_eq!(entry.solved_threads, 1);
+        }
+    }
+
+    #[test]
+    fn rerank_serves_threads_8_from_a_threads_1_solve() {
+        // The acceptance-criterion scenario: solve once sequentially, store,
+        // then answer an 8-thread query by re-ranking alone.
+        let raw = ConvShape::new(1, 32, 16, 3, 3, 16, 16, 1).unwrap();
+        let result = solve(&raw, 1);
+        let (canonical, transform) = canonicalize(&raw);
+        let entries = entries_from_result(&canonical, &transform, &machine(), 1, &result);
+        let options = fast_options(8);
+        let served = rerank(&raw, &transform, &entries, &machine(), &options)
+            .expect("rerank must serve this query");
+        let best = &served.ranked[0];
+        // The served schedule is one the direct optimizer would certify:
+        // valid, with the requested parallelism, inside the per-thread L3
+        // envelope the solver enforces on its own candidates.
+        assert!(best.config.validate(&raw).is_ok());
+        assert_eq!(best.config.total_parallelism(), 8);
+        let l3 = best.config.level(TilingLevel::L3).footprint(&raw);
+        assert!(l3 <= machine().capacity_per_thread(TilingLevel::L3, 8));
+        // And its price is bit-identical to the direct model's prediction
+        // for that schedule (same pricing path as `optimize()`).
+        let spec = ParallelSpec { threads: 8, factors: best.config.parallel.as_array() };
+        assert!(spec.is_valid());
+        let direct = MultiLevelModel::new(raw, machine(), best.config.permutation.clone())
+            .with_options(CostOptions { line_elems: options.line_elems })
+            .with_parallel(spec)
+            .predict_config(&best.config);
+        assert_eq!(best.predicted_cost, direct.bottleneck_cost);
+        assert_eq!(best.prediction, direct);
+    }
+
+    #[test]
+    fn rerank_at_the_solved_settings_reproduces_the_solved_best() {
+        // Round trip at identical settings: the best stored candidate
+        // re-prices to exactly the cost the optimizer reported.
+        let raw = ConvShape::new(1, 16, 8, 3, 3, 12, 12, 1).unwrap();
+        let options = fast_options(1);
+        let result = solve(&raw, 1);
+        let (canonical, transform) = canonicalize(&raw);
+        let entries = entries_from_result(&canonical, &transform, &machine(), 1, &result);
+        let served = rerank(&raw, &transform, &entries, &machine(), &options).unwrap();
+        assert_eq!(served.ranked[0].config, result.ranked[0].config);
+        assert_eq!(served.ranked[0].predicted_cost, result.ranked[0].predicted_cost);
+    }
+
+    #[test]
+    fn rerank_respects_keep_top() {
+        let raw = ConvShape::new(1, 16, 8, 3, 3, 12, 12, 1).unwrap();
+        let result = solve(&raw, 1);
+        let (canonical, transform) = canonicalize(&raw);
+        let entries = entries_from_result(&canonical, &transform, &machine(), 1, &result);
+        let options = OptimizerOptions { keep_top: 1, ..fast_options(1) };
+        let served = rerank(&raw, &transform, &entries, &machine(), &options).unwrap();
+        assert_eq!(served.ranked.len(), 1);
+    }
+
+    #[test]
+    fn rerank_of_empty_entries_is_none() {
+        let raw = ConvShape::new(1, 8, 4, 3, 3, 8, 8, 1).unwrap();
+        let (_, transform) = canonicalize(&raw);
+        assert!(rerank(&raw, &transform, &[], &machine(), &fast_options(1)).is_none());
+    }
+
+    #[test]
+    fn transposed_raw_shapes_are_served_through_the_shared_entry() {
+        // Solve for one orientation, serve the transposed twin through the
+        // same canonical entry set.
+        let a = ConvShape::new(1, 16, 8, 3, 5, 12, 10, 1).unwrap();
+        let b = ConvShape::new(1, 16, 8, 5, 3, 10, 12, 1).unwrap();
+        let result = solve(&a, 1);
+        let (canon_a, entries) = entries_for_shape(&a, &machine(), 1, &result);
+        let (canon_b, transform_b) = canonicalize(&b);
+        assert_eq!(canon_a.fingerprint(), canon_b.fingerprint());
+        let served = rerank(&b, &transform_b, &entries, &machine(), &fast_options(1)).unwrap();
+        assert!(served.ranked[0].config.validate(&b).is_ok());
+    }
+}

@@ -18,6 +18,7 @@ use mopt_core::{MOptOptimizer, OptimizeResult, OptimizedConfig, OptimizerOptions
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheKey, ScheduleCache};
+use crate::dbtier::DbTier;
 
 /// One layer to plan: a display name plus its shape.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,6 +57,9 @@ pub struct PlanStats {
     pub unique_shapes: usize,
     /// Unique keys served from the cache.
     pub cache_hits: usize,
+    /// Unique keys served from the schedule database (stored top-k
+    /// re-ranked — no optimizer run). Always 0 without an attached db.
+    pub db_hits: usize,
     /// Unique keys solved fresh.
     pub solves: usize,
     /// Sum of the layers' predicted bottleneck costs (cycles).
@@ -94,6 +98,7 @@ impl NetworkPlan {
 /// shared [`ScheduleCache`].
 pub struct NetworkPlanner<'a> {
     cache: &'a ScheduleCache,
+    db: Option<&'a DbTier>,
     machine: MachineModel,
     options: OptimizerOptions,
     workers: usize,
@@ -104,7 +109,15 @@ impl<'a> NetworkPlanner<'a> {
     /// as the host exposes (capped at 8).
     pub fn new(cache: &'a ScheduleCache, machine: MachineModel, options: OptimizerOptions) -> Self {
         let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
-        NetworkPlanner { cache, machine, options, workers }
+        NetworkPlanner { cache, db: None, machine, options, workers }
+    }
+
+    /// Attach (or detach) the persistent schedule database: cold layers
+    /// are answered from stored re-ranked entries before the optimizer,
+    /// and fresh solves are written through.
+    pub fn with_db(mut self, db: Option<&'a DbTier>) -> Self {
+        self.db = db;
+        self
     }
 
     /// Override the worker-pool size (values are clamped to at least 1).
@@ -168,9 +181,13 @@ impl<'a> NetworkPlanner<'a> {
         }
         let cache_hits = unique.len() - to_solve.len();
 
-        // Fan the cold solves across the worker pool.
+        // Fan the cold solves across the worker pool. Each cold key first
+        // tries the schedule database (a stored top-k re-ranked for this
+        // request's thread count — no optimizer run); only a db miss pays
+        // for a fresh solve, which is then written through.
         let solved: Mutex<Vec<(usize, OptimizeResult)>> = Mutex::new(Vec::new());
         let next_job = AtomicUsize::new(0);
+        let db_hit_count = AtomicUsize::new(0);
         let workers = self.workers.min(to_solve.len()).max(1);
         if !to_solve.is_empty() {
             std::thread::scope(|scope| {
@@ -178,18 +195,39 @@ impl<'a> NetworkPlanner<'a> {
                     scope.spawn(|| loop {
                         let j = next_job.fetch_add(1, Ordering::Relaxed);
                         let Some((slot, key)) = to_solve.get(j) else { break };
-                        let result = MOptOptimizer::new(
-                            key.shape,
-                            self.machine.clone(),
-                            self.options.clone(),
-                        )
-                        .optimize();
+                        let served = self
+                            .db
+                            .and_then(|db| db.lookup(&key.shape, &self.machine, &self.options));
+                        let result = match served {
+                            Some(result) => {
+                                db_hit_count.fetch_add(1, Ordering::Relaxed);
+                                result
+                            }
+                            None => {
+                                let result = MOptOptimizer::new(
+                                    key.shape,
+                                    self.machine.clone(),
+                                    self.options.clone(),
+                                )
+                                .optimize();
+                                if let Some(db) = self.db {
+                                    db.record(
+                                        &key.shape,
+                                        &self.machine,
+                                        self.options.threads,
+                                        &result,
+                                    );
+                                }
+                                result
+                            }
+                        };
                         self.cache.insert(key.clone(), result.clone());
                         crate::cache::lock_recover(&solved).push((*slot, result));
                     });
                 }
             });
         }
+        let db_hits = db_hit_count.load(Ordering::Relaxed);
         for (slot, result) in solved.into_inner().unwrap_or_else(|e| e.into_inner()) {
             results[slot] = Some((result, false));
         }
@@ -226,7 +264,8 @@ impl<'a> NetworkPlanner<'a> {
                 layers: layers.len(),
                 unique_shapes: unique.len(),
                 cache_hits,
-                solves: to_solve.len(),
+                db_hits,
+                solves: to_solve.len() - db_hits,
                 total_predicted_cost,
                 solve_seconds,
                 wall_seconds: started.elapsed().as_secs_f64(),
@@ -326,6 +365,38 @@ mod tests {
         for (a, b) in plan1.layers.iter().zip(&plan4.layers) {
             assert_eq!(a.best, b.best);
         }
+    }
+
+    #[test]
+    fn db_backed_planner_skips_the_optimizer_on_a_cold_cache() {
+        let dir = std::env::temp_dir().join(format!("mopt-batch-db-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let machine = MachineModel::tiny_test_machine();
+        let options = fast_options();
+        let layers = tiny_layers();
+        let db = crate::dbtier::DbTier::open(&dir).unwrap();
+        let cache = ScheduleCache::new(64);
+        let cold = NetworkPlanner::new(&cache, machine.clone(), options.clone())
+            .with_db(Some(&db))
+            .with_workers(2)
+            .plan(&layers);
+        assert_eq!(cold.stats.solves, 3);
+        assert_eq!(cold.stats.db_hits, 0);
+        db.flush().unwrap();
+        // A cold cache over the same db: every unique layer is served from
+        // stored entries — zero optimizer runs, identical best schedules.
+        let db = crate::dbtier::DbTier::open(&dir).unwrap();
+        let fresh = ScheduleCache::new(64);
+        let warm = NetworkPlanner::new(&fresh, machine, options)
+            .with_db(Some(&db))
+            .with_workers(2)
+            .plan(&layers);
+        assert_eq!(warm.stats.db_hits, 3);
+        assert_eq!(warm.stats.solves, 0);
+        for (a, b) in cold.layers.iter().zip(&warm.layers) {
+            assert_eq!(a.best, b.best);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

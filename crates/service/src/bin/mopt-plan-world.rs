@@ -1,0 +1,251 @@
+//! `mopt-plan-world` — offline populator for the persistent schedule
+//! database.
+//!
+//! Solves every operator of the selected benchmark suites for every
+//! selected machine preset and thread count, and writes the canonicalized
+//! top-k entries into a [`mopt_db::SpecDb`] directory. A `moptd --db` pointed
+//! at the result answers those shapes *cold* — first request, empty cache —
+//! from stored entries, without invoking the optimizer.
+//!
+//! Shapes that canonicalize to a spec already present in the database are
+//! skipped (the run is incremental and restartable), and distinct raw
+//! shapes sharing one canonical spec are solved only once per run.
+//!
+//! ```text
+//! mopt-plan-world --db specs.db [--suite table1]... [--preset i7]... \
+//!                 [--threads 1,4,8] [--classes N] [--multistart N] [--keep-top N]
+//! ```
+//!
+//! Defaults: every suite (`extended`), presets `i7` and `i9`, threads
+//! `1,4,8`, full optimizer settings. The paper's point is that analytical
+//! solves are cheap; planning the whole benchmark world is minutes, and
+//! serving it afterwards is microseconds.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use conv_spec::{benchmarks, canonicalize, BenchmarkOp, BenchmarkSuite, MachineModel};
+use mopt_core::{MOptOptimizer, OptimizerOptions};
+use mopt_service::DbTier;
+
+struct Args {
+    db: std::path::PathBuf,
+    suites: Vec<String>,
+    presets: Vec<String>,
+    threads: Vec<usize>,
+    classes: Option<usize>,
+    multistart: Option<usize>,
+    keep_top: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut db = None;
+    let mut args = Args {
+        db: std::path::PathBuf::new(),
+        suites: Vec::new(),
+        presets: Vec::new(),
+        threads: Vec::new(),
+        classes: None,
+        multistart: None,
+        keep_top: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--db" => db = Some(it.next().ok_or("--db needs a directory path")?.into()),
+            "--suite" => args.suites.push(it.next().ok_or("--suite needs a name")?),
+            "--preset" => args.presets.push(it.next().ok_or("--preset needs a name")?),
+            "--threads" => {
+                for part in it.next().ok_or("--threads needs a comma-separated list")?.split(',') {
+                    let n: usize =
+                        part.trim().parse().map_err(|e| format!("bad --threads `{part}`: {e}"))?;
+                    args.threads.push(n.max(1));
+                }
+            }
+            "--classes" => {
+                args.classes = Some(
+                    it.next()
+                        .ok_or("--classes needs a number")?
+                        .parse()
+                        .map_err(|e| format!("bad --classes: {e}"))?,
+                );
+            }
+            "--multistart" => {
+                args.multistart = Some(
+                    it.next()
+                        .ok_or("--multistart needs a number")?
+                        .parse()
+                        .map_err(|e| format!("bad --multistart: {e}"))?,
+                );
+            }
+            "--keep-top" => {
+                args.keep_top = Some(
+                    it.next()
+                        .ok_or("--keep-top needs a number")?
+                        .parse()
+                        .map_err(|e| format!("bad --keep-top: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "mopt-plan-world — pre-populate the MOpt schedule database\n\n\
+                     USAGE:\n  mopt-plan-world --db DIR [--suite NAME]... [--preset NAME]...\n  \
+                     \x20                [--threads N,N,...] [--classes N] [--multistart N] [--keep-top N]\n\n\
+                     Suites: yolo9000, resnet18, mobilenet, mobilenetv2, dilated, table1, extended.\n\
+                     Presets: i7, i9, tiny. Defaults: --suite extended --preset i7 --preset i9 \
+                     --threads 1,4,8.\n\
+                     Serve the result with: moptd --stdio --db DIR"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    args.db = db.ok_or("--db DIR is required")?;
+    if args.suites.is_empty() {
+        args.suites.push("extended".into());
+    }
+    if args.presets.is_empty() {
+        args.presets = vec!["i7".into(), "i9".into()];
+    }
+    if args.threads.is_empty() {
+        args.threads = vec![1, 4, 8];
+    }
+    Ok(args)
+}
+
+fn suite_ops(name: &str) -> Result<Vec<BenchmarkOp>, String> {
+    match name.to_ascii_lowercase().replace(['-', '_', ' '], "").as_str() {
+        "yolo9000" | "yolo" => Ok(benchmarks::suite(BenchmarkSuite::Yolo9000)),
+        "resnet18" | "resnet" => Ok(benchmarks::suite(BenchmarkSuite::ResNet18)),
+        "mobilenet" => Ok(benchmarks::suite(BenchmarkSuite::MobileNet)),
+        "mobilenetv2" | "mobilenetv2dw" => Ok(benchmarks::suite(BenchmarkSuite::MobileNetV2)),
+        "dilated" | "deeplab" | "deeplabdilated" => {
+            Ok(benchmarks::suite(BenchmarkSuite::DilatedDeepLab))
+        }
+        "table1" | "all" => Ok(benchmarks::all_operators()),
+        "extended" => Ok(benchmarks::extended_operators()),
+        _ => Err(format!(
+            "unknown suite `{name}` (try \"yolo9000\", \"resnet18\", \"mobilenet\", \
+             \"mobilenetv2\", \"dilated\", \"table1\", \"extended\")"
+        )),
+    }
+}
+
+fn preset(name: &str) -> Result<MachineModel, String> {
+    match name.to_ascii_lowercase().replace(['-', '_', ' '], "").as_str() {
+        "i79700k" | "i7" | "coffeelake" => Ok(MachineModel::i7_9700k()),
+        "i910980xe" | "i9" | "cascadelake" => Ok(MachineModel::i9_10980xe()),
+        "tiny" | "tinytest" | "test" => Ok(MachineModel::tiny_test_machine()),
+        _ => Err(format!("unknown machine preset `{name}` (try \"i7\", \"i9\", \"tiny\")")),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("mopt-plan-world: {message}");
+            std::process::exit(2);
+        }
+    };
+    let mut ops: Vec<BenchmarkOp> = Vec::new();
+    for name in &args.suites {
+        match suite_ops(name) {
+            Ok(mut suite) => ops.append(&mut suite),
+            Err(message) => {
+                eprintln!("mopt-plan-world: {message}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let presets: Vec<MachineModel> = match args.presets.iter().map(|p| preset(p)).collect() {
+        Ok(presets) => presets,
+        Err(message) => {
+            eprintln!("mopt-plan-world: {message}");
+            std::process::exit(2);
+        }
+    };
+    let tier = match DbTier::open(&args.db) {
+        Ok(tier) => tier,
+        Err(e) => {
+            eprintln!("mopt-plan-world: cannot open database {}: {e}", args.db.display());
+            std::process::exit(1);
+        }
+    };
+
+    let started = Instant::now();
+    let mut solved = 0usize;
+    let mut skipped = 0usize;
+    // One solve per (canonical spec, machine, threads): raw shapes sharing a
+    // canonical spec are solved once per thread count; specs stored by an
+    // *earlier run* are skipped outright, but a spec first solved in this
+    // run still gets its remaining thread counts (each merge can add
+    // parallel-fitted candidates to the top-k).
+    let mut planned: HashSet<(u64, u64, usize)> = HashSet::new();
+    let mut fresh: HashSet<(u64, u64)> = HashSet::new();
+    for machine in &presets {
+        for &threads in &args.threads {
+            let mut options = OptimizerOptions { threads, ..OptimizerOptions::default() };
+            if let Some(classes) = args.classes {
+                options.max_classes = classes.max(1);
+            }
+            if let Some(multistart) = args.multistart {
+                options.multistart = multistart;
+            }
+            if let Some(keep_top) = args.keep_top {
+                options.keep_top = keep_top.max(1);
+            }
+            for op in &ops {
+                let (canonical, _) = canonicalize(&op.shape);
+                let spec_key = (canonical.fingerprint(), machine.fingerprint());
+                if !planned.insert((spec_key.0, spec_key.1, threads)) {
+                    skipped += 1;
+                    continue;
+                }
+                if !fresh.contains(&spec_key) {
+                    let already = tier
+                        .db()
+                        .lookup(spec_key.0, spec_key.1)
+                        .ok()
+                        .flatten()
+                        .is_some_and(|entries| !entries.is_empty());
+                    if already {
+                        skipped += 1;
+                        continue;
+                    }
+                    fresh.insert(spec_key);
+                }
+                let result =
+                    MOptOptimizer::new(op.shape, machine.clone(), options.clone()).optimize();
+                tier.record(&op.shape, machine, threads, &result);
+                solved += 1;
+            }
+        }
+    }
+    let pages = match tier.flush() {
+        Ok(pages) => pages,
+        Err(e) => {
+            eprintln!("mopt-plan-world: database flush failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stats = tier.stats();
+    println!(
+        "mopt-plan-world: {} ops x {} presets x {:?} threads -> {} solves, {} skipped, \
+         {} inserts, {} pages flushed in {:.1}s ({})",
+        ops.len(),
+        presets.len(),
+        args.threads,
+        solved,
+        skipped,
+        stats.inserts,
+        pages,
+        started.elapsed().as_secs_f64(),
+        args.db.display(),
+    );
+    if stats.errors > 0 {
+        eprintln!("mopt-plan-world: {} database errors during population", stats.errors);
+        std::process::exit(1);
+    }
+}

@@ -9,9 +9,16 @@
 //! long-lived connections — by a background autosaver every 30 seconds
 //! while the cache is dirty.
 //!
+//! With `--db DIR` the persistent schedule database is attached as the warm
+//! tier between the cache and the optimizer: cache misses are answered from
+//! stored canonicalized top-k entries (re-ranked for the request's thread
+//! count) before the optimizer is ever invoked, fresh solves are written
+//! through, and dirty pages are flushed wherever the snapshot is saved.
+//! Pre-populate the database offline with `mopt-plan-world`.
+//!
 //! ```text
-//! moptd --stdio [--snapshot cache.json] [--capacity N]
-//! moptd --listen 127.0.0.1:7077 [--snapshot cache.json] [--capacity N]
+//! moptd --stdio [--snapshot cache.json] [--db specs.db] [--capacity N]
+//! moptd --listen 127.0.0.1:7077 [--snapshot cache.json] [--db specs.db] [--capacity N]
 //!
 //! echo '{"Optimize": {"op": "Y0", "machine": {"Preset": "i7-9700k"}}}' | moptd --stdio
 //! ```
@@ -32,11 +39,12 @@ struct Args {
     stdio: bool,
     listen: Option<String>,
     snapshot: Option<std::path::PathBuf>,
+    db: Option<std::path::PathBuf>,
     capacity: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { stdio: false, listen: None, snapshot: None, capacity: 4096 };
+    let mut args = Args { stdio: false, listen: None, snapshot: None, db: None, capacity: 4096 };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -46,6 +54,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--snapshot" => {
                 args.snapshot = Some(it.next().ok_or("--snapshot needs a path")?.into());
+            }
+            "--db" => {
+                args.db = Some(it.next().ok_or("--db needs a directory path")?.into());
             }
             "--capacity" => {
                 args.capacity = it
@@ -57,10 +68,11 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "moptd — MOpt schedule server\n\n\
-                     USAGE:\n  moptd --stdio [--snapshot PATH] [--capacity N]\n  \
-                     moptd --listen ADDR [--snapshot PATH] [--capacity N]\n\n\
+                     USAGE:\n  moptd --stdio [--snapshot PATH] [--db DIR] [--capacity N]\n  \
+                     moptd --listen ADDR [--snapshot PATH] [--db DIR] [--capacity N]\n\n\
                      One JSON request per input line, one JSON response per output line.\n\
                      Requests: Optimize, PlanNetwork, PlanGraph, Stats, Save, Ping.\n\
+                     --db attaches the persistent schedule database (see mopt-plan-world).\n\
                      See README.md and docs/PROTOCOL.md."
                 );
                 std::process::exit(0);
@@ -100,6 +112,18 @@ fn main() {
             }
         };
     }
+    if let Some(path) = &args.db {
+        state = match state.with_db(path.clone()) {
+            Ok(state) => {
+                eprintln!("moptd: schedule database {} attached", path.display());
+                state
+            }
+            Err(e) => {
+                eprintln!("moptd: cannot open schedule database {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+    }
     let state = Arc::new(state);
 
     if args.stdio {
@@ -112,7 +136,12 @@ fn main() {
             Ok(()) => eprintln!("moptd: stdin closed, shutting down"),
             Err(e) => eprintln!("moptd: stdio loop failed: {e}"),
         }
-        persist_cache(&state);
+        // A failed final persist is real data loss in one-shot stdio mode
+        // (there is no autosaver to retry): exit nonzero so pipelines see
+        // the failure.
+        if !persist_cache(&state) {
+            std::process::exit(1);
+        }
         return;
     }
 
@@ -173,10 +202,25 @@ fn main() {
     }
 }
 
-fn persist_cache(state: &ServiceState) {
+fn persist_cache(state: &ServiceState) -> bool {
+    let mut ok = true;
     match state.save() {
         Ok(Some(entries)) => eprintln!("moptd: snapshot saved ({entries} entries)"),
         Ok(None) => {}
-        Err(e) => eprintln!("moptd: snapshot save failed: {e}"),
+        Err(e) => {
+            eprintln!("moptd: snapshot save failed: {e}");
+            ok = false;
+        }
     }
+    if let Some(db) = state.db() {
+        match db.flush() {
+            Ok(0) => {}
+            Ok(pages) => eprintln!("moptd: schedule database flushed ({pages} pages)"),
+            Err(e) => {
+                eprintln!("moptd: schedule database flush failed: {e}");
+                ok = false;
+            }
+        }
+    }
+    ok
 }

@@ -8,6 +8,10 @@
 //!   hit/miss/eviction counters,
 //! * [`persist`] — versioned JSON snapshots so a warm cache survives
 //!   process restarts,
+//! * [`dbtier`] — the warm tier between the cache and the optimizer: a
+//!   persistent, canonicalized top-k schedule database ([`mopt_db`]) whose
+//!   stored entries are re-ranked for the request's thread count instead of
+//!   re-solved,
 //! * [`batch`] — a whole-network planner that dedupes identical layer
 //!   shapes and fans the unique solves across a `std::thread` worker pool,
 //! * [`graphs`] — a fingerprint-keyed cache of fusion-aware
@@ -49,12 +53,16 @@
 
 pub mod batch;
 pub mod cache;
+pub mod dbtier;
 pub mod graphs;
 pub mod persist;
 pub mod server;
 
 pub use batch::{NetworkPlan, NetworkPlanner, PlanStats, PlannedLayer};
 pub use cache::{CacheKey, CacheStats, ScheduleCache};
+pub use dbtier::{DbTier, DbTierStats};
 pub use graphs::{GraphCacheKey, GraphPlanCache, GraphServiceStats};
 pub use persist::{load_snapshot, remove_stale_temps, save_snapshot, PersistError, Snapshot};
-pub use server::{MachineSpec, Request, Response, ServiceState, ServiceStats, MAX_REQUEST_BYTES};
+pub use server::{
+    MachineSpec, Request, Response, ServiceState, ServiceStats, Tier, MAX_REQUEST_BYTES,
+};

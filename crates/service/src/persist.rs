@@ -4,10 +4,11 @@
 //! would mean re-paying that cost. Snapshots serialize every resident
 //! `(key, result)` pair — in recency order, so reloading reproduces the
 //! eviction order — together with a format version that is checked on load.
-//! Writes go to a temporary sibling file first and are renamed into place,
-//! so a crash mid-save never corrupts an existing snapshot.
+//! Writes go through [`mopt_db::ioutil`]'s atomic replacement (temp sibling
+//! file + fsync + rename, with temp-file hygiene shared with the schedule
+//! database's page writer), so a crash mid-save never corrupts an existing
+//! snapshot.
 
-use std::io::Write;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
@@ -96,38 +97,27 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// Save the cache to `path` (atomically: temp file + rename).
+/// Save the cache to `path` (atomically: temp file + rename, via
+/// [`mopt_db::ioutil::atomic_write`]).
 ///
 /// Safe under concurrent calls: each call writes a uniquely named temp file
 /// (pid + sequence number) before the atomic rename, so racing saves never
-/// interleave into one file — the last complete snapshot wins.
-///
-/// The temp file never outlives a failed save: every error path (creation,
-/// write, `sync_all`, rename) removes it before the error is returned, so a
-/// daemon whose snapshot directory intermittently rejects renames does not
-/// shed an unbounded trail of `*.tmp.{pid}.{seq}` files. Temps leaked by a
-/// *killed* process are reaped at startup by [`remove_stale_temps`].
+/// interleave into one file — the last complete snapshot wins. A failed
+/// save never leaks its temp; temps leaked by a *killed* process are reaped
+/// at startup by [`remove_stale_temps`]. I/O errors are annotated with the
+/// snapshot path so clients of the `Save` verb see the cause.
 pub fn save_snapshot(cache: &ScheduleCache, path: &Path) -> Result<usize, PersistError> {
-    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let snapshot = Snapshot::capture(cache);
     let n = snapshot.entries.len();
     let text = serde_json::to_string(&snapshot).map_err(|e| PersistError::Format(e.to_string()))?;
-    let tmp = path.with_extension(format!(
-        "tmp.{}.{}",
-        std::process::id(),
-        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-    ));
-    let written = (|| {
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(text.as_bytes())?;
-        file.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if written.is_err() {
-        std::fs::remove_file(&tmp).ok();
-    }
-    written?;
+    mopt_db::ioutil::atomic_write(path, &text).map_err(|e| PersistError::Io(annotate(e, path)))?;
     Ok(n)
+}
+
+/// Attach the offending path to an I/O error so error responses name the
+/// file that failed, not just the OS cause.
+fn annotate(e: std::io::Error, path: &Path) -> std::io::Error {
+    std::io::Error::new(e.kind(), format!("{}: {e}", path.display()))
 }
 
 /// Remove temp files (`{stem}.tmp.{pid}.{seq}`) left next to `path` by saves
@@ -137,26 +127,11 @@ pub fn save_snapshot(cache: &ScheduleCache, path: &Path) -> Result<usize, Persis
 ///
 /// Call this at startup, before the first save: the snapshot path has a
 /// single owning daemon, so anything matching the temp pattern at that point
-/// is garbage from a dead process, never an in-flight save.
+/// is garbage from a dead process, never an in-flight save. (Delegates to
+/// [`mopt_db::ioutil::remove_stale_temps`], which the database's page
+/// writer shares.)
 pub fn remove_stale_temps(path: &Path) -> std::io::Result<usize> {
-    let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
-        return Ok(0);
-    };
-    let prefix = format!("{stem}.tmp.");
-    let dir = match path.parent() {
-        Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
-        _ => std::path::PathBuf::from("."),
-    };
-    let mut removed = 0;
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if name.starts_with(&prefix) && std::fs::remove_file(entry.path()).is_ok() {
-            removed += 1;
-        }
-    }
-    Ok(removed)
+    mopt_db::ioutil::remove_stale_temps(path)
 }
 
 /// Load a snapshot from `path` into `cache`. Returns the number of entries

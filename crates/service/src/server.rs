@@ -16,6 +16,7 @@
 
 use std::io::{BufRead, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use conv_spec::{benchmarks, BenchmarkSuite, ConvShape, MachineModel};
@@ -25,6 +26,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::batch::{NamedLayer, NetworkPlan, NetworkPlanner};
 use crate::cache::{CacheKey, CacheStats, ScheduleCache};
+use crate::dbtier::{DbTier, DbTierStats};
 use crate::graphs::{GraphCacheKey, GraphPlanCache, GraphServiceStats};
 
 /// How a request names the target machine.
@@ -137,6 +139,10 @@ pub enum Request {
 pub struct ServiceStats {
     /// Schedule-cache counters (including per-shard eviction counts).
     pub cache: CacheStats,
+    /// Database-tier counters, when a schedule database is attached
+    /// (`moptd --db`); `None` otherwise. Absent in pre-database stats
+    /// documents, which still parse.
+    pub db: Option<DbTierStats>,
     /// Graph-planning counters (plan cache plus cumulative segment and
     /// fusion counts).
     pub graph: GraphServiceStats,
@@ -144,6 +150,18 @@ pub struct ServiceStats {
     pub requests: u64,
     /// Seconds since the service started.
     pub uptime_seconds: f64,
+}
+
+/// Which tier of the serving stack answered an `Optimize` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tier {
+    /// The in-process schedule cache.
+    Cache,
+    /// The persistent schedule database (stored top-k re-ranked for the
+    /// request's thread count — no optimizer run).
+    Db,
+    /// A fresh optimizer solve.
+    Solver,
 }
 
 /// A response line.
@@ -157,6 +175,10 @@ pub enum Response {
         shape: ConvShape,
         /// Whether the result came from the schedule cache.
         cached: bool,
+        /// Which tier answered: the cache, the schedule database, or a
+        /// fresh solve. Absent in pre-database responses, which still
+        /// parse.
+        tier: Option<Tier>,
         /// The ranked configurations.
         result: OptimizeResult,
     },
@@ -202,6 +224,7 @@ pub struct ServiceState {
     pub cache: ScheduleCache,
     /// The graph-plan cache (fingerprint-keyed) plus its counters.
     pub graph_cache: GraphPlanCache,
+    db: Option<Arc<DbTier>>,
     snapshot_path: Option<std::path::PathBuf>,
     requests: AtomicU64,
     started: Instant,
@@ -217,10 +240,26 @@ impl ServiceState {
         ServiceState {
             cache: ScheduleCache::new(capacity),
             graph_cache: GraphPlanCache::new((capacity / 4).max(16)),
+            db: None,
             snapshot_path: None,
             requests: AtomicU64::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// Attach the persistent schedule database at `path` (created if
+    /// absent). With a database attached, `Optimize` requests that miss the
+    /// in-process cache are answered from stored canonicalized top-k
+    /// entries (re-ranked for the request's thread count) before the
+    /// optimizer is ever invoked, and fresh solves are written through.
+    pub fn with_db(mut self, path: std::path::PathBuf) -> Result<Self, mopt_db::DbError> {
+        self.db = Some(Arc::new(DbTier::open(&path)?));
+        Ok(self)
+    }
+
+    /// The attached database tier, if any.
+    pub fn db(&self) -> Option<&DbTier> {
+        self.db.as_deref()
     }
 
     /// Attach a snapshot path: reaps temp files a killed predecessor left
@@ -263,18 +302,32 @@ impl ServiceState {
             Request::Stats => Response::Stats {
                 stats: ServiceStats {
                     cache: self.cache.stats(),
+                    db: self.db.as_ref().map(|db| db.stats()),
                     graph: self.graph_cache.stats(),
                     requests: self.requests(),
                     uptime_seconds: self.started.elapsed().as_secs_f64(),
                 },
             },
-            Request::Save => match self.save() {
-                Ok(Some(entries)) => Response::Saved { entries },
-                Ok(None) => Response::Error {
-                    message: "no snapshot path configured (start moptd with --snapshot)".into(),
-                },
-                Err(e) => Response::Error { message: e.to_string() },
-            },
+            Request::Save => {
+                // Flush dirty database pages first; a failure is a real
+                // durability loss and must surface as an Error, not a log
+                // line.
+                if let Some(db) = &self.db {
+                    if let Err(e) = db.flush() {
+                        return Response::Error { message: format!("database flush failed: {e}") };
+                    }
+                }
+                match self.save() {
+                    Ok(Some(entries)) => Response::Saved { entries },
+                    Ok(None) if self.db.is_some() => Response::Saved { entries: 0 },
+                    Ok(None) => Response::Error {
+                        message:
+                            "no snapshot path configured (start moptd with --snapshot or --db)"
+                                .into(),
+                    },
+                    Err(e) => Response::Error { message: e.to_string() },
+                }
+            }
             Request::Optimize { op, shape, machine, options, threads } => {
                 self.handle_optimize(op.as_deref(), *shape, machine, options, *threads)
             }
@@ -342,12 +395,39 @@ impl ServiceState {
         };
         let options = Self::effective_options(options, threads);
         let key = CacheKey::new(shape, &machine, &options);
-        let mut cached = true;
-        let result = self.cache.get_or_compute(key, || {
-            cached = false;
-            MOptOptimizer::new(shape, machine.clone(), options.clone()).optimize()
-        });
-        Response::Optimized { op: op.map(str::to_string), shape, cached, result }
+        let op = op.map(str::to_string);
+        // Tier 1: the in-process cache.
+        if let Some(result) = self.cache.get(&key) {
+            return Response::Optimized {
+                op,
+                shape,
+                cached: true,
+                tier: Some(Tier::Cache),
+                result,
+            };
+        }
+        // Tier 2: the schedule database — stored canonical top-k entries
+        // re-priced for this request's thread count, no optimizer run. A
+        // hit warms the cache so repeats stay in tier 1.
+        if let Some(db) = &self.db {
+            if let Some(result) = db.lookup(&shape, &machine, &options) {
+                self.cache.insert(key, result.clone());
+                return Response::Optimized {
+                    op,
+                    shape,
+                    cached: false,
+                    tier: Some(Tier::Db),
+                    result,
+                };
+            }
+        }
+        // Tier 3: a fresh solve, written through to both warmer tiers.
+        let result = MOptOptimizer::new(shape, machine.clone(), options.clone()).optimize();
+        self.cache.insert(key, result.clone());
+        if let Some(db) = &self.db {
+            db.record(&shape, &machine, options.threads, &result);
+        }
+        Response::Optimized { op, shape, cached: false, tier: Some(Tier::Solver), result }
     }
 
     fn handle_plan(
@@ -396,7 +476,8 @@ impl ServiceState {
             }
         };
         let options = Self::effective_options(options, threads);
-        let mut planner = NetworkPlanner::new(&self.cache, machine, options);
+        let mut planner =
+            NetworkPlanner::new(&self.cache, machine, options).with_db(self.db.as_deref());
         if let Some(workers) = workers {
             planner = planner.with_workers(workers);
         }
@@ -455,7 +536,8 @@ impl ServiceState {
                 shape: *graph.nodes[id].op.conv_shape().expect("conv node"),
             })
             .collect();
-        let mut planner = NetworkPlanner::new(&self.cache, machine.clone(), options.clone());
+        let mut planner = NetworkPlanner::new(&self.cache, machine.clone(), options.clone())
+            .with_db(self.db.as_deref());
         if let Some(workers) = workers {
             planner = planner.with_workers(workers);
         }
@@ -463,9 +545,27 @@ impl ServiceState {
         let result = GraphPlanner::new(machine.clone()).with_threads(options.threads).plan(
             &graph,
             |shape| {
-                self.cache.get_or_compute(CacheKey::new(*shape, &machine, &options), || {
-                    MOptOptimizer::new(*shape, machine.clone(), options.clone()).optimize()
-                })
+                // The warm-up above resolved every conv node, so this is
+                // normally a pure cache read; the db-then-solver fallback
+                // keeps the contract correct regardless.
+                let key = CacheKey::new(*shape, &machine, &options);
+                if let Some(result) = self.cache.get(&key) {
+                    return result;
+                }
+                let result = self
+                    .db
+                    .as_deref()
+                    .and_then(|db| db.lookup(shape, &machine, &options))
+                    .unwrap_or_else(|| {
+                        let result =
+                            MOptOptimizer::new(*shape, machine.clone(), options.clone()).optimize();
+                        if let Some(db) = self.db.as_deref() {
+                            db.record(shape, &machine, options.threads, &result);
+                        }
+                        result
+                    });
+                self.cache.insert(key, result.clone());
+                result
             },
         );
         match result {
@@ -874,6 +974,74 @@ mod tests {
         let response: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
         match response {
             Response::Error { message } => assert!(message.contains("invalid graph")),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimize_tiers_cache_db_solver() {
+        let dir = std::env::temp_dir().join(format!("moptd-dbtier-srv-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let state = ServiceState::new(64).with_db(dir.clone()).unwrap();
+        let line = format!(
+            "{{\"Optimize\": {{\"shape\": {}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            serde_json::to_string(&ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap()).unwrap(),
+            fast_options_json(),
+        );
+        let first: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        assert!(
+            matches!(first, Response::Optimized { tier: Some(Tier::Solver), cached: false, .. }),
+            "cold request must be a solver answer, got {first:?}"
+        );
+        let warm: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        assert!(
+            matches!(warm, Response::Optimized { tier: Some(Tier::Cache), cached: true, .. }),
+            "repeat must be a cache hit, got {warm:?}"
+        );
+        // Save flushes the dirty db pages (no snapshot configured: 0
+        // snapshot entries, but Saved rather than Error).
+        let saved: Response = serde_json::from_str(&state.handle_line("\"Save\"")).unwrap();
+        assert_eq!(saved, Response::Saved { entries: 0 });
+        // A cold process: empty cache, but the database answers without a
+        // single optimizer run — and Stats shows the db-tier hit.
+        let cold = ServiceState::new(64).with_db(dir.clone()).unwrap();
+        let served: Response = serde_json::from_str(&cold.handle_line(&line)).unwrap();
+        match served {
+            Response::Optimized { tier: Some(Tier::Db), cached: false, result, .. } => {
+                assert!(!result.ranked.is_empty());
+            }
+            other => panic!("expected a db-tier answer, got {other:?}"),
+        }
+        let stats: Response = serde_json::from_str(&cold.handle_line("\"Stats\"")).unwrap();
+        match stats {
+            Response::Stats { stats } => {
+                let db = stats.db.expect("db stats present when a database is attached");
+                assert_eq!((db.hits, db.misses, db.errors), (1, 0, 0));
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_failure_reports_the_path_and_cause() {
+        // Snapshot path inside a directory that does not exist: startup is
+        // a clean NotFound, but the save itself fails — and the failure
+        // must come back as a JSON Error naming the path, not vanish into
+        // a server-side log line.
+        let missing = std::env::temp_dir()
+            .join(format!("moptd-no-such-dir-{}", std::process::id()))
+            .join("snap.json");
+        let state = ServiceState::new(16).with_snapshot(missing.clone()).unwrap();
+        let response: Response = serde_json::from_str(&state.handle_line("\"Save\"")).unwrap();
+        match response {
+            Response::Error { message } => {
+                assert!(
+                    message.contains("snap.json"),
+                    "the Error must name the failing path, got: {message}"
+                );
+                assert!(message.contains("snapshot I/O error"), "got: {message}");
+            }
             other => panic!("expected Error, got {other:?}"),
         }
     }

@@ -545,6 +545,120 @@ fn moptd_serves_multithreaded_plans_with_distinct_cache_keys() {
     assert!(conv2d_naive(&shape, &input, &kernel).allclose(&parallel_out, 1e-3));
 }
 
+/// Acceptance (tentpole): `mopt-plan-world` pre-populates the schedule
+/// database offline; a *cold* `moptd --db` process — empty cache, no prior
+/// requests — then answers an `Optimize` request for a suite shape from the
+/// database tier, with zero optimizer solves. The request asks for 8
+/// threads while the populator solved at 1 thread, so the answer is a
+/// re-ranked stored entry; its price is certified bit-identical to the
+/// direct model's prediction for the served schedule.
+#[test]
+fn plan_world_db_serves_cold_moptd_without_solving() {
+    use conv_spec::TilingLevel;
+    use mopt_model::cost::CostOptions;
+    use mopt_model::multilevel::{MultiLevelModel, ParallelSpec};
+    use mopt_service::Tier;
+
+    let dir = std::env::temp_dir().join(format!("mopt-plan-world-itest-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Plan the world: one small suite x the tiny preset, fast settings.
+    let populate = Command::new(env!("CARGO_BIN_EXE_mopt-plan-world"))
+        .args([
+            "--db",
+            dir.to_str().unwrap(),
+            "--suite",
+            "mobilenetv2",
+            "--preset",
+            "tiny",
+            "--threads",
+            "1",
+            "--classes",
+            "1",
+            "--multistart",
+            "0",
+        ])
+        .output()
+        .expect("mopt-plan-world runs");
+    assert!(
+        populate.status.success(),
+        "mopt-plan-world failed: {}",
+        String::from_utf8_lossy(&populate.stderr)
+    );
+
+    // A cold daemon over the populated database: the very first request —
+    // V5 is a MobileNetV2-suite operator — at 8 threads.
+    let request = serde_json::to_string(&Request::Optimize {
+        op: Some("V5".into()),
+        shape: None,
+        machine: mopt_service::MachineSpec::Preset("tiny".into()),
+        options: Some(fast_options()),
+        threads: Some(8),
+    })
+    .unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_moptd"))
+        .args(["--stdio", "--db", dir.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("moptd spawns");
+    {
+        let stdin = child.stdin.as_mut().expect("moptd stdin");
+        stdin.write_all(format!("{request}\n\"Stats\"\n").as_bytes()).unwrap();
+    }
+    child.stdin.take();
+    let stdout = BufReader::new(child.stdout.take().expect("moptd stdout"));
+    let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+    assert!(child.wait().unwrap().success());
+    assert_eq!(lines.len(), 2, "expected two response lines, got {lines:?}");
+
+    let shape = benchmarks::by_name("V5").unwrap().shape;
+    let result = match serde_json::from_str::<Response>(&lines[0]).unwrap() {
+        Response::Optimized { tier, cached, shape: served, result, .. } => {
+            assert_eq!(served, shape);
+            assert_eq!(tier, Some(Tier::Db), "first request must be answered by the db tier");
+            assert!(!cached);
+            result
+        }
+        other => panic!("expected Optimized, got {other:?}"),
+    };
+    // Stats confirm: one db hit, no misses, no errors — and no inserts,
+    // i.e. the optimizer never ran (a solve would have written through).
+    match serde_json::from_str::<Response>(&lines[1]).unwrap() {
+        Response::Stats { stats } => {
+            let db = stats.db.expect("db stats present under --db");
+            assert_eq!(
+                (db.hits, db.misses, db.errors, db.inserts),
+                (1, 0, 0, 0),
+                "cold request must be served without an optimizer solve"
+            );
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    // The re-ranked schedule is one the direct optimizer would certify:
+    // valid for the raw shape, the requested parallelism, inside the
+    // per-thread L3 envelope, and priced bit-identically by the model.
+    let machine = MachineModel::tiny_test_machine();
+    let best = &result.ranked[0];
+    assert!(best.config.validate(&shape).is_ok());
+    assert_eq!(best.config.total_parallelism(), 8);
+    assert!(
+        best.config.level(TilingLevel::L3).footprint(&shape)
+            <= machine.capacity_per_thread(TilingLevel::L3, 8)
+    );
+    let spec = ParallelSpec { threads: 8, factors: best.config.parallel.as_array() };
+    let direct = MultiLevelModel::new(shape, machine, best.config.permutation.clone())
+        .with_options(CostOptions { line_elems: fast_options().line_elems })
+        .with_parallel(spec)
+        .predict_config(&best.config);
+    assert_eq!(best.predicted_cost, direct.bottleneck_cost);
+    assert_eq!(best.prediction, direct);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The cache dedupes across suites: Table-1 contains every suite, so
 /// planning a suite after Table-1 is fully warm.
 #[test]
