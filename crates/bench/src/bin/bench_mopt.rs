@@ -15,7 +15,9 @@
 use std::time::Instant;
 
 use mopt_core::OptimizerOptions;
-use mopt_service::{DbTierStats, MachineSpec, Request, Response, ServiceState, Tier};
+use mopt_service::{
+    DbTierStats, FlightBreakdown, MachineSpec, Request, Response, ServiceState, Tier,
+};
 use serde::Serialize;
 
 /// Latency summary for one serving phase.
@@ -61,6 +63,46 @@ struct Report {
     unfused_volume: f64,
     /// fused / unfused (< 1.0 when fusion pays).
     fused_traffic_ratio: f64,
+    /// Single-flight counters after the sequential cold+warm phases: every
+    /// solve led its own flight, nothing coalesced.
+    flight: FlightBreakdown,
+    /// Concurrent clients in the thundering-herd phase.
+    herd_clients: usize,
+    /// Flight counters of the herd phase alone: `led + coalesced ==
+    /// herd_clients`, with exactly one led solve when coalescing works.
+    herd_flight: FlightBreakdown,
+}
+
+/// Thundering-herd phase: `clients` threads issue the same cold `Optimize`
+/// concurrently against a fresh state; the single-flight layer should run
+/// one solve and coalesce the rest onto it. The solve window is widened
+/// (the same hook the stress tests use) so the measurement is about the
+/// counters, not scheduler luck — herd latency is intentionally not
+/// reported.
+fn run_herd(preset: &str, threads: usize, clients: usize) -> FlightBreakdown {
+    let state = std::sync::Arc::new(ServiceState::new(64));
+    state.set_test_solve_delay(std::time::Duration::from_millis(200));
+    let request = Request::Optimize {
+        op: Some("Y0".to_string()),
+        shape: None,
+        machine: MachineSpec::Preset(preset.to_string()),
+        options: Some(OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() }),
+        threads: Some(threads),
+    };
+    let gate = std::sync::Arc::new(std::sync::Barrier::new(clients));
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let (state, request, gate) = (state.clone(), request.clone(), gate.clone());
+            scope.spawn(move || {
+                gate.wait();
+                match state.handle(&request) {
+                    Response::Optimized { .. } => {}
+                    other => panic!("bench_mopt: herd Optimize failed: {other:?}"),
+                }
+            });
+        }
+    });
+    state.flight_stats()
 }
 
 fn run_phase(state: &ServiceState, suite: &str, preset: &str, threads: usize) -> PhaseLatency {
@@ -180,6 +222,9 @@ fn main() {
 
     let (fused_volume, unfused_volume) = fused_traffic(&fresh, &preset);
 
+    let herd_clients = 8;
+    let herd_flight = run_herd(&preset, threads, herd_clients);
+
     let report = Report {
         suite,
         preset,
@@ -193,6 +238,9 @@ fn main() {
         fused_volume,
         unfused_volume,
         fused_traffic_ratio: fused_volume / unfused_volume,
+        flight: state.flight_stats(),
+        herd_clients,
+        herd_flight,
     };
     let text = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, &text).expect("write report");
@@ -205,6 +253,21 @@ fn main() {
         eprintln!(
             "bench_mopt: db-warm phase ran {} optimizer solves (expected 0)",
             report.db_warm.solver_tier
+        );
+        std::process::exit(1);
+    }
+    // Self-checks on the coalescing counters: sequential phases never
+    // coalesce, and the herd accounts for every client exactly once, with
+    // exactly one led solve inside the widened window.
+    if report.flight.optimize.coalesced != 0 {
+        eprintln!("bench_mopt: sequential phases reported coalesced solves");
+        std::process::exit(1);
+    }
+    let herd = &report.herd_flight.optimize;
+    if herd.led != 1 || (herd.led + herd.coalesced) as usize != report.herd_clients {
+        eprintln!(
+            "bench_mopt: herd counters inconsistent (led {}, coalesced {}, clients {})",
+            herd.led, herd.coalesced, report.herd_clients
         );
         std::process::exit(1);
     }

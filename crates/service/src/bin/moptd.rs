@@ -1,13 +1,25 @@
 //! `moptd` — the MOpt schedule server.
 //!
 //! Serves the JSON-lines protocol of [`mopt_service::server`] over TCP
-//! (`--listen ADDR`, one thread per connection) or stdin/stdout
-//! (`--stdio`). With `--snapshot PATH` the schedule cache is loaded from
-//! `PATH` at startup (if present) and saved back on every `"Save"` request,
-//! whenever a connection drains, at stdin EOF in `--stdio` mode, and — in
-//! TCP mode, where an abrupt kill would otherwise lose solves made over
-//! long-lived connections — by a background autosaver every 30 seconds
-//! while the cache is dirty.
+//! (`--listen ADDR`) or stdin/stdout (`--stdio`). TCP mode runs a
+//! non-blocking readiness event loop ([`mopt_service::eventloop`]): one
+//! thread multiplexes every connection, supports pipelined requests with
+//! bounded backpressure, and hands request execution to a small worker
+//! pool (`--workers N`, default: available parallelism capped at 8). On
+//! `SIGINT`/`SIGTERM` the loop stops accepting, drains in-flight and
+//! pipelined work, flushes every response, persists state, and exits.
+//!
+//! Persistence comes in two flavors:
+//!
+//! * `--snapshot PATH` — a whole-file JSON snapshot, rewritten in full on
+//!   every save,
+//! * `--snapshot-dir DIR` — a sharded snapshot directory where saves are
+//!   incremental: only cache shards dirtied since the last flush are
+//!   rewritten.
+//!
+//! Either is loaded at startup (if present) and saved on every `"Save"`
+//! request, at shutdown, at stdin EOF in `--stdio` mode, and by a
+//! background autosaver every 30 seconds while the cache is dirty.
 //!
 //! With `--db DIR` the persistent schedule database is attached as the warm
 //! tier between the cache and the optimizer: cache misses are answered from
@@ -17,34 +29,43 @@
 //! Pre-populate the database offline with `mopt-plan-world`.
 //!
 //! ```text
-//! moptd --stdio [--snapshot cache.json] [--db specs.db] [--capacity N]
-//! moptd --listen 127.0.0.1:7077 [--snapshot cache.json] [--db specs.db] [--capacity N]
+//! moptd --stdio [--snapshot cache.json | --snapshot-dir DIR] [--db specs.db]
+//! moptd --listen 127.0.0.1:7077 [--workers N] [--snapshot-dir DIR] [--db specs.db]
 //!
 //! echo '{"Optimize": {"op": "Y0", "machine": {"Preset": "i7-9700k"}}}' | moptd --stdio
 //! ```
 //!
 //! Verbs: `Optimize`, `PlanNetwork`, `PlanGraph` (fusion-aware graph
-//! planning), `Stats`, `Save`, `Ping` (replies with the crate version).
-//! Client disconnects — stdin EOF, broken pipes, connection resets — end a
+//! planning), `Stats`, `Save`, `Metrics` (per-verb latency histograms and
+//! in-flight gauges), `Ping` (replies with the crate version). Client
+//! disconnects — stdin EOF, broken pipes, connection resets — end a
 //! connection gracefully: state is persisted and nothing is logged as an
 //! error.
 
-use std::io::{BufReader, BufWriter};
-use std::net::TcpListener;
 use std::sync::Arc;
 
-use mopt_service::ServiceState;
+use mopt_service::{EventLoopServer, ServerConfig, ServiceState};
 
 struct Args {
     stdio: bool,
     listen: Option<String>,
     snapshot: Option<std::path::PathBuf>,
+    snapshot_dir: Option<std::path::PathBuf>,
     db: Option<std::path::PathBuf>,
     capacity: usize,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { stdio: false, listen: None, snapshot: None, db: None, capacity: 4096 };
+    let mut args = Args {
+        stdio: false,
+        listen: None,
+        snapshot: None,
+        snapshot_dir: None,
+        db: None,
+        capacity: 4096,
+        workers: 0,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -54,6 +75,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--snapshot" => {
                 args.snapshot = Some(it.next().ok_or("--snapshot needs a path")?.into());
+            }
+            "--snapshot-dir" => {
+                args.snapshot_dir =
+                    Some(it.next().ok_or("--snapshot-dir needs a directory path")?.into());
             }
             "--db" => {
                 args.db = Some(it.next().ok_or("--db needs a directory path")?.into());
@@ -65,14 +90,27 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --capacity: {e}"))?;
             }
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .ok_or("--workers needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "moptd — MOpt schedule server\n\n\
-                     USAGE:\n  moptd --stdio [--snapshot PATH] [--db DIR] [--capacity N]\n  \
-                     moptd --listen ADDR [--snapshot PATH] [--db DIR] [--capacity N]\n\n\
-                     One JSON request per input line, one JSON response per output line.\n\
-                     Requests: Optimize, PlanNetwork, PlanGraph, Stats, Save, Ping.\n\
-                     --db attaches the persistent schedule database (see mopt-plan-world).\n\
+                     USAGE:\n  moptd --stdio [OPTIONS]\n  \
+                     moptd --listen ADDR [--workers N] [OPTIONS]\n\n\
+                     OPTIONS:\n  \
+                     --snapshot PATH      whole-file cache snapshot\n  \
+                     --snapshot-dir DIR   sharded snapshot dir (incremental saves)\n  \
+                     --db DIR             persistent schedule database (see mopt-plan-world)\n  \
+                     --capacity N         schedule cache capacity (default 4096)\n  \
+                     --workers N          TCP request workers (default: CPU count, max 8)\n\n\
+                     One JSON request per input line, one JSON response per output line;\n\
+                     TCP connections may pipeline requests. SIGINT/SIGTERM drain gracefully.\n\
+                     Requests: Optimize, PlanNetwork, PlanGraph, Stats, Save, Metrics, Ping.\n\
                      See README.md and docs/PROTOCOL.md."
                 );
                 std::process::exit(0);
@@ -82,6 +120,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.stdio == args.listen.is_some() {
         return Err("pass exactly one of --stdio or --listen ADDR".into());
+    }
+    if args.snapshot.is_some() && args.snapshot_dir.is_some() {
+        return Err("pass at most one of --snapshot and --snapshot-dir".into());
     }
     Ok(args)
 }
@@ -112,6 +153,22 @@ fn main() {
             }
         };
     }
+    if let Some(dir) = &args.snapshot_dir {
+        state = match state.with_snapshot_dir(dir.clone()) {
+            Ok(state) => {
+                eprintln!(
+                    "moptd: snapshot dir {} loaded ({} entries)",
+                    dir.display(),
+                    state.cache.len()
+                );
+                state
+            }
+            Err(e) => {
+                eprintln!("moptd: cannot load snapshot dir {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        };
+    }
     if let Some(path) = &args.db {
         state = match state.with_db(path.clone()) {
             Ok(state) => {
@@ -129,6 +186,9 @@ fn main() {
     if args.stdio {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
+        // Count the stdio session in the same gauge TCP connections use, so
+        // `Metrics` reports consistently in both modes.
+        let conn_guard = state.metrics().connection_opened();
         // Client disconnects (stdin EOF, broken pipe on stdout) come back as
         // Ok(()) from serve_connection; either way the shutdown is graceful:
         // persist the cache and exit 0.
@@ -136,6 +196,7 @@ fn main() {
             Ok(()) => eprintln!("moptd: stdin closed, shutting down"),
             Err(e) => eprintln!("moptd: stdio loop failed: {e}"),
         }
+        drop(conn_guard);
         // A failed final persist is real data loss in one-shot stdio mode
         // (there is no autosaver to retry): exit nonzero so pipelines see
         // the failure.
@@ -146,18 +207,23 @@ fn main() {
     }
 
     let addr = args.listen.expect("checked by parse_args");
-    let listener = match TcpListener::bind(&addr) {
-        Ok(listener) => listener,
+    let config = ServerConfig { workers: args.workers, ..ServerConfig::default() };
+    let server = match EventLoopServer::bind(Arc::clone(&state), &addr, config) {
+        Ok(server) => server,
         Err(e) => {
             eprintln!("moptd: cannot listen on {addr}: {e}");
             std::process::exit(1);
         }
     };
     eprintln!("moptd: listening on {addr}");
-    if args.snapshot.is_some() {
-        // There is no portable signal handling without external crates, so
-        // long-lived TCP service persists via a dirty-checking autosaver
-        // rather than an atexit hook.
+    #[cfg(unix)]
+    sig::install(server.shutdown_handle());
+
+    if args.snapshot.is_some() || args.snapshot_dir.is_some() {
+        // The autosaver bounds data loss from an abrupt (`SIGKILL`) death;
+        // SIGINT/SIGTERM persist via the post-drain save below. With
+        // --snapshot-dir each pass only rewrites shards dirtied since the
+        // last flush.
         let state = Arc::clone(&state);
         std::thread::spawn(move || {
             let mut saved_insertions = state.cache.stats().insertions;
@@ -171,33 +237,47 @@ fn main() {
             }
         });
     }
-    for conn in listener.incoming() {
-        match conn {
-            Ok(stream) => {
-                let state = Arc::clone(&state);
-                let peer = stream
-                    .peer_addr()
-                    .map(|a| a.to_string())
-                    .unwrap_or_else(|_| "<unknown>".to_string());
-                std::thread::spawn(move || {
-                    let reader = BufReader::new(match stream.try_clone() {
-                        Ok(s) => s,
-                        Err(e) => {
-                            eprintln!("moptd: cannot clone stream for {peer}: {e}");
-                            return;
-                        }
-                    });
-                    let writer = BufWriter::new(stream);
-                    // A client hanging up mid-conversation is a normal
-                    // drain (Ok), not a failure; only unexpected I/O errors
-                    // are logged. Both paths keep the snapshot fresh.
-                    if let Err(e) = state.serve_connection(reader, writer) {
-                        eprintln!("moptd: connection {peer} failed: {e}");
-                    }
-                    persist_cache(&state);
-                });
-            }
-            Err(e) => eprintln!("moptd: accept failed: {e}"),
+
+    match server.run() {
+        Ok(()) => eprintln!("moptd: drained, shutting down"),
+        Err(e) => eprintln!("moptd: event loop failed: {e}"),
+    }
+    // The loop has drained: every accepted request got its response flushed.
+    // A failed persist here is data loss, so surface it in the exit code.
+    if !persist_cache(&state) {
+        std::process::exit(1);
+    }
+}
+
+/// Graceful-drain signal plumbing: `SIGINT`/`SIGTERM` flip the event loop's
+/// shutdown flag. Everything the handler touches is async-signal-safe — an
+/// atomic store and one `write(2)` to the loop's waker pipe.
+#[cfg(unix)]
+mod sig {
+    use std::sync::OnceLock;
+
+    use mopt_service::ShutdownHandle;
+
+    static HANDLE: OnceLock<ShutdownHandle> = OnceLock::new();
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(handle) = HANDLE.get() {
+            handle.shutdown();
+        }
+    }
+
+    pub fn install(handle: ShutdownHandle) {
+        let _ = HANDLE.set(handle);
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
         }
     }
 }

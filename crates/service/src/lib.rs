@@ -17,9 +17,20 @@
 //! * [`graphs`] — a fingerprint-keyed cache of fusion-aware
 //!   [`mopt_graph::GraphPlan`]s plus the `graph` section of the `Stats`
 //!   reply,
+//! * [`singleflight`] — per-key coalescing of duplicate in-flight solves:
+//!   N concurrent misses on one fingerprint key share exactly one
+//!   computation, and a leader panic releases (without poisoning) every
+//!   waiter,
+//! * [`metrics`] — per-verb latency histograms and in-flight gauges behind
+//!   the `Metrics` verb,
 //! * [`server`] — a JSON-lines request/response protocol (`Optimize`,
-//!   `PlanNetwork`, `PlanGraph`, `Stats`, `Save`, `Ping`) served over TCP
-//!   or stdin/stdout by the `moptd` binary.
+//!   `PlanNetwork`, `PlanGraph`, `Stats`, `Save`, `Metrics`, `Ping`)
+//!   served over stdin/stdout by the `moptd` binary,
+//! * [`eventloop`] — the TCP front end: a non-blocking readiness event
+//!   loop (epoll via the vendored [`miniepoll`] shim) that multiplexes
+//!   every connection on one thread, supports pipelined requests with
+//!   bounded write-buffer backpressure, hands request execution to a small
+//!   worker pool, and drains gracefully on shutdown.
 //!
 //! Shapes on the wire carry optional `dilation` and `groups` fields
 //! (defaulting to 1), so the protocol serves depthwise and dilated
@@ -54,15 +65,24 @@
 pub mod batch;
 pub mod cache;
 pub mod dbtier;
+pub mod eventloop;
 pub mod graphs;
+pub mod metrics;
 pub mod persist;
 pub mod server;
+pub mod singleflight;
 
 pub use batch::{NetworkPlan, NetworkPlanner, PlanStats, PlannedLayer};
 pub use cache::{CacheKey, CacheStats, ScheduleCache};
 pub use dbtier::{DbTier, DbTierStats};
+pub use eventloop::{EventLoopServer, ServerConfig, ShutdownHandle};
 pub use graphs::{GraphCacheKey, GraphPlanCache, GraphServiceStats};
-pub use persist::{load_snapshot, remove_stale_temps, save_snapshot, PersistError, Snapshot};
+pub use metrics::{MetricsReport, ServiceMetrics};
+pub use persist::{
+    load_sharded, load_snapshot, remove_stale_temps, save_sharded, save_snapshot, FlushReport,
+    PersistError, Snapshot,
+};
 pub use server::{
     MachineSpec, Request, Response, ServiceState, ServiceStats, Tier, MAX_REQUEST_BYTES,
 };
+pub use singleflight::{FlightBreakdown, FlightStats, SingleFlight};

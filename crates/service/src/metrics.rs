@@ -1,0 +1,290 @@
+//! Service metrics: per-verb latency histograms and in-flight gauges,
+//! served by the `Metrics` verb.
+//!
+//! Latency is recorded into log2-bucketed histograms — bucket `i` covers
+//! `[2^i, 2^(i+1))` microseconds — so one fixed-size array of atomics spans
+//! sub-microsecond cache hits and multi-second cold solves with zero
+//! allocation on the request path. The wire snapshot lists only non-empty
+//! buckets, keyed by their upper bound, so responses stay small no matter
+//! how wide the recorded range is.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 buckets: bucket 63 absorbs everything ≥ 2^63 µs.
+const BUCKETS: usize = 64;
+
+/// A lock-free latency histogram with log2 microsecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Serializable snapshot (non-empty buckets only).
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum_micros.load(Ordering::Relaxed);
+        LatencySnapshot {
+            count,
+            mean_micros: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    (c > 0).then(|| HistogramBucket {
+                        le_micros: if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 },
+                        count: c,
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty histogram bucket on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Upper bound of the bucket, inclusive, in microseconds.
+    pub le_micros: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// Wire form of one verb's latency distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_micros: f64,
+    /// Worst observed latency in microseconds.
+    pub max_micros: u64,
+    /// Non-empty log2 buckets, ascending.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+/// The protocol verbs, as histogram indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// `Optimize`.
+    Optimize,
+    /// `PlanNetwork`.
+    PlanNetwork,
+    /// `PlanGraph`.
+    PlanGraph,
+    /// `Stats`.
+    Stats,
+    /// `Save`.
+    Save,
+    /// `Ping`.
+    Ping,
+    /// `Metrics`.
+    Metrics,
+}
+
+impl Verb {
+    const ALL: [Verb; 7] = [
+        Verb::Optimize,
+        Verb::PlanNetwork,
+        Verb::PlanGraph,
+        Verb::Stats,
+        Verb::Save,
+        Verb::Ping,
+        Verb::Metrics,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Verb::Optimize => "Optimize",
+            Verb::PlanNetwork => "PlanNetwork",
+            Verb::PlanGraph => "PlanGraph",
+            Verb::Stats => "Stats",
+            Verb::Save => "Save",
+            Verb::Ping => "Ping",
+            Verb::Metrics => "Metrics",
+        }
+    }
+}
+
+/// Live metric state shared by every connection of a service. All methods
+/// take `&self` and are lock-free.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    verbs: [LatencyHistogram; 7],
+    in_flight_requests: AtomicU64,
+    open_connections: AtomicU64,
+    connections_accepted: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Record a served request of `verb` that took `elapsed`.
+    pub fn record(&self, verb: Verb, elapsed: Duration) {
+        self.verbs[verb as usize].record(elapsed);
+    }
+
+    /// Mark a request as entering dispatch. The guard decrements on drop, so
+    /// the gauge stays correct even on panicking handlers.
+    pub fn request_started(&self) -> InFlightGuard<'_> {
+        self.in_flight_requests.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { gauge: &self.in_flight_requests }
+    }
+
+    /// Mark a connection opened. The guard decrements on drop.
+    pub fn connection_opened(&self) -> InFlightGuard<'_> {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { gauge: &self.open_connections }
+    }
+
+    /// Requests currently inside a handler.
+    pub fn in_flight_requests(&self) -> u64 {
+        self.in_flight_requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Serializable snapshot for the `Metrics` reply. Flight counters are
+    /// supplied by the caller (they live next to the caches, not here).
+    pub fn report(&self, flight: crate::singleflight::FlightBreakdown) -> MetricsReport {
+        MetricsReport {
+            verbs: Verb::ALL
+                .iter()
+                .map(|&verb| VerbLatency {
+                    verb: verb.name().to_string(),
+                    latency: self.verbs[verb as usize].snapshot(),
+                })
+                .filter(|v| v.latency.count > 0)
+                .collect(),
+            in_flight_requests: self.in_flight_requests(),
+            open_connections: self.open_connections(),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            flight,
+        }
+    }
+}
+
+/// RAII decrement for the in-flight gauges.
+#[derive(Debug)]
+pub struct InFlightGuard<'a> {
+    gauge: &'a AtomicU64,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One verb's latency distribution, labeled for the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerbLatency {
+    /// The verb name (`"Optimize"`, ...).
+    pub verb: String,
+    /// Its latency snapshot.
+    pub latency: LatencySnapshot,
+}
+
+/// The `Metrics` reply body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Latency per verb (verbs never served are omitted).
+    pub verbs: Vec<VerbLatency>,
+    /// Requests currently inside a handler.
+    pub in_flight_requests: u64,
+    /// Connections currently open (TCP event loop or stdio).
+    pub open_connections: u64,
+    /// Connections accepted since startup.
+    pub connections_accepted: u64,
+    /// Single-flight solve-coalescing counters (also under `Stats.flight`).
+    pub flight: crate::singleflight::FlightBreakdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_and_totals_accumulate() {
+        let hist = LatencyHistogram::default();
+        hist.record(Duration::from_micros(1)); // bucket [1,2)  → le 1
+        hist.record(Duration::from_micros(3)); // bucket [2,4)  → le 3
+        hist.record(Duration::from_micros(3));
+        hist.record(Duration::from_millis(5)); // 5000 µs → [4096,8192) → le 8191
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.max_micros, 5000);
+        assert!((snap.mean_micros - (1.0 + 3.0 + 3.0 + 5000.0) / 4.0).abs() < 1e-9);
+        assert_eq!(
+            snap.buckets,
+            vec![
+                HistogramBucket { le_micros: 1, count: 1 },
+                HistogramBucket { le_micros: 3, count: 2 },
+                HistogramBucket { le_micros: 8191, count: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_duration_lands_in_the_first_bucket() {
+        let hist = LatencyHistogram::default();
+        hist.record(Duration::ZERO);
+        let snap = hist.snapshot();
+        assert_eq!(snap.buckets, vec![HistogramBucket { le_micros: 1, count: 1 }]);
+    }
+
+    #[test]
+    fn gauges_track_and_guards_release() {
+        let metrics = ServiceMetrics::default();
+        {
+            let _c = metrics.connection_opened();
+            let _r1 = metrics.request_started();
+            let _r2 = metrics.request_started();
+            assert_eq!(metrics.open_connections(), 1);
+            assert_eq!(metrics.in_flight_requests(), 2);
+        }
+        assert_eq!(metrics.open_connections(), 0);
+        assert_eq!(metrics.in_flight_requests(), 0);
+        metrics.record(Verb::Ping, Duration::from_micros(7));
+        let report = metrics.report(crate::singleflight::FlightBreakdown::default());
+        assert_eq!(report.connections_accepted, 1);
+        assert_eq!(report.verbs.len(), 1, "unserved verbs are omitted");
+        assert_eq!(report.verbs[0].verb, "Ping");
+        // The report serializes and round-trips.
+        let text = serde_json::to_string(&report).unwrap();
+        let back: MetricsReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -28,6 +28,8 @@ use crate::batch::{NamedLayer, NetworkPlan, NetworkPlanner};
 use crate::cache::{CacheKey, CacheStats, ScheduleCache};
 use crate::dbtier::{DbTier, DbTierStats};
 use crate::graphs::{GraphCacheKey, GraphPlanCache, GraphServiceStats};
+use crate::metrics::{MetricsReport, ServiceMetrics, Verb};
+use crate::singleflight::{FlightBreakdown, SingleFlight};
 
 /// How a request names the target machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -128,6 +130,9 @@ pub enum Request {
     },
     /// Report cache and service statistics.
     Stats,
+    /// Report per-verb latency histograms, in-flight gauges, and
+    /// single-flight coalescing counters.
+    Metrics,
     /// Persist the cache to the server's snapshot path now.
     Save,
     /// Liveness check.
@@ -150,6 +155,13 @@ pub struct ServiceStats {
     pub requests: u64,
     /// Seconds since the service started.
     pub uptime_seconds: f64,
+    /// Single-flight coalescing counters for the schedule and graph-plan
+    /// tiers. `led` counts solves actually run, `coalesced` counts requests
+    /// that shared a concurrent leader's solve instead of running their own
+    /// — the number a bare hit/miss ratio cannot express, because a
+    /// coalesced request is neither a warm hit nor an extra solve. Absent
+    /// in pre-coalescing stats documents, which still parse.
+    pub flight: Option<FlightBreakdown>,
 }
 
 /// Which tier of the serving stack answered an `Optimize` request.
@@ -199,6 +211,11 @@ pub enum Response {
         /// The statistics.
         stats: ServiceStats,
     },
+    /// Result of a `Metrics` request.
+    Metrics {
+        /// Latency histograms, gauges, and coalescing counters.
+        report: MetricsReport,
+    },
     /// Result of a `Save` request: entries persisted.
     Saved {
         /// Number of entries written.
@@ -226,6 +243,18 @@ pub struct ServiceState {
     pub graph_cache: GraphPlanCache,
     db: Option<Arc<DbTier>>,
     snapshot_path: Option<std::path::PathBuf>,
+    snapshot_dir: Option<std::path::PathBuf>,
+    /// Coalesces concurrent cold `Optimize` misses on one cache key into a
+    /// single solve. The value is the `(tier, result)` pair the leader
+    /// produced, so every waiter's response is bit-identical to the
+    /// leader's.
+    flight: SingleFlight<CacheKey, (Tier, OptimizeResult)>,
+    /// Coalesces concurrent cold `PlanGraph` misses on one plan key. The
+    /// value carries planning failures as `Err(message)` so waiters see the
+    /// same error the leader did.
+    graph_flight: SingleFlight<GraphCacheKey, Result<GraphPlan, String>>,
+    metrics: ServiceMetrics,
+    solve_delay_micros: AtomicU64,
     requests: AtomicU64,
     started: Instant,
 }
@@ -242,6 +271,11 @@ impl ServiceState {
             graph_cache: GraphPlanCache::new((capacity / 4).max(16)),
             db: None,
             snapshot_path: None,
+            snapshot_dir: None,
+            flight: SingleFlight::new(),
+            graph_flight: SingleFlight::new(),
+            metrics: ServiceMetrics::default(),
+            solve_delay_micros: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             started: Instant::now(),
         }
@@ -280,22 +314,89 @@ impl ServiceState {
         Ok(self)
     }
 
+    /// Attach a *sharded* snapshot directory (created on first save): loads
+    /// any existing shards, then enables incremental persistence — `Save`
+    /// and the autosaver rewrite only the cache shards dirtied since the
+    /// previous flush, so steady-state persistence cost tracks churn, not
+    /// cache size. Takes precedence over [`with_snapshot`](Self::with_snapshot)
+    /// when both are configured.
+    pub fn with_snapshot_dir(
+        mut self,
+        dir: std::path::PathBuf,
+    ) -> Result<Self, crate::persist::PersistError> {
+        crate::persist::load_sharded(&self.cache, &dir)?;
+        self.snapshot_dir = Some(dir);
+        Ok(self)
+    }
+
     /// Requests served so far.
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// Persist the cache if a snapshot path is configured. Returns the
-    /// number of entries written, or `None` when unconfigured.
+    /// The live metrics (latency histograms and in-flight gauges). The TCP
+    /// event loop and the stdio server both record into this.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Flight counters of both single-flight groups.
+    pub fn flight_stats(&self) -> FlightBreakdown {
+        FlightBreakdown { optimize: self.flight.stats(), graph: self.graph_flight.stats() }
+    }
+
+    /// Test/benchmark hook: stall every led solve by `delay` before it runs,
+    /// widening the coalescing window so concurrent-client tests can prove
+    /// single-flight behavior deterministically instead of racing the
+    /// optimizer. Zero (the default) disables the stall.
+    #[doc(hidden)]
+    pub fn set_test_solve_delay(&self, delay: std::time::Duration) {
+        self.solve_delay_micros
+            .store(delay.as_micros().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    fn test_solve_delay(&self) {
+        let micros = self.solve_delay_micros.load(Ordering::Relaxed);
+        if micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        }
+    }
+
+    /// Persist the cache if a snapshot path or directory is configured.
+    /// Returns the number of entries written (for a sharded directory: the
+    /// entries in the rewritten shards — zero when nothing was dirty), or
+    /// `None` when unconfigured.
     pub fn save(&self) -> Result<Option<usize>, crate::persist::PersistError> {
+        if let Some(dir) = &self.snapshot_dir {
+            return crate::persist::save_sharded(&self.cache, dir)
+                .map(|report| Some(report.entries_written));
+        }
         match &self.snapshot_path {
             Some(path) => crate::persist::save_snapshot(&self.cache, path).map(Some),
             None => Ok(None),
         }
     }
 
-    /// Dispatch one request.
+    /// Dispatch one request, recording its latency under its verb and
+    /// holding the in-flight request gauge for the duration.
     pub fn handle(&self, request: &Request) -> Response {
+        let verb = match request {
+            Request::Optimize { .. } => Verb::Optimize,
+            Request::PlanNetwork { .. } => Verb::PlanNetwork,
+            Request::PlanGraph { .. } => Verb::PlanGraph,
+            Request::Stats => Verb::Stats,
+            Request::Metrics => Verb::Metrics,
+            Request::Save => Verb::Save,
+            Request::Ping => Verb::Ping,
+        };
+        let _in_flight = self.metrics.request_started();
+        let start = Instant::now();
+        let response = self.dispatch(request);
+        self.metrics.record(verb, start.elapsed());
+        response
+    }
+
+    fn dispatch(&self, request: &Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match request {
             Request::Ping => Response::Pong { version: env!("CARGO_PKG_VERSION").to_string() },
@@ -306,8 +407,12 @@ impl ServiceState {
                     graph: self.graph_cache.stats(),
                     requests: self.requests(),
                     uptime_seconds: self.started.elapsed().as_secs_f64(),
+                    flight: Some(self.flight_stats()),
                 },
             },
+            Request::Metrics => {
+                Response::Metrics { report: self.metrics.report(self.flight_stats()) }
+            }
             Request::Save => {
                 // Flush dirty database pages first; a failure is a real
                 // durability loss and must surface as an Error, not a log
@@ -406,28 +511,36 @@ impl ServiceState {
                 result,
             };
         }
-        // Tier 2: the schedule database — stored canonical top-k entries
-        // re-priced for this request's thread count, no optimizer run. A
-        // hit warms the cache so repeats stay in tier 1.
-        if let Some(db) = &self.db {
-            if let Some(result) = db.lookup(&shape, &machine, &options) {
-                self.cache.insert(key, result.clone());
-                return Response::Optimized {
-                    op,
-                    shape,
-                    cached: false,
-                    tier: Some(Tier::Db),
-                    result,
-                };
+        // Cold path, under single-flight: concurrent misses on this key
+        // share one leader. The leader consults tier 2 (the schedule
+        // database — stored canonical top-k entries re-priced for this
+        // request's thread count, no optimizer run) and falls back to
+        // tier 3 (a fresh solve, written through to both warmer tiers);
+        // waiters park and receive a clone of the leader's `(tier, result)`,
+        // so all coalesced responses are bit-identical. A panicking solve is
+        // propagated to every waiter as an `Error` response and the key
+        // stays clean for the next request.
+        let (_role, outcome) = self.flight.run(key.clone(), || {
+            self.test_solve_delay();
+            if let Some(db) = &self.db {
+                if let Some(result) = db.lookup(&shape, &machine, &options) {
+                    self.cache.insert(key.clone(), result.clone());
+                    return (Tier::Db, result);
+                }
             }
+            let result = MOptOptimizer::new(shape, machine.clone(), options.clone()).optimize();
+            self.cache.insert(key.clone(), result.clone());
+            if let Some(db) = &self.db {
+                db.record(&shape, &machine, options.threads, &result);
+            }
+            (Tier::Solver, result)
+        });
+        match outcome {
+            Ok((tier, result)) => {
+                Response::Optimized { op, shape, cached: false, tier: Some(tier), result }
+            }
+            Err(e) => Response::Error { message: format!("optimize failed: {e}") },
         }
-        // Tier 3: a fresh solve, written through to both warmer tiers.
-        let result = MOptOptimizer::new(shape, machine.clone(), options.clone()).optimize();
-        self.cache.insert(key, result.clone());
-        if let Some(db) = &self.db {
-            db.record(&shape, &machine, options.threads, &result);
-        }
-        Response::Optimized { op, shape, cached: false, tier: Some(Tier::Solver), result }
     }
 
     fn handle_plan(
@@ -525,54 +638,66 @@ impl ServiceState {
         if let Some(plan) = self.graph_cache.get(&key) {
             return Response::GraphPlanned { cached: true, plan };
         }
-        // Warm the per-operator schedules through the existing batch planner
-        // (dedupe + worker pool + shared schedule cache), then run the fusion
-        // dynamic program with cache-backed lookups.
-        let layers: Vec<NamedLayer> = graph
-            .conv_nodes()
-            .into_iter()
-            .map(|id| NamedLayer {
-                name: graph.nodes[id].name.clone(),
-                shape: *graph.nodes[id].op.conv_shape().expect("conv node"),
-            })
-            .collect();
-        let mut planner = NetworkPlanner::new(&self.cache, machine.clone(), options.clone())
-            .with_db(self.db.as_deref());
-        if let Some(workers) = workers {
-            planner = planner.with_workers(workers);
-        }
-        let _ = planner.plan(&layers);
-        let result = GraphPlanner::new(machine.clone()).with_threads(options.threads).plan(
-            &graph,
-            |shape| {
-                // The warm-up above resolved every conv node, so this is
-                // normally a pure cache read; the db-then-solver fallback
-                // keeps the contract correct regardless.
-                let key = CacheKey::new(*shape, &machine, &options);
-                if let Some(result) = self.cache.get(&key) {
-                    return result;
-                }
-                let result = self
-                    .db
-                    .as_deref()
-                    .and_then(|db| db.lookup(shape, &machine, &options))
-                    .unwrap_or_else(|| {
-                        let result =
-                            MOptOptimizer::new(*shape, machine.clone(), options.clone()).optimize();
-                        if let Some(db) = self.db.as_deref() {
-                            db.record(shape, &machine, options.threads, &result);
-                        }
-                        result
-                    });
-                self.cache.insert(key, result.clone());
-                result
-            },
-        );
-        match result {
-            Ok(plan) => {
-                self.graph_cache.insert(key, &plan);
-                Response::GraphPlanned { cached: false, plan }
+        // Cold path, under single-flight: concurrent misses on this plan key
+        // share one leader; waiters receive a clone of the leader's plan (or
+        // its planning error), bit-identical on the wire.
+        let (_role, outcome) = self.graph_flight.run(key.clone(), || {
+            self.test_solve_delay();
+            // Warm the per-operator schedules through the existing batch
+            // planner (dedupe + worker pool + shared schedule cache), then
+            // run the fusion dynamic program with cache-backed lookups.
+            let layers: Vec<NamedLayer> = graph
+                .conv_nodes()
+                .into_iter()
+                .map(|id| NamedLayer {
+                    name: graph.nodes[id].name.clone(),
+                    shape: *graph.nodes[id].op.conv_shape().expect("conv node"),
+                })
+                .collect();
+            let mut planner = NetworkPlanner::new(&self.cache, machine.clone(), options.clone())
+                .with_db(self.db.as_deref());
+            if let Some(workers) = workers {
+                planner = planner.with_workers(workers);
             }
+            let _ = planner.plan(&layers);
+            let result = GraphPlanner::new(machine.clone()).with_threads(options.threads).plan(
+                &graph,
+                |shape| {
+                    // The warm-up above resolved every conv node, so this is
+                    // normally a pure cache read; the db-then-solver fallback
+                    // keeps the contract correct regardless.
+                    let key = CacheKey::new(*shape, &machine, &options);
+                    if let Some(result) = self.cache.get(&key) {
+                        return result;
+                    }
+                    let result = self
+                        .db
+                        .as_deref()
+                        .and_then(|db| db.lookup(shape, &machine, &options))
+                        .unwrap_or_else(|| {
+                            let result =
+                                MOptOptimizer::new(*shape, machine.clone(), options.clone())
+                                    .optimize();
+                            if let Some(db) = self.db.as_deref() {
+                                db.record(shape, &machine, options.threads, &result);
+                            }
+                            result
+                        });
+                    self.cache.insert(key, result.clone());
+                    result
+                },
+            );
+            match result {
+                Ok(plan) => {
+                    self.graph_cache.insert(key.clone(), &plan);
+                    Ok(plan)
+                }
+                Err(e) => Err(format!("graph planning failed: {e}")),
+            }
+        });
+        match outcome {
+            Ok(Ok(plan)) => Response::GraphPlanned { cached: false, plan },
+            Ok(Err(message)) => Response::Error { message },
             Err(e) => Response::Error { message: format!("graph planning failed: {e}") },
         }
     }
@@ -1044,6 +1169,118 @@ mod tests {
             }
             other => panic!("expected Error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn warm_hits_do_not_count_as_coalesced() {
+        // Regression: before the flight section existed, Stats could not
+        // distinguish "cache hit that arrived while a solve was in flight"
+        // (coalesced) from a plain warm hit. A strictly sequential
+        // cold-then-warm-then-warm sequence must report one led solve and
+        // zero coalesced requests.
+        let state = tiny_state();
+        let line = format!(
+            "{{\"Optimize\": {{\"shape\": {}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            serde_json::to_string(&ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap()).unwrap(),
+            fast_options_json(),
+        );
+        for _ in 0..3 {
+            state.handle_line(&line);
+        }
+        let stats: Response = serde_json::from_str(&state.handle_line("\"Stats\"")).unwrap();
+        match stats {
+            Response::Stats { stats } => {
+                let flight = stats.flight.expect("flight section present");
+                assert_eq!(flight.optimize.led, 1, "one cold solve");
+                assert_eq!(flight.optimize.coalesced, 0, "warm hits are NOT coalesced");
+                assert_eq!(flight.optimize.errors, 0);
+                assert_eq!(flight.optimize.in_flight, 0);
+                assert_eq!((stats.cache.hits, stats.cache.misses), (2, 1));
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_cold_misses_coalesce_onto_one_solve() {
+        let state = std::sync::Arc::new(tiny_state());
+        state.set_test_solve_delay(std::time::Duration::from_millis(150));
+        let line = format!(
+            "{{\"Optimize\": {{\"shape\": {}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            serde_json::to_string(&ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap()).unwrap(),
+            fast_options_json(),
+        );
+        let gate = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let replies: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (state, line, gate) = (state.clone(), line.clone(), gate.clone());
+                    scope.spawn(move || {
+                        gate.wait();
+                        state.handle_line(&line)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // All eight responses are bit-identical (same tier, same result).
+        assert!(replies.iter().all(|r| r == &replies[0]), "coalesced responses must be identical");
+        let first: Response = serde_json::from_str(&replies[0]).unwrap();
+        assert!(matches!(first, Response::Optimized { tier: Some(Tier::Solver), .. }));
+        let flight = state.flight_stats();
+        assert_eq!(flight.optimize.led, 1, "exactly one solver invocation for 8 clients");
+        assert_eq!(flight.optimize.coalesced, 7);
+        // The solve ran once, so the cache saw exactly one insertion.
+        assert_eq!(state.cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn metrics_verb_reports_verbs_gauges_and_flight() {
+        let state = tiny_state();
+        state.handle_line("\"Ping\"");
+        state.handle_line("\"Ping\"");
+        let response: Response = serde_json::from_str(&state.handle_line("\"Metrics\"")).unwrap();
+        match response {
+            Response::Metrics { report } => {
+                // Ping was served twice before this Metrics request.
+                let ping =
+                    report.verbs.iter().find(|v| v.verb == "Ping").expect("Ping histogram present");
+                assert_eq!(ping.latency.count, 2);
+                assert!(!ping.latency.buckets.is_empty());
+                assert!(
+                    report.verbs.iter().all(|v| v.verb != "Optimize"),
+                    "unserved verbs omitted"
+                );
+                // handle() holds the in-flight gauge only while dispatching.
+                assert_eq!(report.in_flight_requests, 1, "the Metrics request itself");
+                assert_eq!(report.flight.optimize.led, 0);
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_snapshot_dir_round_trips_through_service_state() {
+        let dir = std::env::temp_dir().join(format!("moptd-snapdir-state-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let state = ServiceState::new(16).with_snapshot_dir(dir.clone()).unwrap();
+        let line = format!(
+            "{{\"Optimize\": {{\"shape\": {}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            serde_json::to_string(&ConvShape::new(1, 4, 4, 3, 3, 8, 8, 1).unwrap()).unwrap(),
+            fast_options_json(),
+        );
+        state.handle_line(&line);
+        let saved: Response = serde_json::from_str(&state.handle_line("\"Save\"")).unwrap();
+        assert_eq!(saved, Response::Saved { entries: 1 });
+        // A second Save with no intervening churn flushes nothing.
+        let idle: Response = serde_json::from_str(&state.handle_line("\"Save\"")).unwrap();
+        assert_eq!(idle, Response::Saved { entries: 0 });
+        // A fresh state on the same directory starts warm.
+        let rewarmed = ServiceState::new(16).with_snapshot_dir(dir.clone()).unwrap();
+        assert_eq!(rewarmed.cache.len(), 1);
+        let warm: Response = serde_json::from_str(&rewarmed.handle_line(&line)).unwrap();
+        assert!(matches!(warm, Response::Optimized { cached: true, .. }));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Offline vendored readiness-polling shim.
+//!
+//! The build environment has no crates.io access, so the event-loop server
+//! cannot use `mio`/`tokio`; this crate is the minimal replacement: a
+//! level-triggered [`Poller`] over raw `epoll(7)` on Linux (the syscalls are
+//! declared directly against the C library every Rust std build already
+//! links) and over `poll(2)` on other Unix platforms, plus a [`Waker`] that
+//! lets worker threads interrupt a blocked [`Poller::wait`].
+//!
+//! The API surface is deliberately tiny — register/modify/deregister an fd
+//! with a `u64` token and a read/write [`Interest`], then `wait` for
+//! [`Event`]s — because that is all a readiness loop over non-blocking
+//! `std::net` sockets needs.
+//!
+//! ```
+//! use miniepoll::{Interest, Poller};
+//! use std::io::Write;
+//! use std::os::unix::net::UnixStream;
+//! use std::os::unix::io::AsRawFd;
+//!
+//! let poller = Poller::new().unwrap();
+//! let (mut a, b) = UnixStream::pair().unwrap();
+//! poller.register(b.as_raw_fd(), 7, Interest::READABLE).unwrap();
+//! a.write_all(b"x").unwrap();
+//! let mut events = Vec::new();
+//! poller.wait(&mut events, Some(std::time::Duration::from_secs(5))).unwrap();
+//! assert!(events.iter().any(|e| e.token == 7 && e.readable));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Which readiness conditions an fd is registered for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd becomes readable (or the peer hangs up).
+    pub readable: bool,
+    /// Wake when the fd becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Writable only.
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+}
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (data, EOF, or a hangup to observe via read).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer closed its end (`EPOLLHUP`/`EPOLLRDHUP`/`POLLHUP`).
+    pub hangup: bool,
+    /// An error condition is pending on the fd.
+    pub error: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::*;
+    use std::os::raw::c_int;
+
+    // `struct epoll_event` is packed on x86-64 (the kernel's EPOLL_PACKED);
+    // on other architectures it has natural alignment. Mirroring the C
+    // layout exactly is what makes these declarations safe.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if interest.readable {
+            mask |= EPOLLIN;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Level-triggered readiness poller over `epoll(7)`.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        /// A fresh epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: epoll_create1 takes no pointers.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+            let mut event = event;
+            let ptr = event.as_mut().map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+            // SAFETY: `ptr` is null (DEL) or points at a live EpollEvent.
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })?;
+            Ok(())
+        }
+
+        /// Start watching `fd` under `token`.
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Some(EpollEvent { events: mask(interest), data: token }))
+        }
+
+        /// Change the interest set (and token) of a watched fd.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Some(EpollEvent { events: mask(interest), data: token }))
+        }
+
+        /// Stop watching `fd`.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        /// Block until at least one event is ready (or `timeout` elapses —
+        /// `None` blocks indefinitely), appending into `events` after
+        /// clearing it. Returns the number of events delivered; 0 means the
+        /// timeout fired. `EINTR` is retried internally.
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(t) => t.as_millis().min(c_int::MAX as u128) as c_int,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+            let n = loop {
+                // SAFETY: `buf` is a live array of `buf.len()` EpollEvents.
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms)
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for raw in &buf[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let (bits, data) = (raw.events, raw.data);
+                events.push(Event {
+                    token: data,
+                    readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                    error: bits & EPOLLERR != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: epfd is a live fd this struct owns.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::os::raw::{c_int, c_short};
+    use std::sync::Mutex;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: c_int) -> c_int;
+    }
+
+    /// Level-triggered readiness poller over POSIX `poll(2)` — the portable
+    /// fallback for non-Linux Unix hosts. Same contract as the epoll
+    /// implementation.
+    #[derive(Debug)]
+    pub struct Poller {
+        registered: Mutex<BTreeMap<RawFd, (u64, Interest)>>,
+    }
+
+    impl Poller {
+        /// A fresh poller.
+        pub fn new() -> io::Result<Self> {
+            Ok(Poller { registered: Mutex::new(BTreeMap::new()) })
+        }
+
+        /// Start watching `fd` under `token`.
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered.lock().unwrap().insert(fd, (token, interest));
+            Ok(())
+        }
+
+        /// Change the interest set (and token) of a watched fd.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.register(fd, token, interest)
+        }
+
+        /// Stop watching `fd`.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().unwrap().remove(&fd);
+            Ok(())
+        }
+
+        /// Block until at least one event is ready (or `timeout` elapses).
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let watched: Vec<(RawFd, u64, Interest)> = self
+                .registered
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&fd, &(token, interest))| (fd, token, interest))
+                .collect();
+            let mut fds: Vec<PollFd> = watched
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(t) => t.as_millis().min(c_int::MAX as u128) as c_int,
+            };
+            let n = loop {
+                // SAFETY: `fds` is a live slice of pollfds.
+                let ret = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+                if ret >= 0 {
+                    break ret as usize;
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            };
+            for (pollfd, &(_, token, _)) in fds.iter().zip(&watched) {
+                if pollfd.revents != 0 {
+                    events.push(Event {
+                        token,
+                        readable: pollfd.revents & (POLLIN | POLLHUP) != 0,
+                        writable: pollfd.revents & POLLOUT != 0,
+                        hangup: pollfd.revents & POLLHUP != 0,
+                        error: pollfd.revents & POLLERR != 0,
+                    });
+                }
+            }
+            Ok(n)
+        }
+    }
+}
+
+pub use sys::Poller;
+
+/// Wakes a [`Poller`] blocked in [`Poller::wait`] from another thread.
+///
+/// Implemented as a non-blocking socket pair (pure `std`): the read end is
+/// registered with the poller, [`Waker::wake`] writes one byte, and the loop
+/// calls [`Waker::drain`] when its token fires. Writes to a full pipe are
+/// dropped — one pending byte is enough to wake.
+#[derive(Debug)]
+pub struct Waker {
+    read: std::os::unix::net::UnixStream,
+    write: std::os::unix::net::UnixStream,
+}
+
+impl Waker {
+    /// A fresh waker, not yet registered with any poller.
+    pub fn new() -> io::Result<Self> {
+        let (read, write) = std::os::unix::net::UnixStream::pair()?;
+        read.set_nonblocking(true)?;
+        write.set_nonblocking(true)?;
+        Ok(Waker { read, write })
+    }
+
+    /// The fd to register (readable interest) with the poller.
+    pub fn fd(&self) -> RawFd {
+        self.read.as_raw_fd()
+    }
+
+    /// Make the poller's next (or current) `wait` return. Safe to call from
+    /// any thread, any number of times.
+    pub fn wake(&self) {
+        use std::io::Write;
+        // A WouldBlock means the pipe already holds a wake-up; nothing to do.
+        let _ = (&self.write).write(&[1u8]);
+    }
+
+    /// Consume pending wake-up bytes (call when the waker's token fires).
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        while matches!((&self.read).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readable_event_is_delivered_with_the_registered_token() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        poller.register(b.as_raw_fd(), 42, Interest::READABLE).unwrap();
+        let mut events = Vec::new();
+        // Nothing to read yet: the wait times out.
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        a.write_all(b"hello").unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable && !e.error));
+    }
+
+    #[test]
+    fn writable_interest_fires_and_modify_switches_it_off() {
+        let poller = Poller::new().unwrap();
+        let (a, _b) = UnixStream::pair().unwrap();
+        poller.register(a.as_raw_fd(), 7, Interest::BOTH).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+        // Read-only interest on an idle socket: no events.
+        poller.modify(a.as_raw_fd(), 7, Interest::READABLE).unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        poller.deregister(a.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn hangup_is_reported_readable() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        poller.register(b.as_raw_fd(), 9, Interest::READABLE).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let ev = events.iter().find(|e| e.token == 9).expect("hangup event");
+        assert!(ev.readable, "a hangup must be observable via read (EOF)");
+        assert!(ev.hangup);
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.register(waker.fd(), u64::MAX, Interest::READABLE).unwrap();
+        let handle = {
+            let waker = waker.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.wake();
+                waker.wake(); // repeated wakes coalesce
+            })
+        };
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(events.iter().any(|e| e.token == u64::MAX && e.readable));
+        waker.drain();
+        handle.join().unwrap();
+        // Drained: the next wait times out quietly.
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+    }
+}
