@@ -20,6 +20,34 @@ use mopt_service::{
 };
 use serde::Serialize;
 
+/// Latency attribution for one serving tier within a phase.
+#[derive(Debug, Default, Serialize)]
+struct TierLatency {
+    /// Requests this tier answered.
+    requests: usize,
+    /// Total wall-clock microseconds spent in those requests.
+    total_micros: f64,
+    /// Mean per-request latency in microseconds (0 when the tier served
+    /// nothing).
+    mean_micros: f64,
+    /// Worst per-request latency in microseconds.
+    max_micros: f64,
+}
+
+impl TierLatency {
+    fn record(&mut self, micros: f64) {
+        self.requests += 1;
+        self.total_micros += micros;
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    fn finish(&mut self) {
+        if self.requests > 0 {
+            self.mean_micros = self.total_micros / self.requests as f64;
+        }
+    }
+}
+
 /// Latency summary for one serving phase.
 #[derive(Debug, Serialize)]
 struct PhaseLatency {
@@ -37,6 +65,12 @@ struct PhaseLatency {
     mean_micros: f64,
     /// Worst per-request latency in microseconds.
     max_micros: f64,
+    /// Latency attributed to requests the in-process cache answered.
+    cache_latency: TierLatency,
+    /// Latency attributed to requests the schedule database answered.
+    db_latency: TierLatency,
+    /// Latency attributed to requests that ran an optimizer solve.
+    solver_latency: TierLatency,
 }
 
 #[derive(Debug, Serialize)]
@@ -88,6 +122,7 @@ fn run_herd(preset: &str, threads: usize, clients: usize) -> FlightBreakdown {
         machine: MachineSpec::Preset(preset.to_string()),
         options: Some(OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() }),
         threads: Some(threads),
+        trace: None,
     };
     let gate = std::sync::Arc::new(std::sync::Barrier::new(clients));
     std::thread::scope(|scope| {
@@ -116,7 +151,9 @@ fn run_phase(state: &ServiceState, suite: &str, preset: &str, threads: usize) ->
         .collect();
     assert!(!ops.is_empty(), "suite `{suite}` selected no operators");
     let options = OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() };
-    let (mut cache_tier, mut db_tier, mut solver_tier) = (0usize, 0usize, 0usize);
+    let mut cache_latency = TierLatency::default();
+    let mut db_latency = TierLatency::default();
+    let mut solver_latency = TierLatency::default();
     let mut total_seconds = 0.0;
     let mut max_micros: f64 = 0.0;
     for op in &ops {
@@ -126,6 +163,7 @@ fn run_phase(state: &ServiceState, suite: &str, preset: &str, threads: usize) ->
             machine: MachineSpec::Preset(preset.to_string()),
             options: Some(options.clone()),
             threads: Some(threads),
+            trace: None,
         };
         let started = Instant::now();
         let response = state.handle(&request);
@@ -134,21 +172,27 @@ fn run_phase(state: &ServiceState, suite: &str, preset: &str, threads: usize) ->
         max_micros = max_micros.max(elapsed * 1e6);
         match response {
             Response::Optimized { tier, .. } => match tier {
-                Some(Tier::Cache) => cache_tier += 1,
-                Some(Tier::Db) => db_tier += 1,
-                Some(Tier::Solver) | None => solver_tier += 1,
+                Some(Tier::Cache) => cache_latency.record(elapsed * 1e6),
+                Some(Tier::Db) => db_latency.record(elapsed * 1e6),
+                Some(Tier::Solver) | None => solver_latency.record(elapsed * 1e6),
             },
             other => panic!("bench_mopt: Optimize for {op} failed: {other:?}"),
         }
     }
+    cache_latency.finish();
+    db_latency.finish();
+    solver_latency.finish();
     PhaseLatency {
         requests: ops.len(),
-        cache_tier,
-        db_tier,
-        solver_tier,
+        cache_tier: cache_latency.requests,
+        db_tier: db_latency.requests,
+        solver_tier: solver_latency.requests,
         total_seconds,
         mean_micros: total_seconds * 1e6 / ops.len() as f64,
         max_micros,
+        cache_latency,
+        db_latency,
+        solver_latency,
     }
 }
 
@@ -160,6 +204,7 @@ fn fused_traffic(state: &ServiceState, preset: &str) -> (f64, f64) {
         options: Some(OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() }),
         threads: None,
         workers: Some(4),
+        trace: None,
     };
     match state.handle(&request) {
         Response::GraphPlanned { plan, .. } => (plan.fused_volume, plan.unfused_volume),
@@ -248,6 +293,20 @@ fn main() {
     eprintln!("bench_mopt: report written to {}", out.display());
     std::fs::remove_dir_all(&db_dir).ok();
 
+    // Self-check: per-tier latency attribution must account for every
+    // request in every phase, so consumers of BENCH_mopt.json can trust it.
+    for phase in [&report.cold, &report.warm, &report.db_warm] {
+        let attributed = phase.cache_latency.requests
+            + phase.db_latency.requests
+            + phase.solver_latency.requests;
+        if attributed != phase.requests {
+            eprintln!(
+                "bench_mopt: tier attribution covers {attributed} of {} requests",
+                phase.requests
+            );
+            std::process::exit(1);
+        }
+    }
     // Self-check: the db-warm phase must have run without optimizer solves.
     if report.db_warm.solver_tier != 0 {
         eprintln!(

@@ -71,5 +71,5 @@ pub use cost::{single_level_volume, ArrayVolumes, CostOptions, RealTiles};
 pub use fused::{
     evaluate_fusion, evaluate_fusion_for_threads, fusable_pair, FusabilityCheck, FusionEvaluation,
 };
-pub use multilevel::{MultiLevelModel, ParallelSpec};
+pub use multilevel::{CostBreakdown, LevelCost, MultiLevelModel, ParallelSpec};
 pub use prune::{pruned_classes, PermutationClass};

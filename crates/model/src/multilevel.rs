@@ -205,6 +205,60 @@ impl ModelPrediction {
     }
 }
 
+/// One memory level's row in a [`CostBreakdown`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelCost {
+    /// The memory level.
+    pub level: TilingLevel,
+    /// Tile footprint at the level (elements, per thread).
+    pub footprint_elems: f64,
+    /// Capacity available to one thread at the level (elements; the shared
+    /// L3 contributes a `1/P` share).
+    pub capacity_elems: f64,
+    /// `footprint − capacity`: non-positive for a feasible configuration.
+    pub slack_elems: f64,
+    /// Data volume crossing the boundary that fills the level (elements,
+    /// whole chip).
+    pub volume_elems: f64,
+    /// Bandwidth-scaled cost of the level (cycles).
+    pub scaled_cost: f64,
+    /// The level's share of the certified price: the bottleneck level
+    /// carries the full bottleneck cost, every other level exactly `0.0`,
+    /// so the column sums to the configuration's predicted cost bit for bit
+    /// (the model's figure of merit is a max, not a sum — see
+    /// [`CostBreakdown`]).
+    pub attributed_cost: f64,
+}
+
+/// Per-memory-level decomposition of one configuration's predicted cost,
+/// served by the `Explain` verb.
+///
+/// The model's certified price is the *bottleneck* `max_l DV_l / BW_l`, not
+/// a sum of per-level terms: levels overlap in time and only the slowest
+/// boundary is paid. `levels[..].scaled_cost` exposes every level's real
+/// scaled cost (what the max ranges over), while `attributed_cost` assigns
+/// the whole certified price to the bottleneck level and zero elsewhere so
+/// that summing the attribution reproduces `total_cost` exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// One row per memory level, innermost (Register) first.
+    pub levels: Vec<LevelCost>,
+    /// The predicted bottleneck level.
+    pub bottleneck: TilingLevel,
+    /// The certified price: the bottleneck's bandwidth-scaled cost (cycles).
+    pub total_cost: f64,
+    /// FLOPs of the operator.
+    pub flops: f64,
+}
+
+impl CostBreakdown {
+    /// Sum of the per-level attributed costs — equal to `total_cost` bit for
+    /// bit by construction.
+    pub fn attributed_total(&self) -> f64 {
+        self.levels.iter().map(|l| l.attributed_cost).sum()
+    }
+}
+
 /// The multi-level analytical model for one operator on one machine.
 #[derive(Debug, Clone)]
 pub struct MultiLevelModel {
@@ -418,6 +472,44 @@ impl MultiLevelModel {
         model.permutation = config.permutation.clone();
         model.predict_tiles(&MultiLevelTiles::from_config(config))
     }
+
+    /// Decompose a configuration's prediction into per-level footprints,
+    /// capacities, slacks, traffic, and scaled costs (the `Explain` verb's
+    /// payload). Uses the configuration's own permutation, exactly like
+    /// [`MultiLevelModel::predict_config`].
+    pub fn cost_breakdown(&self, config: &TileConfig) -> CostBreakdown {
+        let mut model = self.clone();
+        model.permutation = config.permutation.clone();
+        let tiles = MultiLevelTiles::from_config(config);
+        let prediction = model.predict_tiles(&tiles);
+        let levels = TilingLevel::ALL
+            .iter()
+            .map(|&level| {
+                let capacity =
+                    self.machine.capacity_per_thread(level, self.parallel.threads) as f64;
+                let footprint = model.footprint(&tiles, level);
+                LevelCost {
+                    level,
+                    footprint_elems: footprint,
+                    capacity_elems: capacity,
+                    slack_elems: footprint - capacity,
+                    volume_elems: prediction.volume(level),
+                    scaled_cost: prediction.scaled_cost(level),
+                    attributed_cost: if level == prediction.bottleneck {
+                        prediction.bottleneck_cost
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        CostBreakdown {
+            levels,
+            bottleneck: prediction.bottleneck,
+            total_cost: prediction.bottleneck_cost,
+            flops: prediction.flops,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -578,6 +670,39 @@ mod tests {
         let mut reduction = ParallelSpec::default_for(&s, 2);
         reduction.factors[LoopIndex::C.canonical_position()] = 2;
         assert!(!reduction.is_valid());
+    }
+
+    #[test]
+    fn cost_breakdown_matches_the_prediction_and_attributes_the_full_price() {
+        let m = model();
+        let s = shape();
+        let mut cfg = TileConfig::untiled(&s);
+        cfg.tiles[TilingLevel::Register.ordinal()] = TileSizes::from_array([1, 4, 1, 1, 1, 1, 4]);
+        cfg.tiles[TilingLevel::L1.ordinal()] = TileSizes::from_array([1, 8, 4, 3, 3, 4, 7]);
+        cfg.tiles[TilingLevel::L2.ordinal()] = TileSizes::from_array([1, 16, 8, 3, 3, 7, 14]);
+        let cfg = cfg.normalized(&s);
+        let prediction = m.predict_config(&cfg);
+        let breakdown = m.cost_breakdown(&cfg);
+        assert_eq!(breakdown.levels.len(), 4);
+        assert_eq!(breakdown.bottleneck, prediction.bottleneck);
+        assert_eq!(breakdown.total_cost, prediction.bottleneck_cost);
+        assert_eq!(breakdown.flops, prediction.flops);
+        for row in &breakdown.levels {
+            assert_eq!(row.scaled_cost, prediction.scaled_cost(row.level));
+            assert_eq!(row.volume_elems, prediction.volume(row.level));
+            assert_eq!(row.slack_elems, row.footprint_elems - row.capacity_elems);
+            assert_eq!(
+                row.footprint_elems - row.capacity_elems,
+                m.capacity_slack(&MultiLevelTiles::from_config(&cfg), row.level)
+            );
+        }
+        // The attribution sums to the certified price exactly: the
+        // bottleneck row carries it all, the others are literal zeros.
+        assert_eq!(breakdown.attributed_total(), breakdown.total_cost);
+        let nonzero: Vec<_> =
+            breakdown.levels.iter().filter(|l| l.attributed_cost != 0.0).collect();
+        assert_eq!(nonzero.len(), 1);
+        assert_eq!(nonzero[0].level, breakdown.bottleneck);
     }
 
     #[test]

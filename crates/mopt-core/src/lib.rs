@@ -48,5 +48,8 @@
 pub mod optimizer;
 pub mod validation;
 
-pub use optimizer::{MOptOptimizer, OptimizeResult, OptimizedConfig, OptimizerOptions};
+pub use optimizer::{
+    CandidateSearch, LevelHypothesis, MOptOptimizer, OptimizeResult, OptimizedConfig,
+    OptimizerOptions, SearchRound, SearchTrace,
+};
 pub use validation::{spearman_correlation, top_k_loss, ValidationPoint, ValidationReport};

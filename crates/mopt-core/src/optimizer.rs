@@ -20,6 +20,8 @@ use mopt_model::multilevel::{ModelPrediction, MultiLevelModel, MultiLevelTiles, 
 use mopt_model::prune::pruned_classes;
 use mopt_solver::{floor_refine, IntegerRefineOptions, MultiStart, NlpSolver, Problem};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Options controlling the optimizer.
 ///
@@ -106,6 +108,99 @@ impl OptimizeResult {
     }
 }
 
+/// One bottleneck hypothesis evaluated in a search round: `level` was
+/// hypothesized to dominate, the constrained solve reached `cost`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelHypothesis {
+    /// The memory level hypothesized as the bottleneck.
+    pub level: TilingLevel,
+    /// The bandwidth-scaled cost the constrained solve reached.
+    pub cost: f64,
+    /// Whether the solution satisfied every level's capacity constraint.
+    pub feasible: bool,
+}
+
+/// One round of the most-constrained-level-first loop: every unfixed level
+/// was hypothesized as the bottleneck and the cheapest hypothesis was fixed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchRound {
+    /// The level fixed this round.
+    pub fixed: TilingLevel,
+    /// The winning hypothesis's cost.
+    pub fixed_cost: f64,
+    /// Every hypothesis evaluated this round (including the winner).
+    pub hypotheses: Vec<LevelHypothesis>,
+}
+
+/// The search record of one candidate: a permutation class solved under one
+/// parallel decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateSearch {
+    /// The pruned class the candidate came from (1..=8).
+    pub class_id: usize,
+    /// The class representative permutation, rendered.
+    pub permutation: String,
+    /// Concrete permutations this class stands for after symmetry pruning.
+    pub member_count: usize,
+    /// Threads the candidate targets.
+    pub threads: usize,
+    /// Per-dimension parallel factors (canonical index order).
+    pub parallel_factors: Vec<usize>,
+    /// The most-constrained-level-first rounds, in order.
+    pub rounds: Vec<SearchRound>,
+    /// Tile configurations enumerated by the non-linear solver.
+    pub enumerated: u64,
+    /// Enumerated configurations rejected by a capacity constraint.
+    pub capacity_pruned: u64,
+    /// Feasible bottleneck hypotheses discarded because another level's
+    /// hypothesis was cheaper (the min–max dominance choice).
+    pub dominance_pruned: u64,
+    /// The candidate's final integer-configuration predicted cost.
+    pub predicted_cost: f64,
+}
+
+/// The optimizer's full search trace, recorded by
+/// [`MOptOptimizer::optimize_traced`] and served by the `Explain` verb.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchTrace {
+    /// Loop permutations the design space contains before pruning (7! = 5040).
+    pub permutations_total: u64,
+    /// Pruned permutation classes actually searched.
+    pub classes_searched: u64,
+    /// Permutations never evaluated: the total minus the one representative
+    /// solved per searched class (symmetry pruning plus any `max_classes`
+    /// restriction).
+    pub permutations_pruned: u64,
+    /// Tile configurations enumerated across all candidates.
+    pub enumerated: u64,
+    /// Enumerated configurations rejected by capacity constraints.
+    pub capacity_pruned: u64,
+    /// Feasible hypotheses discarded by the dominance (min–max) choice.
+    pub dominance_pruned: u64,
+    /// Per-candidate search records, in evaluation order.
+    pub candidates: Vec<CandidateSearch>,
+    /// Class id of the winning configuration.
+    pub winner_class: usize,
+    /// The winner's predicted bottleneck cost.
+    pub winner_cost: f64,
+    /// The runner-up's predicted cost, when more than one candidate ranked.
+    pub runner_up_cost: Option<f64>,
+    /// `runner_up_cost - winner_cost`: how decisively the winner won.
+    pub margin: Option<f64>,
+}
+
+/// Lock-free tallies threaded into the solver's objective closure when a
+/// search trace is being recorded (a `None` branch on the untraced path).
+#[derive(Debug, Default)]
+struct SolveCounters {
+    enumerated: AtomicU64,
+    capacity_pruned: AtomicU64,
+}
+
+/// Capacity-slack tolerance (in elements) below which a continuous solution
+/// counts as feasible for trace reporting.
+const SLACK_TOLERANCE: f64 = 1e-6;
+
 /// The MOpt optimizer for one operator on one machine.
 #[derive(Debug, Clone)]
 pub struct MOptOptimizer {
@@ -158,10 +253,41 @@ impl MOptOptimizer {
     ///
     /// Panics if `keep_top` is zero.
     pub fn optimize(&self) -> OptimizeResult {
+        self.optimize_inner(None)
+    }
+
+    /// Run the exploration while recording a [`SearchTrace`]: hypotheses per
+    /// round, enumerated/pruned counts, winner and margin.
+    ///
+    /// The search itself is byte-identical to [`MOptOptimizer::optimize`]
+    /// (the solver is seeded, and recording only tallies on the side), so
+    /// the returned result matches an untraced run bit for bit — the
+    /// property the `Explain` verb relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_top` is zero.
+    pub fn optimize_traced(&self) -> (OptimizeResult, SearchTrace) {
+        let mut trace = SearchTrace::default();
+        let result = self.optimize_inner(Some(&mut trace));
+        (result, trace)
+    }
+
+    fn optimize_inner(&self, mut trace: Option<&mut SearchTrace>) -> OptimizeResult {
         assert!(self.options.keep_top > 0, "keep_top must be at least 1");
         let start = std::time::Instant::now();
         let mut candidates: Vec<OptimizedConfig> = Vec::new();
-        for class in pruned_classes().into_iter().take(self.options.max_classes.max(1)) {
+        let classes = pruned_classes();
+        if let Some(trace) = trace.as_deref_mut() {
+            // 7! loop orders exist before pruning; the eight classes'
+            // members are cost-equivalent to their representative, everything
+            // else is dominated (Sec. 4).
+            trace.permutations_total = (1..=7u64).product();
+        }
+        for class in classes.into_iter().take(self.options.max_classes.max(1)) {
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.classes_searched += 1;
+            }
             for parallel in self.parallel_candidates() {
                 let model = MultiLevelModel::new(
                     self.shape,
@@ -170,9 +296,28 @@ impl MOptOptimizer {
                 )
                 .with_options(CostOptions { line_elems: self.options.line_elems })
                 .with_parallel(parallel);
-                let tiles = self.solve_class(&model);
+                let mut recorder = trace.as_deref_mut().map(|_| CandidateSearch {
+                    class_id: class.id,
+                    permutation: class.representative.to_string(),
+                    member_count: class.member_count,
+                    threads: model.parallel.threads,
+                    parallel_factors: Self::parallel_factors(&model.parallel).as_array().to_vec(),
+                    rounds: Vec::new(),
+                    enumerated: 0,
+                    capacity_pruned: 0,
+                    dominance_pruned: 0,
+                    predicted_cost: 0.0,
+                });
+                let tiles = self.solve_class(&model, recorder.as_mut());
                 let config = self.to_integer_config(&model, &tiles, &class.representative);
                 let prediction = model.predict_config(&config);
+                if let (Some(trace), Some(mut rec)) = (trace.as_deref_mut(), recorder) {
+                    rec.predicted_cost = prediction.bottleneck_cost;
+                    trace.enumerated += rec.enumerated;
+                    trace.capacity_pruned += rec.capacity_pruned;
+                    trace.dominance_pruned += rec.dominance_pruned;
+                    trace.candidates.push(rec);
+                }
                 candidates.push(OptimizedConfig {
                     config,
                     class_id: class.id,
@@ -185,18 +330,43 @@ impl MOptOptimizer {
             a.predicted_cost.partial_cmp(&b.predicted_cost).unwrap_or(std::cmp::Ordering::Equal)
         });
         candidates.truncate(self.options.keep_top);
+        if let Some(trace) = trace {
+            trace.permutations_pruned =
+                trace.permutations_total.saturating_sub(trace.classes_searched);
+            trace.winner_class = candidates[0].class_id;
+            trace.winner_cost = candidates[0].predicted_cost;
+            trace.runner_up_cost = candidates.get(1).map(|c| c.predicted_cost);
+            trace.margin = trace.runner_up_cost.map(|r| r - trace.winner_cost);
+        }
         OptimizeResult { ranked: candidates, optimize_seconds: start.elapsed().as_secs_f64() }
     }
 
     /// Multi-level tile-size selection for one permutation class
     /// (the `while NotVisitedLvls ≠ ∅` loop of Algorithm 1).
-    fn solve_class(&self, model: &MultiLevelModel) -> MultiLevelTiles {
+    ///
+    /// When `recorder` is set, every bottleneck hypothesis and the solver's
+    /// enumeration/pruning tallies are recorded into it; the solve itself is
+    /// unchanged.
+    fn solve_class(
+        &self,
+        model: &MultiLevelModel,
+        mut recorder: Option<&mut CandidateSearch>,
+    ) -> MultiLevelTiles {
+        let counters = recorder.as_ref().map(|_| Arc::new(SolveCounters::default()));
         let mut fixed: [Option<RealTiles>; NUM_TILING_LEVELS] = [None; NUM_TILING_LEVELS];
         let mut not_visited: Vec<TilingLevel> = TilingLevel::ALL.to_vec();
         while !not_visited.is_empty() {
             let mut best: Option<(TilingLevel, f64, MultiLevelTiles)> = None;
+            let mut hypotheses: Vec<LevelHypothesis> = Vec::new();
             for &obj_level in &not_visited {
-                let (cost, tiles) = self.arg_min_solve(model, obj_level, &fixed, &not_visited);
+                let (cost, tiles) =
+                    self.arg_min_solve(model, obj_level, &fixed, &not_visited, counters.as_ref());
+                if recorder.is_some() {
+                    let feasible = TilingLevel::ALL
+                        .iter()
+                        .all(|&l| model.capacity_slack(&tiles, l) <= SLACK_TOLERANCE);
+                    hypotheses.push(LevelHypothesis { level: obj_level, cost, feasible });
+                }
                 let better = match &best {
                     None => true,
                     Some((_, c, _)) => cost < *c,
@@ -205,10 +375,19 @@ impl MOptOptimizer {
                     best = Some((obj_level, cost, tiles));
                 }
             }
-            let (min_level, _cost, tiles) =
+            let (min_level, cost, tiles) =
                 best.expect("at least one unvisited level was evaluated");
+            if let Some(rec) = recorder.as_deref_mut() {
+                rec.dominance_pruned +=
+                    hypotheses.iter().filter(|h| h.feasible && h.level != min_level).count() as u64;
+                rec.rounds.push(SearchRound { fixed: min_level, fixed_cost: cost, hypotheses });
+            }
             fixed[min_level.ordinal()] = Some(*tiles.level(min_level));
             not_visited.retain(|&l| l != min_level);
+        }
+        if let (Some(rec), Some(counters)) = (recorder, counters) {
+            rec.enumerated += counters.enumerated.load(Ordering::Relaxed);
+            rec.capacity_pruned += counters.capacity_pruned.load(Ordering::Relaxed);
         }
         MultiLevelTiles {
             levels: [
@@ -228,6 +407,7 @@ impl MOptOptimizer {
         obj_level: TilingLevel,
         fixed: &[Option<RealTiles>; NUM_TILING_LEVELS],
         not_visited: &[TilingLevel],
+        counters: Option<&Arc<SolveCounters>>,
     ) -> (f64, MultiLevelTiles) {
         let free_levels: Vec<TilingLevel> = not_visited.to_vec();
         let dim = free_levels.len() * 7;
@@ -267,8 +447,18 @@ impl MOptOptimizer {
 
         let model_obj = model.clone();
         let assemble_obj = assemble.clone();
+        let counters_obj = counters.cloned();
+        let free_obj = free_levels.clone();
         let mut problem = Problem::new(dim).with_bounds(lower, upper).with_objective(move |x| {
             let tiles = assemble_obj(x);
+            // Trace-only tallies: a branch on `None` when recording is off,
+            // so the untraced hot path is unchanged.
+            if let Some(counters) = &counters_obj {
+                counters.enumerated.fetch_add(1, Ordering::Relaxed);
+                if free_obj.iter().any(|&l| model_obj.capacity_slack(&tiles, l) > 0.0) {
+                    counters.capacity_pruned.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             model_obj.scaled_cost(&tiles, obj_level)
         });
 
@@ -646,6 +836,42 @@ mod tests {
         for level in [TilingLevel::L1, TilingLevel::L2, TilingLevel::L3] {
             assert!(cfg.level(level).footprint(&shape) <= machine.capacity(level));
         }
+    }
+
+    #[test]
+    fn traced_search_matches_untraced_bit_for_bit_and_accounts_for_the_space() {
+        let shape = small_shape();
+        let opt = optimizer(shape);
+        let plain = opt.optimize();
+        let (traced, trace) = opt.optimize_traced();
+        // The recorder only tallies on the side: the ranked configurations
+        // (tiles, permutations, predictions) are byte-identical.
+        assert_eq!(plain.ranked, traced.ranked);
+        // The design space is fully accounted for.
+        assert_eq!(trace.permutations_total, 5040, "7! loop orders before pruning");
+        assert_eq!(trace.classes_searched, 3, "max_classes = 3 in the test optimizer");
+        assert_eq!(trace.permutations_pruned, 5040 - 3);
+        assert_eq!(trace.candidates.len(), 3, "sequential run: one candidate per class");
+        assert!(trace.enumerated > 0, "the solver enumerated configurations");
+        assert!(trace.capacity_pruned > 0, "some enumerated configs violated capacity");
+        assert!(trace.capacity_pruned <= trace.enumerated);
+        for candidate in &trace.candidates {
+            assert_eq!(candidate.rounds.len(), 4, "one round per memory level");
+            let mut remaining = 4;
+            for round in &candidate.rounds {
+                assert_eq!(round.hypotheses.len(), remaining);
+                remaining -= 1;
+                assert!(round.hypotheses.iter().any(|h| h.level == round.fixed));
+                assert!(round.fixed_cost.is_finite());
+            }
+            assert!(candidate.predicted_cost.is_finite() && candidate.predicted_cost > 0.0);
+            assert!(candidate.permutation.len() > 2, "rendered representative");
+        }
+        // Winner bookkeeping matches the ranking.
+        assert_eq!(trace.winner_class, traced.ranked[0].class_id);
+        assert_eq!(trace.winner_cost, traced.ranked[0].predicted_cost);
+        assert_eq!(trace.runner_up_cost, Some(traced.ranked[1].predicted_cost));
+        assert!(trace.margin.unwrap() >= 0.0);
     }
 
     #[test]

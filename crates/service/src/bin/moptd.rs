@@ -35,12 +35,16 @@
 //! echo '{"Optimize": {"op": "Y0", "machine": {"Preset": "i7-9700k"}}}' | moptd --stdio
 //! ```
 //!
-//! Verbs: `Optimize`, `PlanNetwork`, `PlanGraph` (fusion-aware graph
-//! planning), `Stats`, `Save`, `Metrics` (per-verb latency histograms and
-//! in-flight gauges), `Ping` (replies with the crate version). Client
-//! disconnects — stdin EOF, broken pipes, connection resets — end a
-//! connection gracefully: state is persisted and nothing is logged as an
-//! error.
+//! Verbs: `Optimize`, `Explain` (schedule plus the optimizer's search trace
+//! and cost breakdown), `PlanNetwork`, `PlanGraph` (fusion-aware graph
+//! planning), `Stats`, `Save`, `Metrics` (per-verb latency histograms,
+//! error counters and in-flight gauges; `{"format": "prometheus"}` for
+//! text exposition), `Trace` (the slow-request log armed by `--slow-ms`),
+//! `Ping` (replies with the crate version). Any
+//! `Optimize`/`PlanNetwork`/`PlanGraph` request may set `"trace": true` to
+//! get its span tree inline in the response. Client disconnects — stdin
+//! EOF, broken pipes, connection resets — end a connection gracefully:
+//! state is persisted and nothing is logged as an error.
 
 use std::sync::Arc;
 
@@ -54,6 +58,7 @@ struct Args {
     db: Option<std::path::PathBuf>,
     capacity: usize,
     workers: usize,
+    slow_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
         db: None,
         capacity: 4096,
         workers: 0,
+        slow_ms: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -97,6 +103,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --workers: {e}"))?;
             }
+            "--slow-ms" => {
+                args.slow_ms = it
+                    .next()
+                    .ok_or("--slow-ms needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --slow-ms: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "moptd — MOpt schedule server\n\n\
@@ -107,10 +120,12 @@ fn parse_args() -> Result<Args, String> {
                      --snapshot-dir DIR   sharded snapshot dir (incremental saves)\n  \
                      --db DIR             persistent schedule database (see mopt-plan-world)\n  \
                      --capacity N         schedule cache capacity (default 4096)\n  \
-                     --workers N          TCP request workers (default: CPU count, max 8)\n\n\
+                     --workers N          TCP request workers (default: CPU count, max 8)\n  \
+                     --slow-ms MS         keep traces of requests slower than MS ms (Trace verb)\n\n\
                      One JSON request per input line, one JSON response per output line;\n\
                      TCP connections may pipeline requests. SIGINT/SIGTERM drain gracefully.\n\
-                     Requests: Optimize, PlanNetwork, PlanGraph, Stats, Save, Metrics, Ping.\n\
+                     Requests: Optimize, Explain, PlanNetwork, PlanGraph, Stats, Save,\n\
+                     Metrics, Trace, Ping.\n\
                      See README.md and docs/PROTOCOL.md."
                 );
                 std::process::exit(0);
@@ -181,9 +196,13 @@ fn main() {
             }
         };
     }
+    if args.slow_ms > 0 {
+        state = state.with_slow_ms(args.slow_ms);
+    }
     let state = Arc::new(state);
 
     if args.stdio {
+        state.set_configured_workers(1);
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         // Count the stdio session in the same gauge TCP connections use, so

@@ -99,6 +99,10 @@ impl ShutdownHandle {
 struct Job {
     token: u64,
     line: String,
+    /// When the line left the connection's pipeline for the worker queue —
+    /// the queue wait up to the worker's dequeue is attributed to the
+    /// request's trace.
+    enqueued: Instant,
 }
 
 /// A parsed item waiting in a connection's pipeline.
@@ -234,6 +238,7 @@ impl EventLoopServer {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        state.set_configured_workers(config.effective_workers());
         let poller = Poller::new()?;
         let waker = Arc::new(Waker::new()?);
         poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
@@ -285,11 +290,13 @@ impl EventLoopServer {
                         // this catch is the last line of defense so a worker
                         // bug degrades to an Error response, not a hung
                         // connection.
-                        let reply = catch_unwind(AssertUnwindSafe(|| state.handle_line(&job.line)))
-                            .unwrap_or_else(|_| {
-                                "{\"Error\":{\"message\":\"internal: request handler panicked\"}}"
-                                    .to_string()
-                            });
+                        let reply = catch_unwind(AssertUnwindSafe(|| {
+                            state.serve_line(&job.line, job.enqueued.elapsed())
+                        }))
+                        .unwrap_or_else(|_| {
+                            "{\"Error\":{\"message\":\"internal: request handler panicked\"}}"
+                                .to_string()
+                        });
                         lock_recover(&completions).push((job.token, reply));
                         waker.wake();
                     })
@@ -408,7 +415,7 @@ impl EventLoopServer {
                     match conn.pipeline.pop_front() {
                         Some(Pending::Line(line)) => {
                             conn.busy = true;
-                            if job_tx.send(Job { token, line }).is_err() {
+                            if job_tx.send(Job { token, line, enqueued: Instant::now() }).is_err() {
                                 conn.dead = true;
                             }
                         }

@@ -21,11 +21,15 @@
 //!   N concurrent misses on one fingerprint key share exactly one
 //!   computation, and a leader panic releases (without poisoning) every
 //!   waiter,
-//! * [`metrics`] — per-verb latency histograms and in-flight gauges behind
-//!   the `Metrics` verb,
+//! * [`metrics`] — per-verb latency histograms, per-verb error counters and
+//!   in-flight gauges behind the `Metrics` verb,
+//! * [`prometheus`] — text-exposition rendering of those metrics for
+//!   `{"Metrics": {"format": "prometheus"}}`,
 //! * [`server`] — a JSON-lines request/response protocol (`Optimize`,
-//!   `PlanNetwork`, `PlanGraph`, `Stats`, `Save`, `Metrics`, `Ping`)
-//!   served over stdin/stdout by the `moptd` binary,
+//!   `Explain`, `PlanNetwork`, `PlanGraph`, `Stats`, `Save`, `Metrics`,
+//!   `Trace`, `Ping`) served over stdin/stdout by the `moptd` binary, with
+//!   opt-in end-to-end request tracing ([`mopt_trace`]) threaded through
+//!   every tier and a `--slow-ms` slow-request log,
 //! * [`eventloop`] — the TCP front end: a non-blocking readiness event
 //!   loop (epoll via the vendored [`miniepoll`] shim) that multiplexes
 //!   every connection on one thread, supports pipelined requests with
@@ -69,6 +73,7 @@ pub mod eventloop;
 pub mod graphs;
 pub mod metrics;
 pub mod persist;
+pub mod prometheus;
 pub mod server;
 pub mod singleflight;
 
@@ -83,6 +88,7 @@ pub use persist::{
     PersistError, Snapshot,
 };
 pub use server::{
-    MachineSpec, Request, Response, ServiceState, ServiceStats, Tier, MAX_REQUEST_BYTES,
+    MachineSpec, Request, Response, ServiceState, ServiceStats, SlowTrace, Tier, MAX_REQUEST_BYTES,
+    SLOW_LOG_CAPACITY,
 };
 pub use singleflight::{FlightBreakdown, FlightStats, SingleFlight};

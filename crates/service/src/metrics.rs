@@ -1,7 +1,10 @@
-//! Service metrics: per-verb latency histograms and in-flight gauges,
-//! served by the `Metrics` verb.
+//! Service metrics: per-verb latency histograms, per-verb error counters and
+//! in-flight gauges, served by the `Metrics` verb.
 //!
-//! Latency is recorded into log2-bucketed histograms — bucket `i` covers
+//! The histogram itself lives in [`mopt_trace`] (it is shared with the
+//! single-flight waiter-wait instrumentation); this module re-exports it so
+//! existing `crate::metrics::LatencyHistogram` paths keep working. Latency is
+//! recorded into log2-bucketed histograms — bucket `i` covers
 //! `[2^i, 2^(i+1))` microseconds — so one fixed-size array of atomics spans
 //! sub-microsecond cache hits and multi-second cold solves with zero
 //! allocation on the request path. The wire snapshot lists only non-empty
@@ -13,85 +16,10 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-/// Number of log2 buckets: bucket 63 absorbs everything ≥ 2^63 µs.
-const BUCKETS: usize = 64;
+pub use mopt_trace::{HistogramBucket, LatencyHistogram, LatencySnapshot};
 
-/// A lock-free latency histogram with log2 microsecond buckets.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_micros: AtomicU64,
-    max_micros: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_micros: AtomicU64::new(0),
-            max_micros: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Record one observation.
-    pub fn record(&self, elapsed: Duration) {
-        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
-    }
-
-    /// Serializable snapshot (non-empty buckets only).
-    pub fn snapshot(&self) -> LatencySnapshot {
-        let count = self.count.load(Ordering::Relaxed);
-        let sum = self.sum_micros.load(Ordering::Relaxed);
-        LatencySnapshot {
-            count,
-            mean_micros: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
-            max_micros: self.max_micros.load(Ordering::Relaxed),
-            buckets: self
-                .buckets
-                .iter()
-                .enumerate()
-                .filter_map(|(i, c)| {
-                    let c = c.load(Ordering::Relaxed);
-                    (c > 0).then(|| HistogramBucket {
-                        le_micros: if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 },
-                        count: c,
-                    })
-                })
-                .collect(),
-        }
-    }
-}
-
-/// One non-empty histogram bucket on the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct HistogramBucket {
-    /// Upper bound of the bucket, inclusive, in microseconds.
-    pub le_micros: u64,
-    /// Observations in the bucket.
-    pub count: u64,
-}
-
-/// Wire form of one verb's latency distribution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LatencySnapshot {
-    /// Observations recorded.
-    pub count: u64,
-    /// Mean latency in microseconds.
-    pub mean_micros: f64,
-    /// Worst observed latency in microseconds.
-    pub max_micros: u64,
-    /// Non-empty log2 buckets, ascending.
-    pub buckets: Vec<HistogramBucket>,
-}
+/// Number of protocol verbs (histogram / error-counter array size).
+const VERBS: usize = 9;
 
 /// The protocol verbs, as histogram indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,10 +38,15 @@ pub enum Verb {
     Ping,
     /// `Metrics`.
     Metrics,
+    /// `Explain`.
+    Explain,
+    /// `Trace`.
+    Trace,
 }
 
 impl Verb {
-    const ALL: [Verb; 7] = [
+    /// Every verb, in wire-documentation order.
+    pub const ALL: [Verb; VERBS] = [
         Verb::Optimize,
         Verb::PlanNetwork,
         Verb::PlanGraph,
@@ -121,9 +54,12 @@ impl Verb {
         Verb::Save,
         Verb::Ping,
         Verb::Metrics,
+        Verb::Explain,
+        Verb::Trace,
     ];
 
-    fn name(self) -> &'static str {
+    /// The verb's wire name (`"Optimize"`, ...).
+    pub fn name(self) -> &'static str {
         match self {
             Verb::Optimize => "Optimize",
             Verb::PlanNetwork => "PlanNetwork",
@@ -132,6 +68,8 @@ impl Verb {
             Verb::Save => "Save",
             Verb::Ping => "Ping",
             Verb::Metrics => "Metrics",
+            Verb::Explain => "Explain",
+            Verb::Trace => "Trace",
         }
     }
 }
@@ -140,7 +78,9 @@ impl Verb {
 /// take `&self` and are lock-free.
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
-    verbs: [LatencyHistogram; 7],
+    verbs: [LatencyHistogram; VERBS],
+    errors: [AtomicU64; VERBS],
+    parse_errors: AtomicU64,
     in_flight_requests: AtomicU64,
     open_connections: AtomicU64,
     connections_accepted: AtomicU64,
@@ -150,6 +90,17 @@ impl ServiceMetrics {
     /// Record a served request of `verb` that took `elapsed`.
     pub fn record(&self, verb: Verb, elapsed: Duration) {
         self.verbs[verb as usize].record(elapsed);
+    }
+
+    /// Record a request of `verb` that was answered with an `Error` response.
+    /// (The latency is recorded separately by [`ServiceMetrics::record`].)
+    pub fn record_error(&self, verb: Verb) {
+        self.errors[verb as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request line that failed to parse (no verb to charge).
+    pub fn record_parse_error(&self) {
+        self.parse_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Mark a request as entering dispatch. The guard decrements on drop, so
@@ -176,6 +127,43 @@ impl ServiceMetrics {
         self.open_connections.load(Ordering::Relaxed)
     }
 
+    /// Connections accepted since startup.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    /// One verb's full latency distribution (all-zero if never served).
+    pub fn verb_latency(&self, verb: Verb) -> LatencySnapshot {
+        self.verbs[verb as usize].snapshot()
+    }
+
+    /// `Error` responses charged to one verb.
+    pub fn verb_errors(&self, verb: Verb) -> u64 {
+        self.errors[verb as usize].load(Ordering::Relaxed)
+    }
+
+    /// Request lines that failed to parse.
+    pub fn parse_errors(&self) -> u64 {
+        self.parse_errors.load(Ordering::Relaxed)
+    }
+
+    /// Serializable error-counter snapshot (verbs with zero errors omitted).
+    pub fn error_counts(&self) -> ErrorCounts {
+        let verbs: Vec<VerbErrors> = Verb::ALL
+            .iter()
+            .map(|&verb| VerbErrors {
+                verb: verb.name().to_string(),
+                count: self.verb_errors(verb),
+            })
+            .filter(|v| v.count > 0)
+            .collect();
+        ErrorCounts {
+            total: verbs.iter().map(|v| v.count).sum(),
+            parse_errors: self.parse_errors(),
+            verbs,
+        }
+    }
+
     /// Serializable snapshot for the `Metrics` reply. Flight counters are
     /// supplied by the caller (they live next to the caches, not here).
     pub fn report(&self, flight: crate::singleflight::FlightBreakdown) -> MetricsReport {
@@ -188,6 +176,7 @@ impl ServiceMetrics {
                 })
                 .filter(|v| v.latency.count > 0)
                 .collect(),
+            errors: self.error_counts(),
             in_flight_requests: self.in_flight_requests(),
             open_connections: self.open_connections(),
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
@@ -217,11 +206,34 @@ pub struct VerbLatency {
     pub latency: LatencySnapshot,
 }
 
+/// Per-verb `Error`-response counts, labeled for the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerbErrors {
+    /// The verb name (`"Optimize"`, ...).
+    pub verb: String,
+    /// `Error` responses served for the verb.
+    pub count: u64,
+}
+
+/// Error-counter snapshot, served under `Stats.errors` and in the
+/// `Metrics` report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorCounts {
+    /// Total `Error` responses across all verbs (excludes parse errors).
+    pub total: u64,
+    /// Request lines that failed to parse into any verb.
+    pub parse_errors: u64,
+    /// Per-verb breakdown (verbs with zero errors omitted).
+    pub verbs: Vec<VerbErrors>,
+}
+
 /// The `Metrics` reply body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsReport {
     /// Latency per verb (verbs never served are omitted).
     pub verbs: Vec<VerbLatency>,
+    /// `Error` responses per verb, plus parse failures.
+    pub errors: ErrorCounts,
     /// Requests currently inside a handler.
     pub in_flight_requests: u64,
     /// Connections currently open (TCP event loop or stdio).
@@ -246,6 +258,7 @@ mod tests {
         let snap = hist.snapshot();
         assert_eq!(snap.count, 4);
         assert_eq!(snap.max_micros, 5000);
+        assert_eq!(snap.sum_micros, 1 + 3 + 3 + 5000);
         assert!((snap.mean_micros - (1.0 + 3.0 + 3.0 + 5000.0) / 4.0).abs() < 1e-9);
         assert_eq!(
             snap.buckets,
@@ -286,5 +299,28 @@ mod tests {
         let text = serde_json::to_string(&report).unwrap();
         let back: MetricsReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn error_counters_are_per_verb_and_skip_zeroes() {
+        let metrics = ServiceMetrics::default();
+        metrics.record_error(Verb::Optimize);
+        metrics.record_error(Verb::Optimize);
+        metrics.record_error(Verb::PlanGraph);
+        metrics.record_parse_error();
+        let errors = metrics.error_counts();
+        assert_eq!(errors.total, 3);
+        assert_eq!(errors.parse_errors, 1);
+        assert_eq!(
+            errors.verbs,
+            vec![
+                VerbErrors { verb: "Optimize".to_string(), count: 2 },
+                VerbErrors { verb: "PlanGraph".to_string(), count: 1 },
+            ]
+        );
+        // The snapshot round-trips through JSON.
+        let text = serde_json::to_string(&errors).unwrap();
+        let back: ErrorCounts = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, errors);
     }
 }

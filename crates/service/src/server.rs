@@ -8,28 +8,37 @@
 //! {"Optimize": {"op": "Y0", "machine": {"Preset": "i7-9700k"}}}
 //! {"PlanNetwork": {"suite": "resnet18", "machine": {"Preset": "tiny"}}}
 //! {"PlanGraph": {"block": "mbv2-block5", "machine": {"Preset": "i7-9700k"}}}
+//! {"Explain": {"op": "Y0", "machine": {"Preset": "i7-9700k"}}}
 //! "Stats"
 //! ```
 //!
 //! Malformed input never kills the connection: it produces an
 //! `{"Error": ...}` response and the loop continues.
+//!
+//! Any `Optimize`/`PlanNetwork`/`PlanGraph` request may set `"trace": true`
+//! to receive the request's span tree inline in the response; `Explain`
+//! re-answers a shape and adds the optimizer's search trace plus the
+//! winner's per-memory-level cost breakdown; `Trace` returns the slow-request
+//! log (armed with `moptd --slow-ms`).
 
 use std::io::{BufRead, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use conv_spec::{benchmarks, BenchmarkSuite, ConvShape, MachineModel};
-use mopt_core::{MOptOptimizer, OptimizeResult, OptimizerOptions};
+use mopt_core::{MOptOptimizer, OptimizeResult, OptimizerOptions, SearchTrace};
 use mopt_graph::{builders, Graph, GraphPlan, GraphPlanner};
+use mopt_model::{CostBreakdown, CostOptions, MultiLevelModel, ParallelSpec};
+use mopt_trace::{SpanNode, TraceContext, TraceRing};
 use serde::{Deserialize, Serialize};
 
 use crate::batch::{NamedLayer, NetworkPlan, NetworkPlanner};
 use crate::cache::{CacheKey, CacheStats, ScheduleCache};
 use crate::dbtier::{DbTier, DbTierStats};
 use crate::graphs::{GraphCacheKey, GraphPlanCache, GraphServiceStats};
-use crate::metrics::{MetricsReport, ServiceMetrics, Verb};
-use crate::singleflight::{FlightBreakdown, SingleFlight};
+use crate::metrics::{ErrorCounts, MetricsReport, ServiceMetrics, Verb};
+use crate::singleflight::{FlightBreakdown, Role, SingleFlight};
 
 /// How a request names the target machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,7 +75,12 @@ impl Default for MachineSpec {
 }
 
 /// A request line.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is written by hand (rather than derived) so that the
+/// verbs with all-optional bodies — `Metrics` and `Trace` — parse both as
+/// bare strings (`"Metrics"`) and as tagged objects
+/// (`{"Metrics": {"format": "prometheus"}}`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum Request {
     /// Optimize one operator: either a Table-1 name (`"Y0"`) or an explicit
     /// shape. `options` defaults to [`OptimizerOptions::default`].
@@ -83,6 +97,8 @@ pub enum Request {
         /// Joins the schedule-cache key: plans solved for different thread
         /// counts are distinct entries.
         threads: Option<usize>,
+        /// When `true`, the response carries the request's span tree.
+        trace: Option<bool>,
     },
     /// Plan a whole network: one of the benchmark suites by name, or an
     /// explicit layer list.
@@ -103,6 +119,8 @@ pub enum Request {
         threads: Option<usize>,
         /// Worker threads for the fresh solves (default: host parallelism).
         workers: Option<usize>,
+        /// When `true`, the response carries the request's span tree.
+        trace: Option<bool>,
     },
     /// Plan a whole network *graph* with the fusion-aware cross-layer
     /// planner: fusion cut-points are chosen by a dynamic program, fused
@@ -127,16 +145,126 @@ pub enum Request {
         /// Worker threads for the fresh per-operator solves (default: host
         /// parallelism).
         workers: Option<usize>,
+        /// When `true`, the response carries the request's span tree.
+        trace: Option<bool>,
+    },
+    /// Re-answer one operator like `Optimize`, and additionally return the
+    /// optimizer's search trace (candidates enumerated and pruned per
+    /// permutation class, the runner-up and margin) plus the winner's
+    /// per-memory-level cost breakdown.
+    Explain {
+        /// Table-1 operator name (e.g. `"Y0"`, `"R4*"`).
+        op: Option<String>,
+        /// Explicit shape (used when `op` is absent).
+        shape: Option<ConvShape>,
+        /// Target machine.
+        machine: MachineSpec,
+        /// Optimizer options.
+        options: Option<OptimizerOptions>,
+        /// Thread count the schedule targets (overrides `options.threads`).
+        threads: Option<usize>,
     },
     /// Report cache and service statistics.
     Stats,
-    /// Report per-verb latency histograms, in-flight gauges, and
-    /// single-flight coalescing counters.
-    Metrics,
+    /// Report per-verb latency histograms, error counters, in-flight
+    /// gauges, and single-flight coalescing counters. With
+    /// `{"format": "prometheus"}`, reply with text-exposition format
+    /// instead of JSON.
+    Metrics {
+        /// `"json"` (the default) or `"prometheus"`.
+        format: Option<String>,
+    },
+    /// Return the slow-request log: the last N requests that exceeded the
+    /// `--slow-ms` threshold, each with its full span tree.
+    Trace {
+        /// Return at most this many traces, newest last (default: all
+        /// retained).
+        limit: Option<usize>,
+    },
     /// Persist the cache to the server's snapshot path now.
     Save,
     /// Liveness check.
     Ping,
+}
+
+impl Deserialize for Request {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        if let Some(verb) = value.as_str() {
+            return match verb {
+                "Stats" => Ok(Request::Stats),
+                "Metrics" => Ok(Request::Metrics { format: None }),
+                "Trace" => Ok(Request::Trace { limit: None }),
+                "Save" => Ok(Request::Save),
+                "Ping" => Ok(Request::Ping),
+                other => Err(serde::DeError::custom(format!("unknown request verb `{other}`"))),
+            };
+        }
+        let pairs = value.as_object().ok_or_else(|| {
+            serde::DeError::expected("a verb string or a single-key object", "Request")
+        })?;
+        let [(verb, body)] = pairs else {
+            return Err(serde::DeError::expected("exactly one verb key", "Request"));
+        };
+        let fields = |context: &str| {
+            body.as_object().ok_or_else(|| serde::DeError::expected("an object body", context))
+        };
+        match verb.as_str() {
+            "Optimize" => {
+                let b = fields("Optimize")?;
+                Ok(Request::Optimize {
+                    op: serde::de_field(b, "op", "Optimize")?,
+                    shape: serde::de_field(b, "shape", "Optimize")?,
+                    machine: serde::de_field(b, "machine", "Optimize")?,
+                    options: serde::de_field(b, "options", "Optimize")?,
+                    threads: serde::de_field(b, "threads", "Optimize")?,
+                    trace: serde::de_field(b, "trace", "Optimize")?,
+                })
+            }
+            "PlanNetwork" => {
+                let b = fields("PlanNetwork")?;
+                Ok(Request::PlanNetwork {
+                    suite: serde::de_field(b, "suite", "PlanNetwork")?,
+                    layers: serde::de_field(b, "layers", "PlanNetwork")?,
+                    machine: serde::de_field(b, "machine", "PlanNetwork")?,
+                    options: serde::de_field(b, "options", "PlanNetwork")?,
+                    threads: serde::de_field(b, "threads", "PlanNetwork")?,
+                    workers: serde::de_field(b, "workers", "PlanNetwork")?,
+                    trace: serde::de_field(b, "trace", "PlanNetwork")?,
+                })
+            }
+            "PlanGraph" => {
+                let b = fields("PlanGraph")?;
+                Ok(Request::PlanGraph {
+                    block: serde::de_field(b, "block", "PlanGraph")?,
+                    graph: serde::de_field(b, "graph", "PlanGraph")?,
+                    machine: serde::de_field(b, "machine", "PlanGraph")?,
+                    options: serde::de_field(b, "options", "PlanGraph")?,
+                    threads: serde::de_field(b, "threads", "PlanGraph")?,
+                    workers: serde::de_field(b, "workers", "PlanGraph")?,
+                    trace: serde::de_field(b, "trace", "PlanGraph")?,
+                })
+            }
+            "Explain" => {
+                let b = fields("Explain")?;
+                Ok(Request::Explain {
+                    op: serde::de_field(b, "op", "Explain")?,
+                    shape: serde::de_field(b, "shape", "Explain")?,
+                    machine: serde::de_field(b, "machine", "Explain")?,
+                    options: serde::de_field(b, "options", "Explain")?,
+                    threads: serde::de_field(b, "threads", "Explain")?,
+                })
+            }
+            "Metrics" => {
+                let b = fields("Metrics")?;
+                Ok(Request::Metrics { format: serde::de_field(b, "format", "Metrics")? })
+            }
+            "Trace" => {
+                let b = fields("Trace")?;
+                Ok(Request::Trace { limit: serde::de_field(b, "limit", "Trace")? })
+            }
+            other => Err(serde::DeError::custom(format!("unknown request verb `{other}`"))),
+        }
+    }
 }
 
 /// Service-level statistics.
@@ -162,6 +290,18 @@ pub struct ServiceStats {
     /// coalesced request is neither a warm hit nor an extra solve. Absent
     /// in pre-coalescing stats documents, which still parse.
     pub flight: Option<FlightBreakdown>,
+    /// The serving crate's version (`CARGO_PKG_VERSION`). Absent in
+    /// documents written by builds that predate the field.
+    pub version: Option<String>,
+    /// Worker threads the event loop was configured with (1 for a stdio
+    /// server). Absent until the transport configures it, and in older
+    /// documents.
+    pub workers: Option<u64>,
+    /// Shard count of the schedule cache. Absent in older documents.
+    pub cache_shards: Option<u64>,
+    /// Per-verb `Error`-response counters plus parse failures. Absent in
+    /// older documents.
+    pub errors: Option<ErrorCounts>,
 }
 
 /// Which tier of the serving stack answered an `Optimize` request.
@@ -174,6 +314,28 @@ pub enum Tier {
     Db,
     /// A fresh optimizer solve.
     Solver,
+}
+
+impl Tier {
+    /// Lowercase label for metric dimensions and trace tags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Cache => "cache",
+            Tier::Db => "db",
+            Tier::Solver => "solver",
+        }
+    }
+}
+
+/// One retained slow-request trace (see `moptd --slow-ms`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowTrace {
+    /// The request's verb.
+    pub verb: String,
+    /// Total wall time of the request, in microseconds.
+    pub micros: u64,
+    /// The request's full span tree.
+    pub root: SpanNode,
 }
 
 /// A response line.
@@ -193,11 +355,15 @@ pub enum Response {
         tier: Option<Tier>,
         /// The ranked configurations.
         result: OptimizeResult,
+        /// The request's span tree, when the request set `trace: true`.
+        trace: Option<SpanNode>,
     },
     /// Result of a `PlanNetwork` request.
     Planned {
         /// The network plan.
         plan: NetworkPlan,
+        /// The request's span tree, when the request set `trace: true`.
+        trace: Option<SpanNode>,
     },
     /// Result of a `PlanGraph` request.
     GraphPlanned {
@@ -205,6 +371,33 @@ pub enum Response {
         cached: bool,
         /// The fusion-aware graph plan.
         plan: GraphPlan,
+        /// The request's span tree, when the request set `trace: true`.
+        trace: Option<SpanNode>,
+    },
+    /// Result of an `Explain` request: the served schedule plus the
+    /// optimizer's search trace and the winner's cost breakdown.
+    Explained {
+        /// The operator name, when the request used one.
+        op: Option<String>,
+        /// The problem shape that was optimized.
+        shape: ConvShape,
+        /// Whether the schedule came from the schedule cache.
+        cached: bool,
+        /// Which tier actually served the schedule.
+        tier: Option<Tier>,
+        /// The ranked configurations — bit-identical to what a plain
+        /// `Optimize` of the same request returns.
+        result: OptimizeResult,
+        /// The optimizer's search trace: candidates enumerated and pruned
+        /// per permutation class, per-round hypotheses, winner, runner-up
+        /// and margin. Recorded by a deterministic re-run of the search.
+        search: SearchTrace,
+        /// The winner's per-memory-level cost breakdown (footprints,
+        /// traffic, slack); the attributed costs sum to the certified
+        /// total price exactly.
+        breakdown: CostBreakdown,
+        /// The request's span tree, when tracing is armed server-side.
+        trace: Option<SpanNode>,
     },
     /// Result of a `Stats` request.
     Stats {
@@ -216,6 +409,20 @@ pub enum Response {
         /// Latency histograms, gauges, and coalescing counters.
         report: MetricsReport,
     },
+    /// Result of a `Metrics` request with `format: "prometheus"`.
+    MetricsText {
+        /// Prometheus text-exposition body (`# HELP`/`# TYPE` plus
+        /// `name{labels} value` lines).
+        body: String,
+    },
+    /// Result of a `Trace` request: the retained slow-request traces.
+    Traced {
+        /// The configured threshold in milliseconds (0 when the slow log
+        /// is disarmed).
+        slow_ms: u64,
+        /// Retained traces, oldest first.
+        traces: Vec<SlowTrace>,
+    },
     /// Result of a `Save` request: entries persisted.
     Saved {
         /// Number of entries written.
@@ -226,12 +433,29 @@ pub enum Response {
         /// The serving crate's version (`CARGO_PKG_VERSION`), so deployments
         /// can be audited over the wire.
         version: String,
+        /// Seconds since the service started. Absent in replies from builds
+        /// that predate the field.
+        uptime_seconds: Option<f64>,
     },
     /// Any failure (parse error, unknown name, I/O error, ...).
     Error {
         /// Human-readable description.
         message: String,
     },
+}
+
+/// How many slow-request traces the `Trace` verb retains (newest win).
+pub const SLOW_LOG_CAPACITY: usize = 64;
+
+/// A schedule answer with the request context it resolved to — what
+/// `Optimize` and `Explain` share.
+struct ServedSchedule {
+    shape: ConvShape,
+    machine: MachineModel,
+    options: OptimizerOptions,
+    cached: bool,
+    tier: Tier,
+    result: OptimizeResult,
 }
 
 /// Shared server state: the schedule cache plus counters and the snapshot
@@ -257,6 +481,16 @@ pub struct ServiceState {
     solve_delay_micros: AtomicU64,
     requests: AtomicU64,
     started: Instant,
+    /// Responses served per tier (indexed by `Tier as usize`): coalesced
+    /// requests count under the tier that served their leader.
+    tier_hits: [AtomicU64; 3],
+    /// Slow-request threshold in microseconds; 0 disarms the slow log
+    /// (and with it, server-side tracing of untraced requests).
+    slow_micros: AtomicU64,
+    /// Last-N ring of slow-request traces, served by the `Trace` verb.
+    slow_log: TraceRing<SlowTrace>,
+    /// Worker threads the transport configured (0 until a transport binds).
+    configured_workers: AtomicU64,
 }
 
 impl ServiceState {
@@ -278,7 +512,53 @@ impl ServiceState {
             solve_delay_micros: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             started: Instant::now(),
+            tier_hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            slow_micros: AtomicU64::new(0),
+            slow_log: TraceRing::new(SLOW_LOG_CAPACITY),
+            configured_workers: AtomicU64::new(0),
         }
+    }
+
+    /// Arm the slow-request log: every request is traced server-side, and
+    /// requests taking at least `ms` milliseconds keep their span tree in a
+    /// last-[`SLOW_LOG_CAPACITY`] ring behind the `Trace` verb. `0` (the
+    /// default) disarms it, making tracing strictly opt-in per request.
+    pub fn with_slow_ms(self, ms: u64) -> Self {
+        self.slow_micros.store(ms.saturating_mul(1000), Ordering::Relaxed);
+        self
+    }
+
+    /// Record how many worker threads the transport serves with (the event
+    /// loop's pool size; 1 for stdio), for `Stats` and metrics exposition.
+    pub fn set_configured_workers(&self, workers: usize) {
+        self.configured_workers.store(workers as u64, Ordering::Relaxed);
+    }
+
+    /// Worker threads the transport configured (0 until a transport binds).
+    pub fn configured_workers(&self) -> u64 {
+        self.configured_workers.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since this state was created.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Responses served per tier, indexed like [`Tier`]:
+    /// `[cache, db, solver]`.
+    pub fn tier_hits(&self) -> [u64; 3] {
+        std::array::from_fn(|i| self.tier_hits[i].load(Ordering::Relaxed))
+    }
+
+    /// The armed slow-request threshold in microseconds (0 = disarmed).
+    pub fn slow_threshold_micros(&self) -> u64 {
+        self.slow_micros.load(Ordering::Relaxed)
+    }
+
+    /// Slow-request traces retained so far (monotonic; the ring keeps the
+    /// newest [`SLOW_LOG_CAPACITY`]).
+    pub fn slow_traces_recorded(&self) -> u64 {
+        self.slow_log.pushed()
     }
 
     /// Attach the persistent schedule database at `path` (created if
@@ -377,29 +657,113 @@ impl ServiceState {
         }
     }
 
-    /// Dispatch one request, recording its latency under its verb and
-    /// holding the in-flight request gauge for the duration.
-    pub fn handle(&self, request: &Request) -> Response {
-        let verb = match request {
+    /// The verb a request dispatches under.
+    fn verb_of(request: &Request) -> Verb {
+        match request {
             Request::Optimize { .. } => Verb::Optimize,
             Request::PlanNetwork { .. } => Verb::PlanNetwork,
             Request::PlanGraph { .. } => Verb::PlanGraph,
+            Request::Explain { .. } => Verb::Explain,
             Request::Stats => Verb::Stats,
-            Request::Metrics => Verb::Metrics,
+            Request::Metrics { .. } => Verb::Metrics,
+            Request::Trace { .. } => Verb::Trace,
             Request::Save => Verb::Save,
             Request::Ping => Verb::Ping,
+        }
+    }
+
+    /// Whether the request opted into an inline trace.
+    fn trace_requested(request: &Request) -> bool {
+        matches!(
+            request,
+            Request::Optimize { trace: Some(true), .. }
+                | Request::PlanNetwork { trace: Some(true), .. }
+                | Request::PlanGraph { trace: Some(true), .. }
+        )
+    }
+
+    /// Attach a finished span tree to the response variants that carry one.
+    fn attach_trace(response: &mut Response, root: SpanNode) {
+        match response {
+            Response::Optimized { trace, .. }
+            | Response::Planned { trace, .. }
+            | Response::GraphPlanned { trace, .. }
+            | Response::Explained { trace, .. } => *trace = Some(root),
+            _ => {}
+        }
+    }
+
+    /// Keep the finished trace in the slow log when it crossed the armed
+    /// threshold.
+    fn maybe_log_slow(&self, verb: Verb, root: &SpanNode) {
+        let threshold = self.slow_micros.load(Ordering::Relaxed);
+        if threshold > 0 && root.duration_micros >= threshold {
+            self.slow_log.push(SlowTrace {
+                verb: verb.name().to_string(),
+                micros: root.duration_micros,
+                root: root.clone(),
+            });
+        }
+    }
+
+    /// Dispatch one request under a trace context: record latency under the
+    /// request's verb, hold the in-flight gauge, count `Error` responses.
+    /// Returns the un-finished context so the caller can add serialize time
+    /// before closing the tree. The context is enabled only when the
+    /// request asked for a trace or the slow log is armed — otherwise every
+    /// span call is a no-op branch with no allocation.
+    fn handle_prepared(
+        &self,
+        request: &Request,
+        parse_time: Duration,
+        queue_wait: Duration,
+    ) -> (Response, TraceContext, Verb) {
+        let verb = Self::verb_of(request);
+        let ctx = if Self::trace_requested(request) || self.slow_micros.load(Ordering::Relaxed) > 0
+        {
+            TraceContext::enabled(verb.name())
+        } else {
+            TraceContext::disabled()
         };
+        if queue_wait > Duration::ZERO {
+            ctx.record("queue_wait", queue_wait);
+        }
+        if parse_time > Duration::ZERO {
+            ctx.record("parse", parse_time);
+        }
         let _in_flight = self.metrics.request_started();
         let start = Instant::now();
-        let response = self.dispatch(request);
+        let response = self.dispatch(request, &ctx);
         self.metrics.record(verb, start.elapsed());
+        if matches!(response, Response::Error { .. }) {
+            self.metrics.record_error(verb);
+        }
+        (response, ctx, verb)
+    }
+
+    /// Dispatch one request, recording its latency under its verb and
+    /// holding the in-flight request gauge for the duration. When tracing
+    /// is active the finished span tree is attached to the response (and
+    /// slow requests land in the slow log).
+    pub fn handle(&self, request: &Request) -> Response {
+        let (mut response, ctx, verb) =
+            self.handle_prepared(request, Duration::ZERO, Duration::ZERO);
+        if let Some(root) = ctx.finish() {
+            self.maybe_log_slow(verb, &root);
+            if Self::trace_requested(request) {
+                Self::attach_trace(&mut response, root);
+            }
+        }
         response
     }
 
-    fn dispatch(&self, request: &Request) -> Response {
+    fn dispatch(&self, request: &Request, ctx: &TraceContext) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match request {
-            Request::Ping => Response::Pong { version: env!("CARGO_PKG_VERSION").to_string() },
+            Request::Ping => Response::Pong {
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                uptime_seconds: Some(self.uptime_seconds()),
+            },
             Request::Stats => Response::Stats {
                 stats: ServiceStats {
                     cache: self.cache.stats(),
@@ -408,10 +772,35 @@ impl ServiceState {
                     requests: self.requests(),
                     uptime_seconds: self.started.elapsed().as_secs_f64(),
                     flight: Some(self.flight_stats()),
+                    version: Some(env!("CARGO_PKG_VERSION").to_string()),
+                    workers: Some(self.configured_workers()),
+                    cache_shards: Some(ScheduleCache::SHARDS as u64),
+                    errors: Some(self.metrics.error_counts()),
                 },
             },
-            Request::Metrics => {
-                Response::Metrics { report: self.metrics.report(self.flight_stats()) }
+            Request::Metrics { format } => match format.as_deref() {
+                None | Some("json") => {
+                    Response::Metrics { report: self.metrics.report(self.flight_stats()) }
+                }
+                Some("prometheus") => {
+                    Response::MetricsText { body: crate::prometheus::render(self) }
+                }
+                Some(other) => Response::Error {
+                    message: format!(
+                        "unknown metrics format `{other}` (try \"json\" or \"prometheus\")"
+                    ),
+                },
+            },
+            Request::Trace { limit } => {
+                let mut traces = self.slow_log.snapshot();
+                if let Some(limit) = limit {
+                    let excess = traces.len().saturating_sub(*limit);
+                    traces.drain(..excess);
+                }
+                Response::Traced {
+                    slow_ms: self.slow_micros.load(Ordering::Relaxed) / 1000,
+                    traces,
+                }
             }
             Request::Save => {
                 // Flush dirty database pages first; a failure is a real
@@ -433,27 +822,47 @@ impl ServiceState {
                     Err(e) => Response::Error { message: e.to_string() },
                 }
             }
-            Request::Optimize { op, shape, machine, options, threads } => {
-                self.handle_optimize(op.as_deref(), *shape, machine, options, *threads)
-            }
-            Request::PlanNetwork { suite, layers, machine, options, threads, workers } => self
-                .handle_plan(
-                    suite.as_deref(),
-                    layers.as_deref(),
+            Request::Optimize { op, shape, machine, options, threads, trace: _ } => self
+                .handle_optimize(
+                    op.as_deref(),
+                    *shape,
                     machine,
-                    options,
-                    *threads,
-                    *workers,
+                    Self::effective_options(options, *threads),
+                    ctx,
                 ),
-            Request::PlanGraph { block, graph, machine, options, threads, workers } => self
-                .handle_plan_graph(
+            Request::Explain { op, shape, machine, options, threads } => self.handle_explain(
+                op.as_deref(),
+                *shape,
+                machine,
+                Self::effective_options(options, *threads),
+                ctx,
+            ),
+            Request::PlanNetwork {
+                suite,
+                layers,
+                machine,
+                options,
+                threads,
+                workers,
+                trace: _,
+            } => self.handle_plan(
+                suite.as_deref(),
+                layers.as_deref(),
+                machine,
+                Self::effective_options(options, *threads),
+                *workers,
+                ctx,
+            ),
+            Request::PlanGraph { block, graph, machine, options, threads, workers, trace: _ } => {
+                self.handle_plan_graph(
                     block.as_deref(),
                     graph.as_ref(),
                     machine,
-                    options,
-                    *threads,
+                    Self::effective_options(options, *threads),
                     *workers,
-                ),
+                    ctx,
+                )
+            }
         }
     }
 
@@ -472,44 +881,46 @@ impl ServiceState {
         options
     }
 
-    fn handle_optimize(
+    /// Serve one schedule through the full tier stack — cache probe,
+    /// single-flight (db lookup, then a fresh solve) — recording each stage
+    /// as a span of `ctx` and counting the serving tier. Shared by
+    /// `Optimize` and `Explain`, so both verbs return bit-identical
+    /// schedules for identical requests.
+    fn serve_schedule(
         &self,
+        verb: &str,
         op: Option<&str>,
         shape: Option<ConvShape>,
         machine: &MachineSpec,
-        options: &Option<OptimizerOptions>,
-        threads: Option<usize>,
-    ) -> Response {
-        let machine = match machine.resolve() {
-            Ok(m) => m,
-            Err(message) => return Response::Error { message },
-        };
+        options: OptimizerOptions,
+        ctx: &TraceContext,
+    ) -> Result<ServedSchedule, String> {
+        let machine = machine.resolve()?;
         let shape = match (op, shape) {
             (Some(name), _) => match benchmarks::by_name(name) {
                 Some(bench) => bench.shape,
-                None => {
-                    return Response::Error {
-                        message: format!("unknown Table-1 operator `{name}`"),
-                    }
-                }
+                None => return Err(format!("unknown Table-1 operator `{name}`")),
             },
             (None, Some(shape)) => shape,
-            (None, None) => {
-                return Response::Error { message: "Optimize needs either `op` or `shape`".into() }
-            }
+            (None, None) => return Err(format!("{verb} needs either `op` or `shape`")),
         };
-        let options = Self::effective_options(options, threads);
         let key = CacheKey::new(shape, &machine, &options);
-        let op = op.map(str::to_string);
         // Tier 1: the in-process cache.
-        if let Some(result) = self.cache.get(&key) {
-            return Response::Optimized {
-                op,
+        let cache_hit = {
+            let _probe = ctx.span("cache_probe");
+            self.cache.get(&key)
+        };
+        if let Some(result) = cache_hit {
+            self.tier_hits[Tier::Cache as usize].fetch_add(1, Ordering::Relaxed);
+            ctx.tag("tier", Tier::Cache.label());
+            return Ok(ServedSchedule {
                 shape,
+                machine,
+                options,
                 cached: true,
-                tier: Some(Tier::Cache),
+                tier: Tier::Cache,
                 result,
-            };
+            });
         }
         // Cold path, under single-flight: concurrent misses on this key
         // share one leader. The leader consults tier 2 (the schedule
@@ -520,26 +931,129 @@ impl ServiceState {
         // so all coalesced responses are bit-identical. A panicking solve is
         // propagated to every waiter as an `Error` response and the key
         // stays clean for the next request.
-        let (_role, outcome) = self.flight.run(key.clone(), || {
-            self.test_solve_delay();
-            if let Some(db) = &self.db {
-                if let Some(result) = db.lookup(&shape, &machine, &options) {
-                    self.cache.insert(key.clone(), result.clone());
-                    return (Tier::Db, result);
+        //
+        // The closure runs on the leader's thread, so its child spans
+        // (db_lookup / solve / writebacks) land inside the *leader's*
+        // `flight` span; a waiter's `flight` span has no solve child — its
+        // duration is pure coalesced wait.
+        let outcome = {
+            let _flight = ctx.span("flight");
+            let (role, outcome) = self.flight.run(key.clone(), || {
+                self.test_solve_delay();
+                if let Some(db) = &self.db {
+                    let hit = {
+                        let _lookup = ctx.span("db_lookup");
+                        db.lookup(&shape, &machine, &options)
+                    };
+                    if let Some(result) = hit {
+                        let _insert = ctx.span("cache_insert");
+                        self.cache.insert(key.clone(), result.clone());
+                        return (Tier::Db, result);
+                    }
                 }
-            }
-            let result = MOptOptimizer::new(shape, machine.clone(), options.clone()).optimize();
-            self.cache.insert(key.clone(), result.clone());
-            if let Some(db) = &self.db {
-                db.record(&shape, &machine, options.threads, &result);
-            }
-            (Tier::Solver, result)
-        });
+                let result = {
+                    let _solve = ctx.span("solve");
+                    MOptOptimizer::new(shape, machine.clone(), options.clone()).optimize()
+                };
+                {
+                    let _insert = ctx.span("cache_insert");
+                    self.cache.insert(key.clone(), result.clone());
+                }
+                if let Some(db) = &self.db {
+                    let _record = ctx.span("db_record");
+                    db.record(&shape, &machine, options.threads, &result);
+                }
+                (Tier::Solver, result)
+            });
+            ctx.tag(
+                "role",
+                match role {
+                    Role::Led => "led",
+                    Role::Coalesced => "waited",
+                },
+            );
+            outcome
+        };
         match outcome {
             Ok((tier, result)) => {
-                Response::Optimized { op, shape, cached: false, tier: Some(tier), result }
+                self.tier_hits[tier as usize].fetch_add(1, Ordering::Relaxed);
+                ctx.tag("tier", tier.label());
+                Ok(ServedSchedule { shape, machine, options, cached: false, tier, result })
             }
-            Err(e) => Response::Error { message: format!("optimize failed: {e}") },
+            Err(e) => Err(format!("optimize failed: {e}")),
+        }
+    }
+
+    fn handle_optimize(
+        &self,
+        op: Option<&str>,
+        shape: Option<ConvShape>,
+        machine: &MachineSpec,
+        options: OptimizerOptions,
+        ctx: &TraceContext,
+    ) -> Response {
+        match self.serve_schedule("Optimize", op, shape, machine, options, ctx) {
+            Ok(served) => Response::Optimized {
+                op: op.map(str::to_string),
+                shape: served.shape,
+                cached: served.cached,
+                tier: Some(served.tier),
+                result: served.result,
+                trace: None,
+            },
+            Err(message) => Response::Error { message },
+        }
+    }
+
+    fn handle_explain(
+        &self,
+        op: Option<&str>,
+        shape: Option<ConvShape>,
+        machine: &MachineSpec,
+        options: OptimizerOptions,
+        ctx: &TraceContext,
+    ) -> Response {
+        let served = match self.serve_schedule("Explain", op, shape, machine, options, ctx) {
+            Ok(served) => served,
+            Err(message) => return Response::Error { message },
+        };
+        // The search trace is a deterministic re-run of the solver with
+        // recording on (the solver is seeded, so the re-run finds the same
+        // winner a fresh solve would). The *served* schedule above can come
+        // from a warmer tier; `tier` says which one actually answered.
+        let search = {
+            let _span = ctx.span("search_trace");
+            MOptOptimizer::new(served.shape, served.machine.clone(), served.options.clone())
+                .optimize_traced()
+                .1
+        };
+        // Break the served winner's certified price down per memory level,
+        // under the exact parallel split the winning config carries.
+        let best = served.result.best();
+        let breakdown = {
+            let _span = ctx.span("cost_breakdown");
+            let spec = ParallelSpec {
+                threads: served.options.threads,
+                factors: best.config.parallel.as_array(),
+            };
+            MultiLevelModel::new(
+                served.shape,
+                served.machine.clone(),
+                best.config.permutation.clone(),
+            )
+            .with_options(CostOptions { line_elems: served.options.line_elems })
+            .with_parallel(spec)
+            .cost_breakdown(&best.config)
+        };
+        Response::Explained {
+            op: op.map(str::to_string),
+            shape: served.shape,
+            cached: served.cached,
+            tier: Some(served.tier),
+            result: served.result.clone(),
+            search,
+            breakdown,
+            trace: None,
         }
     }
 
@@ -548,9 +1062,9 @@ impl ServiceState {
         suite: Option<&str>,
         layers: Option<&[NamedLayer]>,
         machine: &MachineSpec,
-        options: &Option<OptimizerOptions>,
-        threads: Option<usize>,
+        options: OptimizerOptions,
         workers: Option<usize>,
+        ctx: &TraceContext,
     ) -> Response {
         let machine = match machine.resolve() {
             Ok(m) => m,
@@ -588,13 +1102,16 @@ impl ServiceState {
                 }
             }
         };
-        let options = Self::effective_options(options, threads);
         let mut planner =
             NetworkPlanner::new(&self.cache, machine, options).with_db(self.db.as_deref());
         if let Some(workers) = workers {
             planner = planner.with_workers(workers);
         }
-        Response::Planned { plan: planner.plan(&layer_list) }
+        let plan = {
+            let _span = ctx.span("plan_layers");
+            planner.plan(&layer_list)
+        };
+        Response::Planned { plan, trace: None }
     }
 
     fn handle_plan_graph(
@@ -602,9 +1119,9 @@ impl ServiceState {
         block: Option<&str>,
         graph: Option<&Graph>,
         machine: &MachineSpec,
-        options: &Option<OptimizerOptions>,
-        threads: Option<usize>,
+        options: OptimizerOptions,
         workers: Option<usize>,
+        ctx: &TraceContext,
     ) -> Response {
         let machine = match machine.resolve() {
             Ok(m) => m,
@@ -629,19 +1146,23 @@ impl ServiceState {
         if let Err(e) = graph.validate() {
             return Response::Error { message: format!("invalid graph: {e}") };
         }
-        let options = Self::effective_options(options, threads);
         let key = GraphCacheKey {
             graph_fingerprint: graph.fingerprint(),
             machine_fingerprint: machine.fingerprint(),
             options: options.clone(),
         };
-        if let Some(plan) = self.graph_cache.get(&key) {
-            return Response::GraphPlanned { cached: true, plan };
+        let cache_hit = {
+            let _probe = ctx.span("graph_cache_probe");
+            self.graph_cache.get(&key)
+        };
+        if let Some(plan) = cache_hit {
+            return Response::GraphPlanned { cached: true, plan, trace: None };
         }
         // Cold path, under single-flight: concurrent misses on this plan key
         // share one leader; waiters receive a clone of the leader's plan (or
         // its planning error), bit-identical on the wire.
-        let (_role, outcome) = self.graph_flight.run(key.clone(), || {
+        let _flight = ctx.span("flight");
+        let (role, outcome) = self.graph_flight.run(key.clone(), || {
             self.test_solve_delay();
             // Warm the per-operator schedules through the existing batch
             // planner (dedupe + worker pool + shared schedule cache), then
@@ -659,7 +1180,11 @@ impl ServiceState {
             if let Some(workers) = workers {
                 planner = planner.with_workers(workers);
             }
-            let _ = planner.plan(&layers);
+            {
+                let _warmup = ctx.span("warm_layers");
+                let _ = planner.plan(&layers);
+            }
+            let _fusion = ctx.span("fusion_plan");
             let result = GraphPlanner::new(machine.clone()).with_threads(options.threads).plan(
                 &graph,
                 |shape| {
@@ -695,8 +1220,15 @@ impl ServiceState {
                 Err(e) => Err(format!("graph planning failed: {e}")),
             }
         });
+        ctx.tag(
+            "role",
+            match role {
+                Role::Led => "led",
+                Role::Coalesced => "waited",
+            },
+        );
         match outcome {
-            Ok(Ok(plan)) => Response::GraphPlanned { cached: false, plan },
+            Ok(Ok(plan)) => Response::GraphPlanned { cached: false, plan, trace: None },
             Ok(Err(message)) => Response::Error { message },
             Err(e) => Response::Error { message: format!("graph planning failed: {e}") },
         }
@@ -704,12 +1236,45 @@ impl ServiceState {
 
     /// Parse one request line, dispatch it, and serialize the response.
     pub fn handle_line(&self, line: &str) -> String {
-        let response = match serde_json::from_str::<Request>(line) {
-            Ok(request) => self.handle(&request),
-            Err(e) => Response::Error { message: format!("bad request: {e}") },
+        self.serve_line(line, Duration::ZERO)
+    }
+
+    /// Like [`handle_line`](Self::handle_line), attributing `queue_wait` —
+    /// time the raw line spent queued in the transport before any byte of
+    /// it was parsed — to the request's trace. When tracing is active, the
+    /// parse and serialize stages are recorded as spans too, so the span
+    /// tree covers the whole answer path: accept → parse → dispatch tiers →
+    /// serialize.
+    pub fn serve_line(&self, line: &str, queue_wait: Duration) -> String {
+        let parse_start = Instant::now();
+        let parsed = serde_json::from_str::<Request>(line);
+        let parse_time = parse_start.elapsed();
+        let request = match parsed {
+            Ok(request) => request,
+            Err(e) => {
+                self.metrics.record_parse_error();
+                return serialize_response(&Response::Error {
+                    message: format!("bad request: {e}"),
+                });
+            }
         };
-        serde_json::to_string(&response)
-            .unwrap_or_else(|e| format!("{{\"Error\":{{\"message\":\"serialize: {e}\"}}}}"))
+        let (mut response, ctx, verb) = self.handle_prepared(&request, parse_time, queue_wait);
+        if !ctx.is_enabled() {
+            return serialize_response(&response);
+        }
+        // Serialize once *before* finishing the tree so the serialize span
+        // measures real work; a trace-carrying response is then serialized
+        // again with the tree attached.
+        let serialize_start = Instant::now();
+        let text = serialize_response(&response);
+        ctx.record("serialize", serialize_start.elapsed());
+        let root = ctx.finish().expect("context is enabled");
+        self.maybe_log_slow(verb, &root);
+        if Self::trace_requested(&request) {
+            Self::attach_trace(&mut response, root);
+            return serialize_response(&response);
+        }
+        text
     }
 
     /// Serve one connection: read JSON-lines requests until EOF, writing one
@@ -811,6 +1376,11 @@ fn drain_to_newline<R: BufRead>(reader: &mut R) -> std::io::Result<()> {
     }
 }
 
+fn serialize_response(response: &Response) -> String {
+    serde_json::to_string(response)
+        .unwrap_or_else(|e| format!("{{\"Error\":{{\"message\":\"serialize: {e}\"}}}}"))
+}
+
 fn write_line<W: Write>(writer: &mut W, reply: &str) -> std::io::Result<()> {
     writer.write_all(reply.as_bytes())?;
     writer.write_all(b"\n")?;
@@ -839,7 +1409,10 @@ mod tests {
         let state = tiny_state();
         let pong: Response = serde_json::from_str(&state.handle_line("\"Ping\"")).unwrap();
         match pong {
-            Response::Pong { version } => assert_eq!(version, env!("CARGO_PKG_VERSION")),
+            Response::Pong { version, uptime_seconds } => {
+                assert_eq!(version, env!("CARGO_PKG_VERSION"));
+                assert!(uptime_seconds.expect("uptime present") >= 0.0);
+            }
             other => panic!("expected Pong, got {other:?}"),
         }
         let stats: Response = serde_json::from_str(&state.handle_line("\"Stats\"")).unwrap();
@@ -1000,7 +1573,7 @@ mod tests {
         let mut lines = text.lines();
         let plan: Response = serde_json::from_str(lines.next().unwrap()).unwrap();
         match plan {
-            Response::Planned { plan } => {
+            Response::Planned { plan, .. } => {
                 assert_eq!(plan.stats.layers, 2);
                 assert_eq!(plan.stats.unique_shapes, 1);
                 assert_eq!(plan.layers[0].best, plan.layers[1].best);
@@ -1030,7 +1603,7 @@ mod tests {
         );
         let first: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
         let plan = match first {
-            Response::GraphPlanned { cached: false, plan } => plan,
+            Response::GraphPlanned { cached: false, plan, .. } => plan,
             other => panic!("expected fresh GraphPlanned, got {other:?}"),
         };
         assert_eq!(plan.fingerprint, graph.fingerprint());
@@ -1039,7 +1612,7 @@ mod tests {
         // Second request: served from the graph-plan cache, identical plan.
         let second: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
         match second {
-            Response::GraphPlanned { cached: true, plan: warm } => assert_eq!(warm, plan),
+            Response::GraphPlanned { cached: true, plan: warm, .. } => assert_eq!(warm, plan),
             other => panic!("expected cached GraphPlanned, got {other:?}"),
         }
         // The per-operator solves landed in the shared schedule cache.
@@ -1066,7 +1639,7 @@ mod tests {
         );
         let response: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
         match response {
-            Response::GraphPlanned { cached: false, plan } => {
+            Response::GraphPlanned { cached: false, plan, .. } => {
                 assert_eq!(plan.graph, "resnet-block-r12");
                 // conv1 → conv2 chain + the skip projection.
                 assert_eq!(plan.chains, 2);
@@ -1303,5 +1876,144 @@ mod tests {
         let warm: Response = serde_json::from_str(&rewarmed.handle_line(&line)).unwrap();
         assert!(matches!(warm, Response::Optimized { cached: true, .. }));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explain_returns_search_trace_and_consistent_breakdown() {
+        let state = tiny_state();
+        let explain = format!(
+            "{{\"Explain\": {{\"op\": \"M9\", \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            fast_options_json(),
+        );
+        let optimize = format!(
+            "{{\"Optimize\": {{\"op\": \"M9\", \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            fast_options_json(),
+        );
+        let explained: Response = serde_json::from_str(&state.handle_line(&explain)).unwrap();
+        let (result, search, breakdown) = match explained {
+            Response::Explained { op, cached, result, search, breakdown, .. } => {
+                assert_eq!(op.as_deref(), Some("M9"));
+                assert!(!cached, "first Explain solves cold");
+                (result, search, breakdown)
+            }
+            other => panic!("expected Explained, got {other:?}"),
+        };
+        // The search trace accounts for the whole permutation space.
+        assert_eq!(search.permutations_total, 5040);
+        assert!(search.classes_searched >= 1);
+        assert!(search.permutations_pruned > 0, "symmetry pruning always discards permutations");
+        assert!(search.enumerated > 0);
+        assert_eq!(search.candidates.len(), search.classes_searched as usize);
+        assert_eq!(search.winner_class, result.best().class_id);
+        assert_eq!(search.winner_cost, result.best().predicted_cost);
+        // The per-level cost breakdown re-certifies the winner: attributed
+        // costs sum bit-for-bit to the certified bottleneck price.
+        assert_eq!(breakdown.attributed_total(), breakdown.total_cost);
+        assert_eq!(breakdown.total_cost, result.best().predicted_cost);
+        // A plain Optimize serves the identical schedule (now warm).
+        let optimized: Response = serde_json::from_str(&state.handle_line(&optimize)).unwrap();
+        match optimized {
+            Response::Optimized { cached, result: plain, .. } => {
+                assert!(cached, "Explain warmed the cache for Optimize");
+                assert_eq!(plain, result, "Explain and Optimize must serve the same schedule");
+            }
+            other => panic!("expected Optimized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_flag_returns_the_span_tree() {
+        let state = tiny_state();
+        let line = format!(
+            "{{\"Optimize\": {{\"op\": \"M9\", \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}, \"trace\": true}}}}",
+            fast_options_json(),
+        );
+        let cold: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        let root = match cold {
+            Response::Optimized { trace: Some(root), .. } => root,
+            other => panic!("expected a traced Optimized, got {other:?}"),
+        };
+        assert_eq!(root.name, "Optimize");
+        assert!(root.find("cache_probe").is_some(), "cold path probes the cache: {root:?}");
+        let flight = root.find("flight").expect("cold path runs a flight");
+        assert!(flight.find("solve").is_some(), "the flight leader solves: {flight:?}");
+        assert_eq!(flight.tag_value("role"), Some("led"));
+        assert_eq!(root.tag_value("tier"), Some("solver"));
+        assert!(root.find("serialize").is_some(), "the serialize span covers the first encode");
+        // Warm repeat: a cache probe, no flight, tier tag flips to cache.
+        let warm: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        let root = match warm {
+            Response::Optimized { cached: true, trace: Some(root), .. } => root,
+            other => panic!("expected a traced warm Optimized, got {other:?}"),
+        };
+        assert!(root.find("cache_probe").is_some());
+        assert!(root.find("flight").is_none(), "a warm hit never enters a flight");
+        assert_eq!(root.tag_value("tier"), Some("cache"));
+        // Untraced requests carry no tree.
+        let plain = format!(
+            "{{\"Optimize\": {{\"op\": \"M9\", \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            fast_options_json(),
+        );
+        let bare: Response = serde_json::from_str(&state.handle_line(&plain)).unwrap();
+        assert!(matches!(bare, Response::Optimized { trace: None, .. }));
+    }
+
+    #[test]
+    fn slow_requests_land_in_the_trace_ring() {
+        let state = ServiceState::new(64).with_slow_ms(1);
+        state.set_test_solve_delay(std::time::Duration::from_millis(20));
+        // Before anything slow happened the ring is empty but armed.
+        let empty: Response = serde_json::from_str(&state.handle_line("\"Trace\"")).unwrap();
+        assert_eq!(empty, Response::Traced { slow_ms: 1, traces: Vec::new() });
+        let line = format!(
+            "{{\"Optimize\": {{\"op\": \"M9\", \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            fast_options_json(),
+        );
+        state.handle_line(&line);
+        let traced: Response = serde_json::from_str(&state.handle_line("\"Trace\"")).unwrap();
+        match traced {
+            Response::Traced { slow_ms, traces } => {
+                assert_eq!(slow_ms, 1);
+                let slow = traces
+                    .iter()
+                    .find(|t| t.verb == "Optimize")
+                    .expect("the delayed solve crossed the threshold");
+                assert!(slow.micros >= 20_000, "got {}", slow.micros);
+                assert_eq!(slow.root.name, "Optimize");
+                assert!(slow.root.find("solve").is_some(), "slow traces keep the full tree");
+            }
+            other => panic!("expected Traced, got {other:?}"),
+        }
+        // `limit` keeps only the newest entries.
+        state.handle_line(&line); // warm hit: fast, not recorded
+        let limited: Response =
+            serde_json::from_str(&state.handle_line("{\"Trace\": {\"limit\": 0}}")).unwrap();
+        assert_eq!(limited, Response::Traced { slow_ms: 1, traces: Vec::new() });
+    }
+
+    #[test]
+    fn stats_surfaces_errors_version_and_worker_counts() {
+        let state = tiny_state();
+        state.set_configured_workers(4);
+        // Two failing Optimizes and one failing PlanGraph.
+        state.handle_line("{\"Optimize\": {\"op\": \"Y0\", \"machine\": {\"Preset\": \"vax\"}}}");
+        state
+            .handle_line("{\"Optimize\": {\"op\": \"NOPE\", \"machine\": {\"Preset\": \"tiny\"}}}");
+        state.handle_line("{\"PlanGraph\": {\"machine\": {\"Preset\": \"tiny\"}}}");
+        let stats: Response = serde_json::from_str(&state.handle_line("\"Stats\"")).unwrap();
+        match stats {
+            Response::Stats { stats } => {
+                assert_eq!(stats.version.as_deref(), Some(env!("CARGO_PKG_VERSION")));
+                assert_eq!(stats.workers, Some(4));
+                assert_eq!(stats.cache_shards, Some(ScheduleCache::SHARDS as u64));
+                let errors = stats.errors.expect("error section present");
+                assert_eq!(errors.total, 3);
+                assert_eq!(errors.parse_errors, 0);
+                let by_verb: Vec<(&str, u64)> =
+                    errors.verbs.iter().map(|v| (v.verb.as_str(), v.count)).collect();
+                assert_eq!(by_verb, vec![("Optimize", 2), ("PlanGraph", 1)]);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
     }
 }

@@ -26,7 +26,9 @@ use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
+use mopt_trace::{LatencyHistogram, LatencySnapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::lock_recover;
@@ -56,7 +58,7 @@ impl std::fmt::Display for FlightError {
 impl std::error::Error for FlightError {}
 
 /// Cumulative single-flight counters, reported under `Stats.flight`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FlightStats {
     /// Calls that ran the computation (one per generation).
     pub led: u64,
@@ -67,11 +69,16 @@ pub struct FlightStats {
     pub errors: u64,
     /// Keys with a computation currently in flight.
     pub in_flight: u64,
+    /// How long coalesced callers parked on a leader's slot before its
+    /// result was published. Leaders record nothing here — their time is in
+    /// the per-verb latency histograms. `None` only in documents written by
+    /// builds that predate the field.
+    pub waiter_wait: Option<LatencySnapshot>,
 }
 
 /// Flight counters of both coalescing layers, reported under `Stats.flight`
 /// and inside `Metrics`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FlightBreakdown {
     /// The single-flight group in front of the schedule cache (`Optimize`
     /// cold misses).
@@ -121,6 +128,7 @@ pub struct SingleFlight<K, V> {
     led: AtomicU64,
     coalesced: AtomicU64,
     errors: AtomicU64,
+    waiter_wait: LatencyHistogram,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
@@ -137,6 +145,7 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
             led: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            waiter_wait: LatencyHistogram::default(),
         }
     }
 
@@ -155,7 +164,10 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
                 let existing = Arc::clone(existing);
                 drop(slots);
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
-                return (Role::Coalesced, existing.wait());
+                let parked = Instant::now();
+                let result = existing.wait();
+                self.waiter_wait.record(parked.elapsed());
+                return (Role::Coalesced, result);
             }
             let slot = Arc::new(Slot::new());
             slots.insert(key.clone(), Arc::clone(&slot));
@@ -182,7 +194,14 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             in_flight: lock_recover(&self.slots).len() as u64,
+            waiter_wait: Some(self.waiter_wait.snapshot()),
         }
+    }
+
+    /// Snapshot of the waiter-wait histogram alone (for exposition formats
+    /// that render histograms separately from counters).
+    pub fn waiter_wait(&self) -> LatencySnapshot {
+        self.waiter_wait.snapshot()
     }
 
     /// Keys with a computation currently in flight.
@@ -248,6 +267,14 @@ mod tests {
         assert_eq!(leaders, 1);
         let stats = flight.stats();
         assert_eq!((stats.led, stats.coalesced, stats.errors, stats.in_flight), (1, 7, 0, 0));
+        // Every waiter's park time is in the histogram; the leader's is not.
+        let waits = stats.waiter_wait.expect("stats() always snapshots the histogram");
+        assert_eq!(waits.count, 7);
+        assert!(
+            waits.max_micros >= 50_000,
+            "waiters parked across most of the 100 ms flight, got {} µs",
+            waits.max_micros
+        );
     }
 
     #[test]

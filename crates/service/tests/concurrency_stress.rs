@@ -43,6 +43,7 @@ fn optimize_line(shape: ConvShape) -> String {
         machine: MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
         threads: None,
+        trace: None,
     })
     .unwrap()
 }
@@ -402,4 +403,83 @@ fn moptd_sigterm_drains_and_flushes_the_sharded_snapshot() {
     assert_eq!(rewarmed.cache.len(), 1, "the drained solve must be in the snapshot");
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance (`mopt-trace`): the 32-client herd, traced. Exactly one
+/// response's span tree shows a flight that actually solved (the leader);
+/// the other 31 show a flight span with the `waited` role, a non-zero wait,
+/// and no solve child — and the single-flight waiter-wait histogram
+/// recorded exactly those 31 waits.
+#[test]
+fn traced_herd_shows_one_leader_and_31_waiters() {
+    const CLIENTS: usize = 32;
+    let state = Arc::new(ServiceState::new(64));
+    state.set_test_solve_delay(Duration::from_millis(750));
+    let (addr, handle, join) = start(Arc::clone(&state), CLIENTS);
+
+    let line = serde_json::to_string(&Request::Optimize {
+        op: None,
+        shape: Some(test_shape()),
+        machine: MachineSpec::Preset("tiny".into()),
+        options: Some(fast_options()),
+        threads: None,
+        trace: Some(true),
+    })
+    .unwrap();
+    let gate = Arc::new(Barrier::new(CLIENTS));
+    let replies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let (line, gate) = (line.clone(), Arc::clone(&gate));
+                let stream = TcpStream::connect(addr).unwrap();
+                scope.spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    gate.wait();
+                    (&stream).write_all(format!("{line}\n").as_bytes()).unwrap();
+                    let mut reply = String::new();
+                    reader.read_line(&mut reply).unwrap();
+                    reply
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let (mut leaders, mut waiters) = (0usize, 0usize);
+    for reply in &replies {
+        let root = match serde_json::from_str::<Response>(reply.trim()).unwrap() {
+            Response::Optimized { cached: false, trace: Some(root), .. } => root,
+            other => panic!("expected a traced cold Optimized, got {other:?}"),
+        };
+        let flight = root.find("flight").expect("every herd client enters the flight");
+        match flight.tag_value("role") {
+            Some("led") => {
+                leaders += 1;
+                assert!(flight.find("solve").is_some(), "the leader's flight solves: {flight:?}");
+            }
+            Some("waited") => {
+                waiters += 1;
+                assert!(flight.find("solve").is_none(), "waiters never solve: {flight:?}");
+                assert!(
+                    flight.duration_micros > 0,
+                    "a coalesced waiter's flight wait must be visible"
+                );
+            }
+            role => panic!("flight span without a role tag ({role:?}): {flight:?}"),
+        }
+    }
+    assert_eq!(leaders, 1, "exactly one span tree may contain the solve");
+    assert_eq!(waiters, CLIENTS - 1);
+
+    // The waiter-wait histogram saw exactly the 31 coalesced waits, each of
+    // them at least as long as nothing (and the slowest roughly the solve
+    // window, but scheduler jitter makes that bound unassertable) — while
+    // the leader recorded nothing.
+    let waits = state.flight_stats().optimize.waiter_wait.expect("waiter-wait section present");
+    assert_eq!(waits.count, (CLIENTS - 1) as u64);
+    assert!(waits.max_micros > 0, "parked waiters wait a measurable time");
+
+    handle.shutdown();
+    join.join().unwrap();
+    assert_eq!(state.metrics().open_connections(), 0);
 }

@@ -63,6 +63,7 @@ fn optimize_response_executes_correctly() {
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
         threads: None,
+        trace: None,
     };
     let response = state.handle(&request);
     let result = match response {
@@ -96,6 +97,7 @@ fn moptd_stdio_round_trip_matches_naive() {
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
         threads: None,
+        trace: None,
     })
     .unwrap();
 
@@ -118,7 +120,10 @@ fn moptd_stdio_round_trip_matches_naive() {
     assert!(status.success(), "moptd exited with {status}");
     assert_eq!(lines.len(), 2, "expected two response lines, got {lines:?}");
     match serde_json::from_str::<Response>(&lines[1]).unwrap() {
-        Response::Pong { version } => assert_eq!(version, env!("CARGO_PKG_VERSION")),
+        Response::Pong { version, uptime_seconds } => {
+            assert_eq!(version, env!("CARGO_PKG_VERSION"));
+            assert!(uptime_seconds.expect("uptime reported") >= 0.0);
+        }
         other => panic!("expected Pong, got {other:?}"),
     }
 
@@ -151,6 +156,7 @@ fn moptd_serves_depthwise_and_dilated_shapes() {
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
         threads: None,
+        trace: None,
     })
     .unwrap();
     let by_shape_request = serde_json::to_string(&Request::Optimize {
@@ -159,6 +165,7 @@ fn moptd_serves_depthwise_and_dilated_shapes() {
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
         threads: None,
+        trace: None,
     })
     .unwrap();
     // The dilated request really carries the new field on the wire.
@@ -242,7 +249,7 @@ fn plan_network_serves_generalized_suites() {
         );
         let response: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
         match response {
-            Response::Planned { plan } => {
+            Response::Planned { plan, .. } => {
                 assert_eq!(plan.stats.layers, expected_layers, "suite {suite}");
                 for layer in &plan.layers {
                     assert!(layer.best.config.validate(&layer.shape).is_ok());
@@ -267,6 +274,7 @@ fn moptd_snapshot_warms_across_processes() {
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
         threads: None,
+        trace: None,
     })
     .unwrap();
 
@@ -332,6 +340,7 @@ fn serde_round_trips_are_exact() {
         machine: mopt_service::MachineSpec::Custom(MachineModel::i9_10980xe()),
         options: Some(OptimizerOptions::default()),
         threads: None,
+        trace: None,
         workers: Some(4),
     };
     let text = serde_json::to_string(&request).unwrap();
@@ -376,7 +385,7 @@ fn moptd_plan_graph_fused_schedule_executes_correctly() {
 
     let parse = |line: &str| -> (bool, GraphPlan) {
         match serde_json::from_str::<Response>(line).unwrap() {
-            Response::GraphPlanned { cached, plan } => (cached, plan),
+            Response::GraphPlanned { cached, plan, .. } => (cached, plan),
             other => panic!("expected GraphPlanned, got {other:?}"),
         }
     };
@@ -455,6 +464,7 @@ fn fused_plan_beats_unfused_in_tilesim_traffic() {
         machine: mopt_service::MachineSpec::Preset("i7-9700k".into()),
         options: Some(fast_options()),
         threads: None,
+        trace: None,
         workers: Some(4),
     };
     let plan = match state.handle(&request) {
@@ -520,7 +530,7 @@ fn moptd_serves_multithreaded_plans_with_distinct_cache_keys() {
     assert_eq!(lines.len(), 3, "expected three response lines, got {lines:?}");
 
     let plan = |line: &str| match serde_json::from_str::<Response>(line).unwrap() {
-        Response::Planned { plan } => plan,
+        Response::Planned { plan, .. } => plan,
         other => panic!("expected Planned, got {other:?}"),
     };
     let sequential = plan(&lines[0]);
@@ -594,6 +604,7 @@ fn plan_world_db_serves_cold_moptd_without_solving() {
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
         options: Some(fast_options()),
         threads: Some(8),
+        trace: None,
     })
     .unwrap();
     let mut child = Command::new(env!("CARGO_BIN_EXE_moptd"))
@@ -679,4 +690,102 @@ fn suite_plans_reuse_table1_cache_entries() {
     let warm = planner.plan(&resnet);
     assert_eq!(warm.stats.solves, 0);
     assert!(warm.layers.iter().all(|l| l.from_cache));
+}
+
+/// Acceptance (`mopt-trace`): `Explain` over stdio through the real `moptd`
+/// binary returns the optimizer's search trace and a per-level cost
+/// breakdown that re-certifies the served schedule bit-for-bit — and the
+/// schedule itself is bit-identical to what a plain `Optimize` serves.
+#[test]
+fn explain_over_stdio_recertifies_bit_identically() {
+    use mopt_model::cost::CostOptions;
+    use mopt_model::multilevel::{MultiLevelModel, ParallelSpec};
+
+    let explain = serde_json::to_string(&Request::Explain {
+        op: Some("V5".into()),
+        shape: None,
+        machine: mopt_service::MachineSpec::Preset("tiny".into()),
+        options: Some(fast_options()),
+        threads: None,
+    })
+    .unwrap();
+    let optimize = serde_json::to_string(&Request::Optimize {
+        op: Some("V5".into()),
+        shape: None,
+        machine: mopt_service::MachineSpec::Preset("tiny".into()),
+        options: Some(fast_options()),
+        threads: None,
+        trace: None,
+    })
+    .unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_moptd"))
+        .args(["--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("moptd spawns");
+    {
+        let stdin = child.stdin.as_mut().expect("moptd stdin");
+        stdin.write_all(format!("{explain}\n{optimize}\n").as_bytes()).unwrap();
+    }
+    child.stdin.take();
+    let stdout = BufReader::new(child.stdout.take().expect("moptd stdout"));
+    let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+    assert!(child.wait().unwrap().success());
+    assert_eq!(lines.len(), 2, "expected two response lines, got {lines:?}");
+
+    let shape = benchmarks::by_name("V5").unwrap().shape;
+    let (result, search, breakdown) = match serde_json::from_str::<Response>(&lines[0]).unwrap() {
+        Response::Explained { op, shape: served, cached, result, search, breakdown, .. } => {
+            assert_eq!(op.as_deref(), Some("V5"));
+            assert_eq!(served, shape);
+            assert!(!cached, "the first request of a cold daemon cannot be cached");
+            (result, search, breakdown)
+        }
+        other => panic!("expected Explained, got {other:?}"),
+    };
+
+    // The search trace is a complete account of the exploration: every
+    // candidate class is listed, the global tallies are the per-candidate
+    // sums, and pruning is visible.
+    assert_eq!(search.permutations_total, 5040, "7! loop orders before pruning");
+    assert!(search.classes_searched >= 1);
+    assert!(search.permutations_pruned > 0);
+    assert_eq!(search.candidates.len(), search.classes_searched as usize);
+    assert!(search.enumerated > 0);
+    assert_eq!(search.enumerated, search.candidates.iter().map(|c| c.enumerated).sum::<u64>());
+    assert_eq!(
+        search.capacity_pruned,
+        search.candidates.iter().map(|c| c.capacity_pruned).sum::<u64>()
+    );
+    let best = result.best();
+    assert_eq!(search.winner_class, best.class_id);
+    assert_eq!(search.winner_cost, best.predicted_cost);
+
+    // The per-level breakdown sums (bit-for-bit) to the certified price.
+    assert_eq!(breakdown.attributed_total(), breakdown.total_cost);
+    assert_eq!(breakdown.total_cost, best.predicted_cost);
+
+    // …and an in-process model re-certifies the same price for the served
+    // schedule: Explain's numbers are the model's numbers, not a story.
+    let machine = MachineModel::tiny_test_machine();
+    let spec =
+        ParallelSpec { threads: fast_options().threads, factors: best.config.parallel.as_array() };
+    let direct = MultiLevelModel::new(shape, machine, best.config.permutation.clone())
+        .with_options(CostOptions { line_elems: fast_options().line_elems })
+        .with_parallel(spec)
+        .predict_config(&best.config);
+    assert_eq!(best.predicted_cost, direct.bottleneck_cost);
+
+    // The plain Optimize (same key, now warm from the Explain) serves the
+    // bit-identical schedule.
+    match serde_json::from_str::<Response>(&lines[1]).unwrap() {
+        Response::Optimized { cached, result: plain, .. } => {
+            assert!(cached, "Explain must warm the cache for Optimize");
+            assert_eq!(plain, result, "Explain and Optimize must serve the same schedule");
+        }
+        other => panic!("expected Optimized, got {other:?}"),
+    }
 }

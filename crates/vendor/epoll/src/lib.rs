@@ -425,8 +425,10 @@ mod tests {
         let mut events = Vec::new();
         poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
         assert!(events.iter().any(|e| e.token == u64::MAX && e.readable));
-        waker.drain();
+        // Join before draining: a drain that lands between the two wakes
+        // would leave the second wake armed and the final wait non-empty.
         handle.join().unwrap();
+        waker.drain();
         // Drained: the next wait times out quietly.
         let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
         assert_eq!(n, 0);
