@@ -34,8 +34,8 @@ fn bench_graph_planning(c: &mut Criterion) {
         b.iter(|| {
             let planner = GraphPlanner::new(machine.clone());
             let plan = planner
-                .plan(&graph, |shape| {
-                    MOptOptimizer::new(*shape, machine.clone(), fast_options()).optimize()
+                .plan(&graph, |spec| {
+                    MOptOptimizer::optimize_spec(spec, machine.clone(), fast_options())
                 })
                 .unwrap();
             black_box(plan.fused_volume)
@@ -46,9 +46,9 @@ fn bench_graph_planning(c: &mut Criterion) {
     let cache = ScheduleCache::new(64);
     let planner = GraphPlanner::new(machine.clone());
     let warm_plan = planner
-        .plan(&graph, |shape| {
-            cache.get_or_compute(CacheKey::new(*shape, &machine, &fast_options()), || {
-                MOptOptimizer::new(*shape, machine.clone(), fast_options()).optimize()
+        .plan(&graph, |spec| {
+            cache.get_or_compute(CacheKey::new(*spec, &machine, &fast_options()), || {
+                MOptOptimizer::optimize_spec(spec, machine.clone(), fast_options())
             })
         })
         .unwrap();
@@ -56,8 +56,8 @@ fn bench_graph_planning(c: &mut Criterion) {
     group.bench_function("plan_block_warm", |b| {
         b.iter(|| {
             let plan = planner
-                .plan(&graph, |shape| {
-                    cache.get_or_compute(CacheKey::new(*shape, &machine, &fast_options()), || {
+                .plan(&graph, |spec| {
+                    cache.get_or_compute(CacheKey::new(*spec, &machine, &fast_options()), || {
                         unreachable!("warm plan must not solve")
                     })
                 })

@@ -117,6 +117,7 @@ fn run_herd(preset: &str, threads: usize, clients: usize) -> FlightBreakdown {
     let state = std::sync::Arc::new(ServiceState::new(64));
     state.set_test_solve_delay(std::time::Duration::from_millis(200));
     let request = Request::Optimize {
+        spec: None,
         op: Some("Y0".to_string()),
         shape: None,
         machine: MachineSpec::Preset(preset.to_string()),
@@ -158,6 +159,7 @@ fn run_phase(state: &ServiceState, suite: &str, preset: &str, threads: usize) ->
     let mut max_micros: f64 = 0.0;
     for op in &ops {
         let request = Request::Optimize {
+            spec: None,
             op: Some(op.clone()),
             shape: None,
             machine: MachineSpec::Preset(preset.to_string()),

@@ -22,7 +22,11 @@
 //! * [`fused`] — a fused depthwise + pointwise executor that consumes the
 //!   intermediate tensor band-by-band in cache (bit-for-bit equal to the two
 //!   naive convolutions run sequentially),
-//! * [`measure`] — timing helpers (GFLOPS, repetitions, cache flushing).
+//! * [`measure`] — timing helpers (GFLOPS, repetitions, cache flushing),
+//! * [`spec_exec`] — executors for the generalized problem IR
+//!   ([`conv_spec::Spec`]): naive and tiled matmul (the tiled form shares the
+//!   im2col GEMM inner loop bit-for-bit), max/avg pooling, and elementwise
+//!   kernels.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@ pub mod microkernel;
 pub mod naive;
 pub mod packing;
 pub mod partiled;
+pub mod spec_exec;
 pub mod tensor;
 pub mod tiled;
 
@@ -55,6 +60,9 @@ pub use fused::{pointwise_consumer, FusedDwPw};
 pub use measure::{measure_gflops, MeasureOptions, Measurement};
 pub use packing::PackedKernel;
 pub use partiled::ParTiledConv;
+pub use spec_exec::{
+    elementwise_naive, elementwise_tiled, matmul_naive, matmul_tiled, pool2d_naive, pool2d_tiled,
+};
 pub use tensor::Tensor4;
 pub use tiled::TiledConv;
 

@@ -1,0 +1,257 @@
+//! Executors for the generalized problem IR ([`Spec`]): matmul, pooling, and
+//! elementwise kernels, each in a naive reference form and a tiled form.
+//!
+//! The tiled matmul is *the same code path* as the im2col convolution's GEMM
+//! ([`blocked_gemm`]) — under the embedding `m→K, k→C, n→W` the kernel matrix
+//! (KCRS row-major) is A, the im2col column matrix is B, and the NCHW output
+//! of the embedded `1×m×1×n` conv is C row-major — so a matmul scheduled by
+//! the optimizer and the conv it embeds into produce bit-for-bit identical
+//! floats. Pooling executes the depthwise-conv access pattern with a
+//! max/avg reduction; elementwise ops stream with an optional block size.
+
+use conv_spec::{EwOp, PoolKind, Spec};
+
+use crate::im2col::{blocked_gemm, GemmBlocking};
+use crate::tensor::Tensor4;
+
+/// Reference matmul: `C[m × n] = A[m × k] · B[k × n]`, all row-major.
+pub fn matmul_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A dimensions mismatch");
+    assert_eq!(b.len(), k * n, "B dimensions mismatch");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut sum = 0.0f32;
+            for p in 0..k {
+                sum += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = sum;
+        }
+    }
+    c
+}
+
+/// Tiled matmul: `C[m × n] = A[m × k] · B[k × n]` with cache blocking.
+///
+/// Delegates to [`blocked_gemm`] — the identical inner loop the im2col
+/// convolution path runs — so a `Spec::Matmul` and its embedded conv shape
+/// produce bit-for-bit equal outputs (same additions in the same order).
+pub fn matmul_tiled(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    blocking: &GemmBlocking,
+) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    blocked_gemm(m, k, n, a, b, &mut c, blocking);
+    c
+}
+
+/// Input dims `(n, channels, in_h, in_w)` of a pooling spec.
+fn pool_input_dims(spec: &Spec) -> (usize, usize, usize, usize) {
+    match *spec {
+        Spec::Pool { n, channels, h, w, window, stride, .. } => {
+            (n, channels, (h - 1) * stride + window, (w - 1) * stride + window)
+        }
+        _ => panic!("pool_input_dims requires a Spec::Pool"),
+    }
+}
+
+/// Reference 2-D pooling over an NCHW input. Panics unless `spec` is a
+/// [`Spec::Pool`] and the input has the matching dims.
+pub fn pool2d_naive(spec: &Spec, input: &Tensor4) -> Tensor4 {
+    pool2d_tiled(spec, input, usize::MAX, usize::MAX)
+}
+
+/// Tiled 2-D pooling: channels and output columns are processed in blocks of
+/// `channel_block` / `w_block`. Per output element the window is reduced in
+/// the same `r, s` order as the naive form, so the result is bit-for-bit
+/// identical for every block size.
+pub fn pool2d_tiled(spec: &Spec, input: &Tensor4, channel_block: usize, w_block: usize) -> Tensor4 {
+    let (kind, n, channels, h, w, window, stride) = match *spec {
+        Spec::Pool { kind, n, channels, h, w, window, stride } => {
+            (kind, n, channels, h, w, window, stride)
+        }
+        _ => panic!("pool2d requires a Spec::Pool"),
+    };
+    assert_eq!(input.dims(), pool_input_dims(spec), "pool input dims mismatch");
+    let cb = channel_block.clamp(1, channels);
+    let wb = w_block.clamp(1, w);
+    let mut out = Tensor4::zeros(n, channels, h, w);
+    for nb in 0..n {
+        for c0 in (0..channels).step_by(cb) {
+            for w0 in (0..w).step_by(wb) {
+                for c in c0..(c0 + cb).min(channels) {
+                    for oh in 0..h {
+                        for ow in w0..(w0 + wb).min(w) {
+                            let mut acc = match kind {
+                                PoolKind::Max => f32::NEG_INFINITY,
+                                PoolKind::Avg => 0.0f32,
+                            };
+                            for r in 0..window {
+                                for s in 0..window {
+                                    let v = input.at(nb, c, oh * stride + r, ow * stride + s);
+                                    match kind {
+                                        PoolKind::Max => acc = acc.max(v),
+                                        PoolKind::Avg => acc += v,
+                                    }
+                                }
+                            }
+                            if kind == PoolKind::Avg {
+                                acc /= (window * window) as f32;
+                            }
+                            *out.at_mut(nb, c, oh, ow) = acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Apply one elementwise op. `b` supplies the second operand for binary ops
+/// (`Add`, `Mul`) and must be `None` for unary ones. `stride` reads every
+/// `stride`-th element of the operands (the `strided` form of
+/// [`Spec::Elementwise`]); the output is always dense.
+pub fn elementwise_naive(op: EwOp, a: &[f32], b: Option<&[f32]>, stride: usize) -> Vec<f32> {
+    elementwise_tiled(op, a, b, stride, usize::MAX)
+}
+
+/// Blocked elementwise: the index space is walked in chunks of `block`
+/// outputs. Element order inside a chunk matches the naive form, so results
+/// are bit-for-bit identical for every block size.
+pub fn elementwise_tiled(
+    op: EwOp,
+    a: &[f32],
+    b: Option<&[f32]>,
+    stride: usize,
+    block: usize,
+) -> Vec<f32> {
+    assert!(stride >= 1, "stride must be at least 1");
+    assert_eq!(op.arity() == 2, b.is_some(), "operand count must match op arity");
+    if let Some(b) = b {
+        assert_eq!(a.len(), b.len(), "operand length mismatch");
+    }
+    let len = a.len().div_ceil(stride);
+    let blk = block.clamp(1, len.max(1));
+    let mut out = vec![0.0f32; len];
+    for i0 in (0..len).step_by(blk) {
+        for i in i0..(i0 + blk).min(len) {
+            let x = a[i * stride];
+            out[i] = match op {
+                EwOp::Relu => x.max(0.0),
+                EwOp::Add => x + b.expect("binary op")[i * stride],
+                EwOp::Mul => x * b.expect("binary op")[i * stride],
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::im2col::conv2d_im2col;
+    use conv_spec::DType;
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state % 2000) as f32 - 1000.0) / 250.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiled_matmul_is_bit_identical_to_embedded_im2col_conv() {
+        let (m, n, k) = (12, 30, 17);
+        let spec = Spec::Matmul { m, n, k, dtype: DType::F32 };
+        let shape = spec.embedded_conv_shape();
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        // The kernel tensor (m, k, 1, 1) KCRS row-major IS A; the input
+        // tensor (1, k, 1, n) NCHW IS B; the conv output (1, m, 1, n) IS C.
+        let kernel = Tensor4::from_vec((m, k, 1, 1), a.clone());
+        let input = Tensor4::from_vec((1, k, 1, n), b.clone());
+        for blocking in
+            [GemmBlocking::default(), GemmBlocking { mc: 5, kc: 3, nc: 7, mr: 2, nr: 3 }]
+        {
+            let via_conv = conv2d_im2col(&shape, &input, &kernel, &blocking, 1);
+            let via_matmul = matmul_tiled(m, n, k, &a, &b, &blocking);
+            // Bit-for-bit: same inner loop, same addition order.
+            assert_eq!(via_conv.as_slice(), via_matmul.as_slice());
+        }
+    }
+
+    #[test]
+    fn naive_matmul_matches_tiled() {
+        let (m, n, k) = (9, 11, 23);
+        let a = fill(m * k, 7);
+        let b = fill(k * n, 8);
+        let reference = matmul_naive(m, n, k, &a, &b);
+        let tiled =
+            matmul_tiled(m, n, k, &a, &b, &GemmBlocking { mc: 4, kc: 5, nc: 3, mr: 2, nr: 2 });
+        for (x, y) in reference.iter().zip(tiled.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pool_tiled_is_bit_identical_to_naive_for_every_block_size() {
+        for kind in [PoolKind::Max, PoolKind::Avg] {
+            let spec = Spec::Pool { kind, n: 2, channels: 6, h: 5, w: 5, window: 3, stride: 2 };
+            let (ni, ci, hi, wi) = pool_input_dims(&spec);
+            let input = Tensor4::random(ni, ci, hi, wi, 91);
+            let reference = pool2d_naive(&spec, &input);
+            for (cb, wb) in [(1, 1), (2, 3), (4, 5), (6, 2)] {
+                let tiled = pool2d_tiled(&spec, &input, cb, wb);
+                assert_eq!(reference.as_slice(), tiled.as_slice(), "{kind:?} {cb}x{wb}");
+            }
+        }
+    }
+
+    #[test]
+    fn avg_pool_equals_uniform_depthwise_conv() {
+        // The pool embedding claims the depthwise-conv access pattern; for
+        // avg pooling the arithmetic agrees too (uniform 1/win^2 kernel).
+        let spec =
+            Spec::Pool { kind: PoolKind::Avg, n: 1, channels: 4, h: 6, w: 6, window: 2, stride: 2 };
+        let shape = spec.embedded_conv_shape();
+        let (ni, ci, hi, wi) = pool_input_dims(&spec);
+        let input = Tensor4::random(ni, ci, hi, wi, 17);
+        let kernel = Tensor4::from_vec((4, 1, 2, 2), vec![0.25f32; 16]);
+        let via_conv = conv2d_im2col(&shape, &input, &kernel, &GemmBlocking::default(), 1);
+        let pooled = pool2d_naive(&spec, &input);
+        assert!(via_conv.allclose(&pooled, 1e-5));
+    }
+
+    #[test]
+    fn elementwise_tiled_is_bit_identical_to_naive() {
+        let a = fill(301, 12);
+        let b = fill(301, 13);
+        for stride in [1, 3] {
+            for op in [EwOp::Relu, EwOp::Add, EwOp::Mul] {
+                let second = if op.arity() == 2 { Some(b.as_slice()) } else { None };
+                let reference = elementwise_naive(op, &a, second, stride);
+                for block in [1, 7, 64, 1000] {
+                    let tiled = elementwise_tiled(op, &a, second, stride, block);
+                    assert_eq!(reference, tiled, "{op:?} stride {stride} block {block}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives_and_strided_skips() {
+        let a = vec![-1.0, 5.0, -2.0, 3.0];
+        assert_eq!(elementwise_naive(EwOp::Relu, &a, None, 1), vec![0.0, 5.0, 0.0, 3.0]);
+        assert_eq!(elementwise_naive(EwOp::Relu, &a, None, 2), vec![0.0, 0.0]);
+    }
+}

@@ -289,6 +289,22 @@ pub fn by_name(name: &str) -> Option<BenchmarkOp> {
         .find(|op| op.name.trim_end_matches('*').eq_ignore_ascii_case(&norm))
 }
 
+/// The deprecated `M1pw` ... `M9pw` dense stand-in aliases, without the
+/// deprecation warning at the call site — for servers that must keep
+/// answering them (tagged as deprecated) and for catalog listings.
+pub fn deprecated_aliases() -> Vec<BenchmarkOp> {
+    #[allow(deprecated)]
+    mobilenet_pointwise_form()
+}
+
+/// Whether an operator label refers to one of the deprecated dense stand-in
+/// aliases (`M1pw` ... `M9pw`; trailing `*` and case are ignored, like
+/// [`by_name`]). Servers tag responses for these ops `"deprecated": true`.
+pub fn is_deprecated_alias(name: &str) -> bool {
+    let norm = name.trim().trim_end_matches('*').to_ascii_uppercase();
+    deprecated_aliases().iter().any(|op| op.name.trim_end_matches('*').eq_ignore_ascii_case(&norm))
+}
+
 /// The operators for one suite.
 pub fn suite(s: BenchmarkSuite) -> Vec<BenchmarkOp> {
     match s {

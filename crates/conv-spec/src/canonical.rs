@@ -32,6 +32,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::shape::{ConvShape, LoopIndex, Permutation};
+use crate::spec::Spec;
 use crate::tiling::{TileConfig, TileSizes, TilingLevel};
 
 /// Free output extents (`h`, `w`) are rounded up to the next multiple of
@@ -72,6 +73,16 @@ impl std::fmt::Display for CanonicalSpec {
 pub struct SpecTransform {
     /// Whether the canonical form swapped `r ↔ s` and `h ↔ w`.
     pub transposed: bool,
+    /// Whether the canonical form swapped the `K` and `W` loop extents.
+    ///
+    /// This is the matmul `m ↔ n` transpose symmetry: under the conv
+    /// embedding (`K = m`, `W = n`, see [`Spec::embedded_conv_shape`]),
+    /// `Cᵀ = Bᵀ·Aᵀ` swaps the `K` and `W` extents while the cost model —
+    /// which treats both as free output dimensions whose tensors it prices
+    /// by footprint, not by role — is invariant. Never set for conv specs:
+    /// a conv's `K` (channel) and `W` (spatial) loops index *different
+    /// tensors* and are not interchangeable.
+    pub swap_kw: bool,
     /// The raw shape the transform denormalizes back to.
     pub raw: ConvShape,
 }
@@ -93,7 +104,40 @@ pub fn canonicalize(shape: &ConvShape) -> (CanonicalSpec, SpecTransform) {
     // (3) Pad the free output extents up to the quantum.
     canon.h = pad_up(canon.h);
     canon.w = pad_up(canon.w);
-    (CanonicalSpec { shape: canon }, SpecTransform { transposed, raw: *shape })
+    (CanonicalSpec { shape: canon }, SpecTransform { transposed, swap_kw: false, raw: *shape })
+}
+
+/// Normalize a generalized [`Spec`] under the canonical symmetries.
+///
+/// Every spec canonicalizes *through its conv embedding*, so the database
+/// key space stays one space of conv shapes:
+///
+/// * `Spec::Conv` delegates to [`canonicalize`] — bit-identical canonical
+///   fingerprints to the pre-spec-IR database.
+/// * `Spec::Matmul` first orients `m ≤ n` (the `m ↔ n` transpose symmetry:
+///   `C = A·B` and `Cᵀ = Bᵀ·Aᵀ` cost the same, so both orientations share
+///   one record), recording the swap as [`SpecTransform::swap_kw`], then
+///   canonicalizes the oriented embedding (which pads `w = n` into the
+///   divisor buckets, exactly like a conv's free spatial extent).
+/// * `Spec::Pool` and `Spec::Elementwise` canonicalize their embeddings
+///   directly.
+///
+/// The returned transform denormalizes canonical schedules back to the
+/// spec's *raw* embedded shape, so stored entries re-rank for either matmul
+/// orientation.
+pub fn canonicalize_spec(spec: &Spec) -> (CanonicalSpec, SpecTransform) {
+    match *spec {
+        Spec::Conv(shape) => canonicalize(&shape),
+        Spec::Matmul { m, n, k, dtype } => {
+            let raw = spec.embedded_conv_shape();
+            let oriented =
+                Spec::Matmul { m: m.min(n), n: m.max(n), k, dtype }.embedded_conv_shape();
+            let (canonical, inner) = canonicalize(&oriented);
+            debug_assert!(!inner.transposed, "h = 1 <= w never transposes");
+            (canonical, SpecTransform { transposed: inner.transposed, swap_kw: m > n, raw })
+        }
+        Spec::Pool { .. } | Spec::Elementwise { .. } => canonicalize(&spec.embedded_conv_shape()),
+    }
 }
 
 fn pad_up(extent: usize) -> usize {
@@ -142,25 +186,61 @@ fn transpose_config(config: &TileConfig) -> TileConfig {
     )
 }
 
+/// Swap the `k ↔ w` entries of a tile-size vector (matmul `m ↔ n`).
+fn swap_kw_tiles(tiles: &TileSizes) -> TileSizes {
+    tiles.with(LoopIndex::K, tiles.get(LoopIndex::W)).with(LoopIndex::W, tiles.get(LoopIndex::K))
+}
+
+/// Swap the `k ↔ w` letters of a permutation.
+fn swap_kw_permutation(permutation: &Permutation) -> Permutation {
+    let mut order = *permutation.outer_to_inner();
+    for idx in &mut order {
+        *idx = match *idx {
+            LoopIndex::K => LoopIndex::W,
+            LoopIndex::W => LoopIndex::K,
+            other => other,
+        };
+    }
+    Permutation::new(order).expect("swapping two letters preserves validity")
+}
+
+/// Apply the `k ↔ w` swap to a whole configuration. Involutive.
+fn swap_kw_config(config: &TileConfig) -> TileConfig {
+    let mut tiles = config.tiles;
+    for level in TilingLevel::ALL {
+        tiles[level.ordinal()] = swap_kw_tiles(config.level(level));
+    }
+    TileConfig::new(
+        swap_kw_permutation(&config.permutation),
+        tiles,
+        swap_kw_tiles(&config.parallel),
+    )
+}
+
 impl SpecTransform {
     /// Rewrite a schedule for the raw shape into canonical coordinates.
     ///
     /// Raw extents never exceed the canonical (padded) extents, so the
-    /// rewritten tiles are valid for the canonical shape as-is.
+    /// rewritten tiles are valid for the canonical shape as-is. (For a
+    /// `swap_kw` transform the raw `K`/`W` extents are the canonical
+    /// `W`/`K` extents — before padding — so the same holds.)
     pub fn canonicalize_config(&self, config: &TileConfig) -> TileConfig {
+        let oriented = if self.swap_kw { swap_kw_config(config) } else { config.clone() };
         if self.transposed {
-            transpose_config(config)
+            transpose_config(&oriented)
         } else {
-            config.clone()
+            oriented
         }
     }
 
     /// Rewrite a schedule solved for the canonical shape back into a valid
-    /// schedule for the raw shape: undo the transpose, then clamp padded
-    /// tile extents down to the raw extents.
+    /// schedule for the raw shape: undo the transpose and the `k ↔ w`
+    /// orientation swap, then clamp padded tile extents down to the raw
+    /// extents.
     pub fn denormalize_config(&self, config: &TileConfig) -> TileConfig {
         let oriented = if self.transposed { transpose_config(config) } else { config.clone() };
-        oriented.normalized(&self.raw)
+        let unswapped = if self.swap_kw { swap_kw_config(&oriented) } else { oriented };
+        unswapped.normalized(&self.raw)
     }
 }
 
@@ -258,6 +338,73 @@ mod tests {
         let twice = transpose_config(&transpose_config(&cfg));
         assert_eq!(twice, cfg);
         assert_eq!(cfg.tiles.len(), NUM_TILING_LEVELS);
+    }
+
+    #[test]
+    fn matmul_orientations_share_one_canonical_entry() {
+        let tall = Spec::matmul(512, 64, 128);
+        let wide = Spec::matmul(64, 512, 128);
+        let (ct, tt) = canonicalize_spec(&tall);
+        let (cw, tw) = canonicalize_spec(&wide);
+        assert_eq!(ct, cw, "m<->n transposes must share a canonical spec");
+        assert_eq!(ct.fingerprint(), cw.fingerprint());
+        assert!(tt.swap_kw, "the tall orientation records the swap");
+        assert!(!tw.swap_kw, "the wide orientation is already canonical");
+        // The canonical embedding is the oriented (m <= n) one, padded.
+        assert_eq!(ct.shape.k, 64);
+        assert_eq!(ct.shape.w, 512);
+        assert_eq!(ct.shape.c, 128);
+        // Conv specs never swap.
+        let (_, t) = canonicalize_spec(&Spec::Conv(raw_asymmetric()));
+        assert!(!t.swap_kw);
+    }
+
+    #[test]
+    fn swap_kw_round_trip_is_valid_on_the_raw_matmul_embedding() {
+        let tall = Spec::matmul(512, 64, 128);
+        let raw = tall.embedded_conv_shape();
+        let (canon, transform) = canonicalize_spec(&tall);
+        // A schedule "solved" for the canonical (oriented) embedding.
+        let mut cfg = TileConfig::untiled(&canon.shape);
+        cfg.permutation = Permutation::parse("kcwnhrs").unwrap();
+        cfg.tiles[0] = TileSizes::from_array([1, 4, 8, 1, 1, 1, 16]);
+        cfg.tiles[1] = TileSizes::from_array([1, 16, 32, 1, 1, 1, 64]);
+        cfg.tiles[2] = TileSizes::from_array([1, 64, 128, 1, 1, 1, 256]);
+        let cfg = cfg.normalized(&canon.shape);
+        assert!(cfg.validate(&canon.shape).is_ok());
+        let back = transform.denormalize_config(&cfg);
+        assert!(back.validate(&raw).is_ok(), "denormalized schedule must fit the raw embedding");
+        // K and W tile factors swapped: the canonical K-tile (4) became the
+        // raw W-tile, and the canonical W-tile (16) the raw K-tile.
+        assert_eq!(back.level(TilingLevel::Register).get(LoopIndex::W), 4);
+        assert_eq!(back.level(TilingLevel::Register).get(LoopIndex::K), 16);
+        // The permutation letters swapped along.
+        let letters: String = back.permutation.outer_to_inner().iter().map(|i| i.name()).collect();
+        assert_eq!(letters, "wcknhrs");
+        // Round-tripping back to canonical coordinates is exact here (the
+        // canonical extents were fully used, nothing clamped).
+        assert_eq!(transform.canonicalize_config(&back), cfg);
+    }
+
+    #[test]
+    fn pool_and_elementwise_canonicalize_through_their_embeddings() {
+        let pool = Spec::Pool {
+            kind: crate::spec::PoolKind::Max,
+            n: 1,
+            channels: 64,
+            h: 57,
+            w: 57,
+            window: 3,
+            stride: 2,
+        };
+        let (canon, transform) = canonicalize_spec(&pool);
+        assert!(canon.shape.is_depthwise());
+        assert_eq!((canon.shape.h, canon.shape.w), (64, 64), "free extents pad");
+        assert!(!transform.swap_kw);
+        assert_eq!(transform.raw, pool.embedded_conv_shape());
+        let ew = Spec::Elementwise { op: crate::spec::EwOp::Relu, len: 100, strided: false };
+        let (canon, _) = canonicalize_spec(&ew);
+        assert_eq!(canon.shape.w, 104, "stream length pads into divisor buckets");
     }
 
     #[test]

@@ -35,7 +35,11 @@
 //! * [`canonical`] — cost-preserving normalization of shapes
 //!   ([`CanonicalSpec`]) with an invertible schedule rewrite
 //!   ([`SpecTransform`]), the key space of the persistent schedule
-//!   database (`mopt_db`).
+//!   database (`mopt_db`),
+//! * [`spec`] — the generalized problem IR ([`Spec`]): conv, matmul,
+//!   pooling, and elementwise computations as one tagged type, each
+//!   embedding into the conv2d loop nest so one optimizer and one schedule
+//!   database serve all of them.
 //!
 //! # Example
 //!
@@ -66,13 +70,15 @@ pub mod canonical;
 pub mod layout;
 pub mod machine;
 pub mod shape;
+pub mod spec;
 pub mod tiling;
 
 pub use benchmarks::{BenchmarkOp, BenchmarkSuite};
-pub use canonical::{canonicalize, CanonicalSpec, SpecTransform, PAD_QUANTUM};
+pub use canonical::{canonicalize, canonicalize_spec, CanonicalSpec, SpecTransform, PAD_QUANTUM};
 pub use layout::{KernelLayout, PackedKernelLayout, TensorKind, TensorLayout};
 pub use machine::{CacheLevel, MachineModel, MemoryLevel};
 pub use shape::{ConvShape, LoopIndex, Permutation, ALL_INDICES};
+pub use spec::{DType, EwOp, PoolKind, Spec};
 pub use tiling::{ParallelAxis, TileConfig, TileSizes, TilingLevel, NUM_TILING_LEVELS};
 
 /// Crate-wide error type.

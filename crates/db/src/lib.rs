@@ -45,7 +45,7 @@ pub mod ioutil;
 pub mod rerank;
 pub mod store;
 
-pub use rerank::{entries_from_result, rerank};
+pub use rerank::{entries_for_spec, entries_from_result, rerank, rerank_spec};
 pub use store::{DbStats, ScheduleEntry, SpecDb, SpecRecord, DB_VERSION};
 
 /// Errors produced by the database.

@@ -21,8 +21,8 @@
 //! is bit-identical to the direct model's prediction for that schedule.
 
 use conv_spec::{
-    canonicalize, CanonicalSpec, ConvShape, LoopIndex, MachineModel, SpecTransform, TileConfig,
-    TileSizes, TilingLevel,
+    canonicalize, canonicalize_spec, CanonicalSpec, ConvShape, LoopIndex, MachineModel, Spec,
+    SpecTransform, TileConfig, TileSizes, TilingLevel,
 };
 use mopt_core::{MOptOptimizer, OptimizeResult, OptimizedConfig, OptimizerOptions};
 use mopt_model::cost::CostOptions;
@@ -70,6 +70,36 @@ pub fn entries_for_shape(
     let (canonical, transform) = canonicalize(raw);
     let entries = entries_from_result(&canonical, &transform, machine, solved_threads, result);
     (canonical, entries)
+}
+
+/// Convenience: canonicalize a generalized [`Spec`] and convert its solve
+/// result into storable entries in one call. Unlike [`entries_for_shape`]
+/// this goes through [`conv_spec::canonicalize_spec`], so problem-level
+/// symmetries the embedded conv shape cannot see (the matmul `m ↔ n`
+/// transpose, recorded as [`SpecTransform::swap_kw`]) fold into one record.
+pub fn entries_for_spec(
+    spec: &Spec,
+    machine: &MachineModel,
+    solved_threads: usize,
+    result: &OptimizeResult,
+) -> (CanonicalSpec, SpecTransform, Vec<ScheduleEntry>) {
+    let (canonical, transform) = canonicalize_spec(spec);
+    let entries = entries_from_result(&canonical, &transform, machine, solved_threads, result);
+    (canonical, transform, entries)
+}
+
+/// Answer a query for a generalized [`Spec`] from stored entries: the
+/// entries are rewritten back through `transform` (including the matmul
+/// `K ↔ W` swap when the record was stored in the transposed orientation)
+/// and re-priced at the spec's embedded conv shape. See [`rerank`].
+pub fn rerank_spec(
+    spec: &Spec,
+    transform: &SpecTransform,
+    entries: &[ScheduleEntry],
+    machine: &MachineModel,
+    options: &OptimizerOptions,
+) -> Option<OptimizeResult> {
+    rerank(&spec.embedded_conv_shape(), transform, entries, machine, options)
 }
 
 /// Clamp a configuration's L3 tile into one thread's slice of the problem
@@ -281,5 +311,29 @@ mod tests {
         assert_eq!(canon_a.fingerprint(), canon_b.fingerprint());
         let served = rerank(&b, &transform_b, &entries, &machine(), &fast_options(1)).unwrap();
         assert!(served.ranked[0].config.validate(&b).is_ok());
+    }
+
+    #[test]
+    fn matmul_transpose_twins_are_served_through_the_shared_entry() {
+        // Solve the tall matmul, store through the spec canonicalizer, and
+        // serve the wide transpose twin from the same record — the `m ↔ n`
+        // swap only exists at the spec level, so this exercises the
+        // `swap_kw` rewrite end to end.
+        let tall = Spec::matmul(48, 16, 24);
+        let wide = Spec::matmul(16, 48, 24);
+        let result = MOptOptimizer::optimize_spec(&tall, machine(), fast_options(1));
+        let (canon_tall, _, entries) = entries_for_spec(&tall, &machine(), 1, &result);
+        let (canon_wide, transform_wide) = canonicalize_spec(&wide);
+        assert_eq!(canon_tall.fingerprint(), canon_wide.fingerprint());
+        let served =
+            rerank_spec(&wide, &transform_wide, &entries, &machine(), &fast_options(1)).unwrap();
+        let raw_wide = wide.embedded_conv_shape();
+        assert!(served.ranked[0].config.validate(&raw_wide).is_ok());
+        // Serving the solved orientation itself reproduces the solved best.
+        let (_, transform_tall) = canonicalize_spec(&tall);
+        let round =
+            rerank_spec(&tall, &transform_tall, &entries, &machine(), &fast_options(1)).unwrap();
+        assert_eq!(round.ranked[0].config, result.ranked[0].config);
+        assert_eq!(round.ranked[0].predicted_cost, result.ranked[0].predicted_cost);
     }
 }

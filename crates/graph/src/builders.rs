@@ -1,4 +1,9 @@
-//! Builders for the benchmark-suite network blocks.
+//! Builders for the benchmark-suite network blocks and whole networks.
+//!
+//! Besides the block families below, [`resnet50`] and [`mobilenet_v2_full`]
+//! assemble complete classification networks — conv body, explicit pooling
+//! nodes, and the fully-connected classifier as a matmul — so a single
+//! `PlanGraph` request exercises every schedulable [`crate::ir::OpKind`].
 //!
 //! Two block families ground the graph planner in the existing suites:
 //!
@@ -14,9 +19,9 @@
 //!   skip projection uses a 5x5 kernel so both paths land on the same
 //!   spatial extent.
 
-use conv_spec::{benchmarks, ConvShape};
+use conv_spec::{benchmarks, ConvShape, PoolKind};
 
-use crate::ir::{Graph, OpKind, TensorInfo};
+use crate::ir::{Graph, NodeId, OpKind, TensorInfo};
 use crate::GraphError;
 
 /// The MobileNetV2 inverted-residual block whose depthwise stage is an
@@ -133,6 +138,163 @@ pub fn resnet_residual_block(layer: &str) -> Result<Graph, GraphError> {
     Ok(resnet_residual_block_from(&s, format!("resnet-block-{}", op.name.to_lowercase())))
 }
 
+/// Tracks the frontier of a network under construction: the last node id and
+/// the tensor it emits.
+struct Frontier {
+    node: NodeId,
+    dims: (usize, usize, usize, usize),
+}
+
+impl Frontier {
+    fn tensor(&self) -> TensorInfo {
+        TensorInfo::nchw(self.dims)
+    }
+}
+
+/// Append `conv` + ReLU to the frontier.
+fn push_conv_relu(g: &mut Graph, f: &mut Frontier, name: &str, shape: ConvShape) {
+    debug_assert_eq!(shape.input_dims(), f.dims, "{name}: frontier mismatch");
+    let c = g.add_conv(name, shape);
+    g.connect(f.node, c, f.tensor());
+    let r = g.add_node(format!("{name}.relu"), OpKind::Relu);
+    *f = Frontier { node: c, dims: shape.output_dims() };
+    g.connect(c, r, f.tensor());
+    f.node = r;
+}
+
+/// Append a pooling node to the frontier.
+fn push_pool(
+    g: &mut Graph,
+    f: &mut Frontier,
+    name: &str,
+    kind: PoolKind,
+    window: usize,
+    stride: usize,
+) {
+    let p = g.add_pool(name, kind, window, stride);
+    g.connect(f.node, p, f.tensor());
+    let (n, c, h, w) = f.dims;
+    *f = Frontier { node: p, dims: (n, c, (h - window) / stride + 1, (w - window) / stride + 1) };
+}
+
+/// A ResNet-50-style bottleneck block on the frontier: `1x1 reduce → relu →
+/// 3x3 → relu → 1x1 expand` on the main path, a 3x3 projection on the skip
+/// path (valid convolutions shrink the extent by 2, so an identity skip is
+/// impossible and every block projects), joined by `Add` + ReLU.
+fn push_bottleneck(g: &mut Graph, f: &mut Frontier, name: &str, mid: usize, out: usize) {
+    let (n, cin, h, w) = f.dims;
+    let input = f.tensor();
+    let entry = f.node;
+    let reduce = ConvShape::new(n, mid, cin, 1, 1, h, w, 1).expect("bottleneck reduce");
+    let middle = ConvShape::new(n, mid, mid, 3, 3, h - 2, w - 2, 1).expect("bottleneck 3x3");
+    let expand = ConvShape::new(n, out, mid, 1, 1, h - 2, w - 2, 1).expect("bottleneck expand");
+    let skip = ConvShape::new(n, out, cin, 3, 3, h - 2, w - 2, 1).expect("bottleneck skip");
+
+    push_conv_relu(g, f, &format!("{name}.reduce"), reduce);
+    push_conv_relu(g, f, &format!("{name}.conv3"), middle);
+    let c3 = g.add_conv(format!("{name}.expand"), expand);
+    g.connect(f.node, c3, f.tensor());
+    let sk = g.add_conv(format!("{name}.skip"), skip);
+    g.connect(entry, sk, input);
+    let add = g.add_node(format!("{name}.add"), OpKind::Add);
+    let out_t = TensorInfo::nchw(expand.output_dims());
+    g.connect(c3, add, out_t);
+    g.connect(sk, add, out_t);
+    let relu = g.add_node(format!("{name}.relu"), OpKind::Relu);
+    g.connect(add, relu, out_t);
+    *f = Frontier { node: relu, dims: expand.output_dims() };
+}
+
+/// The whole ResNet-50 as one graph: a 7x7 stride-2 stem with max pooling,
+/// four stages of `[3, 4, 6, 3]` bottleneck blocks separated by 2x2
+/// non-overlapping max pools (valid convolutions make in-block striding
+/// awkward, so downsampling is explicit), a global average pool, and the
+/// 1000-way fully-connected classifier as a matmul node — conv, pool, and
+/// matmul all plan through the same spec pipeline.
+pub fn resnet50(name: impl Into<String>) -> Graph {
+    let mut g = Graph::new(name);
+    // Extents chosen so every valid conv / pool divides exactly; see the
+    // frontier assertions. 541 plays the role of the usual 224 input.
+    let stem = ConvShape::new(1, 64, 3, 7, 7, 268, 268, 2).expect("stem");
+    let src = g.add_conv("stem", stem);
+    let relu = g.add_node("stem.relu", OpKind::Relu);
+    g.connect(src, relu, TensorInfo::nchw(stem.output_dims()));
+    let mut f = Frontier { node: relu, dims: stem.output_dims() };
+    push_pool(&mut g, &mut f, "stem.pool", PoolKind::Max, 2, 2);
+
+    let stages: [(usize, usize, usize); 4] =
+        [(3, 64, 256), (4, 128, 512), (6, 256, 1024), (3, 512, 2048)];
+    for (si, (blocks, mid, out)) in stages.into_iter().enumerate() {
+        for b in 0..blocks {
+            push_bottleneck(&mut g, &mut f, &format!("s{}b{}", si + 1, b + 1), mid, out);
+        }
+        if si + 1 < stages.len() {
+            push_pool(&mut g, &mut f, &format!("s{}.down", si + 1), PoolKind::Max, 2, 2);
+        }
+    }
+
+    // Head: global average pool to 1x1, then the classifier matmul.
+    let (_, channels, h, _) = f.dims;
+    push_pool(&mut g, &mut f, "gap", PoolKind::Avg, h, 1);
+    let fc = g.add_matmul("fc", 1000, 1, channels);
+    g.connect(f.node, fc, f.tensor());
+    g
+}
+
+/// The whole MobileNetV2 as one graph: a 3x3 stride-2 stem, the seven
+/// inverted-residual groups (expansion → depthwise → linear projection, with
+/// the canonical widths and repeat counts; valid convolutions rule out
+/// identity residuals, so blocks chain linearly), the 1x1 head convolution,
+/// a global average pool, and the 1000-way classifier matmul.
+pub fn mobilenet_v2_full(name: impl Into<String>) -> Graph {
+    let mut g = Graph::new(name);
+    let stem = ConvShape::new(1, 32, 3, 3, 3, 277, 277, 2).expect("mbv2 stem");
+    let src = g.add_conv("stem", stem);
+    let relu = g.add_node("stem.relu", OpKind::Relu);
+    g.connect(src, relu, TensorInfo::nchw(stem.output_dims()));
+    let mut f = Frontier { node: relu, dims: stem.output_dims() };
+
+    // (expansion factor, output channels, repeats, first-block dw stride).
+    let groups: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (gi, (t, cout, repeats, first_stride)) in groups.into_iter().enumerate() {
+        for b in 0..repeats {
+            let stride = if b == 0 { first_stride } else { 1 };
+            let name = format!("g{}b{}", gi + 1, b + 1);
+            let (n, cin, h, w) = f.dims;
+            let expanded = cin * t;
+            let expand = ConvShape::new(n, expanded, cin, 1, 1, h, w, 1).expect("mbv2 expand");
+            let oh = (h - 3) / stride + 1;
+            let ow = (w - 3) / stride + 1;
+            let dw = ConvShape::new(n, expanded, expanded, 3, 3, oh, ow, stride)
+                .and_then(|s| s.with_groups(expanded))
+                .expect("mbv2 dw");
+            let project = ConvShape::new(n, cout, expanded, 1, 1, oh, ow, 1).expect("mbv2 project");
+            push_conv_relu(&mut g, &mut f, &format!("{name}.expand"), expand);
+            push_conv_relu(&mut g, &mut f, &format!("{name}.dw"), dw);
+            let pj = g.add_conv(format!("{name}.project"), project);
+            g.connect(f.node, pj, f.tensor());
+            f = Frontier { node: pj, dims: project.output_dims() };
+        }
+    }
+
+    // Head: 1x1 conv to 1280, global average pool, classifier matmul.
+    let (n, cin, h, w) = f.dims;
+    let head = ConvShape::new(n, 1280, cin, 1, 1, h, w, 1).expect("mbv2 head");
+    push_conv_relu(&mut g, &mut f, "head", head);
+    push_pool(&mut g, &mut f, "gap", PoolKind::Avg, h, 1);
+    let fc = g.add_matmul("fc", 1000, 1, 1280);
+    g.connect(f.node, fc, f.tensor());
+    g
+}
+
 /// Resolve a named block: `"mbv2-block3"` / `"mbv2:3"` / `"v2_block_3"`
 /// (MobileNetV2 inverted-residual stage 3) or `"resnet-r2"` / `"resnet:R2"`
 /// (residual block around ResNet layer R2). Case, `-`, `_`, `:` and spaces
@@ -148,6 +310,12 @@ pub fn by_name(name: &str) -> Result<Graph, GraphError> {
         .chars()
         .filter(|c| !['-', '_', ':', ' '].contains(c))
         .collect();
+    if norm == "resnet50" {
+        return Ok(resnet50("resnet50"));
+    }
+    if norm == "mbv2full" || norm == "mobilenetv2" || norm == "mbv2net" {
+        return Ok(mobilenet_v2_full("mobilenet-v2"));
+    }
     if let Some(rest) = norm
         .strip_prefix("mbv2block")
         .or_else(|| norm.strip_prefix("v2block"))
@@ -233,6 +401,41 @@ mod tests {
     }
 
     #[test]
+    fn resnet50_validates_with_pool_and_matmul_head() {
+        let g = resnet50("resnet50");
+        g.validate().unwrap();
+        assert!(g.nodes.len() > 50, "{} nodes", g.nodes.len());
+        assert_eq!(g.conv_nodes().len(), 1 + 16 * 4);
+        let pools = g.nodes.iter().filter(|n| matches!(n.op, OpKind::Pool { .. })).count();
+        assert_eq!(pools, 5); // stem + 3 stage downsamples + global avg
+        let matmuls = g.nodes.iter().filter(|n| matches!(n.op, OpKind::MatMul { .. })).count();
+        assert_eq!(matmuls, 1);
+        // The classifier consumes the pooled (1, 2048, 1, 1) feature vector.
+        let dims = g.node_output_dims().unwrap();
+        let fc = g.nodes.iter().position(|n| n.name == "fc").unwrap();
+        assert_eq!(dims[fc], (1, 1000, 1, 1));
+        assert_eq!(g.schedulable_nodes().len(), 1 + 16 * 4 + 5 + 1);
+    }
+
+    #[test]
+    fn mobilenet_v2_full_validates_with_pool_and_matmul_head() {
+        let g = mobilenet_v2_full("mobilenet-v2");
+        g.validate().unwrap();
+        assert!(g.nodes.len() > 50, "{} nodes", g.nodes.len());
+        // stem + 17 blocks x 3 convs + head conv.
+        assert_eq!(g.conv_nodes().len(), 1 + 17 * 3 + 1);
+        let dims = g.node_output_dims().unwrap();
+        let fc = g.nodes.iter().position(|n| n.name == "fc").unwrap();
+        assert_eq!(dims[fc], (1, 1000, 1, 1));
+        // Every depthwise stage really is depthwise.
+        for node in &g.nodes {
+            if node.name.ends_with(".dw") {
+                assert!(node.op.conv_shape().unwrap().is_depthwise(), "{}", node.name);
+            }
+        }
+    }
+
+    #[test]
     fn by_name_resolves_spelling_variants() {
         assert_eq!(by_name("mbv2-block3").unwrap().name, "mbv2-block3");
         assert_eq!(by_name("MBV2:3").unwrap().name, "mbv2-block3");
@@ -242,6 +445,9 @@ mod tests {
         );
         assert_eq!(by_name("resnet-r2").unwrap().name, "resnet-block-r2");
         assert_eq!(by_name("RESNET:R12").unwrap().name, "resnet-block-r12");
+        assert_eq!(by_name("resnet-50").unwrap().name, "resnet50");
+        assert_eq!(by_name("mbv2-full").unwrap().name, "mobilenet-v2");
+        assert_eq!(by_name("MobileNet_V2").unwrap().name, "mobilenet-v2");
         assert!(by_name("mbv2-block99").is_err());
         assert!(by_name("alexnet").is_err());
         assert!(by_name("mbv2-blockx").is_err());

@@ -1,15 +1,20 @@
-//! The dataflow IR: CNN graphs of convolution and elementwise operators.
+//! The dataflow IR: CNN graphs of convolution, matmul, pooling, and
+//! elementwise operators.
 //!
-//! A [`Graph`] is a list of [`Node`]s (convolutions, ReLU, residual add)
-//! connected by [`Edge`]s that carry the intermediate tensors (dimensions
-//! plus [`TensorLayout`]). Nodes with no incoming edge read the graph's
-//! input tensor; every source must therefore expect the same input
-//! dimensions. The IR is JSON-(de)serializable — it is the payload of the
-//! `PlanGraph` service verb — and [`Graph::validate`] checks referential
-//! integrity, acyclicity, per-op arity, and tensor-shape consistency along
-//! every edge before any planning happens.
+//! A [`Graph`] is a list of [`Node`]s (convolutions, matrix multiplications,
+//! poolings, ReLU, residual add) connected by [`Edge`]s that carry the
+//! intermediate tensors (dimensions plus [`TensorLayout`]). Nodes with no
+//! incoming edge read the graph's input tensor; every source must therefore
+//! expect the same input dimensions. The IR is JSON-(de)serializable — it is
+//! the payload of the `PlanGraph` service verb — and [`Graph::validate`]
+//! checks referential integrity, acyclicity, per-op arity, and tensor-shape
+//! consistency along every edge before any planning happens.
+//!
+//! Every *schedulable* node (conv, matmul, pool) lowers to a
+//! [`conv_spec::Spec`] via [`Graph::node_spec`], so one optimizer and one
+//! schedule database serve the whole network.
 
-use conv_spec::{ConvShape, TensorLayout};
+use conv_spec::{ConvShape, PoolKind, Spec, TensorLayout};
 use serde::{Deserialize, Serialize};
 
 use crate::GraphError;
@@ -26,6 +31,30 @@ pub enum OpKind {
         /// The conv2d problem shape.
         shape: ConvShape,
     },
+    /// A dense matrix multiplication `C[m×n] = A[m×k] · B[k×n]` — the
+    /// fully-connected head of a classification network, with `m` output
+    /// features, `k` input features, and the batch as the `n` columns. The
+    /// weight matrix A is implicit (like conv weights); the node's tensor
+    /// input is the `(n, k, 1, 1)` activation feeding B.
+    MatMul {
+        /// Output features (rows of C).
+        m: usize,
+        /// Batch columns of C.
+        n: usize,
+        /// Reduction extent (input features).
+        k: usize,
+    },
+    /// A 2-D spatial pooling with a square window. Channel count and batch
+    /// pass through; the output extents follow from the input tensor
+    /// (`(ih - window) / stride + 1`, exact division required).
+    Pool {
+        /// The reduction over the window.
+        kind: PoolKind,
+        /// Window extent (square).
+        window: usize,
+        /// Window stride.
+        stride: usize,
+    },
     /// Elementwise rectified linear unit.
     Relu,
     /// Elementwise addition of two equal-shaped tensors (residual connection).
@@ -41,10 +70,16 @@ impl OpKind {
         }
     }
 
+    /// Whether the operator takes a per-operator schedule (conv, matmul,
+    /// pool — everything that lowers to a [`Spec`]).
+    pub fn is_schedulable(&self) -> bool {
+        matches!(self, OpKind::Conv { .. } | OpKind::MatMul { .. } | OpKind::Pool { .. })
+    }
+
     /// Number of tensor inputs the operator consumes.
     pub fn arity(&self) -> usize {
         match self {
-            OpKind::Conv { .. } | OpKind::Relu => 1,
+            OpKind::Conv { .. } | OpKind::MatMul { .. } | OpKind::Pool { .. } | OpKind::Relu => 1,
             OpKind::Add => 2,
         }
     }
@@ -124,6 +159,23 @@ impl Graph {
         self.add_node(name, OpKind::Conv { shape })
     }
 
+    /// Append a matmul node (`m` output features, `n` batch columns, `k`
+    /// reduction extent).
+    pub fn add_matmul(&mut self, name: impl Into<String>, m: usize, n: usize, k: usize) -> NodeId {
+        self.add_node(name, OpKind::MatMul { m, n, k })
+    }
+
+    /// Append a pooling node.
+    pub fn add_pool(
+        &mut self,
+        name: impl Into<String>,
+        kind: PoolKind,
+        window: usize,
+        stride: usize,
+    ) -> NodeId {
+        self.add_node(name, OpKind::Pool { kind, window, stride })
+    }
+
     /// Connect `from` → `to` with an explicit tensor description.
     pub fn connect(&mut self, from: NodeId, to: NodeId, tensor: TensorInfo) {
         self.edges.push(Edge { from, to, tensor });
@@ -144,6 +196,32 @@ impl Graph {
         (0..self.nodes.len())
             .filter(|&id| matches!(self.nodes[id].op, OpKind::Conv { .. }))
             .collect()
+    }
+
+    /// Ids of the schedulable nodes (conv, matmul, pool), in node order.
+    pub fn schedulable_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).filter(|&id| self.nodes[id].op.is_schedulable()).collect()
+    }
+
+    /// The [`Spec`] a schedulable node lowers to, given the per-node output
+    /// dimensions from [`Graph::node_output_dims`]. `None` for elementwise
+    /// nodes.
+    pub fn node_spec(
+        &self,
+        id: NodeId,
+        output_dims: &[(usize, usize, usize, usize)],
+    ) -> Option<Spec> {
+        match &self.nodes[id].op {
+            OpKind::Conv { shape } => Some(Spec::Conv(*shape)),
+            &OpKind::MatMul { m, n, k } => {
+                Some(Spec::Matmul { m, n, k, dtype: Default::default() })
+            }
+            &OpKind::Pool { kind, window, stride } => {
+                let (n, channels, h, w) = output_dims[id];
+                Some(Spec::Pool { kind, n, channels, h, w, window, stride })
+            }
+            OpKind::Relu | OpKind::Add => None,
+        }
     }
 
     /// A topological order of the nodes (Kahn's algorithm).
@@ -226,6 +304,38 @@ impl Graph {
                     }
                     shape.output_dims()
                 }
+                &OpKind::MatMul { m, n, k } => {
+                    if let Some(e) = inputs.first() {
+                        if e.tensor.dims_tuple() != (n, k, 1, 1) {
+                            return Err(GraphError::ConvInputMismatch {
+                                node: node.name.clone(),
+                                expected: (n, k, 1, 1),
+                                got: e.tensor.dims_tuple(),
+                            });
+                        }
+                    }
+                    (n, m, 1, 1)
+                }
+                &OpKind::Pool { window, stride, .. } => {
+                    let e = inputs.first().ok_or_else(|| GraphError::BadArity {
+                        node: node.name.clone(),
+                        expected: 1,
+                        got: 0,
+                    })?;
+                    let (b, c, ih, iw) = e.tensor.dims_tuple();
+                    let fits = |extent: usize| {
+                        extent >= window && (extent - window).is_multiple_of(stride)
+                    };
+                    if !fits(ih) || !fits(iw) {
+                        return Err(GraphError::PoolGeometry {
+                            node: node.name.clone(),
+                            input: (b, c, ih, iw),
+                            window,
+                            stride,
+                        });
+                    }
+                    (b, c, (ih - window) / stride + 1, (iw - window) / stride + 1)
+                }
                 OpKind::Relu => {
                     let e = inputs.first().ok_or_else(|| GraphError::BadArity {
                         node: node.name.clone(),
@@ -272,9 +382,11 @@ impl Graph {
             }
             let dims = match &node.op {
                 OpKind::Conv { shape } => shape.input_dims(),
-                // Elementwise sources would read the graph input directly;
-                // their dimensionality cannot be derived, so forbid them.
-                OpKind::Relu | OpKind::Add => {
+                &OpKind::MatMul { n, k, .. } => (n, k, 1, 1),
+                // Pool and elementwise sources would read the graph input
+                // directly; their dimensionality cannot be derived, so
+                // forbid them.
+                OpKind::Pool { .. } | OpKind::Relu | OpKind::Add => {
                     return Err(GraphError::BadArity {
                         node: node.name.clone(),
                         expected: node.op.arity(),
@@ -331,6 +443,22 @@ impl Graph {
                 }
                 OpKind::Relu => eat(&[1u8]),
                 OpKind::Add => eat(&[2u8]),
+                &OpKind::MatMul { m, n, k } => {
+                    eat(&[3u8]);
+                    for v in [m, n, k] {
+                        eat(&(v as u64).to_le_bytes());
+                    }
+                }
+                &OpKind::Pool { kind, window, stride } => {
+                    eat(&[4u8]);
+                    eat(&[match kind {
+                        PoolKind::Max => 0u8,
+                        PoolKind::Avg => 1u8,
+                    }]);
+                    for v in [window, stride] {
+                        eat(&(v as u64).to_le_bytes());
+                    }
+                }
             }
         }
         eat(&(self.edges.len() as u64).to_le_bytes());

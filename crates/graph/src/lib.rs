@@ -7,12 +7,16 @@
 //! to memory and re-read. This crate reasons *across* operators:
 //!
 //! * [`ir`] — a small JSON-(de)serializable dataflow IR: nodes are
-//!   convolutions plus elementwise ReLU / residual add, edges carry the
-//!   intermediate tensors (dimensions + layout), with full structural
-//!   validation and a stable [`Graph::fingerprint`] for plan caching,
+//!   convolutions, matrix multiplications, and poolings (everything that
+//!   lowers to a `conv_spec::Spec`) plus elementwise ReLU / residual add,
+//!   edges carry the intermediate tensors (dimensions + layout), with full
+//!   structural validation and a stable [`Graph::fingerprint`] for plan
+//!   caching,
 //! * [`builders`] — MobileNetV2 inverted-residual and ResNet-style residual
 //!   blocks assembled from the existing benchmark suites (`V1` ... `V9`,
-//!   `R2`/`R6`/...),
+//!   `R2`/`R6`/...), plus whole-network [`builders::resnet50`] and
+//!   [`builders::mobilenet_v2_full`] graphs with pooling and
+//!   fully-connected (matmul) heads,
 //! * [`planner`] — a dynamic program over each producer → consumer chain
 //!   that picks fusion cut-points: per-operator schedules come from
 //!   `MOptOptimizer` (through a caller-supplied provider, so the service
@@ -42,8 +46,8 @@
 //! let machine = MachineModel::i7_9700k();
 //! let options = OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() };
 //! let planner = GraphPlanner::new(machine.clone());
-//! let plan = planner.plan(&block, |shape| {
-//!     MOptOptimizer::new(*shape, machine.clone(), options.clone()).optimize()
+//! let plan = planner.plan(&block, |spec| {
+//!     MOptOptimizer::optimize_spec(spec, machine.clone(), options.clone())
 //! })?;
 //!
 //! // The depthwise → pointwise tail fuses: the plan moves strictly less
@@ -106,6 +110,17 @@ pub enum GraphError {
         /// The dimensions the incoming edge carries.
         got: (usize, usize, usize, usize),
     },
+    /// A pooling window/stride does not tile the incoming extents exactly.
+    PoolGeometry {
+        /// The pool node's display name.
+        node: String,
+        /// The incoming tensor dimensions.
+        input: (usize, usize, usize, usize),
+        /// The window extent.
+        window: usize,
+        /// The window stride.
+        stride: usize,
+    },
     /// Two source nodes expect different graph-input tensors.
     SourceMismatch {
         /// One source's expected input dimensions.
@@ -135,6 +150,10 @@ impl std::fmt::Display for GraphError {
             GraphError::ConvInputMismatch { node, expected, got } => {
                 write!(f, "conv `{node}` expects input {expected:?} but receives {got:?}")
             }
+            GraphError::PoolGeometry { node, input, window, stride } => write!(
+                f,
+                "pool `{node}` window {window} stride {stride} does not tile input {input:?}"
+            ),
             GraphError::SourceMismatch { a, b } => {
                 write!(f, "source nodes disagree on the graph input: {a:?} vs {b:?}")
             }

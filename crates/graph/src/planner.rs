@@ -3,20 +3,25 @@
 //! Per-operator schedules come from `MOptOptimizer` (through a caller-
 //! supplied provider, so the service layer can interpose its schedule cache
 //! and worker pool); this module decides *where to cut*: a dynamic program
-//! over each producer → consumer chain of convolutions chooses the segments
-//! whose interior intermediates are consumed in cache, pricing every
-//! candidate fusion with [`mopt_model::fused`] — the store + load of the
-//! intermediate tensor is deleted when the segment's joint working set fits
-//! the certified L3 capacity envelope.
+//! over each producer → consumer chain of schedulable operators (conv,
+//! matmul, pool) chooses the segments whose interior intermediates are
+//! consumed in cache, pricing every candidate fusion with
+//! [`mopt_model::fused`] — the store + load of the intermediate tensor is
+//! deleted when the segment's joint working set fits the certified L3
+//! capacity envelope.
 //!
-//! A convolution pair is *chainable* when the producer's output reaches the
+//! An operator pair is *chainable* when the producer's output reaches the
 //! consumer through nothing but out-degree-1 elementwise nodes: if the
 //! intermediate has any other consumer it must be materialized anyway, so
-//! fusion could not delete its store.
+//! fusion could not delete its store. Conv → conv pairs are admissible under
+//! the pointwise-consumer rule of [`mopt_model::fused`]; conv → pool pairs
+//! are admissible when the pool window is non-overlapping
+//! (`window == stride`), so each produced band is consumed once; matmul
+//! never fuses (its operand layout differs from the NCHW stream).
 
 use std::time::Instant;
 
-use conv_spec::{ConvShape, MachineModel, TilingLevel};
+use conv_spec::{ConvShape, MachineModel, Spec, TilingLevel};
 use mopt_core::{OptimizeResult, OptimizedConfig};
 use mopt_model::fused::{evaluate_fusion_for_threads, fusable_pair, FusabilityCheck};
 use serde::{Deserialize, Serialize};
@@ -24,14 +29,17 @@ use serde::{Deserialize, Serialize};
 use crate::ir::{Graph, NodeId, OpKind};
 use crate::GraphError;
 
-/// One convolution inside a planned segment.
+/// One schedulable operator inside a planned segment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SegmentOp {
     /// The node id in the source graph.
     pub node: NodeId,
     /// The node's display name.
     pub name: String,
-    /// The convolution shape.
+    /// The generalized problem the node computes.
+    pub spec: Spec,
+    /// The conv2d embedding of [`SegmentOp::spec`] (for convs, the shape
+    /// itself) — the loop nest the schedule tiles.
     pub shape: ConvShape,
     /// The best per-operator schedule (MOpt-1).
     pub best: OptimizedConfig,
@@ -151,21 +159,23 @@ impl GraphPlanner {
     }
 
     /// Plan `graph`: validate it, obtain a per-operator schedule for every
-    /// convolution from `schedule` (typically a cache-backed
-    /// `MOptOptimizer` call), and run the fusion dynamic program.
+    /// schedulable node (conv, matmul, pool) from `schedule` (typically a
+    /// cache-backed `MOptOptimizer` call on the spec's conv embedding), and
+    /// run the fusion dynamic program.
     ///
     /// # Errors
     ///
     /// Returns the graph's first validation error; planning itself cannot
     /// fail on a valid graph.
-    pub fn plan<F: FnMut(&ConvShape) -> OptimizeResult>(
+    pub fn plan<F: FnMut(&Spec) -> OptimizeResult>(
         &self,
         graph: &Graph,
         mut schedule: F,
     ) -> Result<GraphPlan, GraphError> {
         graph.validate()?;
         let started = Instant::now();
-        let chains = conv_chains(graph);
+        let dims = graph.node_output_dims()?;
+        let chains = spec_chains(graph);
         let capacity = self.machine.capacity_per_thread(TilingLevel::L3, self.threads) as f64;
 
         let mut segments = Vec::new();
@@ -178,12 +188,13 @@ impl GraphPlanner {
             let ops: Vec<SegmentOp> = chain
                 .iter()
                 .map(|link| {
-                    let shape = *graph.nodes[link.to].op.conv_shape().expect("chain node is conv");
-                    let best = schedule(&shape).best().clone();
+                    let spec = graph.node_spec(link.to, &dims).expect("chain node is schedulable");
+                    let best = schedule(&spec).best().clone();
                     SegmentOp {
                         node: link.to,
                         name: graph.nodes[link.to].name.clone(),
-                        shape,
+                        spec,
+                        shape: spec.embedded_conv_shape(),
                         best,
                     }
                 })
@@ -194,37 +205,50 @@ impl GraphPlanner {
                 .iter()
                 .map(|op| op.best.config.level(TilingLevel::L3).footprint(&op.shape) as f64)
                 .collect();
-            // Price every interior edge with the fused-segment model
-            // (`mopt_model::fused`): the evaluation carries the structural
-            // verdict, the deleted store + load credit, and the pairwise
-            // capacity-envelope check the DP consumes below.
+            // Price every interior edge. Conv → conv pairs go through the
+            // fused-segment model (`mopt_model::fused`): the evaluation
+            // carries the structural verdict, the deleted store + load
+            // credit, and the pairwise capacity-envelope check the DP
+            // consumes below. Conv → pool pairs admit under the
+            // non-overlapping-window rule with the same store + load credit
+            // on the intermediate; everything else never fuses.
             let m = ops.len();
             let mut structural = vec![false; m.saturating_sub(1)];
-            let mut pair_evals = Vec::with_capacity(m.saturating_sub(1));
+            let mut savings = vec![0.0f64; m.saturating_sub(1)];
             for i in 0..m.saturating_sub(1) {
-                structural[i] =
-                    fusable_pair(&ops[i].shape, &ops[i + 1].shape) == FusabilityCheck::Fusable;
+                match (&ops[i].spec, &ops[i + 1].spec) {
+                    (Spec::Conv(a), Spec::Conv(b)) => {
+                        structural[i] = fusable_pair(a, b) == FusabilityCheck::Fusable;
+                        let eval = evaluate_fusion_for_threads(
+                            a,
+                            b,
+                            ops[i].best.config.level(TilingLevel::L3),
+                            ops[i + 1].best.config.level(TilingLevel::L3),
+                            volumes[i],
+                            volumes[i + 1],
+                            &self.machine,
+                            self.threads,
+                        );
+                        savings[i] = 2.0 * eval.intermediate_elems;
+                        // The DP below re-derives pairwise admissibility from
+                        // the same two-term footprint sum; keep that
+                        // equivalent to the model's verdict so the envelope
+                        // has a single definition.
+                        debug_assert!(
+                            eval.feasible
+                                == (structural[i] && footprints[i] + footprints[i + 1] <= capacity)
+                        );
+                    }
+                    (Spec::Conv(a), &Spec::Pool { window, stride, .. }) => {
+                        structural[i] = window == stride;
+                        savings[i] = 2.0 * a.output_elems() as f64;
+                    }
+                    _ => {}
+                }
                 if structural[i] {
                     fusion_candidates += 1;
                 }
-                pair_evals.push(evaluate_fusion_for_threads(
-                    &ops[i].shape,
-                    &ops[i + 1].shape,
-                    ops[i].best.config.level(TilingLevel::L3),
-                    ops[i + 1].best.config.level(TilingLevel::L3),
-                    volumes[i],
-                    volumes[i + 1],
-                    &self.machine,
-                    self.threads,
-                ));
             }
-            let savings: Vec<f64> = pair_evals.iter().map(|e| 2.0 * e.intermediate_elems).collect();
-            // The DP below re-derives pairwise admissibility from the same
-            // two-term footprint sum; keep that equivalent to the model's
-            // verdict so the envelope has a single definition.
-            debug_assert!(pair_evals.iter().enumerate().all(|(i, e)| {
-                e.feasible == (structural[i] && footprints[i] + footprints[i + 1] <= capacity)
-            }));
 
             // Dynamic program over cut points: best[i] = cheapest plan of
             // ops[..i]. A segment is admissible when every interior pair is
@@ -283,6 +307,7 @@ impl GraphPlanner {
                 }
                 let executable = fused
                     && i - j == 2
+                    && seg_ops.iter().all(|op| matches!(op.spec, Spec::Conv(_)))
                     && seg_ops[0].shape.is_depthwise()
                     && seg_ops[1].shape.is_pointwise();
                 unfused_total += unfused;
@@ -298,8 +323,7 @@ impl GraphPlanner {
             }
         }
 
-        let elementwise_ops =
-            graph.nodes.iter().filter(|n| !matches!(n.op, OpKind::Conv { .. })).count();
+        let elementwise_ops = graph.nodes.iter().filter(|n| !n.op.is_schedulable()).count();
         Ok(GraphPlan {
             graph: graph.name.clone(),
             fingerprint: graph.fingerprint(),
@@ -317,18 +341,18 @@ impl GraphPlanner {
     }
 }
 
-/// Decompose the graph's convolutions into maximal producer → consumer
-/// chains. A link a → b exists when b's data input reaches back to conv a
-/// through out-degree-1 elementwise nodes only, and a itself has out-degree
-/// 1 (its intermediate has no other consumer). Convolutions that link to
-/// nothing form singleton chains. Chains are returned in topological order
-/// of their heads, each as a list of [`ChainLink`]s whose first entry has
-/// `relu == false`.
-fn conv_chains(graph: &Graph) -> Vec<Vec<ChainLink>> {
-    let convs = graph.conv_nodes();
-    // upstream[b] = (a, relu-on-path) for the chain predecessor of conv b.
+/// Decompose the graph's schedulable nodes (conv, matmul, pool) into maximal
+/// producer → consumer chains. A link a → b exists when b's data input
+/// reaches back to schedulable node a through out-degree-1 elementwise nodes
+/// only, and a itself has out-degree 1 (its intermediate has no other
+/// consumer). Nodes that link to nothing form singleton chains. Chains are
+/// returned in topological order of their heads, each as a list of
+/// [`ChainLink`]s whose first entry has `relu == false`.
+fn spec_chains(graph: &Graph) -> Vec<Vec<ChainLink>> {
+    let scheds = graph.schedulable_nodes();
+    // upstream[b] = (a, relu-on-path) for the chain predecessor of node b.
     let mut upstream: Vec<Option<(NodeId, bool)>> = vec![None; graph.nodes.len()];
-    for &b in &convs {
+    for &b in &scheds {
         let mut relu = false;
         let mut inputs = graph.inputs_of(b);
         while let Some(edge) = inputs.first() {
@@ -337,7 +361,7 @@ fn conv_chains(graph: &Graph) -> Vec<Vec<ChainLink>> {
                 break;
             }
             match &graph.nodes[p].op {
-                OpKind::Conv { .. } => {
+                op if op.is_schedulable() => {
                     upstream[b] = Some((p, relu));
                     break;
                 }
@@ -345,21 +369,21 @@ fn conv_chains(graph: &Graph) -> Vec<Vec<ChainLink>> {
                     relu = true;
                     inputs = graph.inputs_of(p);
                 }
-                OpKind::Add => break,
+                _ => break,
             }
         }
     }
-    // Invert into next-links; heads are convs that are nobody's successor.
+    // Invert into next-links; heads are nodes that are nobody's successor.
     let mut next: Vec<Option<(NodeId, bool)>> = vec![None; graph.nodes.len()];
     let mut is_successor = vec![false; graph.nodes.len()];
-    for &b in &convs {
+    for &b in &scheds {
         if let Some((a, relu)) = upstream[b] {
             next[a] = Some((b, relu));
             is_successor[b] = true;
         }
     }
     let mut chains = Vec::new();
-    for &head in &convs {
+    for &head in &scheds {
         if is_successor[head] {
             continue;
         }
@@ -385,10 +409,8 @@ mod tests {
         OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() }
     }
 
-    fn solve_with(machine: &MachineModel) -> impl FnMut(&ConvShape) -> OptimizeResult + '_ {
-        move |shape: &ConvShape| {
-            MOptOptimizer::new(*shape, machine.clone(), fast_options()).optimize()
-        }
+    fn solve_with(machine: &MachineModel) -> impl FnMut(&Spec) -> OptimizeResult + '_ {
+        move |spec: &Spec| MOptOptimizer::optimize_spec(spec, machine.clone(), fast_options())
     }
 
     fn small_block() -> Graph {
@@ -398,7 +420,7 @@ mod tests {
     #[test]
     fn chain_extraction_walks_through_relu() {
         let g = small_block();
-        let chains = conv_chains(&g);
+        let chains = spec_chains(&g);
         assert_eq!(chains.len(), 1);
         let chain = &chains[0];
         assert_eq!(chain.len(), 3);
@@ -416,7 +438,7 @@ mod tests {
             &ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap(),
             "res",
         );
-        let chains = conv_chains(&g);
+        let chains = spec_chains(&g);
         // conv1 → conv2 chain (conv2's output feeds the add, breaking the
         // chain there) plus the skip conv alone.
         assert_eq!(chains.len(), 2);
@@ -435,7 +457,7 @@ mod tests {
         g.connect(a, b, TensorInfo::nchw(dw.output_dims()));
         g.connect(a, c, TensorInfo::nchw(dw.output_dims()));
         g.validate().unwrap();
-        let chains = conv_chains(&g);
+        let chains = spec_chains(&g);
         assert_eq!(chains.len(), 3);
         assert!(chains.iter().all(|c| c.len() == 1));
     }
@@ -508,12 +530,79 @@ mod tests {
         let mut g = small_block();
         g.edges[0].tensor = TensorInfo::nchw((9, 9, 9, 9));
         let mut calls = 0;
-        let err = planner.plan(&g, |shape| {
+        let err = planner.plan(&g, |spec| {
             calls += 1;
-            MOptOptimizer::new(*shape, machine.clone(), fast_options()).optimize()
+            MOptOptimizer::optimize_spec(spec, machine.clone(), fast_options())
         });
         assert!(err.is_err());
         assert_eq!(calls, 0, "no schedules must be solved for an invalid graph");
+    }
+
+    #[test]
+    fn pool_after_conv_chains_and_fuses_under_the_nonoverlapping_rule() {
+        // conv → relu → pool(2x2 s2): chainable through the relu, and the
+        // non-overlapping window admits fusion on a big enough machine.
+        let conv = ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap();
+        let mut g = Graph::new("conv-pool");
+        let c = g.add_conv("conv", conv);
+        let r = g.add_node("relu", OpKind::Relu);
+        let p = g.add_pool("pool", conv_spec::PoolKind::Max, 2, 2);
+        let out = TensorInfo::nchw(conv.output_dims());
+        g.connect(c, r, out);
+        g.connect(r, p, out);
+        g.validate().unwrap();
+
+        let machine = MachineModel::i7_9700k();
+        let plan = GraphPlanner::new(machine.clone()).plan(&g, solve_with(&machine)).unwrap();
+        assert_eq!(plan.chains, 1);
+        assert_eq!(plan.fusion_candidates, 1);
+        assert_eq!(plan.fusions_taken, 1);
+        let seg = &plan.segments[0];
+        assert_eq!(seg.ops.len(), 2);
+        assert!(matches!(seg.ops[1].spec, Spec::Pool { .. }));
+        assert_eq!(seg.relu_between, vec![true]);
+        assert_eq!(seg.saving(), 2.0 * conv.output_elems() as f64);
+        assert!(!seg.executable_dw_pw);
+
+        // An overlapping window (3x3 s1) is never a fusion candidate.
+        let mut g2 = Graph::new("conv-pool-overlap");
+        let c = g2.add_conv("conv", conv);
+        let p = g2.add_pool("pool", conv_spec::PoolKind::Avg, 3, 1);
+        g2.connect(c, p, out);
+        let plan2 = GraphPlanner::new(machine.clone()).plan(&g2, solve_with(&machine)).unwrap();
+        assert_eq!(plan2.chains, 1);
+        assert_eq!(plan2.fusion_candidates, 0);
+        assert_eq!(plan2.fusions_taken, 0);
+    }
+
+    #[test]
+    fn matmul_head_plans_as_its_own_segment() {
+        // global-pool → fc: the matmul chains after the pool but never
+        // fuses, and its schedule solves on the conv embedding.
+        let conv = ConvShape::new(1, 16, 4, 3, 3, 6, 6, 1).unwrap();
+        let mut g = Graph::new("head");
+        let c = g.add_conv("conv", conv);
+        let gp = g.add_pool("gap", conv_spec::PoolKind::Avg, 6, 1);
+        let fc = g.add_matmul("fc", 10, 1, 16);
+        g.connect(c, gp, TensorInfo::nchw(conv.output_dims()));
+        g.connect(gp, fc, TensorInfo::nchw((1, 16, 1, 1)));
+        g.validate().unwrap();
+
+        let machine = MachineModel::tiny_test_machine();
+        let plan = GraphPlanner::new(machine.clone()).plan(&g, solve_with(&machine)).unwrap();
+        let total_ops: usize = plan.segments.iter().map(|s| s.ops.len()).sum();
+        assert_eq!(total_ops, 3);
+        assert_eq!(plan.chains, 1);
+        // Overlap rule rejects the 6x6 s1 global pool; matmul never fuses.
+        assert_eq!(plan.fusion_candidates, 0);
+        let fc_seg = plan
+            .segments
+            .iter()
+            .find(|s| s.ops.iter().any(|o| matches!(o.spec, Spec::Matmul { .. })))
+            .expect("fc planned");
+        let fc_op = &fc_seg.ops.last().unwrap();
+        assert_eq!(fc_op.shape, fc_op.spec.embedded_conv_shape());
+        assert!(fc_op.best.config.validate(&fc_op.shape).is_ok());
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * [`fused`] — a cross-layer extension pricing the fusion of a producer →
 //!   consumer pair (the intermediate tensor's store + load at the DRAM
 //!   boundary is deleted when the joint working set fits the same certified
-//!   capacity envelope), used by `mopt_graph`'s fusion-aware planner.
+//!   capacity envelope), used by `mopt_graph`'s fusion-aware planner,
+//! * [`mod@spec_footprint`] — closed-form per-level footprints for the
+//!   generalized problem IR (matmul `Tm·Tk + Tk·Tn + Tm·Tn`, pooling slabs,
+//!   elementwise streams), pinned equal to the embedded conv footprints.
 //!
 //! The expressions are evaluated on real-valued tile sizes so that they can be
 //! used directly as objectives/constraints of the non-linear solver, and on
@@ -66,6 +69,7 @@ pub mod cost;
 pub mod fused;
 pub mod multilevel;
 pub mod prune;
+pub mod spec_footprint;
 
 pub use cost::{single_level_volume, ArrayVolumes, CostOptions, RealTiles};
 pub use fused::{
@@ -73,3 +77,4 @@ pub use fused::{
 };
 pub use multilevel::{CostBreakdown, LevelCost, MultiLevelModel, ParallelSpec};
 pub use prune::{pruned_classes, PermutationClass};
+pub use spec_footprint::{elementwise_footprint, matmul_footprint, pool_footprint, spec_footprint};

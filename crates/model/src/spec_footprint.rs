@@ -1,0 +1,176 @@
+//! Closed-form per-level footprint expressions for generalized [`Spec`]
+//! problems.
+//!
+//! Each [`Spec`] variant embeds into the conv2d loop nest
+//! ([`Spec::embedded_conv_shape`]), so its working set at any tiling level is
+//! already priced by [`TileSizes::footprint`] on the embedded shape. This
+//! module writes the same quantity in each problem's *native* variables —
+//! `Tm·Tk + Tk·Tn + Tm·Tn` for matmul, the sliding-window slab for pooling,
+//! the stream pair for elementwise — and tests pin the two forms equal. The
+//! native forms document what the capacity constraint (Eq. 4) means per
+//! problem class and give callers a way to reason about footprints without
+//! materializing the embedding.
+
+use conv_spec::{EwOp, LoopIndex, Spec, TileSizes};
+
+/// Footprint in elements of one tile described by `tiles` (a tile vector over
+/// the *embedded* conv nest) for the given spec.
+///
+/// For `Spec::Conv` this is exactly [`TileSizes::footprint`]. For the other
+/// variants it evaluates the native closed form below; the result is equal to
+/// the embedded conv footprint for every valid tile vector.
+pub fn spec_footprint(spec: &Spec, tiles: &TileSizes) -> usize {
+    match *spec {
+        Spec::Conv(shape) => tiles.footprint(&shape),
+        Spec::Matmul { .. } => {
+            // Under the embedding m→K, k→C, n→W the three operand slices are
+            // A (m×k), B (k×n), C (m×n).
+            let tm = tiles.get(LoopIndex::K);
+            let tk = tiles.get(LoopIndex::C);
+            let tn = tiles.get(LoopIndex::W);
+            matmul_footprint(tm, tn, tk)
+        }
+        Spec::Pool { window: _, stride, .. } => {
+            let tn = tiles.get(LoopIndex::N);
+            let tc = tiles.get(LoopIndex::K); // channels ride the K axis
+            let th = tiles.get(LoopIndex::H);
+            let tw = tiles.get(LoopIndex::W);
+            let tr = tiles.get(LoopIndex::R);
+            let ts = tiles.get(LoopIndex::S);
+            pool_footprint(tn, tc, th, tw, tr, ts, stride)
+        }
+        Spec::Elementwise { op, .. } => elementwise_footprint(op, tiles.get(LoopIndex::W)),
+    }
+}
+
+/// Matmul tile footprint: `Tm·Tk + Tk·Tn + Tm·Tn` (A, B, and C slices).
+pub fn matmul_footprint(tm: usize, tn: usize, tk: usize) -> usize {
+    tm * tk + tk * tn + tm * tn
+}
+
+/// Pooling tile footprint for a `Tr×Ts` sub-window tile over a `Th×Tw` output
+/// tile of `Tc` channels (batch tile `Tn`):
+///
+/// input slab `Tn·Tc·((Th-1)·stride + Tr)·((Tw-1)·stride + Ts)`
+/// + window state `Tc·Tr·Ts` + output `Tn·Tc·Th·Tw`.
+///
+/// The "window state" term is the depthwise-embedded kernel slice; a real
+/// pooling kernel holds no weights, but the certified capacity envelope keeps
+/// the term so pool schedules stay interchangeable with depthwise-conv
+/// schedules in the database.
+pub fn pool_footprint(
+    tn: usize,
+    tc: usize,
+    th: usize,
+    tw: usize,
+    tr: usize,
+    ts: usize,
+    stride: usize,
+) -> usize {
+    let in_h = (th - 1) * stride + tr;
+    let in_w = (tw - 1) * stride + ts;
+    tn * tc * in_h * in_w + tc * tr * ts + tn * tc * th * tw
+}
+
+/// Elementwise tile footprint for a contiguous tile of `t` elements: one
+/// input stream + one output stream (`2t`), plus the unit kernel slot the
+/// conv embedding carries (`+1`). Binary ops (`Add`, `Mul`) stream a second
+/// input that the 7-loop embedding cannot express; we charge it explicitly so
+/// the capacity check stays sound for them.
+pub fn elementwise_footprint(op: EwOp, t: usize) -> usize {
+    let extra_input = if op.arity() == 2 { t } else { 0 };
+    2 * t + 1 + extra_input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv_spec::{ConvShape, DType, PoolKind};
+
+    fn embedded_tiles(pairs: &[(LoopIndex, usize)]) -> TileSizes {
+        let mut t = TileSizes::ones();
+        for &(idx, v) in pairs {
+            t.set(idx, v);
+        }
+        t
+    }
+
+    #[test]
+    fn matmul_native_form_equals_embedded_conv_footprint() {
+        let spec = Spec::Matmul { m: 64, n: 256, k: 128, dtype: DType::F32 };
+        let shape = spec.embedded_conv_shape();
+        for (tm, tn, tk) in [(1, 1, 1), (4, 8, 16), (64, 256, 128), (3, 7, 5)] {
+            let tiles =
+                embedded_tiles(&[(LoopIndex::K, tm), (LoopIndex::C, tk), (LoopIndex::W, tn)]);
+            assert_eq!(spec_footprint(&spec, &tiles), tiles.footprint(&shape));
+            assert_eq!(matmul_footprint(tm, tn, tk), tiles.footprint(&shape));
+        }
+    }
+
+    #[test]
+    fn pool_native_form_equals_embedded_conv_footprint() {
+        let spec = Spec::Pool {
+            kind: PoolKind::Max,
+            n: 2,
+            channels: 32,
+            h: 16,
+            w: 16,
+            window: 3,
+            stride: 2,
+        };
+        let shape = spec.embedded_conv_shape();
+        for (tc, th, tw, trs) in [(1, 1, 1, 1), (8, 4, 4, 3), (32, 16, 16, 3)] {
+            // The depthwise embedding puts channels on K (its per-group C
+            // extent is 1), the window on R/S.
+            let tiles = embedded_tiles(&[
+                (LoopIndex::N, 2),
+                (LoopIndex::K, tc),
+                (LoopIndex::H, th),
+                (LoopIndex::W, tw),
+                (LoopIndex::R, trs),
+                (LoopIndex::S, trs),
+            ]);
+            let embedded = tiles.footprint(&shape);
+            // The embedded depthwise footprint charges the input with one
+            // channel band per spanned group; with per-group K extent 1 the
+            // span equals Tc, matching the native form exactly.
+            assert_eq!(spec_footprint(&spec, &tiles), embedded);
+        }
+    }
+
+    #[test]
+    fn elementwise_unary_form_equals_embedded_conv_footprint() {
+        let spec = Spec::Elementwise { op: EwOp::Relu, len: 1024, strided: false };
+        let shape = spec.embedded_conv_shape();
+        for t in [1, 7, 64, 1024] {
+            let tiles = embedded_tiles(&[(LoopIndex::W, t)]);
+            assert_eq!(spec_footprint(&spec, &tiles), tiles.footprint(&shape));
+        }
+    }
+
+    #[test]
+    fn elementwise_binary_charges_the_second_stream() {
+        // The conv embedding sees one input; binary ops stream two. The
+        // native form must be strictly larger than the embedded footprint by
+        // exactly the extra stream.
+        let spec = Spec::Elementwise { op: EwOp::Add, len: 512, strided: false };
+        let shape = spec.embedded_conv_shape();
+        let tiles = embedded_tiles(&[(LoopIndex::W, 128)]);
+        assert_eq!(spec_footprint(&spec, &tiles), tiles.footprint(&shape) + 128);
+    }
+
+    #[test]
+    fn conv_variant_is_the_plain_footprint() {
+        let shape = ConvShape::new(1, 32, 16, 3, 3, 28, 28, 1).unwrap();
+        let spec = Spec::Conv(shape);
+        let tiles = embedded_tiles(&[
+            (LoopIndex::K, 8),
+            (LoopIndex::C, 4),
+            (LoopIndex::R, 3),
+            (LoopIndex::S, 3),
+            (LoopIndex::H, 7),
+            (LoopIndex::W, 14),
+        ]);
+        assert_eq!(spec_footprint(&spec, &tiles), tiles.footprint(&shape));
+    }
+}

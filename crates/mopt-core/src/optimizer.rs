@@ -12,7 +12,7 @@
 //! and load-balanced across threads.
 
 use conv_spec::{
-    ConvShape, LoopIndex, MachineModel, ParallelAxis, Permutation, TileConfig, TileSizes,
+    ConvShape, LoopIndex, MachineModel, ParallelAxis, Permutation, Spec, TileConfig, TileSizes,
     TilingLevel, ALL_INDICES, NUM_TILING_LEVELS,
 };
 use mopt_model::cost::{CostOptions, RealTiles};
@@ -213,6 +213,26 @@ impl MOptOptimizer {
     /// Create an optimizer.
     pub fn new(shape: ConvShape, machine: MachineModel, options: OptimizerOptions) -> Self {
         MOptOptimizer { shape, machine, options }
+    }
+
+    /// Create an optimizer for a generalized [`Spec`] problem.
+    ///
+    /// The spec is lowered to its conv2d embedding
+    /// ([`Spec::embedded_conv_shape`]) and the usual certify/prune pipeline
+    /// runs on the embedded loop nest. The analytical model prices access
+    /// patterns, not reduction operators, so matmul, pooling, and
+    /// elementwise nests cost exactly like the conv nest they embed into.
+    pub fn for_spec(spec: &Spec, machine: MachineModel, options: OptimizerOptions) -> Self {
+        MOptOptimizer::new(spec.embedded_conv_shape(), machine, options)
+    }
+
+    /// Convenience: optimize a generalized [`Spec`] in one call.
+    pub fn optimize_spec(
+        spec: &Spec,
+        machine: MachineModel,
+        options: OptimizerOptions,
+    ) -> OptimizeResult {
+        Self::for_spec(spec, machine, options).optimize()
     }
 
     /// The default parallel specification (output-channel axis) used by
@@ -684,6 +704,24 @@ mod tests {
             assert!(pair[0].predicted_cost <= pair[1].predicted_cost);
         }
         assert!(result.optimize_seconds >= 0.0);
+    }
+
+    #[test]
+    fn optimize_spec_matches_embedded_conv_solve() {
+        // The spec path must be the SAME pipeline as the conv path on the
+        // embedded shape — identical ranked costs and configurations.
+        let spec = Spec::matmul(32, 48, 16);
+        let mut opts = OptimizerOptions::fast();
+        opts.max_classes = 2;
+        let via_spec = MOptOptimizer::optimize_spec(&spec, MachineModel::i7_9700k(), opts.clone());
+        let via_conv =
+            MOptOptimizer::new(spec.embedded_conv_shape(), MachineModel::i7_9700k(), opts)
+                .optimize();
+        assert_eq!(via_spec.ranked.len(), via_conv.ranked.len());
+        for (a, b) in via_spec.ranked.iter().zip(via_conv.ranked.iter()) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.predicted_cost, b.predicted_cost);
+        }
     }
 
     #[test]

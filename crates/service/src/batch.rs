@@ -13,25 +13,64 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use conv_spec::{benchmarks, BenchmarkOp, BenchmarkSuite, ConvShape, MachineModel};
+use conv_spec::{benchmarks, BenchmarkOp, BenchmarkSuite, ConvShape, MachineModel, Spec};
 use mopt_core::{MOptOptimizer, OptimizeResult, OptimizedConfig, OptimizerOptions};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheKey, ScheduleCache};
 use crate::dbtier::DbTier;
 
-/// One layer to plan: a display name plus its shape.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One layer to plan: a display name plus its problem spec.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NamedLayer {
     /// Display name (e.g. the paper's `"Y0"`, or `"conv3_2"`).
     pub name: String,
-    /// The conv2d problem shape.
-    pub shape: ConvShape,
+    /// The optimization problem (conv, matmul, pooling, or elementwise).
+    pub spec: Spec,
+}
+
+impl NamedLayer {
+    /// A conv layer (the pre-spec constructor shape).
+    pub fn conv(name: impl Into<String>, shape: ConvShape) -> Self {
+        NamedLayer { name: name.into(), spec: Spec::Conv(shape) }
+    }
 }
 
 impl From<&BenchmarkOp> for NamedLayer {
     fn from(op: &BenchmarkOp) -> Self {
-        NamedLayer { name: op.name.clone(), shape: op.shape }
+        NamedLayer { name: op.name.clone(), spec: Spec::Conv(op.shape) }
+    }
+}
+
+// The wire form mirrors `CacheKey`'s: conv layers keep the legacy flat
+// `"shape"` field (pre-spec clients and fixtures parse and serialize
+// unchanged), non-conv layers use a tagged `"spec"` field, and parsing
+// accepts either spelling.
+impl Serialize for NamedLayer {
+    fn to_value(&self) -> serde::Value {
+        let problem = match &self.spec {
+            Spec::Conv(shape) => ("shape".to_string(), shape.to_value()),
+            other => ("spec".to_string(), other.to_value()),
+        };
+        serde::Value::Object(vec![("name".to_string(), self.name.to_value()), problem])
+    }
+}
+
+impl Deserialize for NamedLayer {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let pairs =
+            v.as_object().ok_or_else(|| serde::DeError::expected("an object", "NamedLayer"))?;
+        let spec: Option<Spec> = serde::de_field(pairs, "spec", "NamedLayer")?;
+        let spec = match spec {
+            Some(spec) => spec,
+            None => {
+                let shape: Option<ConvShape> = serde::de_field(pairs, "shape", "NamedLayer")?;
+                Spec::Conv(shape.ok_or_else(|| {
+                    serde::DeError::custom("NamedLayer needs a `spec` or legacy `shape` field")
+                })?)
+            }
+        };
+        Ok(NamedLayer { name: serde::de_field(pairs, "name", "NamedLayer")?, spec })
     }
 }
 
@@ -159,7 +198,7 @@ impl<'a> NetworkPlanner<'a> {
         let layer_slots: Vec<usize> = layers
             .iter()
             .map(|l| {
-                let key = CacheKey::new(l.shape, &self.machine, &self.options);
+                let key = CacheKey::new(l.spec, &self.machine, &self.options);
                 *slot_of.entry(key.clone()).or_insert_with(|| {
                     unique.push(key);
                     unique.len() - 1
@@ -197,22 +236,21 @@ impl<'a> NetworkPlanner<'a> {
                         let Some((slot, key)) = to_solve.get(j) else { break };
                         let served = self
                             .db
-                            .and_then(|db| db.lookup(&key.shape, &self.machine, &self.options));
+                            .and_then(|db| db.lookup(&key.spec, &self.machine, &self.options));
                         let result = match served {
                             Some(result) => {
                                 db_hit_count.fetch_add(1, Ordering::Relaxed);
                                 result
                             }
                             None => {
-                                let result = MOptOptimizer::new(
-                                    key.shape,
+                                let result = MOptOptimizer::optimize_spec(
+                                    &key.spec,
                                     self.machine.clone(),
                                     self.options.clone(),
-                                )
-                                .optimize();
+                                );
                                 if let Some(db) = self.db {
                                     db.record(
-                                        &key.shape,
+                                        &key.spec,
                                         &self.machine,
                                         self.options.threads,
                                         &result,
@@ -245,7 +283,7 @@ impl<'a> NetworkPlanner<'a> {
                 total_predicted_cost += best.predicted_cost;
                 PlannedLayer {
                     name: layer.name.clone(),
-                    shape: layer.shape,
+                    shape: layer.spec.embedded_conv_shape(),
                     best,
                     from_cache: *from_cache,
                 }
@@ -293,7 +331,7 @@ mod tests {
         shapes
             .iter()
             .enumerate()
-            .map(|(i, &shape)| NamedLayer { name: format!("L{i}"), shape })
+            .map(|(i, &shape)| NamedLayer::conv(format!("L{i}"), shape))
             .collect()
     }
 
@@ -397,6 +435,37 @@ mod tests {
             assert_eq!(a.best, b.best);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn named_layer_wire_form_is_legacy_for_conv_and_tagged_for_specs() {
+        let conv = NamedLayer::conv("Y0", ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap());
+        let conv_json = serde_json::to_string(&conv).unwrap();
+        assert!(conv_json.contains("\"shape\""), "conv layers keep the flat legacy field");
+        assert!(!conv_json.contains("\"spec\""));
+        assert_eq!(serde_json::from_str::<NamedLayer>(&conv_json).unwrap(), conv);
+
+        let fc = NamedLayer { name: "fc".to_string(), spec: Spec::matmul(1000, 1, 2048) };
+        let fc_json = serde_json::to_string(&fc).unwrap();
+        assert!(fc_json.contains("\"spec\""));
+        assert_eq!(serde_json::from_str::<NamedLayer>(&fc_json).unwrap(), fc);
+    }
+
+    #[test]
+    fn plans_mixed_conv_and_matmul_layers() {
+        let cache = ScheduleCache::new(64);
+        let machine = MachineModel::tiny_test_machine();
+        let planner = NetworkPlanner::new(&cache, machine.clone(), fast_options()).with_workers(2);
+        let layers = vec![
+            NamedLayer::conv("conv", ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap()),
+            NamedLayer { name: "fc".to_string(), spec: Spec::matmul(40, 10, 16) },
+        ];
+        let plan = planner.plan(&layers);
+        assert_eq!(plan.stats.solves, 2);
+        // The matmul plan equals a direct spec solve, on its embedded shape.
+        let direct = MOptOptimizer::optimize_spec(&layers[1].spec, machine, fast_options());
+        assert_eq!(plan.layers[1].best, *direct.best());
+        assert_eq!(plan.layers[1].shape, layers[1].spec.embedded_conv_shape());
     }
 
     #[test]

@@ -24,9 +24,21 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use conv_spec::{benchmarks, canonicalize, BenchmarkOp, BenchmarkSuite, MachineModel};
+use conv_spec::{benchmarks, canonicalize_spec, BenchmarkSuite, MachineModel, Spec};
 use mopt_core::{MOptOptimizer, OptimizerOptions};
+use mopt_graph::builders;
 use mopt_service::DbTier;
+
+/// Every schedulable node of a builder network graph (convolutions,
+/// poolings, and the fully-connected matmul head), as specs to solve.
+fn graph_ops(graph: &mopt_graph::Graph) -> Vec<Spec> {
+    let dims = graph.node_output_dims().expect("builder graphs are valid");
+    graph.schedulable_nodes().into_iter().filter_map(|id| graph.node_spec(id, &dims)).collect()
+}
+
+fn bench_ops(ops: Vec<conv_spec::BenchmarkOp>) -> Vec<Spec> {
+    ops.into_iter().map(|op| Spec::Conv(op.shape)).collect()
+}
 
 struct Args {
     db: std::path::PathBuf,
@@ -91,7 +103,8 @@ fn parse_args() -> Result<Args, String> {
                     "mopt-plan-world — pre-populate the MOpt schedule database\n\n\
                      USAGE:\n  mopt-plan-world --db DIR [--suite NAME]... [--preset NAME]...\n  \
                      \x20                [--threads N,N,...] [--classes N] [--multistart N] [--keep-top N]\n\n\
-                     Suites: yolo9000, resnet18, mobilenet, mobilenetv2, dilated, table1, extended.\n\
+                     Suites: yolo9000, resnet18, mobilenet, mobilenetv2, dilated, table1,\n\
+                     resnet50, mbv2full, networks, extended (extended includes the networks).\n\
                      Presets: i7, i9, tiny. Defaults: --suite extended --preset i7 --preset i9 \
                      --threads 1,4,8.\n\
                      Serve the result with: moptd --stdio --db DIR"
@@ -114,20 +127,40 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn suite_ops(name: &str) -> Result<Vec<BenchmarkOp>, String> {
+fn suite_ops(name: &str) -> Result<Vec<Spec>, String> {
     match name.to_ascii_lowercase().replace(['-', '_', ' '], "").as_str() {
-        "yolo9000" | "yolo" => Ok(benchmarks::suite(BenchmarkSuite::Yolo9000)),
-        "resnet18" | "resnet" => Ok(benchmarks::suite(BenchmarkSuite::ResNet18)),
-        "mobilenet" => Ok(benchmarks::suite(BenchmarkSuite::MobileNet)),
-        "mobilenetv2" | "mobilenetv2dw" => Ok(benchmarks::suite(BenchmarkSuite::MobileNetV2)),
-        "dilated" | "deeplab" | "deeplabdilated" => {
-            Ok(benchmarks::suite(BenchmarkSuite::DilatedDeepLab))
+        "yolo9000" | "yolo" => Ok(bench_ops(benchmarks::suite(BenchmarkSuite::Yolo9000))),
+        "resnet18" | "resnet" => Ok(bench_ops(benchmarks::suite(BenchmarkSuite::ResNet18))),
+        "mobilenet" => Ok(bench_ops(benchmarks::suite(BenchmarkSuite::MobileNet))),
+        "mobilenetv2" | "mobilenetv2dw" => {
+            Ok(bench_ops(benchmarks::suite(BenchmarkSuite::MobileNetV2)))
         }
-        "table1" | "all" => Ok(benchmarks::all_operators()),
-        "extended" => Ok(benchmarks::extended_operators()),
+        "dilated" | "deeplab" | "deeplabdilated" => {
+            Ok(bench_ops(benchmarks::suite(BenchmarkSuite::DilatedDeepLab)))
+        }
+        "table1" | "all" => Ok(bench_ops(benchmarks::all_operators())),
+        // The whole-network graphs: every conv, pooling, and matmul-head
+        // spec, so `PlanGraph` over the full network serves from the db
+        // tier without a single cold solve.
+        "resnet50" => Ok(graph_ops(&builders::resnet50("resnet50"))),
+        "mobilenetv2full" | "mbv2full" => {
+            Ok(graph_ops(&builders::mobilenet_v2_full("mobilenet-v2")))
+        }
+        "networks" => {
+            let mut ops = graph_ops(&builders::resnet50("resnet50"));
+            ops.extend(graph_ops(&builders::mobilenet_v2_full("mobilenet-v2")));
+            Ok(ops)
+        }
+        "extended" => {
+            let mut ops = bench_ops(benchmarks::extended_operators());
+            ops.extend(graph_ops(&builders::resnet50("resnet50")));
+            ops.extend(graph_ops(&builders::mobilenet_v2_full("mobilenet-v2")));
+            Ok(ops)
+        }
         _ => Err(format!(
             "unknown suite `{name}` (try \"yolo9000\", \"resnet18\", \"mobilenet\", \
-             \"mobilenetv2\", \"dilated\", \"table1\", \"extended\")"
+             \"mobilenetv2\", \"dilated\", \"table1\", \"resnet50\", \"mbv2full\", \
+             \"networks\", \"extended\")"
         )),
     }
 }
@@ -149,7 +182,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut ops: Vec<BenchmarkOp> = Vec::new();
+    let mut ops: Vec<Spec> = Vec::new();
     for name in &args.suites {
         match suite_ops(name) {
             Ok(mut suite) => ops.append(&mut suite),
@@ -196,8 +229,8 @@ fn main() {
             if let Some(keep_top) = args.keep_top {
                 options.keep_top = keep_top.max(1);
             }
-            for op in &ops {
-                let (canonical, _) = canonicalize(&op.shape);
+            for spec in &ops {
+                let (canonical, _) = canonicalize_spec(spec);
                 let spec_key = (canonical.fingerprint(), machine.fingerprint());
                 if !planned.insert((spec_key.0, spec_key.1, threads)) {
                     skipped += 1;
@@ -216,9 +249,8 @@ fn main() {
                     }
                     fresh.insert(spec_key);
                 }
-                let result =
-                    MOptOptimizer::new(op.shape, machine.clone(), options.clone()).optimize();
-                tier.record(&op.shape, machine, threads, &result);
+                let result = MOptOptimizer::optimize_spec(spec, machine.clone(), options.clone());
+                tier.record(spec, machine, threads, &result);
                 solved += 1;
             }
         }

@@ -18,7 +18,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
-use conv_spec::{ConvShape, MachineModel};
+use conv_spec::{ConvShape, MachineModel, Spec};
 use mopt_core::{OptimizeResult, OptimizerOptions};
 use serde::{Deserialize, Serialize};
 
@@ -35,10 +35,18 @@ pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// The canonical cache key: everything the optimizer's output depends on.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Since the spec-IR generalization the problem slot holds a [`Spec`] (conv,
+/// matmul, pooling, or elementwise), not just a [`ConvShape`]. The wire/disk
+/// form stays backward compatible in both directions: convolution keys
+/// serialize as the legacy flat `"shape"` field (bit-identical to pre-spec
+/// snapshots), non-conv specs as a tagged `"spec"` field, and deserialization
+/// accepts either — so old snapshots load, and snapshots holding only conv
+/// entries are byte-identical to what the pre-spec format wrote.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// The conv2d problem shape.
-    pub shape: ConvShape,
+    /// The optimization problem.
+    pub spec: Spec,
     /// [`MachineModel::fingerprint`] of the target machine.
     pub machine_fingerprint: u64,
     /// The optimizer options used for the solve.
@@ -46,15 +54,64 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// The key for optimizing `shape` on `machine` with `options`.
-    pub fn new(shape: ConvShape, machine: &MachineModel, options: &OptimizerOptions) -> Self {
-        CacheKey { shape, machine_fingerprint: machine.fingerprint(), options: options.clone() }
+    /// The key for optimizing `spec` on `machine` with `options`. Accepts a
+    /// plain [`ConvShape`] too (via `From<ConvShape> for Spec`).
+    pub fn new(spec: impl Into<Spec>, machine: &MachineModel, options: &OptimizerOptions) -> Self {
+        CacheKey {
+            spec: spec.into(),
+            machine_fingerprint: machine.fingerprint(),
+            options: options.clone(),
+        }
+    }
+
+    /// The key's problem embedded as a conv shape (the identity for conv
+    /// keys) — what the optimizer actually solves.
+    pub fn embedded_shape(&self) -> ConvShape {
+        self.spec.embedded_conv_shape()
     }
 
     fn shard_index(&self, shards: usize) -> usize {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         self.hash(&mut hasher);
         (hasher.finish() as usize) % shards
+    }
+}
+
+impl Serialize for CacheKey {
+    fn to_value(&self) -> serde::Value {
+        let problem = match &self.spec {
+            // Legacy byte-compatible form: conv problems keep the flat
+            // `"shape"` field pre-spec snapshots used.
+            Spec::Conv(shape) => ("shape".to_string(), shape.to_value()),
+            other => ("spec".to_string(), other.to_value()),
+        };
+        serde::Value::Object(vec![
+            problem,
+            ("machine_fingerprint".to_string(), self.machine_fingerprint.to_value()),
+            ("options".to_string(), self.options.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CacheKey {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let pairs =
+            v.as_object().ok_or_else(|| serde::DeError::expected("an object", "CacheKey"))?;
+        let spec: Option<Spec> = serde::de_field(pairs, "spec", "CacheKey")?;
+        let spec = match spec {
+            Some(spec) => spec,
+            None => {
+                let shape: Option<ConvShape> = serde::de_field(pairs, "shape", "CacheKey")?;
+                Spec::Conv(shape.ok_or_else(|| {
+                    serde::DeError::custom("CacheKey needs a `spec` or legacy `shape` field")
+                })?)
+            }
+        };
+        Ok(CacheKey {
+            spec,
+            machine_fingerprint: serde::de_field(pairs, "machine_fingerprint", "CacheKey")?,
+            options: serde::de_field(pairs, "options", "CacheKey")?,
+        })
     }
 }
 
@@ -399,7 +456,7 @@ pub(crate) mod tests {
         let cache = ScheduleCache::new(64);
         let key = key_for(4);
         assert!(cache.get(&key).is_none());
-        let result = dummy_result(&key.shape, 10.0);
+        let result = dummy_result(&key.embedded_shape(), 10.0);
         cache.insert(key.clone(), result.clone());
         assert_eq!(cache.get(&key), Some(result));
         let stats = cache.stats();
@@ -444,7 +501,7 @@ pub(crate) mod tests {
         // capacity and evictions hit the least recently used key.
         let keys: Vec<CacheKey> = (1..=64).map(key_for).collect();
         for key in &keys {
-            cache.insert(key.clone(), dummy_result(&key.shape, 1.0));
+            cache.insert(key.clone(), dummy_result(&key.embedded_shape(), 1.0));
         }
         assert!(cache.len() <= cache.capacity());
         assert!(cache.stats().evictions >= (64 - cache.capacity()) as u64);
@@ -458,13 +515,13 @@ pub(crate) mod tests {
                                            // same-shard eviction removes the older entry, never breaks lookup.
         let keys: Vec<CacheKey> = (1..=400).map(key_for).collect();
         let a = &keys[0];
-        cache.insert(a.clone(), dummy_result(&a.shape, 1.0));
+        cache.insert(a.clone(), dummy_result(&a.embedded_shape(), 1.0));
         // Find a key sharing a's shard.
         let same_shard = keys[1..]
             .iter()
             .find(|k| k.shard_index(ScheduleCache::SHARDS) == a.shard_index(ScheduleCache::SHARDS))
             .expect("some key shares the shard");
-        cache.insert(same_shard.clone(), dummy_result(&same_shard.shape, 2.0));
+        cache.insert(same_shard.clone(), dummy_result(&same_shard.embedded_shape(), 2.0));
         // Shard capacity is 1, so `a` was evicted.
         assert!(cache.get(a).is_none());
         assert_eq!(cache.get(same_shard).map(|r| r.best().predicted_cost), Some(2.0));
@@ -480,7 +537,7 @@ pub(crate) mod tests {
     fn shard_eviction_counts_sum_to_the_global_counter() {
         let cache = ScheduleCache::new(1);
         for key in (1..=64).map(key_for) {
-            cache.insert(key.clone(), dummy_result(&key.shape, 1.0));
+            cache.insert(key.clone(), dummy_result(&key.embedded_shape(), 1.0));
         }
         let stats = cache.stats();
         assert_eq!(stats.shard_evictions.iter().sum::<u64>(), stats.evictions);
@@ -494,11 +551,11 @@ pub(crate) mod tests {
         let mut computed = 0;
         let r1 = cache.get_or_compute(key.clone(), || {
             computed += 1;
-            dummy_result(&key.shape, 3.0)
+            dummy_result(&key.embedded_shape(), 3.0)
         });
         let r2 = cache.get_or_compute(key.clone(), || {
             computed += 1;
-            dummy_result(&key.shape, 4.0)
+            dummy_result(&key.embedded_shape(), 4.0)
         });
         assert_eq!(computed, 1);
         assert_eq!(r1, r2);
@@ -515,7 +572,8 @@ pub(crate) mod tests {
                 scope.spawn(move || {
                     for (i, key) in keys.iter().enumerate() {
                         if (i + t) % 2 == 0 {
-                            cache.insert(key.clone(), dummy_result(&key.shape, i as f64));
+                            cache
+                                .insert(key.clone(), dummy_result(&key.embedded_shape(), i as f64));
                         } else {
                             let _ = cache.get(key);
                         }
@@ -533,7 +591,7 @@ pub(crate) mod tests {
     fn poisoned_shard_keeps_serving_after_a_caught_panic() {
         let cache = std::sync::Arc::new(ScheduleCache::new(64));
         let key = key_for(4);
-        cache.insert(key.clone(), dummy_result(&key.shape, 1.0));
+        cache.insert(key.clone(), dummy_result(&key.embedded_shape(), 1.0));
 
         // Panic on another thread while holding the key's shard lock —
         // exactly what a panic mid-insert leaves behind. The panic is caught
@@ -551,7 +609,7 @@ pub(crate) mod tests {
 
         // Every operation touching the poisoned shard still works.
         assert_eq!(cache.get(&key).map(|r| r.best().predicted_cost), Some(1.0));
-        cache.insert(key.clone(), dummy_result(&key.shape, 2.0));
+        cache.insert(key.clone(), dummy_result(&key.embedded_shape(), 2.0));
         assert_eq!(cache.get(&key).map(|r| r.best().predicted_cost), Some(2.0));
         assert_eq!(cache.len(), 1);
         let stats = cache.stats();
@@ -587,7 +645,7 @@ pub(crate) mod tests {
         assert_eq!(cache.take_dirty_shards(), Vec::<usize>::new(), "a fresh cache is clean");
         let key = key_for(3);
         let shard = key.shard_index(ScheduleCache::SHARDS);
-        cache.insert(key.clone(), dummy_result(&key.shape, 1.0));
+        cache.insert(key.clone(), dummy_result(&key.embedded_shape(), 1.0));
         assert_eq!(cache.take_dirty_shards(), vec![shard], "only the touched shard is dirty");
         // Claiming cleared the flags; lookups never dirty anything.
         let _ = cache.get(&key);
@@ -598,7 +656,7 @@ pub(crate) mod tests {
         // Clearing dirties every shard; mark_all_clean resets.
         cache.clear();
         assert_eq!(cache.take_dirty_shards().len(), ScheduleCache::SHARDS);
-        cache.insert(key.clone(), dummy_result(&key.shape, 2.0));
+        cache.insert(key.clone(), dummy_result(&key.embedded_shape(), 2.0));
         cache.mark_all_clean();
         assert_eq!(cache.take_dirty_shards(), Vec::<usize>::new());
     }
@@ -608,7 +666,7 @@ pub(crate) mod tests {
         let cache = ScheduleCache::new(64);
         let keys: Vec<CacheKey> = (1..=12).map(key_for).collect();
         for (i, key) in keys.iter().enumerate() {
-            cache.insert(key.clone(), dummy_result(&key.shape, i as f64));
+            cache.insert(key.clone(), dummy_result(&key.embedded_shape(), i as f64));
         }
         let mut collected: Vec<(CacheKey, OptimizeResult)> = Vec::new();
         for shard in 0..ScheduleCache::SHARDS {
@@ -626,7 +684,7 @@ pub(crate) mod tests {
         let cache = ScheduleCache::new(64);
         let keys: Vec<CacheKey> = (1..=8).map(key_for).collect();
         for (i, key) in keys.iter().enumerate() {
-            cache.insert(key.clone(), dummy_result(&key.shape, i as f64));
+            cache.insert(key.clone(), dummy_result(&key.embedded_shape(), i as f64));
         }
         // Touch the first key so it becomes most recent.
         let _ = cache.get(&keys[0]);

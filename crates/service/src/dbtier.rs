@@ -4,10 +4,11 @@
 //! → optimizer. The [`DbTier`] wraps a [`mopt_db::SpecDb`] with the
 //! canonicalize-lookup-rerank glue and serving counters:
 //!
-//! * **lookup** canonicalizes the raw shape, fetches the stored top-k
-//!   entries for `(canonical spec, machine)`, and re-prices them for the
-//!   request's `threads`/options via [`mopt_db::rerank()`] — a db *hit*
-//!   serves a full [`OptimizeResult`] without running the optimizer.
+//! * **lookup** canonicalizes the raw [`Spec`] (conv, matmul, pooling, or
+//!   elementwise — all embed into conv coordinates), fetches the stored
+//!   top-k entries for `(canonical spec, machine)`, and re-prices them for
+//!   the request's `threads`/options via [`mopt_db::rerank_spec()`] — a db
+//!   *hit* serves a full [`OptimizeResult`] without running the optimizer.
 //! * **record** writes fresh optimizer results through to the database
 //!   (canonicalized, sequentialized), so every solve any process pays for
 //!   warms the whole fleet.
@@ -19,7 +20,7 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use conv_spec::{canonicalize, ConvShape, MachineModel};
+use conv_spec::{canonicalize_spec, MachineModel, Spec};
 use mopt_core::{OptimizeResult, OptimizerOptions};
 use mopt_db::{DbError, DbStats, SpecDb};
 use serde::{Deserialize, Serialize};
@@ -84,11 +85,11 @@ impl DbTier {
     /// falls back to the optimizer; database errors degrade to `None`.
     pub fn lookup(
         &self,
-        shape: &ConvShape,
+        spec: &Spec,
         machine: &MachineModel,
         options: &OptimizerOptions,
     ) -> Option<OptimizeResult> {
-        let (canonical, transform) = canonicalize(shape);
+        let (canonical, transform) = canonicalize_spec(spec);
         let entries = match self.db.lookup(canonical.fingerprint(), machine.fingerprint()) {
             Ok(entries) => entries,
             Err(_) => {
@@ -97,7 +98,7 @@ impl DbTier {
             }
         };
         let served = entries
-            .and_then(|entries| mopt_db::rerank(shape, &transform, &entries, machine, options));
+            .and_then(|entries| mopt_db::rerank_spec(spec, &transform, &entries, machine, options));
         match &served {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -109,13 +110,13 @@ impl DbTier {
     /// errors are counted, never surfaced to the request).
     pub fn record(
         &self,
-        shape: &ConvShape,
+        spec: &Spec,
         machine: &MachineModel,
         solved_threads: usize,
         result: &OptimizeResult,
     ) {
-        let (canonical, entries) =
-            mopt_db::rerank::entries_for_shape(shape, machine, solved_threads, result);
+        let (canonical, _transform, entries) =
+            mopt_db::entries_for_spec(spec, machine, solved_threads, result);
         match self.db.merge(&canonical.shape, machine.fingerprint(), entries) {
             Ok(_) => {
                 self.inserts.fetch_add(1, Ordering::Relaxed);
@@ -167,18 +168,19 @@ mod tests {
     #[test]
     fn record_then_lookup_serves_without_solving() {
         let dir = temp_db("roundtrip");
-        let shape = ConvShape::new(1, 16, 8, 3, 3, 12, 12, 1).unwrap();
+        let shape = conv_spec::ConvShape::new(1, 16, 8, 3, 3, 12, 12, 1).unwrap();
+        let spec = Spec::Conv(shape);
         let machine = MachineModel::tiny_test_machine();
         {
             let tier = DbTier::open(&dir).unwrap();
             let result = MOptOptimizer::new(shape, machine.clone(), fast_options(1)).optimize();
-            tier.record(&shape, &machine, 1, &result);
+            tier.record(&spec, &machine, 1, &result);
             tier.flush().unwrap();
         }
         // A cold process (fresh handle) answers from disk, at a different
         // thread count than the one solved.
         let tier = DbTier::open(&dir).unwrap();
-        let served = tier.lookup(&shape, &machine, &fast_options(2)).expect("db-warm hit");
+        let served = tier.lookup(&spec, &machine, &fast_options(2)).expect("db-warm hit");
         assert_eq!(served.ranked[0].config.total_parallelism(), 2);
         let stats = tier.stats();
         assert_eq!((stats.hits, stats.misses, stats.errors), (1, 0, 0));
@@ -190,11 +192,29 @@ mod tests {
     fn unknown_shape_is_a_clean_miss() {
         let dir = temp_db("miss");
         let tier = DbTier::open(&dir).unwrap();
-        let shape = ConvShape::new(1, 8, 4, 3, 3, 8, 8, 1).unwrap();
+        let spec = Spec::Conv(conv_spec::ConvShape::new(1, 8, 4, 3, 3, 8, 8, 1).unwrap());
         let machine = MachineModel::tiny_test_machine();
-        assert!(tier.lookup(&shape, &machine, &fast_options(1)).is_none());
+        assert!(tier.lookup(&spec, &machine, &fast_options(1)).is_none());
         let stats = tier.stats();
         assert_eq!((stats.hits, stats.misses), (0, 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn matmul_record_serves_its_transpose_twin() {
+        let dir = temp_db("matmul-twin");
+        let tall = Spec::matmul(48, 16, 24);
+        let wide = Spec::matmul(16, 48, 24);
+        let machine = MachineModel::tiny_test_machine();
+        let tier = DbTier::open(&dir).unwrap();
+        let solved = MOptOptimizer::optimize_spec(&tall, machine.clone(), fast_options(1));
+        tier.record(&tall, &machine, 1, &solved);
+        // The m<->n transpose canonicalizes to the same stored record, so
+        // the twin is a db hit without ever having been solved.
+        let served = tier.lookup(&wide, &machine, &fast_options(1)).expect("twin served");
+        served.best().config.validate(&wide.embedded_conv_shape()).expect("valid on twin");
+        let stats = tier.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 0, 1));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -163,9 +163,7 @@ mod tests {
     fn small_plan(machine: &MachineModel) -> GraphPlan {
         let g = builders::mobilenet_v2_block_from(&ConvShape::depthwise(8, 10, 3, 1), "g");
         GraphPlanner::new(machine.clone())
-            .plan(&g, |shape| {
-                MOptOptimizer::new(*shape, machine.clone(), fast_options()).optimize()
-            })
+            .plan(&g, |spec| MOptOptimizer::optimize_spec(spec, machine.clone(), fast_options()))
             .unwrap()
     }
 

@@ -55,9 +55,9 @@
 //! let options = OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() };
 //! let planner = NetworkPlanner::new(&cache, MachineModel::tiny_test_machine(), options);
 //! let layers = vec![
-//!     NamedLayer { name: "conv1".into(), shape: ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1)? },
+//!     NamedLayer::conv("conv1", ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1)?),
 //!     // A depthwise layer plans through the same cache-keyed pipeline.
-//!     NamedLayer { name: "dw1".into(), shape: ConvShape::depthwise(8, 10, 3, 1) },
+//!     NamedLayer::conv("dw1", ConvShape::depthwise(8, 10, 3, 1)),
 //! ];
 //! let cold = planner.plan(&layers);
 //! let warm = planner.plan(&layers);

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 pub use mopt_trace::{HistogramBucket, LatencyHistogram, LatencySnapshot};
 
 /// Number of protocol verbs (histogram / error-counter array size).
-const VERBS: usize = 9;
+const VERBS: usize = 10;
 
 /// The protocol verbs, as histogram indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +42,8 @@ pub enum Verb {
     Explain,
     /// `Trace`.
     Trace,
+    /// `Suites`.
+    Suites,
 }
 
 impl Verb {
@@ -56,6 +58,7 @@ impl Verb {
         Verb::Metrics,
         Verb::Explain,
         Verb::Trace,
+        Verb::Suites,
     ];
 
     /// The verb's wire name (`"Optimize"`, ...).
@@ -70,6 +73,7 @@ impl Verb {
             Verb::Metrics => "Metrics",
             Verb::Explain => "Explain",
             Verb::Trace => "Trace",
+            Verb::Suites => "Suites",
         }
     }
 }

@@ -469,7 +469,7 @@ mod tests {
         // Touch exactly one key: the next flush rewrites exactly one shard,
         // no matter how many entries are resident overall.
         let (key, _) = cache.entries().pop().unwrap();
-        cache.insert(key.clone(), crate::cache::tests::dummy_result(&key.shape, 99.0));
+        cache.insert(key.clone(), crate::cache::tests::dummy_result(&key.embedded_shape(), 99.0));
         let incremental = save_sharded(&cache, &dir).unwrap();
         assert_eq!(incremental.shards_written, 1, "one dirty key = one shard file rewritten");
         assert_eq!(incremental.shards_skipped, ScheduleCache::SHARDS - 1);
@@ -527,7 +527,7 @@ mod tests {
         // Dirty one shard, then make its shard file unwritable by replacing
         // it with a non-empty directory (rename onto it fails).
         let (key, _) = cache.entries().pop().unwrap();
-        cache.insert(key.clone(), crate::cache::tests::dummy_result(&key.shape, 5.0));
+        cache.insert(key.clone(), crate::cache::tests::dummy_result(&key.embedded_shape(), 5.0));
         let dirty_shard = {
             let claimed = cache.take_dirty_shards();
             assert_eq!(claimed.len(), 1);

@@ -6,11 +6,19 @@
 //!
 //! ```text
 //! {"Optimize": {"op": "Y0", "machine": {"Preset": "i7-9700k"}}}
+//! {"Optimize": {"spec": {"Matmul": {"m": 1000, "n": 1, "k": 2048}}, "machine": {"Preset": "i7-9700k"}}}
 //! {"PlanNetwork": {"suite": "resnet18", "machine": {"Preset": "tiny"}}}
 //! {"PlanGraph": {"block": "mbv2-block5", "machine": {"Preset": "i7-9700k"}}}
 //! {"Explain": {"op": "Y0", "machine": {"Preset": "i7-9700k"}}}
+//! "Suites"
 //! "Stats"
 //! ```
+//!
+//! Since the spec-IR generalization, `Optimize` and `Explain` take a tagged
+//! `"spec"` payload (conv, matmul, pooling, or elementwise) as the primary
+//! problem form; the legacy flat `"shape"` field and Table-1 `"op"` names
+//! keep parsing and resolve to the *same* cache and database fingerprints,
+//! so pre-spec clients see bit-identical answers.
 //!
 //! Malformed input never kills the connection: it produces an
 //! `{"Error": ...}` response and the loop continues.
@@ -26,7 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use conv_spec::{benchmarks, BenchmarkSuite, ConvShape, MachineModel};
+use conv_spec::{benchmarks, BenchmarkSuite, ConvShape, MachineModel, Spec};
 use mopt_core::{MOptOptimizer, OptimizeResult, OptimizerOptions, SearchTrace};
 use mopt_graph::{builders, Graph, GraphPlan, GraphPlanner};
 use mopt_model::{CostBreakdown, CostOptions, MultiLevelModel, ParallelSpec};
@@ -82,12 +90,19 @@ impl Default for MachineSpec {
 /// (`{"Metrics": {"format": "prometheus"}}`).
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum Request {
-    /// Optimize one operator: either a Table-1 name (`"Y0"`) or an explicit
-    /// shape. `options` defaults to [`OptimizerOptions::default`].
+    /// Optimize one operator: a tagged problem spec, a Table-1 name
+    /// (`"Y0"`), or a legacy flat conv shape. `options` defaults to
+    /// [`OptimizerOptions::default`].
     Optimize {
+        /// The problem as a tagged [`Spec`] — `{"Conv": ...}`,
+        /// `{"Matmul": ...}`, `{"Pool": ...}`, or `{"Elementwise": ...}`.
+        /// Takes precedence over `op` and `shape`.
+        spec: Option<Spec>,
         /// Table-1 operator name (e.g. `"Y0"`, `"R4*"`).
         op: Option<String>,
-        /// Explicit shape (used when `op` is absent).
+        /// Explicit conv shape (legacy form, used when `spec` and `op` are
+        /// absent). Resolves to the same cache/db keys as
+        /// `{"spec": {"Conv": ...}}`.
         shape: Option<ConvShape>,
         /// Target machine.
         machine: MachineSpec,
@@ -153,9 +168,12 @@ pub enum Request {
     /// permutation class, the runner-up and margin) plus the winner's
     /// per-memory-level cost breakdown.
     Explain {
+        /// The problem as a tagged [`Spec`] (takes precedence over `op` and
+        /// `shape`).
+        spec: Option<Spec>,
         /// Table-1 operator name (e.g. `"Y0"`, `"R4*"`).
         op: Option<String>,
-        /// Explicit shape (used when `op` is absent).
+        /// Explicit conv shape (legacy form).
         shape: Option<ConvShape>,
         /// Target machine.
         machine: MachineSpec,
@@ -181,6 +199,10 @@ pub enum Request {
         /// retained).
         limit: Option<usize>,
     },
+    /// List the benchmark catalog: the suite names `PlanNetwork` accepts
+    /// and every named operator, with deprecation flags (the `M1pw`–`M9pw`
+    /// dense stand-ins are still served but deprecated).
+    Suites,
     /// Persist the cache to the server's snapshot path now.
     Save,
     /// Liveness check.
@@ -194,6 +216,7 @@ impl Deserialize for Request {
                 "Stats" => Ok(Request::Stats),
                 "Metrics" => Ok(Request::Metrics { format: None }),
                 "Trace" => Ok(Request::Trace { limit: None }),
+                "Suites" => Ok(Request::Suites),
                 "Save" => Ok(Request::Save),
                 "Ping" => Ok(Request::Ping),
                 other => Err(serde::DeError::custom(format!("unknown request verb `{other}`"))),
@@ -212,6 +235,7 @@ impl Deserialize for Request {
             "Optimize" => {
                 let b = fields("Optimize")?;
                 Ok(Request::Optimize {
+                    spec: serde::de_field(b, "spec", "Optimize")?,
                     op: serde::de_field(b, "op", "Optimize")?,
                     shape: serde::de_field(b, "shape", "Optimize")?,
                     machine: serde::de_field(b, "machine", "Optimize")?,
@@ -247,6 +271,7 @@ impl Deserialize for Request {
             "Explain" => {
                 let b = fields("Explain")?;
                 Ok(Request::Explain {
+                    spec: serde::de_field(b, "spec", "Explain")?,
                     op: serde::de_field(b, "op", "Explain")?,
                     shape: serde::de_field(b, "shape", "Explain")?,
                     machine: serde::de_field(b, "machine", "Explain")?,
@@ -345,7 +370,11 @@ pub enum Response {
     Optimized {
         /// The operator name, when the request used one.
         op: Option<String>,
-        /// The problem shape that was optimized.
+        /// The tagged problem spec that was optimized. Absent in pre-spec
+        /// responses, which still parse.
+        spec: Option<Spec>,
+        /// The problem embedded as a conv shape (the identity for conv
+        /// problems) — kept for pre-spec clients.
         shape: ConvShape,
         /// Whether the result came from the schedule cache.
         cached: bool,
@@ -353,6 +382,9 @@ pub enum Response {
         /// fresh solve. Absent in pre-database responses, which still
         /// parse.
         tier: Option<Tier>,
+        /// `Some(true)` when the request named a deprecated alias
+        /// (`M1pw`–`M9pw`): still served, but slated for removal.
+        deprecated: Option<bool>,
         /// The ranked configurations.
         result: OptimizeResult,
         /// The request's span tree, when the request set `trace: true`.
@@ -379,12 +411,16 @@ pub enum Response {
     Explained {
         /// The operator name, when the request used one.
         op: Option<String>,
-        /// The problem shape that was optimized.
+        /// The tagged problem spec. Absent in pre-spec responses.
+        spec: Option<Spec>,
+        /// The problem embedded as a conv shape (kept for pre-spec clients).
         shape: ConvShape,
         /// Whether the schedule came from the schedule cache.
         cached: bool,
         /// Which tier actually served the schedule.
         tier: Option<Tier>,
+        /// `Some(true)` when the request named a deprecated alias.
+        deprecated: Option<bool>,
         /// The ranked configurations — bit-identical to what a plain
         /// `Optimize` of the same request returns.
         result: OptimizeResult,
@@ -423,6 +459,14 @@ pub enum Response {
         /// Retained traces, oldest first.
         traces: Vec<SlowTrace>,
     },
+    /// Result of a `Suites` request: the benchmark catalog.
+    Suites {
+        /// Suite names accepted by `PlanNetwork`'s `suite` field.
+        suites: Vec<String>,
+        /// Every named operator (Table 1 plus the extended suites and the
+        /// deprecated aliases), with its suite and deprecation flag.
+        ops: Vec<SuiteOp>,
+    },
     /// Result of a `Save` request: entries persisted.
     Saved {
         /// Number of entries written.
@@ -444,13 +488,25 @@ pub enum Response {
     },
 }
 
+/// One catalog entry in a `Suites` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteOp {
+    /// The operator's wire name (e.g. `"Y0"`, `"M9pw"`).
+    pub name: String,
+    /// The suite it belongs to.
+    pub suite: String,
+    /// Whether the name is a deprecated dense stand-in alias: still
+    /// served, but responses tag it and it is slated for removal.
+    pub deprecated: bool,
+}
+
 /// How many slow-request traces the `Trace` verb retains (newest win).
 pub const SLOW_LOG_CAPACITY: usize = 64;
 
 /// A schedule answer with the request context it resolved to — what
 /// `Optimize` and `Explain` share.
 struct ServedSchedule {
-    shape: ConvShape,
+    spec: Spec,
     machine: MachineModel,
     options: OptimizerOptions,
     cached: bool,
@@ -664,6 +720,7 @@ impl ServiceState {
             Request::PlanNetwork { .. } => Verb::PlanNetwork,
             Request::PlanGraph { .. } => Verb::PlanGraph,
             Request::Explain { .. } => Verb::Explain,
+            Request::Suites => Verb::Suites,
             Request::Stats => Verb::Stats,
             Request::Metrics { .. } => Verb::Metrics,
             Request::Trace { .. } => Verb::Trace,
@@ -822,15 +879,36 @@ impl ServiceState {
                     Err(e) => Response::Error { message: e.to_string() },
                 }
             }
-            Request::Optimize { op, shape, machine, options, threads, trace: _ } => self
+            Request::Suites => Response::Suites {
+                suites: vec![
+                    "yolo9000".into(),
+                    "resnet18".into(),
+                    "mobilenet".into(),
+                    "mobilenetv2".into(),
+                    "dilated".into(),
+                    "table1".into(),
+                    "extended".into(),
+                ],
+                ops: benchmarks::extended_operators()
+                    .iter()
+                    .map(|op| SuiteOp {
+                        name: op.name.clone(),
+                        suite: op.suite.name().to_string(),
+                        deprecated: benchmarks::is_deprecated_alias(&op.name),
+                    })
+                    .collect(),
+            },
+            Request::Optimize { spec, op, shape, machine, options, threads, trace: _ } => self
                 .handle_optimize(
+                    spec.as_ref(),
                     op.as_deref(),
                     *shape,
                     machine,
                     Self::effective_options(options, *threads),
                     ctx,
                 ),
-            Request::Explain { op, shape, machine, options, threads } => self.handle_explain(
+            Request::Explain { spec, op, shape, machine, options, threads } => self.handle_explain(
+                spec.as_ref(),
                 op.as_deref(),
                 *shape,
                 machine,
@@ -881,30 +959,21 @@ impl ServiceState {
         options
     }
 
-    /// Serve one schedule through the full tier stack — cache probe,
-    /// single-flight (db lookup, then a fresh solve) — recording each stage
-    /// as a span of `ctx` and counting the serving tier. Shared by
-    /// `Optimize` and `Explain`, so both verbs return bit-identical
-    /// schedules for identical requests.
-    fn serve_schedule(
+    /// Serve one [`Spec`] through the full tier stack — cache probe,
+    /// single-flight (db lookup, then a fresh solve, written through) —
+    /// recording each stage as a span of `ctx` and counting the serving
+    /// tier. This is *the* serving path: `Optimize` and `Explain` (via
+    /// [`serve_spec_request`](Self::serve_spec_request)) and `PlanGraph`'s
+    /// per-operator provider all come through here, so every verb returns
+    /// bit-identical schedules for identical problems.
+    fn resolve_spec(
         &self,
-        verb: &str,
-        op: Option<&str>,
-        shape: Option<ConvShape>,
-        machine: &MachineSpec,
-        options: OptimizerOptions,
+        spec: &Spec,
+        machine: &MachineModel,
+        options: &OptimizerOptions,
         ctx: &TraceContext,
-    ) -> Result<ServedSchedule, String> {
-        let machine = machine.resolve()?;
-        let shape = match (op, shape) {
-            (Some(name), _) => match benchmarks::by_name(name) {
-                Some(bench) => bench.shape,
-                None => return Err(format!("unknown Table-1 operator `{name}`")),
-            },
-            (None, Some(shape)) => shape,
-            (None, None) => return Err(format!("{verb} needs either `op` or `shape`")),
-        };
-        let key = CacheKey::new(shape, &machine, &options);
+    ) -> Result<(Tier, OptimizeResult), String> {
+        let key = CacheKey::new(*spec, machine, options);
         // Tier 1: the in-process cache.
         let cache_hit = {
             let _probe = ctx.span("cache_probe");
@@ -913,14 +982,7 @@ impl ServiceState {
         if let Some(result) = cache_hit {
             self.tier_hits[Tier::Cache as usize].fetch_add(1, Ordering::Relaxed);
             ctx.tag("tier", Tier::Cache.label());
-            return Ok(ServedSchedule {
-                shape,
-                machine,
-                options,
-                cached: true,
-                tier: Tier::Cache,
-                result,
-            });
+            return Ok((Tier::Cache, result));
         }
         // Cold path, under single-flight: concurrent misses on this key
         // share one leader. The leader consults tier 2 (the schedule
@@ -943,7 +1005,7 @@ impl ServiceState {
                 if let Some(db) = &self.db {
                     let hit = {
                         let _lookup = ctx.span("db_lookup");
-                        db.lookup(&shape, &machine, &options)
+                        db.lookup(spec, machine, options)
                     };
                     if let Some(result) = hit {
                         let _insert = ctx.span("cache_insert");
@@ -953,7 +1015,7 @@ impl ServiceState {
                 }
                 let result = {
                     let _solve = ctx.span("solve");
-                    MOptOptimizer::new(shape, machine.clone(), options.clone()).optimize()
+                    MOptOptimizer::optimize_spec(spec, machine.clone(), options.clone())
                 };
                 {
                     let _insert = ctx.span("cache_insert");
@@ -961,7 +1023,7 @@ impl ServiceState {
                 }
                 if let Some(db) = &self.db {
                     let _record = ctx.span("db_record");
-                    db.record(&shape, &machine, options.threads, &result);
+                    db.record(spec, machine, options.threads, &result);
                 }
                 (Tier::Solver, result)
             });
@@ -978,26 +1040,70 @@ impl ServiceState {
             Ok((tier, result)) => {
                 self.tier_hits[tier as usize].fetch_add(1, Ordering::Relaxed);
                 ctx.tag("tier", tier.label());
-                Ok(ServedSchedule { shape, machine, options, cached: false, tier, result })
+                Ok((tier, result))
             }
             Err(e) => Err(format!("optimize failed: {e}")),
         }
     }
 
+    /// Resolve a request's problem naming — tagged `spec`, Table-1 `op`
+    /// name, or legacy flat `shape`, in that precedence order — and serve
+    /// it through [`resolve_spec`](Self::resolve_spec). Shared by
+    /// `Optimize` and `Explain`, so both verbs return bit-identical
+    /// schedules for identical requests.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_spec_request(
+        &self,
+        verb: &str,
+        spec: Option<&Spec>,
+        op: Option<&str>,
+        shape: Option<ConvShape>,
+        machine: &MachineSpec,
+        options: OptimizerOptions,
+        ctx: &TraceContext,
+    ) -> Result<ServedSchedule, String> {
+        let machine = machine.resolve()?;
+        let spec = match (spec, op, shape) {
+            (Some(spec), _, _) => {
+                spec.validate().map_err(|e| format!("invalid spec: {e}"))?;
+                *spec
+            }
+            (None, Some(name), _) => match benchmarks::by_name(name) {
+                Some(bench) => Spec::Conv(bench.shape),
+                None => return Err(format!("unknown Table-1 operator `{name}`")),
+            },
+            (None, None, Some(shape)) => Spec::Conv(shape),
+            (None, None, None) => {
+                return Err(format!("{verb} needs a `spec`, an `op`, or a `shape`"))
+            }
+        };
+        let (tier, result) = self.resolve_spec(&spec, &machine, &options, ctx)?;
+        Ok(ServedSchedule { spec, machine, options, cached: tier == Tier::Cache, tier, result })
+    }
+
+    /// `Some(true)` when the request named a deprecated alias (the field is
+    /// omitted — `null` — for everything else).
+    fn deprecation_of(op: Option<&str>) -> Option<bool> {
+        op.filter(|name| benchmarks::is_deprecated_alias(name)).map(|_| true)
+    }
+
     fn handle_optimize(
         &self,
+        spec: Option<&Spec>,
         op: Option<&str>,
         shape: Option<ConvShape>,
         machine: &MachineSpec,
         options: OptimizerOptions,
         ctx: &TraceContext,
     ) -> Response {
-        match self.serve_schedule("Optimize", op, shape, machine, options, ctx) {
+        match self.serve_spec_request("Optimize", spec, op, shape, machine, options, ctx) {
             Ok(served) => Response::Optimized {
                 op: op.map(str::to_string),
-                shape: served.shape,
+                spec: Some(served.spec),
+                shape: served.spec.embedded_conv_shape(),
                 cached: served.cached,
                 tier: Some(served.tier),
+                deprecated: Self::deprecation_of(op),
                 result: served.result,
                 trace: None,
             },
@@ -1007,23 +1113,27 @@ impl ServiceState {
 
     fn handle_explain(
         &self,
+        spec: Option<&Spec>,
         op: Option<&str>,
         shape: Option<ConvShape>,
         machine: &MachineSpec,
         options: OptimizerOptions,
         ctx: &TraceContext,
     ) -> Response {
-        let served = match self.serve_schedule("Explain", op, shape, machine, options, ctx) {
-            Ok(served) => served,
-            Err(message) => return Response::Error { message },
-        };
+        let served =
+            match self.serve_spec_request("Explain", spec, op, shape, machine, options, ctx) {
+                Ok(served) => served,
+                Err(message) => return Response::Error { message },
+            };
         // The search trace is a deterministic re-run of the solver with
         // recording on (the solver is seeded, so the re-run finds the same
-        // winner a fresh solve would). The *served* schedule above can come
-        // from a warmer tier; `tier` says which one actually answered.
+        // winner a fresh solve would), on the spec's embedded conv shape —
+        // exactly what the optimizer solves. The *served* schedule above can
+        // come from a warmer tier; `tier` says which one actually answered.
+        let shape = served.spec.embedded_conv_shape();
         let search = {
             let _span = ctx.span("search_trace");
-            MOptOptimizer::new(served.shape, served.machine.clone(), served.options.clone())
+            MOptOptimizer::new(shape, served.machine.clone(), served.options.clone())
                 .optimize_traced()
                 .1
         };
@@ -1036,20 +1146,18 @@ impl ServiceState {
                 threads: served.options.threads,
                 factors: best.config.parallel.as_array(),
             };
-            MultiLevelModel::new(
-                served.shape,
-                served.machine.clone(),
-                best.config.permutation.clone(),
-            )
-            .with_options(CostOptions { line_elems: served.options.line_elems })
-            .with_parallel(spec)
-            .cost_breakdown(&best.config)
+            MultiLevelModel::new(shape, served.machine.clone(), best.config.permutation.clone())
+                .with_options(CostOptions { line_elems: served.options.line_elems })
+                .with_parallel(spec)
+                .cost_breakdown(&best.config)
         };
         Response::Explained {
             op: op.map(str::to_string),
-            shape: served.shape,
+            spec: Some(served.spec),
+            shape,
             cached: served.cached,
             tier: Some(served.tier),
+            deprecated: Self::deprecation_of(op),
             result: served.result.clone(),
             search,
             breakdown,
@@ -1165,14 +1273,17 @@ impl ServiceState {
         let (role, outcome) = self.graph_flight.run(key.clone(), || {
             self.test_solve_delay();
             // Warm the per-operator schedules through the existing batch
-            // planner (dedupe + worker pool + shared schedule cache), then
+            // planner (dedupe + worker pool + shared schedule cache) — every
+            // schedulable node (conv, matmul, pool), not just convs — then
             // run the fusion dynamic program with cache-backed lookups.
+            let dims = graph.node_output_dims().map_err(|e| format!("invalid graph: {e}"))?;
             let layers: Vec<NamedLayer> = graph
-                .conv_nodes()
+                .schedulable_nodes()
                 .into_iter()
-                .map(|id| NamedLayer {
-                    name: graph.nodes[id].name.clone(),
-                    shape: *graph.nodes[id].op.conv_shape().expect("conv node"),
+                .filter_map(|id| {
+                    graph
+                        .node_spec(id, &dims)
+                        .map(|spec| NamedLayer { name: graph.nodes[id].name.clone(), spec })
                 })
                 .collect();
             let mut planner = NetworkPlanner::new(&self.cache, machine.clone(), options.clone())
@@ -1187,29 +1298,16 @@ impl ServiceState {
             let _fusion = ctx.span("fusion_plan");
             let result = GraphPlanner::new(machine.clone()).with_threads(options.threads).plan(
                 &graph,
-                |shape| {
-                    // The warm-up above resolved every conv node, so this is
-                    // normally a pure cache read; the db-then-solver fallback
-                    // keeps the contract correct regardless.
-                    let key = CacheKey::new(*shape, &machine, &options);
-                    if let Some(result) = self.cache.get(&key) {
-                        return result;
+                |spec| {
+                    // The warm-up above resolved every schedulable node, so
+                    // this is normally a pure cache read; resolve_spec's
+                    // db-then-solver fallback keeps the contract correct
+                    // regardless. A tier failure (a panicked flight leader)
+                    // propagates as this flight's planning error.
+                    match self.resolve_spec(spec, &machine, &options, ctx) {
+                        Ok((_tier, result)) => result,
+                        Err(message) => panic!("{message}"),
                     }
-                    let result = self
-                        .db
-                        .as_deref()
-                        .and_then(|db| db.lookup(shape, &machine, &options))
-                        .unwrap_or_else(|| {
-                            let result =
-                                MOptOptimizer::new(*shape, machine.clone(), options.clone())
-                                    .optimize();
-                            if let Some(db) = self.db.as_deref() {
-                                db.record(shape, &machine, options.threads, &result);
-                            }
-                            result
-                        });
-                    self.cache.insert(key, result.clone());
-                    result
                 },
             );
             match result {
@@ -2015,5 +2113,107 @@ mod tests {
             }
             other => panic!("expected Stats, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn optimize_by_spec_payload_echoes_spec_and_embedded_shape() {
+        let state = tiny_state();
+        let spec = Spec::matmul(24, 16, 12);
+        let line = format!(
+            "{{\"Optimize\": {{\"spec\": {}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            serde_json::to_string(&spec).unwrap(),
+            fast_options_json(),
+        );
+        let response: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+        match response {
+            Response::Optimized { spec: echoed, shape, cached, result, .. } => {
+                assert_eq!(echoed, Some(spec));
+                assert_eq!(shape, spec.embedded_conv_shape());
+                assert!(!cached);
+                result.best().config.validate(&shape).expect("certified on the embedded nest");
+            }
+            other => panic!("expected Optimized, got {other:?}"),
+        }
+        // An invalid spec is an Error, not a panic.
+        let broken = "{\"Optimize\": {\"spec\": {\"Matmul\": {\"m\": 0, \"n\": 4, \"k\": 4}}, \
+                      \"machine\": {\"Preset\": \"tiny\"}}}";
+        let response: Response = serde_json::from_str(&state.handle_line(broken)).unwrap();
+        match response {
+            Response::Error { message } => {
+                assert!(message.to_ascii_lowercase().contains("invalid spec"), "{message}")
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_shape_and_tagged_spec_forms_share_one_cache_entry() {
+        let state = tiny_state();
+        let shape = ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap();
+        let legacy = format!(
+            "{{\"Optimize\": {{\"shape\": {}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            serde_json::to_string(&shape).unwrap(),
+            fast_options_json(),
+        );
+        let tagged = format!(
+            "{{\"Optimize\": {{\"spec\": {}, \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+            serde_json::to_string(&Spec::Conv(shape)).unwrap(),
+            fast_options_json(),
+        );
+        let cold: Response = serde_json::from_str(&state.handle_line(&legacy)).unwrap();
+        let warm: Response = serde_json::from_str(&state.handle_line(&tagged)).unwrap();
+        match (cold, warm) {
+            (
+                Response::Optimized { cached: false, result: a, .. },
+                Response::Optimized { cached: true, result: b, .. },
+            ) => assert_eq!(a, b, "both wire forms must serve one entry"),
+            other => panic!("expected cold legacy then warm tagged, got {other:?}"),
+        }
+        assert_eq!(state.cache.len(), 1, "legacy and tagged forms share a cache key");
+    }
+
+    #[test]
+    fn deprecated_alias_ops_are_flagged_but_still_served() {
+        let state = tiny_state();
+        let request = |op: &str| {
+            format!(
+                "{{\"Optimize\": {{\"op\": \"{op}\", \"machine\": {{\"Preset\": \"tiny\"}}, \"options\": {}}}}}",
+                fast_options_json(),
+            )
+        };
+        let alias: Response = serde_json::from_str(&state.handle_line(&request("M1pw"))).unwrap();
+        match alias {
+            Response::Optimized { deprecated, result, .. } => {
+                assert_eq!(deprecated, Some(true), "M1pw is a deprecated alias");
+                assert!(!result.ranked.is_empty(), "deprecated aliases still serve");
+            }
+            other => panic!("expected Optimized, got {other:?}"),
+        }
+        let current: Response = serde_json::from_str(&state.handle_line(&request("M9"))).unwrap();
+        match current {
+            Response::Optimized { deprecated, .. } => assert_eq!(deprecated, None),
+            other => panic!("expected Optimized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suites_verb_lists_ops_and_flags_deprecated_aliases() {
+        let state = tiny_state();
+        let response: Response = serde_json::from_str(&state.handle_line("\"Suites\"")).unwrap();
+        let ops = match response {
+            Response::Suites { suites, ops } => {
+                assert!(suites.iter().any(|s| s == "extended"));
+                assert!(suites.iter().any(|s| s == "table1"));
+                ops
+            }
+            other => panic!("expected Suites, got {other:?}"),
+        };
+        assert!(!ops.is_empty());
+        let deprecated: Vec<&str> =
+            ops.iter().filter(|o| o.deprecated).map(|o| o.name.as_str()).collect();
+        assert!(deprecated.contains(&"M1pw") && deprecated.contains(&"M9pw"));
+        let m9 = ops.iter().find(|o| o.name == "M9").expect("M9 listed");
+        assert!(!m9.deprecated);
+        assert!(!m9.suite.is_empty());
     }
 }

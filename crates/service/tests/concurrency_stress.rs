@@ -38,6 +38,7 @@ fn test_shape() -> ConvShape {
 
 fn optimize_line(shape: ConvShape) -> String {
     serde_json::to_string(&Request::Optimize {
+        spec: None,
         op: None,
         shape: Some(shape),
         machine: MachineSpec::Preset("tiny".into()),
@@ -418,6 +419,7 @@ fn traced_herd_shows_one_leader_and_31_waiters() {
     let (addr, handle, join) = start(Arc::clone(&state), CLIENTS);
 
     let line = serde_json::to_string(&Request::Optimize {
+        spec: None,
         op: None,
         shape: Some(test_shape()),
         machine: MachineSpec::Preset("tiny".into()),

@@ -58,6 +58,7 @@ fn optimize_response_executes_correctly() {
     let state = ServiceState::new(16);
     let shape = ConvShape::new(1, 8, 4, 3, 3, 12, 12, 1).unwrap();
     let request = Request::Optimize {
+        spec: None,
         op: None,
         shape: Some(shape),
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
@@ -92,6 +93,7 @@ fn optimize_response_executes_correctly() {
 fn moptd_stdio_round_trip_matches_naive() {
     let shape = ConvShape::new(1, 8, 4, 3, 3, 12, 12, 1).unwrap();
     let request = serde_json::to_string(&Request::Optimize {
+        spec: None,
         op: None,
         shape: Some(shape),
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
@@ -151,6 +153,7 @@ fn moptd_serves_depthwise_and_dilated_shapes() {
     let dilated = ConvShape::new(1, 8, 4, 3, 3, 10, 10, 1).unwrap().with_dilation(2).unwrap();
 
     let by_name_request = serde_json::to_string(&Request::Optimize {
+        spec: None,
         op: Some("V5".into()),
         shape: None,
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
@@ -160,6 +163,7 @@ fn moptd_serves_depthwise_and_dilated_shapes() {
     })
     .unwrap();
     let by_shape_request = serde_json::to_string(&Request::Optimize {
+        spec: None,
         op: None,
         shape: Some(dilated),
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
@@ -269,6 +273,7 @@ fn moptd_snapshot_warms_across_processes() {
 
     let shape = ConvShape::new(1, 4, 4, 3, 3, 8, 8, 1).unwrap();
     let request = serde_json::to_string(&Request::Optimize {
+        spec: None,
         op: None,
         shape: Some(shape),
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
@@ -599,6 +604,7 @@ fn plan_world_db_serves_cold_moptd_without_solving() {
     // A cold daemon over the populated database: the very first request —
     // V5 is a MobileNetV2-suite operator — at 8 threads.
     let request = serde_json::to_string(&Request::Optimize {
+        spec: None,
         op: Some("V5".into()),
         shape: None,
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
@@ -702,6 +708,7 @@ fn explain_over_stdio_recertifies_bit_identically() {
     use mopt_model::multilevel::{MultiLevelModel, ParallelSpec};
 
     let explain = serde_json::to_string(&Request::Explain {
+        spec: None,
         op: Some("V5".into()),
         shape: None,
         machine: mopt_service::MachineSpec::Preset("tiny".into()),
@@ -710,6 +717,7 @@ fn explain_over_stdio_recertifies_bit_identically() {
     })
     .unwrap();
     let optimize = serde_json::to_string(&Request::Optimize {
+        spec: None,
         op: Some("V5".into()),
         shape: None,
         machine: mopt_service::MachineSpec::Preset("tiny".into()),

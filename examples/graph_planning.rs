@@ -28,9 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let graph = builders::mobilenet_v2_block(stage)?;
         graph.validate()?;
         let planner = GraphPlanner::new(machine.clone());
-        let plan = planner.plan(&graph, |shape| {
-            cache.get_or_compute(CacheKey::new(*shape, &machine, &options), || {
-                MOptOptimizer::new(*shape, machine.clone(), options.clone()).optimize()
+        let plan = planner.plan(&graph, |spec| {
+            cache.get_or_compute(CacheKey::new(*spec, &machine, &options), || {
+                MOptOptimizer::optimize_spec(spec, machine.clone(), options.clone())
             })
         })?;
         let convs: usize = plan.segments.iter().map(|s| s.ops.len()).sum();
@@ -49,9 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // model's credit cross-checked by the tile-granularity simulator.
     let graph = builders::mobilenet_v2_block(5)?;
     let planner = GraphPlanner::new(machine.clone());
-    let plan = planner.plan(&graph, |shape| {
-        cache.get_or_compute(CacheKey::new(*shape, &machine, &options), || {
-            MOptOptimizer::new(*shape, machine.clone(), options.clone()).optimize()
+    let plan = planner.plan(&graph, |spec| {
+        cache.get_or_compute(CacheKey::new(*spec, &machine, &options), || {
+            MOptOptimizer::optimize_spec(spec, machine.clone(), options.clone())
         })
     })?;
     let seg = plan.executable_segments().next().expect("a fused dw→pw segment");

@@ -66,11 +66,10 @@ fn main() {
     std::fs::remove_file(&path).ok();
 
     // A layer list does not have to come from Table 1.
-    let custom = vec![NamedLayer {
-        name: "custom-3x3".into(),
-        shape: mopt_repro::conv_spec::ConvShape::new(1, 96, 48, 3, 3, 30, 30, 1)
-            .expect("valid shape"),
-    }];
+    let custom = vec![NamedLayer::conv(
+        "custom-3x3",
+        mopt_repro::conv_spec::ConvShape::new(1, 96, 48, 3, 3, 30, 30, 1).expect("valid shape"),
+    )];
     let plan = planner.plan(&custom);
     println!(
         "\ncustom layer: cost {:.3e} ({})",
