@@ -4,9 +4,11 @@
 //! times — cold (optimizer solves), warm (in-process cache), and db-warm (a
 //! fresh process over the populated schedule database, zero solves) — and
 //! emits a machine-readable `BENCH_mopt.json` with per-phase solve
-//! latencies, cache and database hit rates, and the fused-vs-unfused DRAM
-//! traffic of a MobileNetV2 block plan. CI runs this to keep the
-//! persistence-tier numbers visible per commit.
+//! latencies, cache and database hit rates, the fused-vs-unfused DRAM
+//! traffic of a MobileNetV2 block plan, and measured executor GFLOP/s
+//! (scalar tiled vs blocked NCHWc vs the runtime-dispatched SIMD
+//! microkernel) on a representative shape. CI runs this to keep the
+//! persistence-tier and executor numbers visible per commit.
 //!
 //! ```text
 //! bench_mopt [--out BENCH_mopt.json] [--suite mobilenetv2] [--preset i7] [--threads N]
@@ -14,7 +16,9 @@
 
 use std::time::Instant;
 
-use mopt_core::OptimizerOptions;
+use conv_exec::{active_backend, NchwcConv, SimdBackend, Tensor4, TiledConv};
+use conv_spec::{ConvShape, LayoutConfig, MachineModel};
+use mopt_core::{MOptOptimizer, OptimizerOptions};
 use mopt_service::{
     DbTierStats, FlightBreakdown, MachineSpec, Request, Response, ServiceState, Tier,
 };
@@ -105,6 +109,125 @@ struct Report {
     /// Flight counters of the herd phase alone: `led + coalesced ==
     /// herd_clients`, with exactly one led solve when coalescing works.
     herd_flight: FlightBreakdown,
+    /// Measured executor throughput on a representative conv shape: scalar
+    /// tiled loop nest, blocked-NCHWc executor, and the runtime-dispatched
+    /// SIMD microkernel.
+    exec: ExecReport,
+}
+
+/// One executor's measured throughput row in the `exec` section.
+#[derive(Debug, Serialize)]
+struct ExecutorThroughput {
+    /// `tiled-scalar`, `nchwc`, or `microkernel-simd`.
+    executor: String,
+    /// The microkernel backend the run dispatched to (`scalar` / `avx2fma`).
+    backend: String,
+    /// The data layout the executor ran under (see `LayoutConfig::tag`).
+    layout: String,
+    /// Best-of-repeats wall-clock seconds for one convolution.
+    seconds: f64,
+    /// `flops / seconds / 1e9` for the best repeat.
+    gflops: f64,
+    /// Worst absolute element difference against the scalar tiled output
+    /// (0.0 for scalar executors; ULP-bounded for FMA backends).
+    max_abs_delta: f64,
+}
+
+/// Measured executor throughput on one representative conv shape.
+#[derive(Debug, Serialize)]
+struct ExecReport {
+    /// The shape driven through every executor.
+    shape: ConvShape,
+    /// FLOPs of one convolution (multiply + add counted separately).
+    flops: usize,
+    /// Timed repeats per executor; `seconds` is the best of them.
+    repeats: usize,
+    /// One row per executor.
+    executors: Vec<ExecutorThroughput>,
+}
+
+/// Time one executor: a warmup run (also the correctness sample), then
+/// `repeats` timed runs keeping the best.
+fn time_exec(repeats: usize, mut run: impl FnMut() -> Tensor4) -> (f64, Tensor4) {
+    let output = run();
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        let out = run();
+        best = best.min(started.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    (best, output)
+}
+
+/// Benchmark the three executors on one representative conv shape, using the
+/// schedule the optimizer itself picks for that shape. The scalar tiled loop
+/// nest is the reference: the other rows report their worst element delta
+/// against it (exactly 0.0 unless an FMA backend fuses roundings).
+fn run_exec_bench(repeats: usize) -> ExecReport {
+    // ResNet-ish mid-layer: SIMD-friendly channel counts, big enough that
+    // throughput is memory-plus-compute, small enough for a debug-build run.
+    let shape = ConvShape::new_general(1, 64, 64, 3, 3, 28, 28, 1, 1, 1).expect("bench shape");
+    let machine = MachineModel::i7_9700k();
+    let options = OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() };
+    let config = MOptOptimizer::new(shape, machine, options).optimize().best().config.clone();
+
+    let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 11);
+    let kernel = Tensor4::random(shape.k, shape.reduction_c(), shape.r, shape.s, 13);
+
+    let scalar = TiledConv::new(shape, config.clone(), 1)
+        .expect("scalar tiled executor")
+        .with_backend(SimdBackend::Scalar);
+    let (scalar_seconds, reference) = time_exec(repeats, || scalar.run(&input, &kernel));
+
+    let simd = TiledConv::new(shape, config.clone(), 1)
+        .expect("simd tiled executor")
+        .with_backend(active_backend());
+    let (simd_seconds, simd_out) = time_exec(repeats, || simd.run(&input, &kernel));
+
+    let blocked = NchwcConv::new(shape, config.with_layout(LayoutConfig::blocked(8)), 1)
+        .expect("nchwc executor");
+    let (nchwc_seconds, nchwc_out) = time_exec(repeats, || blocked.run(&input, &kernel));
+
+    let delta = |out: &Tensor4| {
+        reference
+            .as_slice()
+            .iter()
+            .zip(out.as_slice())
+            .map(|(a, b)| (a - b).abs() as f64)
+            .fold(0.0f64, f64::max)
+    };
+    let flops = shape.flops();
+    let row = |executor: &str,
+               backend: SimdBackend,
+               layout: &LayoutConfig,
+               seconds: f64,
+               max_abs_delta: f64| ExecutorThroughput {
+        executor: executor.to_string(),
+        backend: backend.name().to_string(),
+        layout: layout.tag(),
+        seconds,
+        gflops: flops as f64 / seconds / 1e9,
+        max_abs_delta,
+    };
+    let default_layout = LayoutConfig::default();
+    let blocked_layout = LayoutConfig::blocked(8);
+    ExecReport {
+        shape,
+        flops,
+        repeats,
+        executors: vec![
+            row("tiled-scalar", SimdBackend::Scalar, &default_layout, scalar_seconds, 0.0),
+            row("nchwc", active_backend(), &blocked_layout, nchwc_seconds, delta(&nchwc_out)),
+            row(
+                "microkernel-simd",
+                active_backend(),
+                &default_layout,
+                simd_seconds,
+                delta(&simd_out),
+            ),
+        ],
+    }
 }
 
 /// Thundering-herd phase: `clients` threads issue the same cold `Optimize`
@@ -272,6 +395,8 @@ fn main() {
     let herd_clients = 8;
     let herd_flight = run_herd(&preset, threads, herd_clients);
 
+    let exec = run_exec_bench(3);
+
     let report = Report {
         suite,
         preset,
@@ -288,6 +413,7 @@ fn main() {
         flight: state.flight_stats(),
         herd_clients,
         herd_flight,
+        exec,
     };
     let text = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, &text).expect("write report");
@@ -331,5 +457,23 @@ fn main() {
             herd.led, herd.coalesced, report.herd_clients
         );
         std::process::exit(1);
+    }
+    // Self-checks on the executor rows: throughput is finite and positive,
+    // seconds·gflops reproduces the shape's FLOPs, and every executor agrees
+    // with the scalar reference to FMA rounding tolerance.
+    for exec_row in &report.exec.executors {
+        let rebuilt = exec_row.gflops * exec_row.seconds * 1e9;
+        let flops = report.exec.flops as f64;
+        if !(exec_row.gflops.is_finite() && exec_row.gflops > 0.0)
+            || (rebuilt - flops).abs() > flops * 1e-6
+            || exec_row.max_abs_delta > 1e-4
+        {
+            eprintln!(
+                "bench_mopt: executor row `{}` inconsistent \
+                 (gflops {}, seconds {}, max_abs_delta {})",
+                exec_row.executor, exec_row.gflops, exec_row.seconds, exec_row.max_abs_delta
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -13,9 +13,15 @@
 //! * [`packing`] — the `[K,C,R,S] → [K/VecLen, C, R, S, VecLen]` kernel
 //!   packing transform,
 //! * [`microkernel`] — the register-tiled inner kernel (accumulators held in
-//!   a small stack block, FMA-friendly inner loop),
+//!   a small stack block), generic over logical input/output views, with a
+//!   runtime-dispatched AVX2+FMA inner loop (`is_x86_feature_detected!`,
+//!   overridable via `MOPT_FORCE_SCALAR`) that is ULP-bounded against the
+//!   exact scalar reference path,
 //! * [`tiled`] — the multi-level tiled executor driven by a
 //!   [`conv_spec::TileConfig`] with thread-parallel outer loops,
+//! * [`nchwc`] — the blocked-NCHWc executor: the same tile walk over
+//!   `[N, C/c_block, H, W, c_block]` storage, bit-for-bit equal to the
+//!   sequential [`tiled`] walk,
 //! * [`partiled`] — the scoped-thread parallel executor partitioning the
 //!   schedule's parallel axis (`k` or the `n·h` output rows) across worker
 //!   threads, bit-for-bit equal to the sequential tile walk,
@@ -50,6 +56,7 @@ pub mod im2col;
 pub mod measure;
 pub mod microkernel;
 pub mod naive;
+pub mod nchwc;
 pub mod packing;
 pub mod partiled;
 pub mod spec_exec;
@@ -58,6 +65,11 @@ pub mod tiled;
 
 pub use fused::{pointwise_consumer, FusedDwPw};
 pub use measure::{measure_gflops, MeasureOptions, Measurement};
+pub use microkernel::{
+    active_backend, detected_backend, force_scalar, run_microkernel_with_backend, InputView,
+    OutputView, SimdBackend,
+};
+pub use nchwc::{BlockedTensor, NchwcConv};
 pub use packing::PackedKernel;
 pub use partiled::ParTiledConv;
 pub use spec_exec::{

@@ -8,6 +8,8 @@
 //! innermost loop running over the packed, contiguous output-channel lanes so
 //! the compiler can vectorize it — without dropping to assembly.
 
+use std::sync::OnceLock;
+
 use conv_spec::ConvShape;
 
 use crate::packing::PackedKernel;
@@ -16,6 +18,103 @@ use crate::tensor::Tensor4;
 /// Maximum number of output accumulators the stack block holds. Register
 /// tiles larger than this fall back to a direct (still correct, slower) loop.
 pub const MAX_ACCUMULATORS: usize = 1024;
+
+/// Read-only logical-NCHW view of the input tensor. The microkernel indexes
+/// inputs by `(n, c, h, w)` regardless of how the elements are stored, so
+/// the same kernel runs over plain NCHW ([`Tensor4`]) and blocked NCHWc
+/// storage with identical arithmetic (and therefore bit-identical results).
+pub trait InputView {
+    /// Element `In[n][c][h][w]` (absolute channel index).
+    fn value(&self, n: usize, c: usize, h: usize, w: usize) -> f32;
+}
+
+/// Mutable logical-NKHW view of the output tensor.
+pub trait OutputView {
+    /// Element `Out[n][k][h][w]`.
+    fn value(&self, n: usize, k: usize, h: usize, w: usize) -> f32;
+    /// Mutable element `Out[n][k][h][w]`.
+    fn value_mut(&mut self, n: usize, k: usize, h: usize, w: usize) -> &mut f32;
+}
+
+impl InputView for Tensor4 {
+    #[inline(always)]
+    fn value(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.at(n, c, h, w)
+    }
+}
+
+impl OutputView for Tensor4 {
+    #[inline(always)]
+    fn value(&self, n: usize, k: usize, h: usize, w: usize) -> f32 {
+        self.at(n, k, h, w)
+    }
+    #[inline(always)]
+    fn value_mut(&mut self, n: usize, k: usize, h: usize, w: usize) -> &mut f32 {
+        self.at_mut(n, k, h, w)
+    }
+}
+
+/// The inner-loop implementation the runtime dispatcher selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// Portable scalar lanes — the exact reference accumulation order
+    /// (`a += x * k`, two roundings per MAC). Auto-vectorizable.
+    Scalar,
+    /// AVX2 + FMA intrinsics, eight lanes per vector: the same accumulation
+    /// order per lane with fused multiply–adds (one rounding per MAC), so
+    /// results are ULP-bounded against [`SimdBackend::Scalar`].
+    Avx2Fma,
+}
+
+impl SimdBackend {
+    /// Short tag used by benchmark reports (`scalar` / `avx2fma`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Avx2Fma => "avx2fma",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+static ACTIVE_BACKEND: OnceLock<SimdBackend> = OnceLock::new();
+
+/// Whether `MOPT_FORCE_SCALAR` is set (non-empty, not `"0"`): the escape
+/// hatch that pins every executor to the exact scalar reference path, used
+/// by the runtime-dispatch fallback tests and available to operators.
+pub fn force_scalar() -> bool {
+    std::env::var_os("MOPT_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The microkernel backend for this process: AVX2+FMA when the CPU reports
+/// both features at runtime (`is_x86_feature_detected!`) and
+/// `MOPT_FORCE_SCALAR` is unset, the scalar reference otherwise. Cached
+/// after the first call.
+pub fn active_backend() -> SimdBackend {
+    *ACTIVE_BACKEND.get_or_init(|| {
+        if force_scalar() {
+            return SimdBackend::Scalar;
+        }
+        detected_backend()
+    })
+}
+
+/// The best backend the CPU supports, ignoring `MOPT_FORCE_SCALAR`.
+pub fn detected_backend() -> SimdBackend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdBackend::Avx2Fma;
+        }
+    }
+    SimdBackend::Scalar
+}
 
 /// A register-tile region: for each loop index, the start offset and length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,18 +175,32 @@ impl KernelRegion {
 /// each sub-block reads one contiguous band of input channels; dense shapes
 /// take exactly the pre-generalization path (a single block with input
 /// channel base 0).
-pub fn run_microkernel(
+pub fn run_microkernel<I: InputView, O: OutputView>(
     shape: &ConvShape,
-    input: &Tensor4,
+    input: &I,
     kernel: &PackedKernel,
-    output: &mut Tensor4,
+    output: &mut O,
     region: &KernelRegion,
+) {
+    run_microkernel_with_backend(shape, input, kernel, output, region, active_backend());
+}
+
+/// [`run_microkernel`] with an explicit inner-loop backend (the runtime
+/// dispatcher normally picks it; tests pin it to prove scalar/SIMD
+/// equivalence in one process).
+pub fn run_microkernel_with_backend<I: InputView, O: OutputView>(
+    shape: &ConvShape,
+    input: &I,
+    kernel: &PackedKernel,
+    output: &mut O,
+    region: &KernelRegion,
+    backend: SimdBackend,
 ) {
     if region.output_points() == 0 || region.macs() == 0 {
         return;
     }
     if shape.groups <= 1 {
-        dispatch(shape, input, kernel, output, region, 0);
+        dispatch(shape, input, kernel, output, region, 0, backend);
         return;
     }
     let k_per_group = shape.k_per_group().max(1);
@@ -96,22 +209,23 @@ pub fn run_microkernel(
         let k_lo = k0.max(group * k_per_group);
         let k_hi = ((group + 1) * k_per_group).min(k0 + nk);
         let sub = KernelRegion { k: (k_lo, k_hi - k_lo), ..*region };
-        dispatch(shape, input, kernel, output, &sub, shape.input_channel(k_lo, 0));
+        dispatch(shape, input, kernel, output, &sub, shape.input_channel(k_lo, 0), backend);
     }
 }
 
 /// Run one single-group block through the blocked or direct path. `c_base` is
 /// the absolute input channel corresponding to the region's relative `c = 0`.
-fn dispatch(
+fn dispatch<I: InputView, O: OutputView>(
     shape: &ConvShape,
-    input: &Tensor4,
+    input: &I,
     kernel: &PackedKernel,
-    output: &mut Tensor4,
+    output: &mut O,
     region: &KernelRegion,
     c_base: usize,
+    backend: SimdBackend,
 ) {
     if region.output_points() <= MAX_ACCUMULATORS {
-        microkernel_blocked(shape, input, kernel, output, region, c_base);
+        microkernel_blocked(shape, input, kernel, output, region, c_base, backend);
     } else {
         microkernel_direct(shape, input, kernel, output, region, c_base);
     }
@@ -120,13 +234,14 @@ fn dispatch(
 /// Accumulator layout: `acc[((n_i * nh + h_i) * nw + w_i) * nk + k_i]` so the
 /// innermost loop over output channels is contiguous (matching the packed
 /// kernel's lane order).
-fn microkernel_blocked(
+fn microkernel_blocked<I: InputView, O: OutputView>(
     shape: &ConvShape,
-    input: &Tensor4,
+    input: &I,
     kernel: &PackedKernel,
-    output: &mut Tensor4,
+    output: &mut O,
     region: &KernelRegion,
     c_base: usize,
+    backend: SimdBackend,
 ) {
     let (n0, nn) = region.n;
     let (k0, nk) = region.k;
@@ -141,6 +256,14 @@ fn microkernel_blocked(
     let mut acc = [0.0f32; MAX_ACCUMULATORS];
     let acc_len = nn * nh * nw * nk;
 
+    // The vector path needs the K range to cover exactly one packed group
+    // (eight aligned lanes), so the contiguous `PackedKernel::group` slice
+    // is the lanes `k0..k0+8` the scalar loop would read.
+    let use_avx2 = backend == SimdBackend::Avx2Fma
+        && nk == AVX2_LANES
+        && kernel.vec_len() == AVX2_LANES
+        && k0 % AVX2_LANES == 0;
+
     // Load the output block into the accumulator.
     {
         let mut idx = 0;
@@ -148,7 +271,7 @@ fn microkernel_blocked(
             for h in h0..h0 + nh {
                 for w in w0..w0 + nw {
                     for k in k0..k0 + nk {
-                        acc[idx] = output.at(n, k, h, w);
+                        acc[idx] = output.value(n, k, h, w);
                         idx += 1;
                     }
                 }
@@ -169,9 +292,20 @@ fn microkernel_blocked(
                     for h in h0..h0 + nh {
                         let in_row = h * stride + r * dil;
                         for w in w0..w0 + nw {
-                            let x = input.at(n, c_base + c, in_row, w * stride + s * dil);
+                            let x = input.value(n, c_base + c, in_row, w * stride + s * dil);
                             // Innermost: contiguous packed-kernel lanes.
                             let block = &mut acc[idx..idx + nk];
+                            #[cfg(target_arch = "x86_64")]
+                            if use_avx2 {
+                                // SAFETY: AVX2+FMA presence was verified by
+                                // the runtime dispatcher; both slices hold
+                                // exactly AVX2_LANES f32s.
+                                unsafe { fma_lanes_avx2(block, kernel.group(k0, c, r, s), x) };
+                                idx += nk;
+                                continue;
+                            }
+                            #[cfg(not(target_arch = "x86_64"))]
+                            let _ = use_avx2;
                             for (k_i, a) in block.iter_mut().enumerate() {
                                 *a += x * kernel.at(k0 + k_i, c, r, s);
                             }
@@ -190,7 +324,7 @@ fn microkernel_blocked(
             for h in h0..h0 + nh {
                 for w in w0..w0 + nw {
                     for k in k0..k0 + nk {
-                        *output.at_mut(n, k, h, w) = acc[idx];
+                        *output.value_mut(n, k, h, w) = acc[idx];
                         idx += 1;
                     }
                 }
@@ -199,13 +333,38 @@ fn microkernel_blocked(
     }
 }
 
+/// Lanes per AVX2 vector of `f32`.
+pub const AVX2_LANES: usize = 8;
+
+/// One outer-product step on eight contiguous lanes:
+/// `block[i] = fma(x, lanes[i], block[i])`. Same per-lane accumulation order
+/// as the scalar loop, with the multiply–add fused (one rounding instead of
+/// two), so the result is ULP-bounded against the scalar path.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 and FMA support at runtime, and both
+/// slices must hold at least [`AVX2_LANES`] elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fma_lanes_avx2(block: &mut [f32], lanes: &[f32], x: f32) {
+    use std::arch::x86_64::{_mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps};
+    debug_assert!(block.len() >= AVX2_LANES && lanes.len() >= AVX2_LANES);
+    unsafe {
+        let acc = _mm256_loadu_ps(block.as_ptr());
+        let ker = _mm256_loadu_ps(lanes.as_ptr());
+        let xv = _mm256_set1_ps(x);
+        _mm256_storeu_ps(block.as_mut_ptr(), _mm256_fmadd_ps(xv, ker, acc));
+    }
+}
+
 /// Fallback path without the stack accumulator (used when the register tile
 /// is configured larger than [`MAX_ACCUMULATORS`] outputs).
-fn microkernel_direct(
+fn microkernel_direct<I: InputView, O: OutputView>(
     shape: &ConvShape,
-    input: &Tensor4,
+    input: &I,
     kernel: &PackedKernel,
-    output: &mut Tensor4,
+    output: &mut O,
     region: &KernelRegion,
     c_base: usize,
 ) {
@@ -227,8 +386,8 @@ fn microkernel_direct(
                         for h in h0..h0 + nh {
                             let in_row = h * stride + r * dil;
                             for w in w0..w0 + nw {
-                                *output.at_mut(n, k, h, w) +=
-                                    input.at(n, c_base + c, in_row, w * stride + s * dil) * kv;
+                                *output.value_mut(n, k, h, w) +=
+                                    input.value(n, c_base + c, in_row, w * stride + s * dil) * kv;
                             }
                         }
                     }
@@ -356,6 +515,96 @@ mod tests {
         run_microkernel(&shape, &input, &packed, &mut out, &region);
         assert!(out.as_slice().iter().all(|&v| v == 0.0));
         assert_eq!(region.macs(), 0);
+    }
+
+    #[test]
+    fn backend_name_round_trips_display() {
+        assert_eq!(SimdBackend::Scalar.to_string(), "scalar");
+        assert_eq!(SimdBackend::Avx2Fma.to_string(), "avx2fma");
+    }
+
+    #[test]
+    fn avx2_backend_is_ulp_bounded_against_scalar() {
+        if detected_backend() != SimdBackend::Avx2Fma {
+            eprintln!("skipping: CPU does not report avx2+fma");
+            return;
+        }
+        // nk == 8 == vec_len with k0 % 8 == 0 engages the vector inner loop.
+        for &(stride, dilation, groups) in &[(1, 1, 1), (2, 1, 1), (1, 2, 1), (1, 1, 2)] {
+            let shape =
+                ConvShape::new_general(2, 16, 8, 3, 3, 6, 6, stride, dilation, groups).unwrap();
+            let (input, _kernel, packed) = setup(&shape);
+            let mut scalar_out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+            let mut simd_out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+            for k0 in (0..shape.k).step_by(8) {
+                let region = KernelRegion { k: (k0, 8), ..KernelRegion::full(&shape) };
+                run_microkernel_with_backend(
+                    &shape,
+                    &input,
+                    &packed,
+                    &mut scalar_out,
+                    &region,
+                    SimdBackend::Scalar,
+                );
+                run_microkernel_with_backend(
+                    &shape,
+                    &input,
+                    &packed,
+                    &mut simd_out,
+                    &region,
+                    SimdBackend::Avx2Fma,
+                );
+            }
+            // One fused rounding per MAC vs two scalar roundings: each of the
+            // ≤72 reduction steps differs by at most one ULP of the running
+            // accumulator (intermediate magnitude O(1) for inputs in [-1, 1]),
+            // so the paths agree to ~72 · ε even when the final value is tiny
+            // from cancellation. A real lane bug would be off by O(1).
+            let tol = 72.0 * f32::EPSILON * 4.0;
+            for (a, b) in scalar_out.as_slice().iter().zip(simd_out.as_slice()) {
+                assert!((a - b).abs() <= tol, "scalar {a} vs simd {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_gate_falls_back_on_unaligned_k_ranges() {
+        // Regions that don't line up with packed groups must take the scalar
+        // inner loop even under the Avx2Fma backend, and stay exact.
+        let shape = ConvShape::new(1, 12, 4, 3, 3, 5, 5, 1).unwrap();
+        let (input, _kernel, packed) = setup(&shape);
+        let mut scalar_out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+        let mut simd_out = Tensor4::zeros(shape.n, shape.k, shape.h, shape.w);
+        for (k0, nk) in [(0usize, 5usize), (5, 7)] {
+            let region = KernelRegion { k: (k0, nk), ..KernelRegion::full(&shape) };
+            run_microkernel_with_backend(
+                &shape,
+                &input,
+                &packed,
+                &mut scalar_out,
+                &region,
+                SimdBackend::Scalar,
+            );
+            run_microkernel_with_backend(
+                &shape,
+                &input,
+                &packed,
+                &mut simd_out,
+                &region,
+                SimdBackend::Avx2Fma,
+            );
+        }
+        // nk != 8 everywhere → both runs used the identical scalar loop.
+        assert_eq!(scalar_out.as_slice(), simd_out.as_slice());
+    }
+
+    #[test]
+    fn force_scalar_env_parses_common_values() {
+        // Can't mutate process env safely in parallel tests; exercise the
+        // pure predicate through its documented contract instead.
+        assert!(matches!(active_backend(), SimdBackend::Scalar | SimdBackend::Avx2Fma));
+        // Cached value is stable.
+        assert_eq!(active_backend(), active_backend());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use conv_spec::{ConvShape, LoopIndex, TileConfig, TileSizes, TilingLevel};
 
-use crate::microkernel::{run_microkernel, KernelRegion};
+use crate::microkernel::{
+    run_microkernel, run_microkernel_with_backend, InputView, KernelRegion, OutputView, SimdBackend,
+};
 use crate::packing::PackedKernel;
 use crate::tensor::Tensor4;
 use crate::ExecError;
@@ -22,6 +24,7 @@ pub struct TiledConv {
     config: TileConfig,
     threads: usize,
     vec_len: usize,
+    backend: Option<SimdBackend>,
 }
 
 impl TiledConv {
@@ -35,13 +38,21 @@ impl TiledConv {
     pub fn new(shape: ConvShape, config: TileConfig, threads: usize) -> Result<Self, ExecError> {
         let config = config.normalized(&shape);
         config.validate(&shape).map_err(|e| ExecError::InvalidConfig(e.to_string()))?;
-        Ok(TiledConv { shape, config, threads: threads.max(1), vec_len: 8 })
+        Ok(TiledConv { shape, config, threads: threads.max(1), vec_len: 8, backend: None })
     }
 
     /// Set the SIMD vector length used for kernel packing (8 for AVX2-class,
     /// 16 for AVX-512-class machines).
     pub fn with_vec_len(mut self, vec_len: usize) -> Self {
         self.vec_len = vec_len.max(1);
+        self
+    }
+
+    /// Pin the microkernel inner-loop backend instead of letting the runtime
+    /// dispatcher choose (benchmarks compare backends; tests prove
+    /// scalar/SIMD equivalence in one process).
+    pub fn with_backend(mut self, backend: SimdBackend) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -183,12 +194,14 @@ impl TiledConv {
 
     /// Execute the multi-level tile loops over an arbitrary base region.
     /// Shared with [`crate::ParTiledConv`], whose worker threads each run it
-    /// over their slice of the output.
-    pub(crate) fn execute_region(
+    /// over their slice of the output, and with [`crate::NchwcConv`], which
+    /// runs it over blocked NCHWc views — the walk is generic over logical
+    /// views so every storage layout goes through the identical arithmetic.
+    pub(crate) fn execute_region<I: InputView, O: OutputView>(
         &self,
-        input: &Tensor4,
+        input: &I,
         packed: &PackedKernel,
-        output: &mut Tensor4,
+        output: &mut O,
         base: &KernelRegion,
     ) {
         // Levels from outermost to innermost: L3, L2, L1, Register.
@@ -201,16 +214,26 @@ impl TiledConv {
         self.walk_level(&chain, input, packed, output, base);
     }
 
-    fn walk_level(
+    fn walk_level<I: InputView, O: OutputView>(
         &self,
         chain: &[TileSizes],
-        input: &Tensor4,
+        input: &I,
         packed: &PackedKernel,
-        output: &mut Tensor4,
+        output: &mut O,
         region: &KernelRegion,
     ) {
         match chain.split_first() {
-            None => run_microkernel(&self.shape, input, packed, output, region),
+            None => match self.backend {
+                None => run_microkernel(&self.shape, input, packed, output, region),
+                Some(backend) => run_microkernel_with_backend(
+                    &self.shape,
+                    input,
+                    packed,
+                    output,
+                    region,
+                    backend,
+                ),
+            },
             Some((tile, rest)) => {
                 self.walk_dims(tile, rest, 0, input, packed, output, region, &mut region.clone());
             }
@@ -218,14 +241,14 @@ impl TiledConv {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn walk_dims(
+    fn walk_dims<I: InputView, O: OutputView>(
         &self,
         tile: &TileSizes,
         rest: &[TileSizes],
         dim: usize,
-        input: &Tensor4,
+        input: &I,
         packed: &PackedKernel,
-        output: &mut Tensor4,
+        output: &mut O,
         enclosing: &KernelRegion,
         current: &mut KernelRegion,
     ) {

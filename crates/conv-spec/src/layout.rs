@@ -50,6 +50,15 @@ pub enum TensorLayout {
     Nchw,
     /// Batch, height, width, channel (provided for layout experiments).
     Nhwc,
+    /// Channel-blocked `[N][C/c_block][H][W][c_block]` (NCHWc). The channel
+    /// dimension is split into blocks of `c_block` lanes that become
+    /// stride-1, so a SIMD microkernel reading a fixed spatial position sees
+    /// `c_block` contiguous channels. `C` is padded up to a multiple of
+    /// `c_block`; padding lanes are zero.
+    Nchwc {
+        /// Channels per block (the stride-1 lane count).
+        c_block: usize,
+    },
 }
 
 impl TensorLayout {
@@ -64,17 +73,39 @@ impl TensorLayout {
         match self {
             TensorLayout::Nchw => ((n * dc + c) * dh + h) * dw + w,
             TensorLayout::Nhwc => ((n * dh + h) * dw + w) * dc + c,
+            TensorLayout::Nchwc { c_block } => {
+                let blocks = dc.div_ceil(c_block);
+                let (blk, lane) = (c / c_block, c % c_block);
+                (((n * blocks + blk) * dh + h) * dw + w) * c_block + lane
+            }
         }
     }
 
-    /// Total number of elements for the given extents.
+    /// Total number of elements for the given extents (blocked layouts pad
+    /// the channel dimension up to a whole number of blocks).
     pub fn len(self, dims: (usize, usize, usize, usize)) -> usize {
-        dims.0 * dims.1 * dims.2 * dims.3
+        match self {
+            TensorLayout::Nchw | TensorLayout::Nhwc => dims.0 * dims.1 * dims.2 * dims.3,
+            TensorLayout::Nchwc { c_block } => {
+                dims.0 * dims.1.div_ceil(c_block) * c_block * dims.2 * dims.3
+            }
+        }
     }
 
     /// Always false; kept for API symmetry with collection types.
     pub fn is_empty(self, dims: (usize, usize, usize, usize)) -> bool {
         self.len(dims) == 0
+    }
+
+    /// Number of stride-1 elements a unit step of the channel index stays
+    /// within (1 for NCHW where channels are strided, `c_block` for NCHWc,
+    /// the full channel extent for NHWC).
+    pub fn channel_run(self, dc: usize) -> usize {
+        match self {
+            TensorLayout::Nchw => 1,
+            TensorLayout::Nhwc => dc,
+            TensorLayout::Nchwc { c_block } => c_block,
+        }
     }
 }
 
@@ -84,6 +115,13 @@ pub enum KernelLayout {
     /// Output channel, input channel, kernel row, kernel column — the
     /// unpacked layout of Table 1's experiments.
     Kcrs,
+    /// The packed `Ker[K/V][C/G][R][S][V]` layout of Sec. 6: output channels
+    /// are blocked into stride-1 groups of `vec_len` lanes (padded with
+    /// zeros) so the vectorized K dimension is contiguous.
+    Packed {
+        /// Output channels per packed group (the SIMD lane count).
+        vec_len: usize,
+    },
 }
 
 impl KernelLayout {
@@ -93,7 +131,89 @@ impl KernelLayout {
     pub fn offset(self, shape: &ConvShape, k: usize, c: usize, r: usize, s: usize) -> usize {
         match self {
             KernelLayout::Kcrs => ((k * shape.reduction_c() + c) * shape.r + r) * shape.s + s,
+            KernelLayout::Packed { vec_len } => {
+                PackedKernelLayout::new(shape, vec_len).offset(k, c, r, s)
+            }
         }
+    }
+
+    /// Total number of kernel elements stored under this layout (packing
+    /// pads `K` up to a multiple of `vec_len`).
+    pub fn len(self, shape: &ConvShape) -> usize {
+        match self {
+            KernelLayout::Kcrs => shape.kernel_elems(),
+            KernelLayout::Packed { vec_len } => PackedKernelLayout::new(shape, vec_len).len(),
+        }
+    }
+}
+
+/// Per-tensor layout assignment for one schedule: the layout axis searched
+/// by the optimizer alongside tile sizes and the parallel dimension.
+///
+/// The default (`In`/`Out` in NCHW, `Ker` in KCRS) reproduces the paper's
+/// fixed-layout model bit for bit; every serialized form omits nothing, but
+/// deserialization treats a missing `layout` field as this default so
+/// pre-layout snapshots, db pages, and wire fixtures keep parsing unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayoutConfig {
+    /// Layout of the input feature map.
+    pub input: TensorLayout,
+    /// Layout of the output feature map.
+    pub output: TensorLayout,
+    /// Layout of the kernel tensor.
+    pub kernel: KernelLayout,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        LayoutConfig {
+            input: TensorLayout::Nchw,
+            output: TensorLayout::Nchw,
+            kernel: KernelLayout::Kcrs,
+        }
+    }
+}
+
+impl LayoutConfig {
+    /// The paper's fixed layouts: NCHW feature maps, KCRS kernel.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Kernel packed for a SIMD width, feature maps untouched — the layout
+    /// the packed-kernel executor (`TiledConv`) actually runs.
+    pub fn packed_kernel(vec_len: usize) -> Self {
+        LayoutConfig { kernel: KernelLayout::Packed { vec_len }, ..Self::default() }
+    }
+
+    /// Fully blocked: NCHWc feature maps and a packed kernel sharing one
+    /// lane count.
+    pub fn blocked(c_block: usize) -> Self {
+        LayoutConfig {
+            input: TensorLayout::Nchwc { c_block },
+            output: TensorLayout::Nchwc { c_block },
+            kernel: KernelLayout::Packed { vec_len: c_block },
+        }
+    }
+
+    /// Whether every tensor is in the paper's default layout.
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Short human-readable tag (`nchw+kcrs`, `nchw+packed8`,
+    /// `nchwc8+packed8`) used by Explain output and benchmark reports.
+    pub fn tag(&self) -> String {
+        let fm = match self.input {
+            TensorLayout::Nchw => "nchw".to_string(),
+            TensorLayout::Nhwc => "nhwc".to_string(),
+            TensorLayout::Nchwc { c_block } => format!("nchwc{c_block}"),
+        };
+        let ker = match self.kernel {
+            KernelLayout::Kcrs => "kcrs".to_string(),
+            KernelLayout::Packed { vec_len } => format!("packed{vec_len}"),
+        };
+        format!("{fm}+{ker}")
     }
 }
 
@@ -285,6 +405,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn nchwc_offsets_block_channels() {
+        let l = TensorLayout::Nchwc { c_block: 4 };
+        let dims = (2, 6, 3, 5);
+        // Two blocks of 4 lanes (channel 6 pads to 8).
+        assert_eq!(l.len(dims), 2 * 2 * 4 * 3 * 5);
+        assert_eq!(l.offset((0, 0, 0, 0), dims), 0);
+        // Channel steps within a block are stride-1...
+        assert_eq!(l.offset((0, 1, 0, 0), dims), 1);
+        assert_eq!(l.offset((0, 3, 0, 0), dims), 3);
+        // ...the spatial step skips the lane block...
+        assert_eq!(l.offset((0, 0, 0, 1), dims), 4);
+        // ...and crossing a block boundary jumps a whole H*W*c_block plane.
+        assert_eq!(l.offset((0, 4, 0, 0), dims), 3 * 5 * 4);
+        // Offsets are unique and in bounds over the whole tensor.
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..dims.0 {
+            for c in 0..dims.1 {
+                for h in 0..dims.2 {
+                    for w in 0..dims.3 {
+                        let off = l.offset((n, c, h, w), dims);
+                        assert!(off < l.len(dims));
+                        assert!(seen.insert(off), "duplicate offset {off}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kernel_layout_enum_matches_struct() {
+        let shape = ConvShape::new(1, 10, 2, 3, 3, 8, 8, 1).unwrap();
+        let l = KernelLayout::Packed { vec_len: 8 };
+        let p = PackedKernelLayout::new(&shape, 8);
+        assert_eq!(l.len(&shape), p.len());
+        for k in 0..shape.k {
+            for c in 0..shape.c {
+                assert_eq!(l.offset(&shape, k, c, 1, 2), p.offset(k, c, 1, 2));
+            }
+        }
+        assert_eq!(KernelLayout::Kcrs.len(&shape), shape.kernel_elems());
+    }
+
+    #[test]
+    fn layout_config_default_roundtrip() {
+        let def = LayoutConfig::default();
+        assert!(def.is_default());
+        assert_eq!(def.tag(), "nchw+kcrs");
+        assert!(!LayoutConfig::packed_kernel(8).is_default());
+        assert_eq!(LayoutConfig::packed_kernel(8).tag(), "nchw+packed8");
+        assert_eq!(LayoutConfig::blocked(8).tag(), "nchwc8+packed8");
+
+        let v = serde_json::to_string(&def).unwrap();
+        let back: LayoutConfig = serde_json::from_str(&v).unwrap();
+        assert_eq!(back, def);
+        let v = serde_json::to_string(&LayoutConfig::blocked(16)).unwrap();
+        let back: LayoutConfig = serde_json::from_str(&v).unwrap();
+        assert_eq!(back, LayoutConfig::blocked(16));
+    }
+
+    #[test]
+    fn channel_run_reflects_contiguity() {
+        assert_eq!(TensorLayout::Nchw.channel_run(64), 1);
+        assert_eq!(TensorLayout::Nhwc.channel_run(64), 64);
+        assert_eq!(TensorLayout::Nchwc { c_block: 8 }.channel_run(64), 8);
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub mod tiling;
 
 pub use benchmarks::{BenchmarkOp, BenchmarkSuite};
 pub use canonical::{canonicalize, canonicalize_spec, CanonicalSpec, SpecTransform, PAD_QUANTUM};
-pub use layout::{KernelLayout, PackedKernelLayout, TensorKind, TensorLayout};
+pub use layout::{KernelLayout, LayoutConfig, PackedKernelLayout, TensorKind, TensorLayout};
 pub use machine::{CacheLevel, MachineModel, MemoryLevel};
 pub use shape::{ConvShape, LoopIndex, Permutation, ALL_INDICES};
 pub use spec::{DType, EwOp, PoolKind, Spec};

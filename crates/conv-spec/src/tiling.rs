@@ -1,7 +1,8 @@
 //! Tile-size vectors and multi-level tiling configurations.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
+use crate::layout::LayoutConfig;
 use crate::shape::{ConvShape, LoopIndex, Permutation, ALL_INDICES};
 use crate::SpecError;
 
@@ -284,7 +285,7 @@ impl std::fmt::Display for TileSizes {
 /// one permutation and one [`TileSizes`] vector per tiling level, plus the
 /// degree of parallelism assigned to each non-reduction dimension at the L2
 /// level (Sec. 7).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TileConfig {
     /// The tile-loop permutation (shared across levels, as in the paper's
     /// per-class formulation; each level may use any member of the class).
@@ -295,6 +296,43 @@ pub struct TileConfig {
     /// Parallelization factors per loop index (how many threads split this
     /// dimension at the L2-tile level). Product must equal the thread count.
     pub parallel: TileSizes,
+    /// Per-tensor data layouts this schedule was planned (and is executed)
+    /// under. Defaults to the paper's fixed layouts; schedules serialized
+    /// before the layout axis existed deserialize to that default.
+    pub layout: LayoutConfig,
+}
+
+impl Serialize for TileConfig {
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("permutation".to_string(), self.permutation.to_value()),
+            ("tiles".to_string(), self.tiles.to_value()),
+            ("parallel".to_string(), self.parallel.to_value()),
+        ];
+        // The default layout is omitted, not written: database page
+        // checksums cover the *re-serialized* record list, so a pre-layout
+        // schedule must serialize byte-identically to its pre-layout form or
+        // every legacy page would read back as corrupt.
+        if !self.layout.is_default() {
+            pairs.push(("layout".to_string(), self.layout.to_value()));
+        }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for TileConfig {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pairs = v.as_object().ok_or_else(|| DeError::custom("TileConfig: expected object"))?;
+        let permutation: Permutation = serde::de_field(pairs, "permutation", "TileConfig")?;
+        let tiles: [TileSizes; NUM_TILING_LEVELS] = serde::de_field(pairs, "tiles", "TileConfig")?;
+        let parallel: TileSizes = serde::de_field(pairs, "parallel", "TileConfig")?;
+        // Pre-layout schedules have no `layout` field: the paper default.
+        let layout = match pairs.iter().find(|(k, _)| k == "layout").map(|(_, val)| val) {
+            None | Some(Value::Null) => LayoutConfig::default(),
+            Some(val) => LayoutConfig::from_value(val)?,
+        };
+        Ok(TileConfig { permutation, tiles, parallel, layout })
+    }
 }
 
 impl TileConfig {
@@ -305,16 +343,23 @@ impl TileConfig {
             permutation: Permutation::canonical(),
             tiles: [TileSizes::full(shape); NUM_TILING_LEVELS],
             parallel: TileSizes::ones(),
+            layout: LayoutConfig::default(),
         }
     }
 
-    /// Construct from explicit parts.
+    /// Construct from explicit parts (paper-default layouts).
     pub fn new(
         permutation: Permutation,
         tiles: [TileSizes; NUM_TILING_LEVELS],
         parallel: TileSizes,
     ) -> Self {
-        TileConfig { permutation, tiles, parallel }
+        TileConfig { permutation, tiles, parallel, layout: LayoutConfig::default() }
+    }
+
+    /// Builder: the same schedule under different tensor layouts.
+    pub fn with_layout(mut self, layout: LayoutConfig) -> Self {
+        self.layout = layout;
+        self
     }
 
     /// Tile sizes for a level.

@@ -24,7 +24,7 @@ use conv_spec::{
     canonicalize, canonicalize_spec, CanonicalSpec, ConvShape, LoopIndex, MachineModel, Spec,
     SpecTransform, TileConfig, TileSizes, TilingLevel,
 };
-use mopt_core::{MOptOptimizer, OptimizeResult, OptimizedConfig, OptimizerOptions};
+use mopt_core::{LayoutPolicy, MOptOptimizer, OptimizeResult, OptimizedConfig, OptimizerOptions};
 use mopt_model::cost::CostOptions;
 use mopt_model::multilevel::{MultiLevelModel, ParallelSpec};
 
@@ -187,13 +187,37 @@ pub fn rerank(
             let model = MultiLevelModel::new(*raw, machine.clone(), config.permutation.clone())
                 .with_options(CostOptions { line_elems: options.line_elems })
                 .with_parallel(*spec);
-            let prediction = model.predict_config(&config);
-            candidates.push(OptimizedConfig {
-                config,
-                class_id: entry.class_id,
-                predicted_cost: prediction.bottleneck_cost,
-                prediction,
-            });
+            // Entries are stored layout-stripped; a `Search`-policy query
+            // re-prices each candidate under every layout the direct
+            // optimizer would consider (bottleneck + one-time moves) and
+            // serves the cheapest — the fixed/unset path is bit-identical
+            // to the pre-layout rerank.
+            if matches!(options.layout_policy, Some(LayoutPolicy::Search)) {
+                let mut best: Option<OptimizedConfig> = None;
+                for layout in optimizer.layout_candidates() {
+                    let candidate = config.clone().with_layout(layout);
+                    let laid = model.clone().with_layout(layout);
+                    let prediction = laid.predict_config(&candidate);
+                    let total = prediction.bottleneck_cost + laid.move_total();
+                    if best.as_ref().is_none_or(|b| total < b.predicted_cost) {
+                        best = Some(OptimizedConfig {
+                            config: candidate,
+                            class_id: entry.class_id,
+                            predicted_cost: total,
+                            prediction,
+                        });
+                    }
+                }
+                candidates.extend(best);
+            } else {
+                let prediction = model.predict_config(&config);
+                candidates.push(OptimizedConfig {
+                    config,
+                    class_id: entry.class_id,
+                    predicted_cost: prediction.bottleneck_cost,
+                    prediction,
+                });
+            }
         }
     }
     if candidates.is_empty() {
@@ -290,6 +314,40 @@ mod tests {
         let options = OptimizerOptions { keep_top: 1, ..fast_options(1) };
         let served = rerank(&raw, &transform, &entries, &machine(), &options).unwrap();
         assert_eq!(served.ranked.len(), 1);
+    }
+
+    #[test]
+    fn search_policy_rerank_reprices_stored_entries_under_layouts() {
+        // Entries are stored layout-stripped; a Search-policy query re-prices
+        // them jointly with layout. The default layout stays in the candidate
+        // set, so the served best is never worse than the fixed-policy best.
+        let raw = ConvShape::new(1, 32, 16, 3, 3, 16, 16, 1).unwrap();
+        let result = solve(&raw, 1);
+        let (canonical, transform) = canonicalize(&raw);
+        let entries = entries_from_result(&canonical, &transform, &machine(), 1, &result);
+        let fixed = rerank(&raw, &transform, &entries, &machine(), &fast_options(1)).unwrap();
+        let options = OptimizerOptions {
+            layout_policy: Some(mopt_core::LayoutPolicy::Search),
+            ..fast_options(1)
+        };
+        let searched = rerank(&raw, &transform, &entries, &machine(), &options).unwrap();
+        assert!(searched.ranked[0].predicted_cost <= fixed.ranked[0].predicted_cost);
+        let allowed = MOptOptimizer::new(raw, machine(), options.clone()).layout_candidates();
+        for cand in &searched.ranked {
+            assert!(allowed.contains(&cand.config.layout));
+            assert!(cand.config.validate(&raw).is_ok());
+        }
+        // Fixed-policy rerank stays bit-identical to the unset-policy path.
+        let explicit = OptimizerOptions {
+            layout_policy: Some(mopt_core::LayoutPolicy::Fixed),
+            ..fast_options(1)
+        };
+        let pinned = rerank(&raw, &transform, &entries, &machine(), &explicit).unwrap();
+        assert_eq!(pinned.ranked[0].config, fixed.ranked[0].config);
+        assert_eq!(
+            pinned.ranked[0].predicted_cost.to_bits(),
+            fixed.ranked[0].predicted_cost.to_bits()
+        );
     }
 
     #[test]

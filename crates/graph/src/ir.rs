@@ -469,10 +469,16 @@ impl Graph {
             for d in e.tensor.dims {
                 eat(&(d as u64).to_le_bytes());
             }
-            eat(&[match e.tensor.layout {
-                TensorLayout::Nchw => 0u8,
-                TensorLayout::Nhwc => 1u8,
-            }]);
+            // Tag bytes are append-only: pre-layout-axis graphs only ever
+            // contain NCHW/NHWC edges, so their fingerprints are unchanged.
+            match e.tensor.layout {
+                TensorLayout::Nchw => eat(&[0u8]),
+                TensorLayout::Nhwc => eat(&[1u8]),
+                TensorLayout::Nchwc { c_block } => {
+                    eat(&[2u8]);
+                    eat(&(c_block as u64).to_le_bytes());
+                }
+            }
         }
         h
     }

@@ -17,6 +17,10 @@
 //!   consumer pair (the intermediate tensor's store + load at the DRAM
 //!   boundary is deleted when the joint working set fits the same certified
 //!   capacity envelope), used by `mopt_graph`'s fusion-aware planner,
+//! * [`mod@move_cost`] — Morello-style pricing of layout transforms (lines
+//!   touched, non-contiguity penalty, prefetch discount) and per-tensor
+//!   traffic/footprint factors, composing the one-time packing cost into the
+//!   same bottleneck objective (exactly zero at the paper-default layouts),
 //! * [`mod@spec_footprint`] — closed-form per-level footprints for the
 //!   generalized problem IR (matmul `Tm·Tk + Tk·Tn + Tm·Tn`, pooling slabs,
 //!   elementwise streams), pinned equal to the embedded conv footprints.
@@ -67,6 +71,7 @@
 
 pub mod cost;
 pub mod fused;
+pub mod move_cost;
 pub mod multilevel;
 pub mod prune;
 pub mod spec_footprint;
@@ -74,6 +79,10 @@ pub mod spec_footprint;
 pub use cost::{single_level_volume, ArrayVolumes, CostOptions, RealTiles};
 pub use fused::{
     evaluate_fusion, evaluate_fusion_for_threads, fusable_pair, FusabilityCheck, FusionEvaluation,
+};
+pub use move_cost::{
+    layout_move_costs, layout_move_total, stream_traffic, traffic_factor, transform_level,
+    MoveCost, NONCONTIG_PENALTY, PREFETCH_DISCOUNT,
 };
 pub use multilevel::{CostBreakdown, LevelCost, MultiLevelModel, ParallelSpec};
 pub use prune::{pruned_classes, PermutationClass};

@@ -29,12 +29,16 @@
 //! `tests/multicore_parallel.rs`).
 
 use conv_spec::{
-    ConvShape, LoopIndex, MachineModel, ParallelAxis, Permutation, TileConfig, TilingLevel,
-    ALL_INDICES,
+    ConvShape, LayoutConfig, LoopIndex, MachineModel, ParallelAxis, Permutation, TensorKind,
+    TileConfig, TilingLevel, ALL_INDICES,
 };
 use serde::{Deserialize, Serialize};
 
-use crate::cost::{single_level_volume_general, total_footprint, CostOptions, RealTiles};
+use crate::cost::{
+    input_footprint, kernel_footprint, output_footprint, single_level_volume_general,
+    total_footprint, CostOptions, RealTiles,
+};
+use crate::move_cost::{self, MoveCost};
 
 /// Real-valued tile sizes for all four levels (Register, L1, L2, L3).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -245,17 +249,30 @@ pub struct CostBreakdown {
     pub levels: Vec<LevelCost>,
     /// The predicted bottleneck level.
     pub bottleneck: TilingLevel,
-    /// The certified price: the bottleneck's bandwidth-scaled cost (cycles).
+    /// The certified price: the bottleneck's bandwidth-scaled cost plus the
+    /// one-time layout-transform total (cycles). At the default layouts the
+    /// move total is exactly zero and this is the bottleneck cost unchanged.
     pub total_cost: f64,
     /// FLOPs of the operator.
     pub flops: f64,
+    /// One row per layout transform the schedule performs (empty at the
+    /// paper-default layouts).
+    pub moves: Vec<MoveCost>,
+    /// Sum of the move rows' costs (cycles); `0.0` when `moves` is empty.
+    pub move_total: f64,
 }
 
 impl CostBreakdown {
-    /// Sum of the per-level attributed costs — equal to `total_cost` bit for
-    /// bit by construction.
+    /// Sum of the per-level attributed costs plus the move total — equal to
+    /// `total_cost` bit for bit by construction (at default layouts the move
+    /// total is a literal zero, so this is the bottleneck attribution alone).
     pub fn attributed_total(&self) -> f64 {
-        self.levels.iter().map(|l| l.attributed_cost).sum()
+        let levels: f64 = self.levels.iter().map(|l| l.attributed_cost).sum();
+        if self.moves.is_empty() {
+            levels
+        } else {
+            levels + self.move_total
+        }
     }
 }
 
@@ -273,6 +290,10 @@ pub struct MultiLevelModel {
     pub options: CostOptions,
     /// Parallel execution specification.
     pub parallel: ParallelSpec,
+    /// Per-tensor data layouts the schedule is priced under. At the default
+    /// (the paper's fixed NCHW/KCRS) every layout-aware term is skipped
+    /// entirely, so the model is bit-identical to the pre-layout one.
+    pub layout: LayoutConfig,
 }
 
 impl MultiLevelModel {
@@ -284,6 +305,7 @@ impl MultiLevelModel {
             permutation,
             options: CostOptions::default(),
             parallel: ParallelSpec::sequential(),
+            layout: LayoutConfig::default(),
         }
     }
 
@@ -297,6 +319,47 @@ impl MultiLevelModel {
     pub fn with_options(mut self, options: CostOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Builder-style: price the nest under a layout assignment.
+    pub fn with_layout(mut self, layout: LayoutConfig) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Weight per-tensor volumes by their layout traffic factors. Only
+    /// called on the non-default-layout path.
+    fn layout_weighted_total(&self, v: &crate::cost::ArrayVolumes) -> f64 {
+        v.input * move_cost::traffic_factor(&self.shape, &self.layout, TensorKind::Input)
+            + v.kernel * move_cost::traffic_factor(&self.shape, &self.layout, TensorKind::Kernel)
+            + v.output * move_cost::traffic_factor(&self.shape, &self.layout, TensorKind::Output)
+    }
+
+    /// The one-time layout-transform rows for this model's layout (empty at
+    /// the default), priced at the boundary each transform crosses.
+    pub fn move_rows(&self) -> Vec<MoveCost> {
+        move_cost::layout_move_costs(
+            &self.shape,
+            &self.machine,
+            &self.layout,
+            &self.options,
+            self.parallel.threads,
+        )
+    }
+
+    /// Total one-time layout-transform cost (cycles); a literal `0.0` at the
+    /// default layout.
+    pub fn move_total(&self) -> f64 {
+        if self.layout.is_default() {
+            return 0.0;
+        }
+        move_cost::layout_move_total(
+            &self.shape,
+            &self.machine,
+            &self.layout,
+            &self.options,
+            self.parallel.threads,
+        )
     }
 
     /// Number of outer tiles enclosing tiles of `level` (the multiplier
@@ -368,14 +431,18 @@ impl MultiLevelModel {
             let tiles = tiles.normalized(&self.shape);
             let extents = self.enclosing_extents(&tiles, level);
             let inner = tiles.level(level);
-            let per_outer = single_level_volume_general(
+            let volumes = single_level_volume_general(
                 &self.shape,
                 &self.permutation,
                 inner,
                 &extents,
                 &self.options,
-            )
-            .total();
+            );
+            let per_outer = if self.layout.is_default() {
+                volumes.total()
+            } else {
+                self.layout_weighted_total(&volumes)
+            };
             return self.outer_tile_count(&tiles, level) * per_outer;
         }
         let threads = self.parallel.threads as f64;
@@ -385,14 +452,18 @@ impl MultiLevelModel {
             None => ext,
             Some(outer) => *tiles.level(outer),
         };
-        let per_outer = single_level_volume_general(
+        let volumes = single_level_volume_general(
             &self.shape,
             &self.permutation,
             tiles.level(level),
             &extents,
             &self.options,
-        )
-        .total();
+        );
+        let per_outer = if self.layout.is_default() {
+            volumes.total()
+        } else {
+            self.layout_weighted_total(&volumes)
+        };
         let count: f64 = match level.outer() {
             None => 1.0,
             Some(outer) => {
@@ -411,9 +482,24 @@ impl MultiLevelModel {
     /// first clamped into one thread's slice of the problem.
     pub fn footprint(&self, tiles: &MultiLevelTiles, level: TilingLevel) -> f64 {
         if self.parallel.threads <= 1 {
-            return total_footprint(&self.shape, tiles.level(level));
+            return self.tile_footprint(tiles.level(level));
         }
-        total_footprint(&self.shape, self.thread_tiles(tiles).level(level))
+        self.tile_footprint(self.thread_tiles(tiles).level(level))
+    }
+
+    /// Tile footprint under the model's layout: the default path is the
+    /// paper's expression untouched; non-default layouts inflate each tensor
+    /// by its padding factor.
+    fn tile_footprint(&self, t: &RealTiles) -> f64 {
+        if self.layout.is_default() {
+            return total_footprint(&self.shape, t);
+        }
+        input_footprint(&self.shape, t)
+            * move_cost::footprint_factor(&self.shape, &self.layout, TensorKind::Input)
+            + kernel_footprint(t)
+                * move_cost::footprint_factor(&self.shape, &self.layout, TensorKind::Kernel)
+            + output_footprint(t)
+                * move_cost::footprint_factor(&self.shape, &self.layout, TensorKind::Output)
     }
 
     /// Capacity constraint `footprint − capacity ≤ 0` for a level.
@@ -470,6 +556,7 @@ impl MultiLevelModel {
     pub fn predict_config(&self, config: &TileConfig) -> ModelPrediction {
         let mut model = self.clone();
         model.permutation = config.permutation.clone();
+        model.layout = config.layout;
         model.predict_tiles(&MultiLevelTiles::from_config(config))
     }
 
@@ -480,8 +567,14 @@ impl MultiLevelModel {
     pub fn cost_breakdown(&self, config: &TileConfig) -> CostBreakdown {
         let mut model = self.clone();
         model.permutation = config.permutation.clone();
+        model.layout = config.layout;
         let tiles = MultiLevelTiles::from_config(config);
         let prediction = model.predict_tiles(&tiles);
+        let moves = model.move_rows();
+        // An empty f64 sum is `-0.0`; keep the default-layout value a literal
+        // positive zero so serialized breakdowns stay byte-identical.
+        let move_total: f64 =
+            if moves.is_empty() { 0.0 } else { moves.iter().map(|m| m.cost).sum() };
         let levels = TilingLevel::ALL
             .iter()
             .map(|&level| {
@@ -503,11 +596,21 @@ impl MultiLevelModel {
                 }
             })
             .collect();
+        // At the default layouts `moves` is empty and the certified price is
+        // the bottleneck cost, bit for bit; with transforms it is the
+        // bottleneck plus the one-time move total.
+        let total_cost = if moves.is_empty() {
+            prediction.bottleneck_cost
+        } else {
+            prediction.bottleneck_cost + move_total
+        };
         CostBreakdown {
             levels,
             bottleneck: prediction.bottleneck,
-            total_cost: prediction.bottleneck_cost,
+            total_cost,
             flops: prediction.flops,
+            moves,
+            move_total,
         }
     }
 }

@@ -49,7 +49,7 @@ pub mod optimizer;
 pub mod validation;
 
 pub use optimizer::{
-    CandidateSearch, LevelHypothesis, MOptOptimizer, OptimizeResult, OptimizedConfig,
+    CandidateSearch, LayoutPolicy, LevelHypothesis, MOptOptimizer, OptimizeResult, OptimizedConfig,
     OptimizerOptions, SearchRound, SearchTrace,
 };
 pub use validation::{spearman_correlation, top_k_loss, ValidationPoint, ValidationReport};

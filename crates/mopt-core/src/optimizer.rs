@@ -12,8 +12,8 @@
 //! and load-balanced across threads.
 
 use conv_spec::{
-    ConvShape, LoopIndex, MachineModel, ParallelAxis, Permutation, Spec, TileConfig, TileSizes,
-    TilingLevel, ALL_INDICES, NUM_TILING_LEVELS,
+    ConvShape, LayoutConfig, LoopIndex, MachineModel, ParallelAxis, Permutation, Spec, TileConfig,
+    TileSizes, TilingLevel, ALL_INDICES, NUM_TILING_LEVELS,
 };
 use mopt_model::cost::{CostOptions, RealTiles};
 use mopt_model::multilevel::{ModelPrediction, MultiLevelModel, MultiLevelTiles, ParallelSpec};
@@ -45,6 +45,24 @@ pub struct OptimizerOptions {
     /// iterations per start) is 10–50x faster and loses little on the
     /// posynomial-like tile problems.
     pub thorough: bool,
+    /// How data layout is chosen: `None` and [`LayoutPolicy::Fixed`] keep
+    /// the paper's fixed layouts (bit-identical to the pre-layout
+    /// optimizer); [`LayoutPolicy::Search`] prices each solved tiling under
+    /// the candidate layouts and keeps the one whose loop traffic plus
+    /// one-time move cost is cheapest. Optional so requests serialized
+    /// before the layout axis existed deserialize (to `None`) unchanged.
+    pub layout_policy: Option<LayoutPolicy>,
+}
+
+/// How the optimizer treats the data-layout axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayoutPolicy {
+    /// The paper's fixed layouts (NCHW feature maps, KCRS kernel).
+    Fixed,
+    /// Search layout jointly with tile sizes and the parallel axis: each
+    /// candidate layout re-prices the solved tiling with layout-aware
+    /// traffic plus the Morello-style one-time transform cost.
+    Search,
 }
 
 impl Default for OptimizerOptions {
@@ -56,6 +74,7 @@ impl Default for OptimizerOptions {
             keep_top: 5,
             max_classes: 8,
             thorough: false,
+            layout_policy: None,
         }
     }
 }
@@ -75,11 +94,14 @@ impl OptimizerOptions {
 /// One optimized candidate configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OptimizedConfig {
-    /// The integer tiling configuration (ready for the executor).
+    /// The integer tiling configuration (ready for the executor), carrying
+    /// the layout it was priced under.
     pub config: TileConfig,
     /// The pruned class the configuration came from (1..=8).
     pub class_id: usize,
-    /// The model's bandwidth-scaled bottleneck cost (cycles; lower is better).
+    /// The model's bandwidth-scaled bottleneck cost (cycles; lower is
+    /// better). Under [`LayoutPolicy::Search`] this is the layout-aware
+    /// loop bottleneck plus the one-time layout-transform cost.
     pub predicted_cost: f64,
     /// The model's full per-level prediction.
     pub prediction: ModelPrediction,
@@ -330,9 +352,9 @@ impl MOptOptimizer {
                 });
                 let tiles = self.solve_class(&model, recorder.as_mut());
                 let config = self.to_integer_config(&model, &tiles, &class.representative);
-                let prediction = model.predict_config(&config);
+                let (config, prediction, predicted_cost) = self.choose_layout(&model, config);
                 if let (Some(trace), Some(mut rec)) = (trace.as_deref_mut(), recorder) {
-                    rec.predicted_cost = prediction.bottleneck_cost;
+                    rec.predicted_cost = predicted_cost;
                     trace.enumerated += rec.enumerated;
                     trace.capacity_pruned += rec.capacity_pruned;
                     trace.dominance_pruned += rec.dominance_pruned;
@@ -341,7 +363,7 @@ impl MOptOptimizer {
                 candidates.push(OptimizedConfig {
                     config,
                     class_id: class.id,
-                    predicted_cost: prediction.bottleneck_cost,
+                    predicted_cost,
                     prediction,
                 });
             }
@@ -359,6 +381,57 @@ impl MOptOptimizer {
             trace.margin = trace.runner_up_cost.map(|r| r - trace.winner_cost);
         }
         OptimizeResult { ranked: candidates, optimize_seconds: start.elapsed().as_secs_f64() }
+    }
+
+    /// The layout assignments priced when layout search is on: the paper
+    /// default, a packed kernel at the machine's SIMD width, and fully
+    /// channel-blocked feature maps with the packed kernel. With the policy
+    /// unset or [`LayoutPolicy::Fixed`], only the default.
+    pub fn layout_candidates(&self) -> Vec<LayoutConfig> {
+        match self.options.layout_policy {
+            None | Some(LayoutPolicy::Fixed) => vec![LayoutConfig::default()],
+            Some(LayoutPolicy::Search) => {
+                let v = self.machine.simd_width.max(1);
+                vec![
+                    LayoutConfig::default(),
+                    LayoutConfig::packed_kernel(v),
+                    LayoutConfig::blocked(v),
+                ]
+            }
+        }
+    }
+
+    /// Joint layout selection: re-price one solved tiling under every
+    /// candidate layout (layout-aware loop traffic plus the one-time
+    /// transform cost, amortized across the nest) and keep the cheapest.
+    ///
+    /// With the policy unset or fixed, this is exactly the pre-layout
+    /// `predict_config` call — the fixed path stays bit-identical.
+    fn choose_layout(
+        &self,
+        model: &MultiLevelModel,
+        config: TileConfig,
+    ) -> (TileConfig, ModelPrediction, f64) {
+        if !matches!(self.options.layout_policy, Some(LayoutPolicy::Search)) {
+            let prediction = model.predict_config(&config);
+            let cost = prediction.bottleneck_cost;
+            return (config, prediction, cost);
+        }
+        let mut best: Option<(TileConfig, ModelPrediction, f64)> = None;
+        for layout in self.layout_candidates() {
+            let candidate = config.clone().with_layout(layout);
+            let laid = model.clone().with_layout(layout);
+            let prediction = laid.predict_config(&candidate);
+            let total = prediction.bottleneck_cost + laid.move_total();
+            let better = match &best {
+                None => true,
+                Some((_, _, c)) => total < *c,
+            };
+            if better {
+                best = Some((candidate, prediction, total));
+            }
+        }
+        best.expect("at least the default layout was priced")
     }
 
     /// Multi-level tile-size selection for one permutation class

@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use conv_spec::{benchmarks, BenchmarkSuite, ConvShape, MachineModel, Spec};
-use mopt_core::{MOptOptimizer, OptimizeResult, OptimizerOptions, SearchTrace};
+use mopt_core::{LayoutPolicy, MOptOptimizer, OptimizeResult, OptimizerOptions, SearchTrace};
 use mopt_graph::{builders, Graph, GraphPlan, GraphPlanner};
 use mopt_model::{CostBreakdown, CostOptions, MultiLevelModel, ParallelSpec};
 use mopt_trace::{SpanNode, TraceContext, TraceRing};
@@ -547,6 +547,11 @@ pub struct ServiceState {
     slow_log: TraceRing<SlowTrace>,
     /// Worker threads the transport configured (0 until a transport binds).
     configured_workers: AtomicU64,
+    /// Layout policy applied to requests that leave `options.layout_policy`
+    /// unset (`moptd --layout-policy search`). `None` — the default — leaves
+    /// requests untouched, so cache keys and serving are bit-identical to the
+    /// pre-layout server.
+    default_layout_policy: Option<LayoutPolicy>,
 }
 
 impl ServiceState {
@@ -572,7 +577,19 @@ impl ServiceState {
             slow_micros: AtomicU64::new(0),
             slow_log: TraceRing::new(SLOW_LOG_CAPACITY),
             configured_workers: AtomicU64::new(0),
+            default_layout_policy: None,
         }
+    }
+
+    /// Set the layout policy applied to requests whose options leave
+    /// `layout_policy` unset. `Some(Search)` makes the optimizer price data
+    /// layouts jointly with tile sizes by default; `None` (and
+    /// `Some(Fixed)`, which requests can always pass explicitly) keeps the
+    /// pre-layout behavior. The effective policy participates in cache keys,
+    /// so fixed- and search-policy schedules never collide.
+    pub fn with_layout_policy(mut self, policy: Option<LayoutPolicy>) -> Self {
+        self.default_layout_policy = policy;
+        self
     }
 
     /// Arm the slow-request log: every request is traced server-side, and
@@ -904,7 +921,7 @@ impl ServiceState {
                     op.as_deref(),
                     *shape,
                     machine,
-                    Self::effective_options(options, *threads),
+                    self.effective_options(options, *threads),
                     ctx,
                 ),
             Request::Explain { spec, op, shape, machine, options, threads } => self.handle_explain(
@@ -912,7 +929,7 @@ impl ServiceState {
                 op.as_deref(),
                 *shape,
                 machine,
-                Self::effective_options(options, *threads),
+                self.effective_options(options, *threads),
                 ctx,
             ),
             Request::PlanNetwork {
@@ -927,7 +944,7 @@ impl ServiceState {
                 suite.as_deref(),
                 layers.as_deref(),
                 machine,
-                Self::effective_options(options, *threads),
+                self.effective_options(options, *threads),
                 *workers,
                 ctx,
             ),
@@ -936,7 +953,7 @@ impl ServiceState {
                     block.as_deref(),
                     graph.as_ref(),
                     machine,
-                    Self::effective_options(options, *threads),
+                    self.effective_options(options, *threads),
                     *workers,
                     ctx,
                 )
@@ -946,15 +963,21 @@ impl ServiceState {
 
     /// The effective optimizer options of a request: the request's `options`
     /// (or the defaults), with an explicit top-level `threads` field taking
-    /// precedence over `options.threads`. The result participates verbatim
-    /// in both cache keys, so thread counts always distinguish entries.
+    /// precedence over `options.threads`, and the server's default layout
+    /// policy filled in when the request leaves it unset. The result
+    /// participates verbatim in both cache keys, so thread counts and layout
+    /// policies always distinguish entries.
     fn effective_options(
+        &self,
         options: &Option<OptimizerOptions>,
         threads: Option<usize>,
     ) -> OptimizerOptions {
         let mut options = options.clone().unwrap_or_default();
         if let Some(threads) = threads {
             options.threads = threads.max(1);
+        }
+        if options.layout_policy.is_none() {
+            options.layout_policy = self.default_layout_policy;
         }
         options
     }

@@ -12,11 +12,12 @@ use std::process::{Command, Stdio};
 use std::time::Instant;
 
 use conv_exec::naive::conv2d_naive;
-use conv_exec::{Tensor4, TiledConv};
+use conv_exec::{NchwcConv, Tensor4, TiledConv};
 use conv_spec::{benchmarks, ConvShape, MachineModel, TileConfig};
 use mopt_core::{OptimizeResult, OptimizerOptions};
 use mopt_service::batch::NamedLayer;
 use mopt_service::{NetworkPlanner, Request, Response, ScheduleCache, ServiceState};
+use serde::Value;
 
 fn fast_options() -> OptimizerOptions {
     OptimizerOptions { max_classes: 1, ..OptimizerOptions::fast() }
@@ -796,4 +797,94 @@ fn explain_over_stdio_recertifies_bit_identically() {
         }
         other => panic!("expected Optimized, got {other:?}"),
     }
+}
+
+/// Acceptance: runtime SIMD dispatch must be invisible to planning. The same
+/// `Optimize` request served by a real `moptd --stdio --layout-policy search`
+/// process with `MOPT_FORCE_SCALAR=1` and by one with SIMD dispatch live must
+/// produce identical responses (volatile timing fields aside) — layout search
+/// included — and the schedule the forced-scalar server returns still
+/// computes the right convolution through the layout-aware executor.
+#[test]
+fn moptd_forced_scalar_serves_identical_schedules_as_simd() {
+    fn scrub(value: &Value) -> Value {
+        match value {
+            Value::Object(pairs) => Value::Object(
+                pairs
+                    .iter()
+                    .filter(|(key, _)| {
+                        !matches!(
+                            key.as_str(),
+                            "optimize_seconds"
+                                | "solve_seconds"
+                                | "wall_seconds"
+                                | "plan_seconds"
+                                | "uptime_seconds"
+                        )
+                    })
+                    .map(|(key, inner)| (key.clone(), scrub(inner)))
+                    .collect(),
+            ),
+            Value::Array(items) => Value::Array(items.iter().map(scrub).collect()),
+            other => other.clone(),
+        }
+    }
+
+    let shape = ConvShape::new(1, 16, 8, 3, 3, 12, 12, 1).unwrap();
+    let request = serde_json::to_string(&Request::Optimize {
+        spec: None,
+        op: None,
+        shape: Some(shape),
+        machine: mopt_service::MachineSpec::Preset("tiny".into()),
+        options: Some(fast_options()),
+        threads: None,
+        trace: None,
+    })
+    .unwrap();
+
+    let serve = |force_scalar: bool| -> String {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_moptd"));
+        cmd.args(["--stdio", "--layout-policy", "search"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if force_scalar {
+            cmd.env("MOPT_FORCE_SCALAR", "1");
+        } else {
+            cmd.env_remove("MOPT_FORCE_SCALAR");
+        }
+        let mut child = cmd.spawn().expect("moptd spawns");
+        {
+            let stdin = child.stdin.as_mut().expect("moptd stdin");
+            stdin.write_all(request.as_bytes()).unwrap();
+            stdin.write_all(b"\n").unwrap();
+        }
+        child.stdin.take();
+        let stdout = BufReader::new(child.stdout.take().expect("moptd stdout"));
+        let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+        assert!(child.wait().unwrap().success());
+        assert_eq!(lines.len(), 1, "one reply per request");
+        lines.into_iter().next().unwrap()
+    };
+
+    let scalar_line = serve(true);
+    let simd_line = serve(false);
+    let scalar = serde_json::parse_value(&scalar_line).unwrap();
+    let simd = serde_json::parse_value(&simd_line).unwrap();
+    assert_eq!(scrub(&scalar), scrub(&simd), "SIMD dispatch changed a served schedule");
+
+    let response: Response = serde_json::from_str(&scalar_line).unwrap();
+    let result = match response {
+        Response::Optimized { result, .. } => result,
+        other => panic!("expected Optimized, got {other:?}"),
+    };
+    let best = result.best().config.clone();
+    let input = Tensor4::random(shape.n, shape.c, shape.input_h(), shape.input_w(), 31);
+    let kernel = Tensor4::random(shape.k, shape.c, shape.r, shape.s, 32);
+    let reference = conv2d_naive(&shape, &input, &kernel);
+    let served = NchwcConv::new(shape, best, 1).unwrap().run(&input, &kernel);
+    assert!(
+        reference.allclose(&served, 1e-3),
+        "forced-scalar served schedule computes a different convolution"
+    );
 }

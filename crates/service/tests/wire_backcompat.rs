@@ -19,7 +19,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 
-use conv_spec::MachineModel;
+use conv_spec::{LayoutConfig, MachineModel};
 use mopt_service::{Response, ServiceState, Tier};
 use serde::Value;
 
@@ -180,4 +180,58 @@ fn legacy_db_pages_serve_a_cold_process() {
         }
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// New with the layout axis: a layout-less legacy request must resolve to the
+/// paper's default layout. The parsed schedule reports `is_default()`, the
+/// wire form omits the `layout` field entirely for default-layout schedules
+/// (database page checksums cover the re-serialized record list, so the
+/// pre-layout byte form must be preserved exactly), and every pinned field
+/// of the legacy fixture response is still served unchanged.
+#[test]
+fn legacy_layoutless_requests_resolve_to_the_default_layout() {
+    let state = ServiceState::new(64);
+    let requests = fixture_lines("legacy_requests.jsonl");
+    let pinned = fixture_lines("legacy_responses.jsonl");
+    for (request, pinned_line) in requests[0..3].iter().zip(&pinned[0..3]) {
+        let line = state.handle_line(request);
+        let response: Response = serde_json::from_str(&line).unwrap();
+        let result = match response {
+            Response::Optimized { result, .. } => result,
+            other => panic!("expected Optimized, got {other:?}"),
+        };
+        for candidate in &result.ranked {
+            assert!(
+                candidate.config.layout.is_default(),
+                "layout-less request {request} served a non-default layout {:?}",
+                candidate.config.layout
+            );
+        }
+
+        // Default layouts are resolved semantically, never spelled on the
+        // wire: the schedule object must serialize exactly as it did before
+        // the layout axis existed.
+        let value = serde_json::parse_value(&line).unwrap();
+        let config = value
+            .get("Optimized")
+            .and_then(|r| r.get("result"))
+            .and_then(|r| r.get("ranked"))
+            .and_then(|r| r.as_array())
+            .and_then(|ranked| ranked.first())
+            .and_then(|c| c.get("config"))
+            .expect("reply carries a ranked schedule");
+        assert!(
+            config.get("layout").is_none(),
+            "default layout must be omitted from the wire form, got {:?}",
+            config.get("layout")
+        );
+        // A non-default layout does get spelled out.
+        let best = result.best().config.clone().with_layout(LayoutConfig::blocked(8));
+        let spelled = serde_json::to_string(&best).unwrap();
+        assert!(spelled.contains("\"layout\""), "non-default layout missing: {spelled}");
+
+        // And the pinned pre-layout fixture fields still hold around it.
+        let pinned_value = serde_json::parse_value(pinned_line).unwrap();
+        assert_pinned_subset(&pinned_value, &value, "response");
+    }
 }
